@@ -1,0 +1,29 @@
+//! The BayesPerf accelerator, as a cycle-approximate discrete-event
+//! simulation, plus its FPGA area/power model.
+//!
+//! §5 of the paper implements EP inference on a Xilinx VU3P FPGA at
+//! 250 MHz: four EP engines update time-slice sites in parallel; each
+//! engine drives AcMC²-generated MCMC sampler IPs (12 of them) over a
+//! 16-port butterfly NoC; inputs and the global approximation g(θ) live in
+//! replicated DRAM; the host talks to the board through CAPI 2.0 (Power9,
+//! cache-snoop ingestion) or PCIe + XDMA (x86, doorbell/DMA/interrupt,
+//! which costs ~15.8% extra latency).
+//!
+//! This crate reproduces those structures as a [`des`] (event-heap
+//! simulator) driving the [`engine`] model, and an analytic
+//! [`resource`] model that regenerates Table 1 from the same configuration
+//! parameters. The headline behaviours the simulation preserves:
+//!
+//! * reads of corrected counters are served from host memory at native
+//!   latency + <2% (the accelerator masks inference latency);
+//! * CAPI ingestion beats PCIe DMA by roughly the paper's 15.8%;
+//! * inference throughput scales with EP engines and samplers until the
+//!   NoC or DRAM saturates.
+
+pub mod des;
+pub mod engine;
+pub mod resource;
+
+pub use des::{EventQueue, SimTime};
+pub use engine::{Accelerator, AccelConfig, HostInterface, InferenceJob, JobTrace, ReadPath};
+pub use resource::{area_power, FpgaPart, ResourceReport};

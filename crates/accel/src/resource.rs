@@ -1,0 +1,241 @@
+//! The FPGA area/power model (Table 1).
+//!
+//! An analytic bill-of-materials: each component of the accelerator
+//! (host-interface shell, EP engines, sampler IPs, NoC ports, DRAM
+//! controllers, controller) consumes a fixed vector of FPGA resources;
+//! utilization is the sum over the configuration divided by the part's
+//! totals, and power is a weighted function of utilization. Constants are
+//! calibrated so the paper's default build (4 EP + 12 samplers, 16-port
+//! NoC, 4 DRAM channels @ 250 MHz on a VU3P) reproduces Table 1.
+
+use crate::engine::{AccelConfig, HostInterface};
+
+/// Resource totals of an FPGA part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaPart {
+    /// Part name.
+    pub name: &'static str,
+    /// Block RAMs (36 Kb).
+    pub bram: f64,
+    /// DSP48 slices.
+    pub dsp: f64,
+    /// Flip-flops.
+    pub ff: f64,
+    /// Look-up tables.
+    pub lut: f64,
+    /// UltraRAM blocks.
+    pub uram: f64,
+}
+
+impl FpgaPart {
+    /// The Xilinx Virtex UltraScale+ VU3P-2 on the Alpha-Data 9V3 board.
+    pub fn vu3p() -> Self {
+        FpgaPart {
+            name: "xcvu3p-ffvc1517-2-e",
+            bram: 720.0,
+            dsp: 2280.0,
+            ff: 788_160.0,
+            lut: 394_080.0,
+            uram: 320.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bom {
+    bram: f64,
+    dsp: f64,
+    ff: f64,
+    lut: f64,
+    uram: f64,
+}
+
+impl Bom {
+    const ZERO: Bom = Bom {
+        bram: 0.0,
+        dsp: 0.0,
+        ff: 0.0,
+        lut: 0.0,
+        uram: 0.0,
+    };
+
+    fn add(&mut self, other: Bom, count: f64) {
+        self.bram += other.bram * count;
+        self.dsp += other.dsp * count;
+        self.ff += other.ff * count;
+        self.lut += other.lut * count;
+        self.uram += other.uram * count;
+    }
+}
+
+/// Per-component resource costs (calibrated; see module docs).
+const XDMA_SHELL: Bom = Bom { bram: 30.0, dsp: 300.0, ff: 36_000.0, lut: 26_000.0, uram: 0.0 };
+const PSL_SHELL: Bom = Bom { bram: 95.0, dsp: 27.0, ff: 12_000.0, lut: 18_000.0, uram: 0.0 };
+const EP_ENGINE: Bom = Bom { bram: 40.0, dsp: 200.0, ff: 40_000.0, lut: 30_000.0, uram: 20.0 };
+const SAMPLER: Bom = Bom { bram: 14.0, dsp: 52.0, ff: 14_000.0, lut: 12_000.0, uram: 7.0 };
+const NOC_PORT: Bom = Bom { bram: 2.0, dsp: 0.0, ff: 1_500.0, lut: 1_200.0, uram: 0.0 };
+const DRAM_CTRL: Bom = Bom { bram: 12.0, dsp: 12.0, ff: 4_000.0, lut: 2_000.0, uram: 5.0 };
+const CONTROLLER: Bom = Bom { bram: 8.0, dsp: 6.0, ff: 6_000.0, lut: 2_000.0, uram: 2.0 };
+
+/// Utilization and power of one accelerator build (a Table 1 row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceReport {
+    /// BRAM utilization, percent of the part.
+    pub bram_pct: f64,
+    /// DSP utilization, percent.
+    pub dsp_pct: f64,
+    /// Flip-flop utilization, percent.
+    pub ff_pct: f64,
+    /// LUT utilization, percent.
+    pub lut_pct: f64,
+    /// URAM utilization, percent.
+    pub uram_pct: f64,
+    /// Vivado post-route power estimate, watts.
+    pub vivado_power_w: f64,
+    /// Board-level measured power, watts.
+    pub measured_power_w: f64,
+}
+
+impl ResourceReport {
+    /// True if the build fits the part.
+    pub fn fits(&self) -> bool {
+        [
+            self.bram_pct,
+            self.dsp_pct,
+            self.ff_pct,
+            self.lut_pct,
+            self.uram_pct,
+        ]
+        .iter()
+        .all(|p| *p <= 100.0)
+    }
+
+    /// The paper's power-efficiency claim: host TDP over measured power.
+    pub fn power_reduction_vs(&self, host_tdp_w: f64) -> f64 {
+        host_tdp_w / self.measured_power_w
+    }
+}
+
+/// Computes the area/power report of a configuration on a part.
+pub fn area_power(config: &AccelConfig, part: &FpgaPart) -> ResourceReport {
+    let mut bom = Bom::ZERO;
+    bom.add(
+        match config.host {
+            HostInterface::Capi2 => PSL_SHELL,
+            HostInterface::PcieDma => XDMA_SHELL,
+        },
+        1.0,
+    );
+    bom.add(EP_ENGINE, config.ep_engines as f64);
+    bom.add(SAMPLER, config.mcmc_samplers as f64);
+    bom.add(NOC_PORT, config.noc_ports as f64);
+    bom.add(DRAM_CTRL, config.dram_channels as f64);
+    bom.add(CONTROLLER, 1.0);
+
+    let bram = bom.bram / part.bram;
+    let dsp = bom.dsp / part.dsp;
+    let ff = bom.ff / part.ff;
+    let lut = bom.lut / part.lut;
+    let uram = bom.uram / part.uram;
+
+    // Power: static + utilization-weighted dynamic, scaled by clock
+    // relative to the calibration point (250 MHz).
+    let clock_scale = config.clock_mhz / 250.0;
+    let weighted = 2.0 * bram + 6.0 * dsp + 3.0 * ff + 4.0 * lut + 1.5 * uram;
+    let vivado = 0.8 + 0.9 * weighted * clock_scale;
+    let measured = vivado * 1.534;
+
+    ResourceReport {
+        bram_pct: bram * 100.0,
+        dsp_pct: dsp * 100.0,
+        ff_pct: ff * 100.0,
+        lut_pct: lut * 100.0,
+        uram_pct: uram * 100.0,
+        vivado_power_w: vivado,
+        measured_power_w: measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 of the paper.
+    const TABLE1_X86: [f64; 5] = [62.0, 78.0, 52.0, 81.0, 58.0];
+    const TABLE1_PPC: [f64; 5] = [71.0, 66.0, 49.0, 79.0, 58.0];
+
+    fn utilizations(r: &ResourceReport) -> [f64; 5] {
+        [r.bram_pct, r.dsp_pct, r.ff_pct, r.lut_pct, r.uram_pct]
+    }
+
+    #[test]
+    fn x86_build_matches_table1() {
+        let r = area_power(&AccelConfig::x86(), &FpgaPart::vu3p());
+        for (got, want) in utilizations(&r).iter().zip(&TABLE1_X86) {
+            assert!(
+                (got - want).abs() < 4.0,
+                "utilization {got:.1} vs Table 1 {want}"
+            );
+        }
+        assert!((r.vivado_power_w - 11.2).abs() < 1.0, "{}", r.vivado_power_w);
+        assert!((r.measured_power_w - 17.2).abs() < 1.2, "{}", r.measured_power_w);
+    }
+
+    #[test]
+    fn ppc64_build_matches_table1() {
+        let r = area_power(&AccelConfig::ppc64(), &FpgaPart::vu3p());
+        for (got, want) in utilizations(&r).iter().zip(&TABLE1_PPC) {
+            assert!(
+                (got - want).abs() < 4.0,
+                "utilization {got:.1} vs Table 1 {want}"
+            );
+        }
+        assert!((r.vivado_power_w - 10.5).abs() < 1.0);
+        assert!((r.measured_power_w - 16.1).abs() < 1.2);
+    }
+
+    #[test]
+    fn power_efficiency_matches_paper_claims() {
+        // 5.8× vs the 100 W Intel TDP; 11.8× vs the 190 W Power9 TDP.
+        let x86 = area_power(&AccelConfig::x86(), &FpgaPart::vu3p());
+        let ppc = area_power(&AccelConfig::ppc64(), &FpgaPart::vu3p());
+        let rx = x86.power_reduction_vs(100.0);
+        let rp = ppc.power_reduction_vs(190.0);
+        assert!((rx - 5.8).abs() < 0.6, "x86 reduction {rx}");
+        assert!((rp - 11.8).abs() < 1.2, "ppc reduction {rp}");
+    }
+
+    #[test]
+    fn builds_fit_the_part() {
+        for cfg in [AccelConfig::x86(), AccelConfig::ppc64()] {
+            assert!(area_power(&cfg, &FpgaPart::vu3p()).fits());
+        }
+    }
+
+    #[test]
+    fn area_scales_with_samplers() {
+        let base = area_power(&AccelConfig::ppc64(), &FpgaPart::vu3p());
+        let small = area_power(
+            &AccelConfig {
+                mcmc_samplers: 6,
+                ..AccelConfig::ppc64()
+            },
+            &FpgaPart::vu3p(),
+        );
+        assert!(small.dsp_pct < base.dsp_pct);
+        assert!(small.vivado_power_w < base.vivado_power_w);
+    }
+
+    #[test]
+    fn clock_scaling_raises_power() {
+        let slow = area_power(
+            &AccelConfig {
+                clock_mhz: 125.0,
+                ..AccelConfig::ppc64()
+            },
+            &FpgaPart::vu3p(),
+        );
+        let fast = area_power(&AccelConfig::ppc64(), &FpgaPart::vu3p());
+        assert!(slow.vivado_power_w < fast.vivado_power_w);
+    }
+}

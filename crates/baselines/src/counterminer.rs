@@ -1,0 +1,229 @@
+//! CounterMiner (Lv et al., MICRO'18): Gumbel-test outlier dropping.
+
+use crate::estimator::SeriesEstimator;
+use bayesperf_events::EventId;
+use bayesperf_inference::Gumbel;
+use bayesperf_simcpu::MultiplexRun;
+
+/// CounterMiner-style variance reduction.
+///
+/// CounterMiner is an offline variance-reduction technique; the paper uses
+/// it *online* as its strongest baseline and notes that requirement
+/// "manifests as low average correction accuracy, with large variance,
+/// when used for online corrections" (§6.2). This port does the same:
+/// measured windows pass through a Gumbel extreme-value outlier test over
+/// a sliding window (spikes are winsorized); unmeasured gap windows blend
+/// the last filtered measurement with the scaled stream perf emits (the
+/// only data an online consumer has during a gap), so most of the
+/// multiplexing smear survives. No cross-event inference is performed
+/// (§7: these methods "assume the underlying distribution of the data
+/// remains unchanged").
+#[derive(Debug, Clone, Copy)]
+pub struct CounterMiner {
+    /// Sliding-window length for the outlier statistics.
+    pub window: usize,
+    /// Tail probability below which a deviation is declared an outlier.
+    pub alpha: f64,
+}
+
+impl Default for CounterMiner {
+    fn default() -> Self {
+        CounterMiner {
+            window: 8,
+            alpha: 0.02,
+        }
+    }
+}
+
+impl CounterMiner {
+    /// Creates the estimator with default window/threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The Gumbel law of the maximum absolute z-score among `n` standard
+    /// normals (classical extreme-value constants).
+    fn max_dev_law(n: usize) -> Gumbel {
+        let n = n.max(2) as f64;
+        let ln2n = (2.0 * n.ln()).max(1e-6);
+        let a = ln2n.sqrt() - ((n.ln()).ln() + (4.0 * std::f64::consts::PI).ln()) / (2.0 * ln2n.sqrt());
+        let b = 1.0 / ln2n.sqrt();
+        Gumbel::new(a.max(0.1), b)
+    }
+
+    /// True if `z` (an absolute z-score) is an outlier at level `alpha`
+    /// for a window of `n` samples.
+    pub fn is_outlier(&self, z: f64, n: usize) -> bool {
+        let law = Self::max_dev_law(n);
+        1.0 - law.cdf(z) < self.alpha && z > 2.0
+    }
+}
+
+impl SeriesEstimator for CounterMiner {
+    fn name(&self) -> &'static str {
+        "CM"
+    }
+
+    fn estimate(&self, run: &MultiplexRun, event: EventId) -> Vec<f64> {
+        // Pass 1: Gumbel-filter the measured windows.
+        let mut observed: Vec<(usize, f64)> = Vec::new();
+        let mut recent: Vec<f64> = Vec::with_capacity(self.window);
+        for (wi, w) in run.windows.iter().enumerate() {
+            let Some(sample) = w.sample_for(event) else {
+                continue;
+            };
+            let x = sample.value;
+            let value = if recent.len() >= 4 {
+                let mean = recent.iter().sum::<f64>() / recent.len() as f64;
+                let var = recent
+                    .iter()
+                    .map(|v| (v - mean) * (v - mean))
+                    .sum::<f64>()
+                    / recent.len() as f64;
+                let sd = var.sqrt();
+                if sd > 0.0 && self.is_outlier((x - mean).abs() / sd, recent.len()) {
+                    // Drop the outlier: winsorize toward the window (keeps
+                    // the direction of genuine level shifts instead of
+                    // erasing them).
+                    mean + (x - mean).signum() * 3.0 * sd
+                } else {
+                    x
+                }
+            } else {
+                x
+            };
+            // The window tracks the raw stream so a genuine level shift is
+            // absorbed after one step instead of cascading replacements.
+            recent.push(x);
+            if recent.len() > self.window {
+                recent.remove(0);
+            }
+            observed.push((wi, value));
+        }
+
+        // Pass 2 (online): measured windows emit the filtered value; gap
+        // windows blend the held value with perf's scaled stream.
+        let linux = crate::linux::LinuxScaling::new().estimate(run, event);
+        let n = run.windows.len();
+        let mut out = vec![0.0; n];
+        if observed.is_empty() {
+            return out;
+        }
+        let mut oi = 0usize;
+        for (w, slot) in out.iter_mut().enumerate() {
+            while oi + 1 < observed.len() && observed[oi + 1].0 <= w {
+                oi += 1;
+            }
+            let (w0, v0) = observed[oi];
+            *slot = if w == w0 {
+                v0
+            } else {
+                0.3 * v0 + 0.7 * linux[w]
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesperf_events::{Arch, Catalog, Semantic};
+    use bayesperf_simcpu::{pack_round_robin, ConstantTruth, NoiseModel, Pmu, PmuConfig};
+
+    #[test]
+    fn max_dev_law_grows_with_n() {
+        let small = CounterMiner::max_dev_law(5);
+        let large = CounterMiner::max_dev_law(100);
+        assert!(large.loc > small.loc, "bigger windows expect larger maxima");
+    }
+
+    #[test]
+    fn outlier_test_flags_extremes_only() {
+        let cm = CounterMiner::new();
+        assert!(!cm.is_outlier(1.0, 8));
+        assert!(cm.is_outlier(6.0, 8));
+    }
+
+    #[test]
+    fn spikes_are_dropped() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let rates = bayesperf_events::synthesize(&cat, &bayesperf_events::FreeParams::default());
+        let mut truth = ConstantTruth::new(rates);
+        // Heavy interrupt spikes, no other noise.
+        let pmu = Pmu::new(
+            &cat,
+            PmuConfig {
+                noise: NoiseModel {
+                    measurement_sigma: 0.005,
+                    interrupt_rate: 0.05,
+                    interrupt_spike: 5.0,
+                    boundary_sigma: 0.0,
+                    overcount_bias: 0.0,
+                },
+                seed: 21,
+                ..PmuConfig::for_catalog(&cat)
+            },
+        );
+        let ev = cat.require(Semantic::L1dMisses);
+        let schedule = pack_round_robin(&cat, &[ev]).unwrap();
+        let run = pmu.run_multiplexed(&mut truth, &schedule, 64);
+
+        let cm_series = CounterMiner::new().estimate(&run, ev);
+        let truth_series = run.truth_series(ev);
+        let raw_err: f64 = run
+            .windows
+            .iter()
+            .map(|w| {
+                let s = w.sample_for(ev).unwrap();
+                (s.value - w.truth[ev.index()]).abs() / w.truth[ev.index()]
+            })
+            .sum::<f64>()
+            / 64.0;
+        let cm_err: f64 = cm_series
+            .iter()
+            .zip(&truth_series)
+            .map(|(e, t)| (e - t).abs() / t)
+            .sum::<f64>()
+            / 64.0;
+        assert!(
+            cm_err < raw_err,
+            "CM {cm_err:.4} should beat raw {raw_err:.4} under spikes"
+        );
+    }
+
+    #[test]
+    fn interpolates_gaps_exactly_on_constant_load() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let rates = bayesperf_events::synthesize(&cat, &bayesperf_events::FreeParams::default());
+        let mut truth = ConstantTruth::new(rates.clone());
+        let pmu = Pmu::new(
+            &cat,
+            PmuConfig {
+                noise: NoiseModel::none(),
+                ..PmuConfig::for_catalog(&cat)
+            },
+        );
+        let events = [
+            Semantic::L1dMisses,
+            Semantic::IcacheMisses,
+            Semantic::L2References,
+            Semantic::L2Misses,
+            Semantic::LlcHits,
+            Semantic::LlcMisses,
+            Semantic::BrInst,
+            Semantic::BrMisp,
+        ]
+        .map(|s| cat.require(s));
+        let schedule = pack_round_robin(&cat, &events).unwrap();
+        let run = pmu.run_multiplexed(&mut truth, &schedule, 8);
+        let ev = events[0];
+        // Constant workload, no noise: interpolation across gaps matches
+        // the measured windows exactly.
+        let cm = CounterMiner::new().estimate(&run, ev);
+        let observed = run.windows[0].sample_for(ev).unwrap().value;
+        for (w, v) in cm.iter().enumerate() {
+            assert!((v - observed).abs() < 1e-9, "window {w}: {v} vs {observed}");
+        }
+    }
+}

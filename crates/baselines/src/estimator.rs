@@ -1,0 +1,14 @@
+//! The common estimator interface.
+
+use bayesperf_events::EventId;
+use bayesperf_simcpu::MultiplexRun;
+
+/// An HPC-correction technique producing a per-window count series for one
+/// event from a recorded (multiplexed) run.
+pub trait SeriesEstimator {
+    /// Short label used in reports ("Linux", "CM", "BayesPerf", ...).
+    fn name(&self) -> &'static str;
+
+    /// Estimates the per-window counts of `event` over the whole run.
+    fn estimate(&self, run: &MultiplexRun, event: EventId) -> Vec<f64>;
+}

@@ -1,0 +1,30 @@
+//! The three baselines the paper compares against (§6.2).
+//!
+//! * [`LinuxScaling`] — perf's built-in correction: cumulative counts scaled
+//!   by `time_enabled / time_running`. During unscheduled windows the
+//!   per-window delta reflects the run-average rate, which is precisely the
+//!   multiplexing smear of §2.
+//! * [`CounterMiner`] — Lv et al. (MICRO'18): variance reduction by
+//!   dropping outliers detected with a Gumbel extreme-value test over a
+//!   sliding window, then mean imputation. Designed for offline "big
+//!   performance data" cleaning; used online here, as in the paper's
+//!   comparison, where its lack of gap inference caps its accuracy.
+//! * [`WmPin`] — Weaver & McKee's deterministic overcount correction,
+//!   driven by dynamic-instruction information from Pin. It corrects *only*
+//!   instruction counts and costs a ~198× slowdown, which is why the paper
+//!   uses it only in the Fig. 8 scaling study.
+//!
+//! All baselines implement [`SeriesEstimator`]: a per-window count series
+//! for one event from a recorded multiplexed run — the same interface the
+//! BayesPerf corrector's MLE series satisfies, so the evaluation harness
+//! treats every corrector uniformly.
+
+mod counterminer;
+mod estimator;
+mod linux;
+mod wm_pin;
+
+pub use counterminer::CounterMiner;
+pub use estimator::SeriesEstimator;
+pub use linux::{polling_series, LinuxScaling};
+pub use wm_pin::WmPin;

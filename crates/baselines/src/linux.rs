@@ -1,0 +1,154 @@
+//! Linux perf's built-in enabled/running-time scaling.
+
+use crate::estimator::SeriesEstimator;
+use bayesperf_events::EventId;
+use bayesperf_simcpu::MultiplexRun;
+
+/// Linux's inbuilt correction (§4): userspace reads the cumulative count
+/// scaled by `time_enabled / time_running`; a per-window series is the
+/// sequence of deltas between consecutive reads.
+///
+/// When the event is not scheduled, the cumulative raw count does not
+/// advance but `time_enabled` does, so the delta redistributes the
+/// run-average rate over the gap — multiplexing smear.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinuxScaling;
+
+impl LinuxScaling {
+    /// Creates the estimator.
+    pub fn new() -> Self {
+        LinuxScaling
+    }
+}
+
+impl SeriesEstimator for LinuxScaling {
+    fn name(&self) -> &'static str {
+        "Linux"
+    }
+
+    fn estimate(&self, run: &MultiplexRun, event: EventId) -> Vec<f64> {
+        let mut out = Vec::with_capacity(run.windows.len());
+        let mut cum_raw = 0.0;
+        let mut running = 0u64;
+        let mut prev_scaled = 0.0;
+        for w in &run.windows {
+            if let Some(s) = w.sample_for(event) {
+                cum_raw += s.value;
+                running = s.time_running;
+            }
+            let enabled = (w.index as u64 + 1) * run.quantum_ticks;
+            let scaled = if running == 0 {
+                0.0
+            } else {
+                cum_raw * enabled as f64 / running as f64
+            };
+            out.push((scaled - prev_scaled).max(0.0));
+            prev_scaled = scaled;
+        }
+        out
+    }
+}
+
+/// The reference series of a *polling* run: per-window measured counts with
+/// dedicated counters (no multiplexing). This is the paper's baseline trace
+/// for the DTW error metric.
+///
+/// # Panics
+///
+/// Panics if `event` was not polled in every window of `run`.
+pub fn polling_series(run: &MultiplexRun, event: EventId) -> Vec<f64> {
+    run.windows
+        .iter()
+        .map(|w| {
+            w.sample_for(event)
+                .unwrap_or_else(|| panic!("event {event} not polled in window {}", w.index))
+                .value
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesperf_events::{Arch, Catalog, Semantic};
+    use bayesperf_simcpu::{pack_round_robin, ConstantTruth, NoiseModel, Pmu, PmuConfig};
+
+    fn fixture() -> (Catalog, MultiplexRun, EventId) {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let rates = bayesperf_events::synthesize(&cat, &bayesperf_events::FreeParams::default());
+        let mut truth = ConstantTruth::new(rates);
+        let pmu = Pmu::new(
+            &cat,
+            PmuConfig {
+                noise: NoiseModel::none(),
+                ..PmuConfig::for_catalog(&cat)
+            },
+        );
+        let events: Vec<EventId> = [
+            Semantic::L1dMisses,
+            Semantic::IcacheMisses,
+            Semantic::L2References,
+            Semantic::L2Misses,
+            Semantic::LlcHits,
+            Semantic::LlcMisses,
+            Semantic::BrInst,
+            Semantic::BrMisp,
+        ]
+        .iter()
+        .map(|&s| cat.require(s))
+        .collect();
+        let schedule = pack_round_robin(&cat, &events).unwrap();
+        let run = pmu.run_multiplexed(&mut truth, &schedule, 12);
+        (cat, run, events[0])
+    }
+
+    #[test]
+    fn constant_workload_scaling_converges_to_truth() {
+        let (_, run, ev) = fixture();
+        let series = LinuxScaling::new().estimate(&run, ev);
+        // On a constant-rate workload the smear is harmless: after warmup
+        // every window's estimate approximates the true per-window count.
+        let truth = run.truth_series(ev);
+        for (w, (e, t)) in series.iter().zip(&truth).enumerate().skip(4) {
+            let rel = (e - t).abs() / t;
+            assert!(rel < 0.05, "window {w}: {e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn series_is_nonnegative_and_full_length() {
+        let (_, run, ev) = fixture();
+        let series = LinuxScaling::new().estimate(&run, ev);
+        assert_eq!(series.len(), run.windows.len());
+        assert!(series.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn polling_series_equals_truth_without_noise() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let rates = bayesperf_events::synthesize(&cat, &bayesperf_events::FreeParams::default());
+        let mut truth = ConstantTruth::new(rates);
+        let pmu = Pmu::new(
+            &cat,
+            PmuConfig {
+                noise: NoiseModel::none(),
+                ..PmuConfig::for_catalog(&cat)
+            },
+        );
+        let ev = cat.require(Semantic::L1dMisses);
+        let run = pmu.run_polling(&mut truth, &[ev], 5);
+        let series = polling_series(&run, ev);
+        let truth_series = run.truth_series(ev);
+        for (a, b) in series.iter().zip(&truth_series) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not polled")]
+    fn polling_series_requires_polled_event() {
+        let (cat, run, _) = fixture();
+        // DtlbMisses was never in the schedule.
+        polling_series(&run, cat.require(Semantic::DtlbMisses));
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion benches for the accelerator DES.
+
+use bayesperf_accel::{AccelConfig, Accelerator, InferenceJob};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_des(c: &mut Criterion) {
+    let acc = Accelerator::new(AccelConfig::ppc64());
+    let job = InferenceJob::typical();
+    c.bench_function("accel_des_job", |b| {
+        b.iter(|| std::hint::black_box(acc.simulate_job(&job)))
+    });
+    let big = InferenceJob {
+        sites: 16,
+        ep_sweeps: 6,
+        ..InferenceJob::typical()
+    };
+    c.bench_function("accel_des_big_job", |b| {
+        b.iter(|| std::hint::black_box(acc.simulate_job(&big)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_des
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for the inference hot path (the Fig. 3 CPU numbers).
+
+use bayesperf_core::corrector::{Corrector, CorrectorConfig};
+use bayesperf_core::model::{build_chunk_model, ModelConfig};
+use bayesperf_events::{Arch, Catalog};
+use bayesperf_simcpu::{pack_round_robin, Pmu, PmuConfig, Sample};
+use bayesperf_workloads::kmeans;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn chunk_fixture(cat: &Catalog) -> Vec<Vec<Sample>> {
+    let mut truth = kmeans().instantiate(cat, 0);
+    let pmu = Pmu::new(cat, PmuConfig::for_catalog(cat));
+    let events = bayesperf_bench::derived_event_hpcs(cat);
+    let schedule = pack_round_robin(cat, &events).unwrap();
+    let run = pmu.run_multiplexed(&mut truth, &schedule, 4);
+    run.windows.iter().map(|w| w.samples.clone()).collect()
+}
+
+fn bench_ep_chunk(c: &mut Criterion) {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let windows = chunk_fixture(&cat);
+    let cfg = ModelConfig {
+        cycles_per_window: 1.0e7,
+        ..ModelConfig::for_run(&bayesperf_simcpu::Pmu::new(&cat, PmuConfig::for_catalog(&cat))
+            .run_polling(&mut kmeans().instantiate(&cat, 0), &[], 1))
+    };
+    c.bench_function("ep_chunk_inference", |b| {
+        b.iter(|| {
+            let model = build_chunk_model(&cat, &windows, &cfg, None, cfg.fast_ep());
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(model.run(&mut rng));
+        })
+    });
+}
+
+fn bench_corrector_run(c: &mut Criterion) {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let mut truth = kmeans().instantiate(&cat, 0);
+    let pmu = Pmu::new(&cat, PmuConfig::for_catalog(&cat));
+    let events = bayesperf_bench::derived_event_hpcs(&cat);
+    let schedule = pack_round_robin(&cat, &events).unwrap();
+    let run = pmu.run_multiplexed(&mut truth, &schedule, 8);
+    c.bench_function("corrector_8_windows", |b| {
+        b.iter(|| {
+            let corrector = Corrector::new(&cat, CorrectorConfig::for_run(&run));
+            std::hint::black_box(corrector.correct_run(&run));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ep_chunk, bench_corrector_run
+}
+criterion_main!(benches);

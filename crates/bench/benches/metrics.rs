@@ -1,0 +1,28 @@
+//! Criterion benches for the DTW error metric.
+
+use bayesperf_core::metrics::{dtw_align, dtw_relative_error};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn series(n: usize, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| 100.0 + 40.0 * ((i as f64 / 7.0) + phase).sin())
+        .collect()
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let a = series(256, 0.0);
+    let b = series(256, 0.6);
+    c.bench_function("dtw_align_256_banded", |bch| {
+        bch.iter(|| std::hint::black_box(dtw_align(&a, &b, 8)))
+    });
+    c.bench_function("dtw_error_256_banded", |bch| {
+        bch.iter(|| std::hint::black_box(dtw_relative_error(&a, &b, 8)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_dtw
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benches for schedule transformation and counter assignment.
+
+use bayesperf_core::scheduler::ScheduleTransformer;
+use bayesperf_events::{try_assign, Arch, Catalog};
+use bayesperf_simcpu::pack_round_robin;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_transform(c: &mut Criterion) {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let tr = ScheduleTransformer::new(&cat);
+    let rr = pack_round_robin(&cat, &cat.programmable_events()).unwrap();
+    c.bench_function("schedule_transform_full_catalog", |b| {
+        b.iter(|| std::hint::black_box(tr.transform(&rr)))
+    });
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let events = bayesperf_bench::derived_event_hpcs(&cat);
+    let head: Vec<_> = events.into_iter().take(6).collect();
+    c.bench_function("counter_assignment", |b| {
+        b.iter(|| std::hint::black_box(try_assign(&cat, &head, &cat.pmu())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transform, bench_assignment
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 10: decrease in scheduler training time due to BayesPerf — loss
+//! vs iteration for the four input-correction configurations.
+
+use bayesperf_mlsched::rl::{CorrectionQuality, Trainer};
+
+const ITERS: usize = 9000;
+const SEEDS: [u64; 3] = [11, 13, 17];
+const THRESH: f64 = 0.06;
+
+fn main() {
+    let qualities = [
+        CorrectionQuality::BayesPerfAccel,
+        CorrectionQuality::BayesPerfCpu,
+        CorrectionQuality::CounterMiner,
+        CorrectionQuality::Linux,
+    ];
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    let mut conv: Vec<f64> = Vec::new();
+    for &q in &qualities {
+        let mut mean_curve = vec![0.0f64; ITERS];
+        let mut mean_conv = 0.0;
+        for &s in &SEEDS {
+            let r = Trainer::new(q, s).train(ITERS);
+            for (m, l) in mean_curve.iter_mut().zip(&r.loss_curve) {
+                *m += l / SEEDS.len() as f64;
+            }
+            mean_conv += r.converged_at(THRESH).unwrap_or(ITERS) as f64 / SEEDS.len() as f64;
+        }
+        curves.push(mean_curve);
+        conv.push(mean_conv);
+    }
+
+    println!("# Fig. 10: training loss vs iteration (mean of {} seeds)", SEEDS.len());
+    println!("iteration\tBayesPerf(Acc)\tBayesPerf(CPU)\tCM\tLinux");
+    for i in (0..ITERS).step_by(250) {
+        println!(
+            "{i}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            curves[0][i], curves[1][i], curves[2][i], curves[3][i]
+        );
+    }
+    println!();
+    println!("# iterations to sustained regret < {THRESH}:");
+    for (q, c) in qualities.iter().zip(&conv) {
+        println!("#   {:<16} {:>6.0}", q.label(), c);
+    }
+    let linux = conv[3];
+    println!(
+        "# reduction vs Linux: Acc {:.1}% (paper 37%), CPU {:.1}% (paper 28.5%), CM {:.1}% (paper 12.5%)",
+        100.0 * (1.0 - conv[0] / linux),
+        100.0 * (1.0 - conv[1] / linux),
+        100.0 * (1.0 - conv[2] / linux),
+    );
+}

@@ -1,0 +1,22 @@
+//! Fig. 1: errors due to event multiplexing vs number of multiplexed
+//! counters (10..35), averaged over ten application runs.
+
+use bayesperf_bench::{evaluate_workload, event_pool, EvalConfig};
+use bayesperf_events::{Arch, Catalog};
+use bayesperf_workloads::kmeans;
+
+fn main() {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let cfg = EvalConfig {
+        windows: 48,
+        runs: 10,
+        ..EvalConfig::default()
+    };
+    println!("# Fig. 1: average error (%) due to event multiplexing (x86, KMeans, 10 runs)");
+    println!("n_counters\tavg_error_pct");
+    for k in [10usize, 15, 20, 25, 30, 35] {
+        let events = event_pool(&cat, k);
+        let e = evaluate_workload(&cat, &kmeans(), &events, &cfg);
+        println!("{k}\t{:.1}", e.linux);
+    }
+}

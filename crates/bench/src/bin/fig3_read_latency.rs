@@ -1,0 +1,56 @@
+//! Fig. 3: latency overhead of reading counters under each correction
+//! scheme. Native paths use the modeled syscall/rdpmc constants; the
+//! software-inference paths are *measured* on this machine and amortized
+//! per counter read; the accelerator path comes from the DES.
+
+use bayesperf_accel::{AccelConfig, Accelerator, InferenceJob, ReadPath};
+use bayesperf_baselines::{CounterMiner, SeriesEstimator};
+use bayesperf_bench::derived_event_hpcs;
+use bayesperf_core::corrector::{Corrector, CorrectorConfig};
+use bayesperf_events::{Arch, Catalog};
+use bayesperf_simcpu::{pack_round_robin, Pmu, PmuConfig};
+use bayesperf_workloads::kmeans;
+use std::time::Instant;
+
+fn main() {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let clock_ghz = 2.5;
+    let mut truth = kmeans().instantiate(&cat, 0);
+    let pmu = Pmu::new(&cat, PmuConfig::for_catalog(&cat));
+    let events = derived_event_hpcs(&cat);
+    let schedule = pack_round_robin(&cat, &events).unwrap();
+    let run = pmu.run_multiplexed(&mut truth, &schedule, 12);
+    let reads = (run.windows.len() * events.len()) as f64;
+
+    // BayesPerf (CPU): full inference amortized over the posterior reads
+    // it serves.
+    let t0 = Instant::now();
+    let corrector = Corrector::new(&cat, CorrectorConfig::for_run(&run));
+    let _ = std::hint::black_box(corrector.correct_run(&run));
+    let cpu_cycles = t0.elapsed().as_nanos() as f64 * clock_ghz / reads;
+
+    // CounterMiner: per-read sliding-window recompute.
+    let cm = CounterMiner::new();
+    let t0 = Instant::now();
+    for &ev in &events {
+        let _ = std::hint::black_box(cm.estimate(&run, ev));
+    }
+    let cm_cycles = t0.elapsed().as_nanos() as f64 * clock_ghz / reads;
+
+    let acc = Accelerator::new(AccelConfig::ppc64());
+    let job = acc.simulate_job(&InferenceJob::typical());
+
+    println!("# Fig. 3: avg overhead of reading counters (cycles @2.5 GHz)");
+    println!("method\tcycles");
+    println!("Linux\t{}", ReadPath::LinuxSyscall.host_cycles());
+    println!("Linux+RDPMC\t{}", ReadPath::Rdpmc.host_cycles());
+    println!("BayesPerf (CPU)\t{:.0}", cpu_cycles.max(1.0));
+    println!("BayesPerf (Acc)\t{}", acc.read_latency_cycles());
+    println!("CounterMiner\t{:.0}", cm_cycles.max(1.0));
+    println!();
+    println!(
+        "# Acc read overhead vs native: {:.2}% (paper: <2%); accel job latency {:.0} us (off the read path)",
+        100.0 * (acc.read_latency_cycles() as f64 / ReadPath::LinuxSyscall.host_cycles() as f64 - 1.0),
+        job.total_us(acc.config()),
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig. 6: error in performance-counter measurements across the HiBench
+//! benchmarks, for Linux / CounterMiner / BayesPerf on x86 and ppc64.
+
+use bayesperf_bench::{derived_event_hpcs, evaluate_workload, EvalConfig};
+use bayesperf_events::{Arch, Catalog};
+use bayesperf_workloads::all_workloads;
+
+fn main() {
+    let cfg = EvalConfig::default();
+    let cats: Vec<Catalog> = Arch::all().iter().map(|&a| Catalog::new(a)).collect();
+    println!("# Fig. 6: average HPC measurement error (%) across HiBench workloads");
+    println!("workload\tLinux(x86)\tLinux(ppc64)\tCM(x86)\tCM(ppc64)\tBayesPerf(x86)\tBayesPerf(ppc64)");
+    let mut sums = [0.0f64; 6];
+    let workloads = all_workloads();
+    for w in &workloads {
+        let mut row = vec![w.name().to_string()];
+        let mut cells = [0.0f64; 6];
+        for (ai, cat) in cats.iter().enumerate() {
+            let events = derived_event_hpcs(cat);
+            let e = evaluate_workload(cat, w, &events, &cfg);
+            cells[ai] = e.linux;
+            cells[2 + ai] = e.cm;
+            cells[4 + ai] = e.bayesperf;
+        }
+        for (i, c) in cells.iter().enumerate() {
+            sums[i] += c / workloads.len() as f64;
+            row.push(format!("{c:.1}"));
+        }
+        println!("{}", row.join("\t"));
+    }
+    println!(
+        "Average\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+        sums[0], sums[1], sums[2], sums[3], sums[4], sums[5]
+    );
+    println!();
+    println!(
+        "# error reduction BayesPerf vs Linux: {:.2}x (x86), {:.2}x (ppc64); paper: 4.87x / 5.28x",
+        sums[0] / sums[4],
+        sums[1] / sums[5]
+    );
+    println!(
+        "# error reduction BayesPerf vs CM: {:.2}x (x86), {:.2}x (ppc64); paper: 3.63x / 3.73x",
+        sums[2] / sums[4],
+        sums[3] / sums[5]
+    );
+}

@@ -1,0 +1,30 @@
+//! Fig. 7: normalized improvement in counter error when using BayesPerf,
+//! against the Linux and CounterMiner baselines, per workload and
+//! architecture.
+
+use bayesperf_bench::{derived_event_hpcs, evaluate_workload, EvalConfig};
+use bayesperf_events::{Arch, Catalog};
+use bayesperf_workloads::all_workloads;
+
+fn main() {
+    let cfg = EvalConfig::default();
+    let cats: Vec<Catalog> = Arch::all().iter().map(|&a| Catalog::new(a)).collect();
+    println!("# Fig. 7: normalized improvement (baseline error / BayesPerf error)");
+    println!("workload\tvsLinux(x86)\tvsLinux(ppc64)\tvsCM(x86)\tvsCM(ppc64)");
+    for w in all_workloads() {
+        let mut row = vec![w.name().to_string()];
+        let mut per_arch = Vec::new();
+        for cat in &cats {
+            let events = derived_event_hpcs(cat);
+            let e = evaluate_workload(cat, &w, &events, &cfg);
+            per_arch.push(e);
+        }
+        for e in &per_arch {
+            row.push(format!("{:.2}", e.linux / e.bayesperf.max(1e-9)));
+        }
+        for e in &per_arch {
+            row.push(format!("{:.2}", e.cm / e.bayesperf.max(1e-9)));
+        }
+        println!("{}", row.join("\t"));
+    }
+}

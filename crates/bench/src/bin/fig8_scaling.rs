@@ -1,0 +1,35 @@
+//! Fig. 8: scaling of measurement error with the number of events sampled
+//! (KMeans workload), for Linux, CounterMiner, BayesPerf and WM+Pin.
+
+use bayesperf_bench::{evaluate_workload, event_pool, EvalConfig};
+use bayesperf_events::{Arch, Catalog};
+use bayesperf_workloads::kmeans;
+
+fn main() {
+    let cfg = EvalConfig {
+        windows: 48,
+        runs: 3,
+        ..EvalConfig::default()
+    };
+    println!("# Fig. 8: error (%) vs number of multiplexed counters (KMeans)");
+    for arch in Arch::all() {
+        let cat = Catalog::new(arch);
+        println!("## {arch}");
+        if arch == Arch::X86SkyLake {
+            println!("n_counters\tLinux\tCM\tBayesPerf\tWM+Pin");
+        } else {
+            println!("n_counters\tLinux\tCM\tBayesPerf");
+        }
+        for k in [10usize, 15, 20, 25, 30, 35] {
+            let events = event_pool(&cat, k);
+            let e = evaluate_workload(&cat, &kmeans(), &events, &cfg);
+            if arch == Arch::X86SkyLake {
+                // WM+Pin corrects only instruction counts (a fixed counter
+                // here), so its multiplexed error tracks Linux.
+                println!("{k}\t{:.1}\t{:.1}\t{:.1}\t{:.1}", e.linux, e.cm, e.bayesperf, e.wm_pin);
+            } else {
+                println!("{k}\t{:.1}\t{:.1}\t{:.1}", e.linux, e.cm, e.bayesperf);
+            }
+        }
+    }
+}

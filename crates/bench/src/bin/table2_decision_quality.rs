@@ -1,0 +1,97 @@
+//! §6.3 decision quality: shuffle-makespan improvement of the ML
+//! schedulers over a static-NIC baseline, with and without BayesPerf.
+
+use bayesperf_mlsched::cf::CollabFilter;
+use bayesperf_mlsched::pcie::{Fabric, Flow, Node};
+use bayesperf_mlsched::rl::{CorrectionQuality, Trainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// CF scheduler: impute throughput over (contention-context × NIC) cells
+/// from sparse noisy observations, then pick the best NIC per context.
+fn cf_improvement(noise: f64, seed: u64) -> f64 {
+    let fabric = Fabric::standard();
+    let nic_flows = [
+        Flow { src: Node::Nic(0), dst: Node::Cpu(1) },
+        Flow { src: Node::Nic(1), dst: Node::Cpu(0) },
+    ];
+    let halo = [
+        Flow { src: Node::Gpu(1), dst: Node::Gpu(2) },
+        Flow { src: Node::Gpu(4), dst: Node::Gpu(3) },
+    ];
+    // Columns: NIC choice x message size (the transfer configurations the
+    // scheduler may pick); rows: (c0, c1) contention contexts.
+    let msgs = [64.0 * 1024.0, 256.0 * 1024.0, 1024.0 * 1024.0];
+    let grid = 8usize;
+    let n_cols = 2 * msgs.len();
+    let bw = |c: f64, nic: usize, msg: f64| {
+        let iso = fabric.observed_bandwidth(&[nic_flows[nic]], 0, msg);
+        let con = fabric.observed_bandwidth(&[nic_flows[nic], halo[nic]], 0, msg);
+        (1.0 - c) * iso + c * con
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut observed = Vec::new();
+    let mut truth = vec![vec![0.0f64; n_cols]; grid * grid];
+    for i in 0..grid {
+        for j in 0..grid {
+            let (c0, c1) = (i as f64 / (grid - 1) as f64, j as f64 / (grid - 1) as f64);
+            let row = i * grid + j;
+            for (mi, &msg) in msgs.iter().enumerate() {
+                truth[row][mi] = bw(c0, 0, msg);
+                truth[row][msgs.len() + mi] = bw(c1, 1, msg);
+            }
+            for col in 0..n_cols {
+                // Our sweep's optimum lands at 50% observed entries (the
+                // paper sweeps 30-80% and reports its own optimum at 75%).
+                if rng.gen::<f64>() > 0.5 {
+                    // Normalized to ~O(1) so SGD stays stable.
+                    let noisy = truth[row][col] / 12.5
+                        * (1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0));
+                    observed.push((row, col, noisy));
+                }
+            }
+        }
+    }
+    let cf = CollabFilter::train(grid * grid, n_cols, &observed, 2, 1500, 0.05, 0.002, &mut rng);
+    // Makespan over all contexts: time = bytes / bw; static = NIC0 at the
+    // middle message size.
+    let (mut t_cf, mut t_static) = (0.0, 0.0);
+    for (row, t) in truth.iter().enumerate() {
+        let pick = cf.best_column(row);
+        t_cf += 1.0 / t[pick];
+        t_static += 1.0 / t[1];
+    }
+    (t_static - t_cf) / t_static
+}
+
+fn rl_improvement(q: CorrectionQuality, seed: u64) -> f64 {
+    let mut t = Trainer::new(q, seed);
+    let _ = t.train(8000);
+    t.evaluate(3000).improvement_vs_static()
+}
+
+fn mean<const N: usize>(f: impl Fn(u64) -> f64, seeds: [u64; N]) -> f64 {
+    seeds.iter().map(|&s| f(s)).sum::<f64>() / N as f64
+}
+
+fn main() {
+    println!("# §6.3: average shuffle makespan improvement vs static NIC assignment");
+    println!("scheduler\tinputs\timprovement_pct");
+    let cf_linux = 100.0 * mean(|s| cf_improvement(0.80, s), [1, 2, 3]);
+    let cf_bayes = 100.0 * mean(|s| cf_improvement(0.15, s), [1, 2, 3]);
+    let rl_linux = 100.0 * mean(|s| rl_improvement(CorrectionQuality::Linux, s), [11, 13]);
+    let rl_bayes =
+        100.0 * mean(|s| rl_improvement(CorrectionQuality::BayesPerfAccel, s), [11, 13]);
+    println!("CollabFilter\tLinux\t{cf_linux:.1}");
+    println!("CollabFilter\tBayesPerf\t{cf_bayes:.1}");
+    println!("ActorCritic\tLinux\t{rl_linux:.1}");
+    println!("ActorCritic\tBayesPerf\t{rl_bayes:.1}");
+    println!();
+    println!("# paper: ML schedulers improve makespan 15.1% (CF) / 22.3% (RL) over no-ML;");
+    println!("# BayesPerf adds a further 8.7% / 19% over Linux-quality inputs.");
+    println!(
+        "# measured additional gain from BayesPerf: CF {:+.1} points, RL {:+.1} points",
+        cf_bayes - cf_linux,
+        rl_bayes - rl_linux
+    );
+}

@@ -1,0 +1,86 @@
+//! The measurement-error model of §4.2.
+//!
+//! For a single event programmed on an HPC, the measured value is the true
+//! value plus zero-mean random noise (`m = v + e`, `e ~ N(0, σ)` with σ
+//! unknown). Given the `N` PMI sub-samples of one multiplexing window, the
+//! marginal posterior of the true value — with the unknown variance
+//! marginalized out — is a scaled and shifted Student-t:
+//! `v ~ total + (S·√N) · StudentT(ν = N − 1)`.
+
+use bayesperf_inference::StudentT;
+use bayesperf_simcpu::Sample;
+
+/// Builds the normalized observation factor for a sample.
+///
+/// The returned Student-t is expressed in *normalized* units (window counts
+/// divided by `scale`), matching the inference model's variables. The scale
+/// parameter is floored at `sigma_floor` (relative) so that a window with
+/// zero sub-sample deviation still reflects the residual measurement noise
+/// floor instead of collapsing to a delta.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+pub fn observation(sample: &Sample, scale: f64, sigma_floor: f64) -> StudentT {
+    assert!(scale > 0.0, "scale must be positive, got {scale}");
+    let n = sample.sub_n.max(3) as f64;
+    // The noise of the window total (a sum of n sub-samples, each with
+    // deviation sub_sd) has standard deviation sub_sd·√n.
+    let total_sd = sample.sub_sd * n.sqrt();
+    let loc = sample.value / scale;
+    let t_scale = (total_sd / scale).max(sigma_floor * loc.abs().max(1e-3));
+    StudentT::new(loc, t_scale, n - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesperf_events::EventId;
+
+    fn sample(value: f64, sub_sd: f64, sub_n: u32) -> Sample {
+        Sample {
+            event: EventId::from_raw(0),
+            window: 0,
+            value,
+            sub_mean: value / sub_n as f64,
+            sub_sd,
+            sub_n,
+            time_enabled: 4,
+            time_running: 4,
+        }
+    }
+
+    #[test]
+    fn observation_centers_on_normalized_value() {
+        let s = sample(1000.0, 10.0, 4);
+        let t = observation(&s, 500.0, 0.02);
+        assert!((t.loc - 2.0).abs() < 1e-12);
+        assert_eq!(t.dof, 3.0);
+    }
+
+    #[test]
+    fn noisier_windows_get_wider_factors() {
+        let quiet = observation(&sample(1000.0, 5.0, 4), 500.0, 0.001);
+        let noisy = observation(&sample(1000.0, 50.0, 4), 500.0, 0.001);
+        assert!(noisy.scale > 5.0 * quiet.scale);
+    }
+
+    #[test]
+    fn zero_deviation_is_floored() {
+        let t = observation(&sample(1000.0, 0.0, 4), 500.0, 0.02);
+        assert!(t.scale >= 0.02 * 2.0 - 1e-12);
+    }
+
+    #[test]
+    fn more_subsamples_raise_dof() {
+        let t4 = observation(&sample(100.0, 1.0, 4), 100.0, 0.02);
+        let t16 = observation(&sample(100.0, 1.0, 16), 100.0, 0.02);
+        assert!(t16.dof > t4.dof);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_bad_scale() {
+        observation(&sample(1.0, 1.0, 4), 0.0, 0.02);
+    }
+}

@@ -1,0 +1,39 @@
+//! The BayesPerf system: scheduling, modelling, inference orchestration, and
+//! the perf-compatible shim.
+//!
+//! This crate assembles the paper's primary contribution out of the
+//! substrate crates:
+//!
+//! * [`error_model`] — the §4.2 measurement-error model: per-window PMI
+//!   sub-sample statistics become scaled/shifted Student-t observation
+//!   factors;
+//! * [`scheduler`] — the §4.1 schedule transformer: rewrites a traditional
+//!   round-robin multiplexing schedule so that consecutive configurations
+//!   share (transitive) statistical relationships, bridging gaps via
+//!   shortest paths in the event factor graph and applying the paper's two
+//!   pruning optimizations;
+//! * [`model`] — builds the unified factor graph over `k` time slices
+//!   (observation + invariant + temporal factors) as Expectation-Propagation
+//!   sites;
+//! * [`corrector`] — batch correction of a recorded PMU run into posterior
+//!   distributions per event per window;
+//! * [`shim`] — the userspace "BayesPerf shim": a perf-like reader API fed
+//!   by the kernel ring buffer, returning full posteriors while hiding
+//!   inference latency behind a cache (the role the accelerator plays in
+//!   hardware);
+//! * [`metrics`] — dynamic-time-warping alignment and the paper's error
+//!   definition (§2, §6.2).
+
+pub mod corrector;
+pub mod error_model;
+pub mod metrics;
+pub mod model;
+pub mod scheduler;
+pub mod shim;
+
+pub use corrector::{Corrector, CorrectorConfig, PosteriorSeries};
+pub use error_model::observation;
+pub use metrics::{adjusted_error, dtw_align, dtw_relative_error};
+pub use model::{build_chunk_model, ChunkModel, ModelConfig};
+pub use scheduler::{Schedule, ScheduleTransformer};
+pub use shim::{BayesPerfShim, HpcReader, LinuxReader, Reading};

@@ -1,0 +1,208 @@
+//! Dynamic time warping and the paper's HPC-error metric.
+//!
+//! §2 defines HPC error as the magnitude of difference between
+//! corresponding measurements of two runs — one polled, one sampled — where
+//! correspondence is established by dynamic time warping (Berndt &
+//! Clifford). §6.2 additionally normalizes by the similarity of two polling
+//! runs, cancelling OS-nondeterminism that even polling cannot avoid.
+
+/// Computes the DTW alignment path between `a` and `b` with a Sakoe-Chiba
+/// band of half-width `band` (use `usize::MAX` for unconstrained DTW).
+///
+/// Local cost is `|a[i] - b[j]|`; returns the optimal warping path as
+/// index pairs from `(0, 0)` to `(a.len()-1, b.len()-1)`.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_align(a: &[f64], b: &[f64], band: usize) -> Vec<(usize, usize)> {
+    assert!(!a.is_empty() && !b.is_empty(), "series must be non-empty");
+    let (n, m) = (a.len(), b.len());
+    // Effective band must at least cover the diagonal offset.
+    let band = band.max(n.abs_diff(m));
+    let inf = f64::INFINITY;
+    let mut cost = vec![inf; n * m];
+    let mut from = vec![0u8; n * m]; // 0: start, 1: (i-1,j), 2: (i,j-1), 3: (i-1,j-1)
+    let idx = |i: usize, j: usize| i * m + j;
+
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = i.saturating_add(band).saturating_add(1).min(m);
+        for j in lo..hi {
+            let d = (a[i] - b[j]).abs();
+            if i == 0 && j == 0 {
+                cost[idx(0, 0)] = d;
+                continue;
+            }
+            let mut best = inf;
+            let mut dir = 0u8;
+            if i > 0 && cost[idx(i - 1, j)] < best {
+                best = cost[idx(i - 1, j)];
+                dir = 1;
+            }
+            if j > 0 && cost[idx(i, j - 1)] < best {
+                best = cost[idx(i, j - 1)];
+                dir = 2;
+            }
+            if i > 0 && j > 0 && cost[idx(i - 1, j - 1)] <= best {
+                best = cost[idx(i - 1, j - 1)];
+                dir = 3;
+            }
+            if best < inf {
+                cost[idx(i, j)] = best + d;
+                from[idx(i, j)] = dir;
+            }
+        }
+    }
+
+    // Backtrack.
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n - 1, m - 1);
+    loop {
+        path.push((i, j));
+        match from[idx(i, j)] {
+            1 => i -= 1,
+            2 => j -= 1,
+            3 => {
+                i -= 1;
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// Mean relative error of `target` against `reference` along the DTW
+/// alignment: `mean(|t - r| / max(|r|, floor))`, as a fraction (×100
+/// for %). The denominator is floored at 5% of the reference-series mean
+/// magnitude so near-zero windows of bursty counters do not dominate.
+pub fn dtw_relative_error(target: &[f64], reference: &[f64], band: usize) -> f64 {
+    let path = dtw_align(target, reference, band);
+    let mean_ref =
+        reference.iter().map(|r| r.abs()).sum::<f64>() / reference.len() as f64;
+    let floor = (0.05 * mean_ref).max(1e-9);
+    let mut acc = 0.0;
+    for &(i, j) in &path {
+        let r = reference[j];
+        acc += (target[i] - r).abs() / r.abs().max(floor);
+    }
+    acc / path.len() as f64
+}
+
+/// The paper's normalized error: the DTW error of `target` vs `reference`,
+/// minus the error between two independent polling runs of the same
+/// workload (`reference2` vs `reference`), floored at zero.
+///
+/// This cancels run-to-run OS nondeterminism so the reported number
+/// reflects only sampling/multiplexing error and whatever the corrector
+/// failed to fix.
+pub fn adjusted_error(target: &[f64], reference: &[f64], reference2: &[f64], band: usize) -> f64 {
+    let raw = dtw_relative_error(target, reference, band);
+    let floor = dtw_relative_error(reference2, reference, band);
+    (raw - floor).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_series_have_zero_error() {
+        let a = vec![1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw_relative_error(&a, &a, usize::MAX), 0.0);
+        let path = dtw_align(&a, &a, usize::MAX);
+        // Perfect alignment is the diagonal.
+        assert_eq!(path, (0..5).map(|i| (i, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_shift_is_absorbed_by_warping() {
+        // The same pulse shifted by one step: DTW aligns it nearly
+        // perfectly, Euclidean matching would not.
+        let a = vec![0.0, 0.0, 5.0, 0.0, 0.0, 0.0];
+        let b = vec![0.0, 0.0, 0.0, 5.0, 0.0, 0.0];
+        let dtw_err: f64 = {
+            let path = dtw_align(&a, &b, usize::MAX);
+            path.iter().map(|&(i, j)| (a[i] - b[j]).abs()).sum()
+        };
+        let euclid: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert_eq!(dtw_err, 0.0);
+        assert_eq!(euclid, 10.0);
+    }
+
+    #[test]
+    fn hand_computed_alignment() {
+        let a = vec![1.0, 3.0, 4.0];
+        let b = vec![1.0, 4.0];
+        let path = dtw_align(&a, &b, usize::MAX);
+        // Optimal: (0,0), (1,1), (2,1) with cost 0 + 1 + 0 = 1.
+        assert_eq!(path, vec![(0, 0), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn band_limits_warping() {
+        let a = vec![0.0, 0.0, 0.0, 0.0, 5.0];
+        let b = vec![5.0, 0.0, 0.0, 0.0, 0.0];
+        let banded = dtw_relative_error(&a, &b, 1);
+        let free = dtw_relative_error(&a, &b, usize::MAX);
+        assert!(banded >= free);
+    }
+
+    #[test]
+    fn adjusted_error_subtracts_nondeterminism_floor() {
+        let reference = vec![10.0, 20.0, 30.0, 20.0, 10.0];
+        let reference2 = vec![10.5, 19.0, 31.0, 21.0, 9.5]; // another polling run
+        let target = vec![14.0, 26.0, 39.0, 26.0, 13.0]; // 30% high
+        let adj = adjusted_error(&target, &reference, &reference2, usize::MAX);
+        let raw = dtw_relative_error(&target, &reference, usize::MAX);
+        assert!(adj < raw);
+        assert!(adj > 0.0);
+    }
+
+    #[test]
+    fn adjusted_error_floors_at_zero() {
+        let r = vec![1.0, 2.0, 3.0];
+        let r2 = vec![2.0, 3.0, 4.0]; // very noisy polling baseline
+        let t = vec![1.0, 2.0, 3.0]; // perfect target
+        assert_eq!(adjusted_error(&t, &r, &r2, usize::MAX), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_series_rejected() {
+        dtw_align(&[], &[1.0], usize::MAX);
+    }
+
+    proptest! {
+        /// The DTW path is monotone, connected, and spans both series.
+        #[test]
+        fn path_is_a_valid_warping(
+            a in proptest::collection::vec(-10.0f64..10.0, 1..20),
+            b in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        ) {
+            let path = dtw_align(&a, &b, usize::MAX);
+            prop_assert_eq!(path[0], (0, 0));
+            prop_assert_eq!(*path.last().unwrap(), (a.len() - 1, b.len() - 1));
+            for w in path.windows(2) {
+                let (i0, j0) = w[0];
+                let (i1, j1) = w[1];
+                prop_assert!(i1 == i0 || i1 == i0 + 1);
+                prop_assert!(j1 == j0 || j1 == j0 + 1);
+                prop_assert!(i1 + j1 > i0 + j0);
+            }
+        }
+
+        /// Error against itself is always zero; error is non-negative.
+        #[test]
+        fn error_properties(
+            a in proptest::collection::vec(0.1f64..10.0, 2..15),
+            b in proptest::collection::vec(0.1f64..10.0, 2..15),
+        ) {
+            prop_assert_eq!(dtw_relative_error(&a, &a, usize::MAX), 0.0);
+            prop_assert!(dtw_relative_error(&a, &b, usize::MAX) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Building the unified factor graph over `k` time slices as EP sites.
+//!
+//! The model's variables are *(event, slice)* pairs in normalized units
+//! (window counts divided by a per-event scale derived from the catalog's
+//! nominal magnitudes). Each time slice becomes one EP site — the paper's
+//! data partition — containing three kinds of factors:
+//!
+//! * **observation** factors (§4.2): a scaled/shifted Student-t per sample
+//!   delivered in that slice;
+//! * **invariant** factors: for every microarchitectural invariant, a
+//!   Gaussian on the *relative* residual `((lhs − rhs)/max(|lhs|,|rhs|,1))`
+//!   evaluated on the denormalized slice state;
+//! * **temporal** factors: a Gaussian random-walk coupling each event's
+//!   value to its value in the preceding slice — this is what lets samples
+//!   of overlapping events in adjacent configurations inform unscheduled
+//!   events (Fig. 2's `⇝` edges).
+
+use crate::error_model::observation;
+use bayesperf_events::{Catalog, EventEnv, EventId, Expr};
+use bayesperf_inference::{
+    EpConfig, EpSite, ExpectationPropagation, Gaussian, McmcConfig, StudentT,
+};
+use bayesperf_simcpu::{MultiplexRun, Sample};
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Time slices (windows) per inference chunk — the paper's `k`.
+    pub slices: usize,
+    /// Prior mean in normalized units (1 = the catalog's nominal magnitude).
+    pub prior_mean: f64,
+    /// Prior standard deviation in normalized units.
+    pub prior_sd: f64,
+    /// Random-walk standard deviation of the temporal factors (normalized).
+    pub temporal_tau: f64,
+    /// Relative noise floor of observation factors.
+    pub obs_sigma_floor: f64,
+    /// Noise floor of invariant factors (on the relative residual).
+    pub inv_sigma_floor: f64,
+    /// Core cycles per multiplexing window (for count scaling).
+    pub cycles_per_window: f64,
+}
+
+impl ModelConfig {
+    /// Defaults sized for a recorded run.
+    pub fn for_run(run: &MultiplexRun) -> Self {
+        ModelConfig {
+            slices: 6,
+            prior_mean: 1.0,
+            prior_sd: 3.0,
+            temporal_tau: 0.35,
+            obs_sigma_floor: 0.02,
+            inv_sigma_floor: 0.02,
+            cycles_per_window: run.cycles_per_window,
+        }
+    }
+
+    /// Fast EP settings matched to this model (used by the corrector).
+    pub fn fast_ep(&self) -> EpConfig {
+        EpConfig {
+            max_sweeps: 4,
+            damping: 0.7,
+            tol: 0.05,
+            min_var: 1e-10,
+            mcmc: McmcConfig {
+                burn_in: 70,
+                samples: 150,
+                initial_step: 1.0,
+                target_acceptance: 0.44,
+            },
+        }
+    }
+}
+
+/// Per-event normalization scales (expected window counts at nominal load).
+fn event_scales(catalog: &Catalog, cycles_per_window: f64) -> Vec<f64> {
+    catalog
+        .iter()
+        .map(|e| (catalog.nominal_scale(e.id) * cycles_per_window / 1.0e6).max(1.0))
+        .collect()
+}
+
+/// One factor of a slice site.
+enum Factor {
+    /// Student-t observation on a single local variable.
+    Obs { local: usize, dist: StudentT },
+    /// Gaussian random walk between the previous and current slice values.
+    Temporal {
+        prev: usize,
+        cur: usize,
+        gauss: Gaussian,
+    },
+    /// Invariant residual factor over the current slice.
+    Inv {
+        lhs: Expr,
+        rhs: Expr,
+        gauss: Gaussian,
+    },
+}
+
+/// An EP site for one time slice (plus the previous slice's variables,
+/// which its temporal factors touch).
+struct SliceSite {
+    /// Global variable indices: `0..n_events` → this slice,
+    /// `n_events..2·n_events` → previous slice (absent for slice 0).
+    vars: Vec<usize>,
+    factors: Vec<Factor>,
+    adj: Vec<Vec<u32>>,
+    hints: Vec<Option<f64>>,
+    scale_hints: Vec<Option<f64>>,
+    /// Denormalization scales, catalog-indexed (local i ↔ catalog event i).
+    scales: std::rc::Rc<Vec<f64>>,
+}
+
+struct SliceEnv<'a> {
+    x: &'a [f64],
+    scales: &'a [f64],
+}
+
+impl EventEnv for SliceEnv<'_> {
+    fn value(&self, id: EventId) -> f64 {
+        self.x[id.index()] * self.scales[id.index()]
+    }
+}
+
+impl SliceSite {
+    fn factor_log_pdf(&self, f: &Factor, x: &[f64]) -> f64 {
+        match f {
+            Factor::Obs { local, dist } => dist.log_pdf(x[*local]),
+            Factor::Temporal { prev, cur, gauss } => gauss.log_pdf(x[*cur] - x[*prev]),
+            Factor::Inv { lhs, rhs, gauss } => {
+                let env = SliceEnv {
+                    x,
+                    scales: &self.scales,
+                };
+                let l = lhs.eval(&env);
+                let r = rhs.eval(&env);
+                let rel = (l - r) / l.abs().max(r.abs()).max(1.0);
+                gauss.log_pdf(rel)
+            }
+        }
+    }
+}
+
+impl EpSite for SliceSite {
+    fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    fn log_likelihood(&self, x: &[f64]) -> f64 {
+        self.factors
+            .iter()
+            .map(|f| self.factor_log_pdf(f, x))
+            .sum()
+    }
+
+    fn log_likelihood_delta(&self, x: &mut [f64], i: usize, new: f64) -> f64 {
+        let old = x[i];
+        let mut before = 0.0;
+        for &fi in &self.adj[i] {
+            before += self.factor_log_pdf(&self.factors[fi as usize], x);
+        }
+        x[i] = new;
+        let mut after = 0.0;
+        for &fi in &self.adj[i] {
+            after += self.factor_log_pdf(&self.factors[fi as usize], x);
+        }
+        x[i] = old;
+        after - before
+    }
+
+    fn init_hint(&self, i: usize) -> Option<f64> {
+        self.hints[i]
+    }
+
+    fn scale_hint(&self, i: usize) -> Option<f64> {
+        self.scale_hints[i]
+    }
+}
+
+/// A built chunk model, ready to run.
+pub struct ChunkModel {
+    ep: ExpectationPropagation,
+    n_events: usize,
+    slices: usize,
+    scales: Vec<f64>,
+}
+
+impl std::fmt::Debug for ChunkModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkModel")
+            .field("n_events", &self.n_events)
+            .field("slices", &self.slices)
+            .finish()
+    }
+}
+
+impl ChunkModel {
+    /// Runs EP and returns the posterior chunk.
+    pub fn run<R: rand::Rng + ?Sized>(mut self, rng: &mut R) -> ChunkPosterior {
+        let result = self.ep.run(rng);
+        ChunkPosterior {
+            marginals: result.marginals,
+            n_events: self.n_events,
+            slices: self.slices,
+            scales: self.scales,
+            converged: result.converged,
+        }
+    }
+
+    /// Number of time slices modelled.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+}
+
+/// Posterior marginals of one chunk.
+#[derive(Debug, Clone)]
+pub struct ChunkPosterior {
+    marginals: Vec<Gaussian>,
+    n_events: usize,
+    slices: usize,
+    scales: Vec<f64>,
+    /// Whether EP reached its tolerance.
+    pub converged: bool,
+}
+
+impl ChunkPosterior {
+    /// Number of time slices.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Posterior of `event` at `slice`, in *count* units (denormalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn posterior(&self, slice: usize, event: EventId) -> Gaussian {
+        assert!(slice < self.slices, "slice {slice} out of range");
+        let g = self.marginals[slice * self.n_events + event.index()];
+        let s = self.scales[event.index()];
+        Gaussian::new(g.mean * s, g.var * s * s)
+    }
+
+    /// Normalized (internal-unit) marginals of the final slice — used to
+    /// chain chunks.
+    pub fn last_slice_normalized(&self) -> Vec<Gaussian> {
+        let base = (self.slices - 1) * self.n_events;
+        self.marginals[base..base + self.n_events].to_vec()
+    }
+}
+
+/// Builds the EP problem for `windows` (a chunk of consecutive multiplexing
+/// windows, each a set of delivered samples).
+///
+/// `prior0`, when given, is the normalized per-event posterior of the
+/// previous chunk's final slice; it becomes the (widened) prior of slice 0,
+/// chaining inference across chunks.
+///
+/// # Panics
+///
+/// Panics if `windows` is empty.
+pub fn build_chunk_model(
+    catalog: &Catalog,
+    windows: &[Vec<Sample>],
+    cfg: &ModelConfig,
+    prior0: Option<&[Gaussian]>,
+    ep_config: EpConfig,
+) -> ChunkModel {
+    assert!(!windows.is_empty(), "chunk must contain at least one window");
+    let slices = windows.len();
+    let ne = catalog.len();
+    let scales = std::rc::Rc::new(event_scales(catalog, cfg.cycles_per_window));
+
+    // Priors: slice 0 chains from the previous chunk when available.
+    let drift = cfg.temporal_tau * cfg.temporal_tau;
+    let mut prior = Vec::with_capacity(slices * ne);
+    for t in 0..slices {
+        for e in 0..ne {
+            let g = match (t, prior0) {
+                (0, Some(p)) => Gaussian::new(p[e].mean, p[e].var + drift),
+                _ => Gaussian::new(cfg.prior_mean, cfg.prior_sd * cfg.prior_sd),
+            };
+            prior.push(g);
+        }
+    }
+
+    let mut ep = ExpectationPropagation::new(prior, ep_config);
+    let tau_gauss = Gaussian::new(0.0, cfg.temporal_tau * cfg.temporal_tau);
+
+    for (t, window) in windows.iter().enumerate() {
+        // Site variables: slice t first, then slice t-1 (if any).
+        let mut vars: Vec<usize> = (0..ne).map(|e| t * ne + e).collect();
+        if t > 0 {
+            vars.extend((0..ne).map(|e| (t - 1) * ne + e));
+        }
+        let nlocal = vars.len();
+        let mut factors = Vec::new();
+        let mut hints = vec![None; nlocal];
+        let mut scale_hints = vec![None; nlocal];
+
+        // Observation factors.
+        for s in window {
+            let local = s.event.index();
+            let dist = observation(s, scales[local], cfg.obs_sigma_floor);
+            hints[local] = Some(dist.loc);
+            scale_hints[local] = Some(dist.scale * 3.0);
+            factors.push(Factor::Obs { local, dist });
+        }
+
+        // Invariant factors on slice t.
+        for inv in catalog.invariants() {
+            let sigma = inv.rel_noise.max(cfg.inv_sigma_floor);
+            factors.push(Factor::Inv {
+                lhs: inv.lhs.clone(),
+                rhs: inv.rhs.clone(),
+                gauss: Gaussian::new(0.0, sigma * sigma),
+            });
+        }
+
+        // Temporal factors between slice t-1 and t.
+        if t > 0 {
+            for e in 0..ne {
+                factors.push(Factor::Temporal {
+                    prev: ne + e,
+                    cur: e,
+                    gauss: tau_gauss,
+                });
+            }
+        }
+
+        // Factor adjacency per local variable.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nlocal];
+        for (fi, f) in factors.iter().enumerate() {
+            match f {
+                Factor::Obs { local, .. } => adj[*local].push(fi as u32),
+                Factor::Temporal { prev, cur, .. } => {
+                    adj[*prev].push(fi as u32);
+                    adj[*cur].push(fi as u32);
+                }
+                Factor::Inv { lhs, rhs, .. } => {
+                    let mut ids = lhs.events();
+                    ids.extend(rhs.events());
+                    ids.sort_unstable();
+                    ids.dedup();
+                    for id in ids {
+                        adj[id.index()].push(fi as u32);
+                    }
+                }
+            }
+        }
+
+        ep.add_site(SliceSite {
+            vars,
+            factors,
+            adj,
+            hints,
+            scale_hints,
+            scales: scales.clone(),
+        });
+    }
+
+    ChunkModel {
+        ep,
+        n_events: ne,
+        slices,
+        scales: scales.as_ref().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesperf_events::{Arch, Semantic};
+    use bayesperf_simcpu::{
+        pack_round_robin, ConstantTruth, NoiseModel, Pmu, PmuConfig,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_fixture() -> (Catalog, MultiplexRun) {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let rates = bayesperf_events::synthesize(&cat, &bayesperf_events::FreeParams::default());
+        let mut truth = ConstantTruth::new(rates);
+        let pmu = Pmu::new(
+            &cat,
+            PmuConfig {
+                noise: NoiseModel {
+                    measurement_sigma: 0.02,
+                    ..NoiseModel::none()
+                },
+                ..PmuConfig::for_catalog(&cat)
+            },
+        );
+        let events = vec![
+            cat.require(Semantic::L1dMisses),
+            cat.require(Semantic::IcacheMisses),
+            cat.require(Semantic::L2References),
+            cat.require(Semantic::L2Misses),
+            cat.require(Semantic::LlcHits),
+            cat.require(Semantic::LlcMisses),
+            cat.require(Semantic::BrInst),
+            cat.require(Semantic::BrMisp),
+        ];
+        let schedule = pack_round_robin(&cat, &events).unwrap();
+        let run = pmu.run_multiplexed(&mut truth, &schedule, 4);
+        (cat, run)
+    }
+
+    #[test]
+    fn model_builds_with_expected_shape() {
+        let (cat, run) = run_fixture();
+        let cfg = ModelConfig::for_run(&run);
+        let windows: Vec<Vec<Sample>> =
+            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let model = build_chunk_model(&cat, &windows, &cfg, None, cfg.fast_ep());
+        assert_eq!(model.slices(), 4);
+    }
+
+    #[test]
+    fn observed_events_posterior_tracks_truth() {
+        let (cat, run) = run_fixture();
+        let cfg = ModelConfig::for_run(&run);
+        let windows: Vec<Vec<Sample>> =
+            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let model = build_chunk_model(&cat, &windows, &cfg, None, cfg.fast_ep());
+        let mut rng = StdRng::seed_from_u64(5);
+        let post = model.run(&mut rng);
+
+        let ev = cat.require(Semantic::L1dMisses);
+        // L1dMisses is observed in window 0 (first config).
+        let truth = run.windows[0].truth[ev.index()];
+        let g = post.posterior(0, ev);
+        let rel = (g.mean - truth).abs() / truth;
+        assert!(rel < 0.15, "posterior {} vs truth {} ({rel})", g.mean, truth);
+    }
+
+    #[test]
+    fn unobserved_event_inferred_via_invariants() {
+        let (cat, run) = run_fixture();
+        let cfg = ModelConfig::for_run(&run);
+        let windows: Vec<Vec<Sample>> =
+            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let model = build_chunk_model(&cat, &windows, &cfg, None, cfg.fast_ep());
+        let mut rng = StdRng::seed_from_u64(6);
+        let post = model.run(&mut rng);
+
+        // LlcReferences is never scheduled, but llc_split (refs = hits +
+        // misses) ties it to two observed events.
+        let ev = cat.require(Semantic::LlcReferences);
+        let truth = run.windows[1].truth[ev.index()];
+        let g = post.posterior(1, ev);
+        let rel = (g.mean - truth).abs() / truth.max(1.0);
+        assert!(
+            rel < 0.35,
+            "unobserved posterior {} vs truth {} ({rel})",
+            g.mean,
+            truth
+        );
+    }
+
+    #[test]
+    fn posterior_uncertainty_larger_for_unobserved() {
+        let (cat, run) = run_fixture();
+        let cfg = ModelConfig::for_run(&run);
+        let windows: Vec<Vec<Sample>> =
+            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let model = build_chunk_model(&cat, &windows, &cfg, None, cfg.fast_ep());
+        let mut rng = StdRng::seed_from_u64(7);
+        let post = model.run(&mut rng);
+
+        let observed = cat.require(Semantic::Cycles); // fixed, every window
+        let unobserved = cat.require(Semantic::DtlbMisses); // no invariant to observed set
+        let go = post.posterior(2, observed);
+        let gu = post.posterior(2, unobserved);
+        let rel_sd_obs = go.std_dev() / go.mean.abs().max(1.0);
+        let rel_sd_un = gu.std_dev() / gu.mean.abs().max(1.0);
+        assert!(
+            rel_sd_un > rel_sd_obs,
+            "unobserved rel-sd {rel_sd_un} should exceed observed {rel_sd_obs}"
+        );
+    }
+
+    #[test]
+    fn prior_chaining_carries_information() {
+        let (cat, run) = run_fixture();
+        let cfg = ModelConfig::for_run(&run);
+        let windows: Vec<Vec<Sample>> =
+            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let first = build_chunk_model(&cat, &windows[..2].to_vec(), &cfg, None, cfg.fast_ep())
+            .run(&mut rng);
+        let chained = build_chunk_model(
+            &cat,
+            &windows[2..].to_vec(),
+            &cfg,
+            Some(&first.last_slice_normalized()),
+            cfg.fast_ep(),
+        );
+        let post = chained.run(&mut rng);
+        // An event only measured in chunk 1's windows still has a
+        // non-prior posterior in chunk 2 thanks to chaining + temporal.
+        let ev = cat.require(Semantic::L1dMisses);
+        let truth = run.windows[2].truth[ev.index()];
+        let g = post.posterior(0, ev);
+        let rel = (g.mean - truth).abs() / truth;
+        assert!(rel < 0.5, "chained posterior {} vs {truth}", g.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must contain at least one window")]
+    fn empty_chunk_rejected() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let cfg = ModelConfig {
+            slices: 0,
+            prior_mean: 1.0,
+            prior_sd: 3.0,
+            temporal_tau: 0.3,
+            obs_sigma_floor: 0.02,
+            inv_sigma_floor: 0.02,
+            cycles_per_window: 1e7,
+        };
+        build_chunk_model(&cat, &[], &cfg, None, cfg.fast_ep());
+    }
+}

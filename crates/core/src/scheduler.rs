@@ -1,0 +1,520 @@
+//! The §4.1 schedule transformer.
+//!
+//! Linux perf rotates counter configurations round-robin with no regard for
+//! statistical structure. BayesPerf rewrites the schedule so consecutive
+//! configurations share at least a transitive statistical relationship in
+//! the event factor graph — enabling inference of unscheduled events from
+//! scheduled ones across time slices (Fig. 2).
+//!
+//! For each consecutive pair of configurations the transformer:
+//!
+//! 1. checks **Markov-blanket overlap** of the two event sets under the
+//!    factor graph (first-order or transitive dependency already present);
+//! 2. otherwise tries to insert a **direct overlap**: repeat the
+//!    statistically best-connected event of the previous configuration in
+//!    the next one, when a counter is free and the result stays valid;
+//! 3. otherwise builds the **shortest bridge** of intermediate
+//!    configurations along the factor-graph shortest path (Dijkstra with
+//!    unit costs, validity-checked), pruned by the paper's two
+//!    optimizations — *common-step condensation* (replace consecutive path
+//!    events by a shared Markov-blanket event) and *redundant-step removal*
+//!    (skip path events whose blanket adds no new information);
+//! 4. if all of that fails, records a **chain break** and restarts from the
+//!    next valid configuration, as the paper prescribes.
+
+use bayesperf_events::{try_assign, Catalog, Domain, EventId};
+use bayesperf_graph::{FactorGraph, VarId};
+use bayesperf_simcpu::Configuration;
+use std::collections::BTreeSet;
+
+/// The transformed schedule plus bookkeeping about what the transformation
+/// did (used by tests and reports).
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The configurations, rotated one per quantum.
+    pub configs: Vec<Configuration>,
+    /// Indices in `configs` where no statistical link to the predecessor
+    /// exists (chain breaks).
+    pub chain_breaks: Vec<usize>,
+    /// Number of bridge configurations inserted.
+    pub bridges_added: usize,
+    /// Number of direct overlap events inserted.
+    pub overlaps_inserted: usize,
+}
+
+impl Schedule {
+    /// True if every consecutive pair is statistically linked.
+    pub fn fully_linked(&self) -> bool {
+        self.chain_breaks.is_empty()
+    }
+}
+
+/// Builds and queries the event factor graph, and transforms schedules.
+#[derive(Debug)]
+pub struct ScheduleTransformer<'a> {
+    catalog: &'a Catalog,
+    graph: FactorGraph<EventId, String>,
+    var_of: Vec<VarId>,
+}
+
+impl<'a> ScheduleTransformer<'a> {
+    /// Builds the transformer's factor graph: one variable per event, one
+    /// factor per invariant (§4.1 "aggregate all the statistical
+    /// dependencies available for the processor into a graphical
+    /// structure").
+    pub fn new(catalog: &'a Catalog) -> Self {
+        let mut graph = FactorGraph::new();
+        let var_of: Vec<VarId> = catalog.iter().map(|e| graph.add_var(e.id)).collect();
+        for inv in catalog.invariants() {
+            let vars: Vec<VarId> = inv.events().iter().map(|e| var_of[e.index()]).collect();
+            graph.add_factor(inv.name.clone(), &vars);
+        }
+        ScheduleTransformer {
+            catalog,
+            graph,
+            var_of,
+        }
+    }
+
+    /// The underlying event factor graph.
+    pub fn graph(&self) -> &FactorGraph<EventId, String> {
+        &self.graph
+    }
+
+    fn vars(&self, events: &[EventId]) -> Vec<VarId> {
+        events.iter().map(|e| self.var_of[e.index()]).collect()
+    }
+
+    /// True if two configurations share an event or their Markov blankets
+    /// overlap — the §4.1 criterion for consecutive time slices.
+    ///
+    /// Only programmable events count: fixed counters run in every slice
+    /// anyway, so they provide no *scheduling* information.
+    pub fn linked(&self, a: &Configuration, b: &Configuration) -> bool {
+        let ea: BTreeSet<EventId> = a.events().iter().copied().collect();
+        if b.events().iter().any(|e| ea.contains(e)) {
+            return true;
+        }
+        self.graph
+            .blankets_overlap(&self.vars(a.events()), &self.vars(b.events()))
+    }
+
+    /// Statistical connectivity (number of invariants) of an event.
+    fn degree(&self, e: EventId) -> usize {
+        self.graph.factors_of(self.var_of[e.index()]).len()
+    }
+
+    /// Tries to repeat the best-connected event of `prev` inside `next`.
+    fn insert_overlap(&self, prev: &Configuration, next: &Configuration) -> Option<Configuration> {
+        let mut anchors: Vec<EventId> = prev.events().to_vec();
+        anchors.sort_by_key(|&e| std::cmp::Reverse(self.degree(e)));
+        for anchor in anchors {
+            let mut events = next.events().to_vec();
+            if events.contains(&anchor) {
+                continue;
+            }
+            events.push(anchor);
+            if try_assign(self.catalog, &events, &self.catalog.pmu()).is_ok() {
+                return Some(Configuration::new_unchecked(events));
+            }
+        }
+        None
+    }
+
+    /// Shortest factor-graph path between any event of `a` and any event of
+    /// `b`, traversing only events schedulable on their own.
+    fn shortest_bridge_path(&self, a: &Configuration, b: &Configuration) -> Option<Vec<EventId>> {
+        let ok = |v: VarId| {
+            let e = *self.graph.var(v);
+            let desc = self.catalog.event(e);
+            desc.domain == Domain::Fixed
+                || try_assign(self.catalog, &[e], &self.catalog.pmu()).is_ok()
+        };
+        let mut best: Option<Vec<EventId>> = None;
+        for &ea in a.events() {
+            for &eb in b.events() {
+                if let Some(path) =
+                    self.graph
+                        .shortest_path(self.var_of[ea.index()], self.var_of[eb.index()], ok)
+                {
+                    let events: Vec<EventId> =
+                        path.iter().map(|&v| *self.graph.var(v)).collect();
+                    if best.as_ref().map_or(true, |b| events.len() < b.len()) {
+                        best = Some(events);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Applies the paper's two pruning optimizations to the interior of a
+    /// bridge path, then packs the survivors into valid configurations.
+    fn build_bridge(&self, path: &[EventId]) -> Vec<Configuration> {
+        if path.len() <= 2 {
+            return Vec::new();
+        }
+        let mut interior: Vec<EventId> = path[1..path.len() - 1].to_vec();
+
+        // Optimization 1 — removing common steps: if two consecutive bridge
+        // events share a Markov-blanket event e*, measure e* instead.
+        let mut condensed: Vec<EventId> = Vec::with_capacity(interior.len());
+        let mut i = 0;
+        while i < interior.len() {
+            if i + 1 < interior.len() {
+                let b1: BTreeSet<VarId> = self
+                    .graph
+                    .markov_blanket(self.var_of[interior[i].index()])
+                    .into_iter()
+                    .collect();
+                let b2: BTreeSet<VarId> = self
+                    .graph
+                    .markov_blanket(self.var_of[interior[i + 1].index()])
+                    .into_iter()
+                    .collect();
+                let common = b1.intersection(&b2).find(|v| {
+                    let e = *self.graph.var(**v);
+                    e != interior[i]
+                        && e != interior[i + 1]
+                        && self.catalog.event(e).is_programmable()
+                        && try_assign(self.catalog, &[e], &self.catalog.pmu()).is_ok()
+                });
+                if let Some(&v) = common {
+                    condensed.push(*self.graph.var(v));
+                    i += 2;
+                    continue;
+                }
+            }
+            condensed.push(interior[i]);
+            i += 1;
+        }
+        interior = condensed;
+
+        // Optimization 2 — removing redundant steps: drop events whose
+        // Markov blanket is already covered by the accumulated blanket.
+        let mut seen: BTreeSet<VarId> = BTreeSet::new();
+        for &e in &path[0..1] {
+            seen.extend(self.graph.markov_blanket(self.var_of[e.index()]));
+        }
+        let mut pruned: Vec<EventId> = Vec::with_capacity(interior.len());
+        for &e in &interior {
+            let blanket: BTreeSet<VarId> = self
+                .graph
+                .markov_blanket(self.var_of[e.index()])
+                .into_iter()
+                .collect();
+            if blanket.is_subset(&seen) {
+                continue; // no new statistical information
+            }
+            seen.extend(blanket);
+            pruned.push(e);
+        }
+
+        // Pack survivors (skipping fixed events, which are always counted)
+        // into valid configurations.
+        let programmable: Vec<EventId> = pruned
+            .into_iter()
+            .filter(|&e| self.catalog.event(e).is_programmable())
+            .collect();
+        bayesperf_simcpu::pack_round_robin(self.catalog, &programmable).unwrap_or_default()
+    }
+
+    /// The unpruned interior of a path, packed into valid configurations.
+    fn pack_interior(&self, path: &[EventId]) -> Vec<Configuration> {
+        if path.len() <= 2 {
+            return Vec::new();
+        }
+        let programmable: Vec<EventId> = path[1..path.len() - 1]
+            .iter()
+            .copied()
+            .filter(|&e| self.catalog.event(e).is_programmable())
+            .collect();
+        bayesperf_simcpu::pack_round_robin(self.catalog, &programmable).unwrap_or_default()
+    }
+
+    /// The interior of a path as one-event-per-quantum configurations —
+    /// maximally conservative but linked by construction (consecutive path
+    /// events share a factor).
+    fn singleton_bridge(&self, path: &[EventId]) -> Vec<Configuration> {
+        if path.len() <= 2 {
+            return Vec::new();
+        }
+        path[1..path.len() - 1]
+            .iter()
+            .copied()
+            .filter(|&e| self.catalog.event(e).is_programmable())
+            .map(|e| Configuration::new_unchecked(vec![e]))
+            .collect()
+    }
+
+    /// True if `prev → bridge… → next` is linked at every consecutive pair.
+    fn splice_linked(
+        &self,
+        prev: &Configuration,
+        bridge: &[Configuration],
+        next: &Configuration,
+    ) -> bool {
+        let mut cur = prev;
+        for b in bridge {
+            if !self.linked(cur, b) {
+                return false;
+            }
+            cur = b;
+        }
+        self.linked(cur, next)
+    }
+
+    /// Builds a BayesPerf measurement schedule directly from an event set:
+    /// events are *interleaved* so that statistically-related events land
+    /// in different configurations (when one is scheduled it constrains
+    /// its unscheduled partners through the invariant factors), and the
+    /// result is then overlap-linked by [`ScheduleTransformer::transform`].
+    ///
+    /// Placement heuristic: take events in descending invariant degree;
+    /// put each into the configuration (among those with room and
+    /// validity) holding the fewest of its invariant partners.
+    pub fn plan(&self, events: &[EventId]) -> Schedule {
+        let n_configs = bayesperf_simcpu::pack_round_robin(self.catalog, events)
+            .map(|c| c.len().max(1))
+            .unwrap_or(1);
+        let mut order: Vec<EventId> = events
+            .iter()
+            .copied()
+            .filter(|&e| self.catalog.event(e).is_programmable())
+            .collect();
+        order.sort_by_key(|&e| std::cmp::Reverse(self.degree(e)));
+
+        let mut bins: Vec<Vec<EventId>> = vec![Vec::new(); n_configs];
+        for e in order {
+            let partners: BTreeSet<EventId> = self
+                .graph
+                .markov_blanket(self.var_of[e.index()])
+                .into_iter()
+                .map(|v| *self.graph.var(v))
+                .collect();
+            // Candidate bins by (number of partners already inside, load).
+            let mut ranked: Vec<usize> = (0..bins.len()).collect();
+            ranked.sort_by_key(|&b| {
+                let overlap = bins[b].iter().filter(|ev| partners.contains(ev)).count();
+                (overlap, bins[b].len())
+            });
+            let mut placed = false;
+            for &b in &ranked {
+                let mut candidate = bins[b].clone();
+                candidate.push(e);
+                if try_assign(self.catalog, &candidate, &self.catalog.pmu()).is_ok() {
+                    bins[b] = candidate;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                bins.push(vec![e]);
+            }
+        }
+        bins.retain(|b| !b.is_empty());
+        let configs: Vec<Configuration> = bins.into_iter().map(Configuration::new_unchecked).collect();
+        self.transform(&configs)
+    }
+
+    /// Transforms a round-robin schedule into an overlap-linked one.
+    pub fn transform(&self, configs: &[Configuration]) -> Schedule {
+        let mut out: Vec<Configuration> = Vec::with_capacity(configs.len());
+        let mut chain_breaks = Vec::new();
+        let mut bridges_added = 0;
+        let mut overlaps_inserted = 0;
+
+        for cfg in configs {
+            let Some(prev) = out.last() else {
+                out.push(cfg.clone());
+                continue;
+            };
+            if self.linked(prev, cfg) {
+                out.push(cfg.clone());
+                continue;
+            }
+            if let Some(with_overlap) = self.insert_overlap(prev, cfg) {
+                overlaps_inserted += 1;
+                out.push(with_overlap);
+                continue;
+            }
+            let mut spliced = false;
+            if let Some(path) = self.shortest_bridge_path(prev, cfg) {
+                // Prefer the pruned bridge; fall back to the unpruned and
+                // then to singleton configurations if pruning or packing
+                // destroyed the statistical chain.
+                let candidates = [
+                    self.build_bridge(&path),
+                    self.pack_interior(&path),
+                    self.singleton_bridge(&path),
+                ];
+                for bridge in candidates {
+                    if self.splice_linked(prev, &bridge, cfg) {
+                        bridges_added += bridge.len();
+                        out.extend(bridge);
+                        out.push(cfg.clone());
+                        spliced = true;
+                        break;
+                    }
+                }
+            }
+            if spliced {
+                continue;
+            }
+            // §4.1: "we break the chain of repeated events, and start over
+            // again from a valid configuration."
+            chain_breaks.push(out.len());
+            out.push(cfg.clone());
+        }
+
+        Schedule {
+            configs: out,
+            chain_breaks,
+            bridges_added,
+            overlaps_inserted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesperf_events::{Arch, Semantic};
+    use bayesperf_simcpu::pack_round_robin;
+    use proptest::prelude::*;
+
+    fn catalog() -> Catalog {
+        Catalog::new(Arch::X86SkyLake)
+    }
+
+    #[test]
+    fn graph_covers_all_events_and_invariants() {
+        let cat = catalog();
+        let tr = ScheduleTransformer::new(&cat);
+        assert_eq!(tr.graph().num_vars(), cat.len());
+        assert_eq!(tr.graph().num_factors(), cat.invariants().len());
+    }
+
+    #[test]
+    fn configs_sharing_an_event_are_linked() {
+        let cat = catalog();
+        let tr = ScheduleTransformer::new(&cat);
+        let a = Configuration::new_unchecked(vec![
+            cat.require(Semantic::BrInst),
+            cat.require(Semantic::L1dMisses),
+        ]);
+        let b = Configuration::new_unchecked(vec![
+            cat.require(Semantic::BrInst),
+            cat.require(Semantic::L2Misses),
+        ]);
+        assert!(tr.linked(&a, &b));
+    }
+
+    #[test]
+    fn configs_with_invariant_neighbors_are_linked() {
+        let cat = catalog();
+        let tr = ScheduleTransformer::new(&cat);
+        // L1dMisses and L2References share the l2_demand invariant.
+        let a = Configuration::new_unchecked(vec![cat.require(Semantic::L1dMisses)]);
+        let b = Configuration::new_unchecked(vec![cat.require(Semantic::L2References)]);
+        assert!(tr.linked(&a, &b));
+    }
+
+    #[test]
+    fn distant_configs_are_not_directly_linked() {
+        let cat = catalog();
+        let tr = ScheduleTransformer::new(&cat);
+        // Branch events and IIO read flavors are several invariants apart.
+        let a = Configuration::new_unchecked(vec![cat.require(Semantic::ItlbMisses)]);
+        let b = Configuration::new_unchecked(vec![cat.require(Semantic::IioRdCode)]);
+        assert!(!tr.linked(&a, &b));
+    }
+
+    #[test]
+    fn transform_preserves_all_original_events() {
+        let cat = catalog();
+        let tr = ScheduleTransformer::new(&cat);
+        let events: Vec<EventId> = cat.programmable_events();
+        let rr = pack_round_robin(&cat, &events).unwrap();
+        let schedule = tr.transform(&rr);
+        let covered: BTreeSet<EventId> = schedule
+            .configs
+            .iter()
+            .flat_map(|c| c.events().to_vec())
+            .collect();
+        for e in &events {
+            assert!(covered.contains(e), "event {e} lost by transform");
+        }
+    }
+
+    #[test]
+    fn transform_output_is_all_valid() {
+        let cat = catalog();
+        let tr = ScheduleTransformer::new(&cat);
+        let events: Vec<EventId> = cat.programmable_events();
+        let rr = pack_round_robin(&cat, &events).unwrap();
+        let schedule = tr.transform(&rr);
+        for cfg in &schedule.configs {
+            assert!(
+                try_assign(&cat, cfg.events(), &cat.pmu()).is_ok(),
+                "invalid config {:?}",
+                cfg.events()
+            );
+        }
+    }
+
+    #[test]
+    fn transform_links_unlinked_neighbors() {
+        let cat = catalog();
+        let tr = ScheduleTransformer::new(&cat);
+        let a = Configuration::new_unchecked(vec![cat.require(Semantic::ItlbMisses)]);
+        let b = Configuration::new_unchecked(vec![cat.require(Semantic::IioRdCode)]);
+        assert!(!tr.linked(&a, &b));
+        let schedule = tr.transform(&[a.clone(), b.clone()]);
+        // Either an overlap was inserted or a bridge added; consecutive
+        // configs must now be linked throughout.
+        assert!(schedule.fully_linked(), "{schedule:?}");
+        for w in schedule.configs.windows(2) {
+            assert!(tr.linked(&w[0], &w[1]));
+        }
+    }
+
+    #[test]
+    fn full_suite_schedule_is_fully_linked() {
+        let cat = catalog();
+        let tr = ScheduleTransformer::new(&cat);
+        let rr = pack_round_robin(&cat, &cat.programmable_events()).unwrap();
+        let schedule = tr.transform(&rr);
+        for w in schedule.configs.windows(2) {
+            assert!(tr.linked(&w[0], &w[1]), "unlinked pair after transform");
+        }
+    }
+
+    proptest! {
+        /// Random event subsets always transform into valid schedules that
+        /// retain every requested event.
+        #[test]
+        fn random_subsets_transform_validly(picks in proptest::collection::vec(0usize..40, 2..24)) {
+            let cat = catalog();
+            let tr = ScheduleTransformer::new(&cat);
+            let prog = cat.programmable_events();
+            let mut events: Vec<EventId> = picks.iter().map(|&i| prog[i % prog.len()]).collect();
+            events.sort();
+            events.dedup();
+            let rr = pack_round_robin(&cat, &events).unwrap();
+            prop_assume!(!rr.is_empty());
+            let schedule = tr.transform(&rr);
+            let covered: BTreeSet<EventId> = schedule
+                .configs
+                .iter()
+                .flat_map(|c| c.events().to_vec())
+                .collect();
+            for e in &events {
+                prop_assert!(covered.contains(e));
+            }
+            for cfg in &schedule.configs {
+                prop_assert!(try_assign(&cat, cfg.events(), &cat.pmu()).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The BayesPerf shim: a perf-compatible userspace reader API.
+//!
+//! §5 of the paper: monitoring applications talk to a userspace "shim"
+//! whose API is identical to the Linux perf subsystem; the kernel enqueues
+//! samples into a shared ring buffer; inference runs asynchronously (on the
+//! accelerator in hardware, in the background here) and the monitoring
+//! application's *reads are served from already-computed posteriors in host
+//! memory* — which is how the accelerator masks inference latency (Fig. 3).
+//!
+//! Two readers share the [`HpcReader`] trait so any monitoring tool can
+//! switch transparently:
+//!
+//! * [`LinuxReader`] — models `read()` on a perf fd: latest sample, scaled
+//!   by enabled/running time;
+//! * [`BayesPerfShim`] — consumes the ring buffer, runs chunked EP, and
+//!   serves full posteriors.
+
+use crate::corrector::{Corrector, CorrectorConfig};
+use bayesperf_events::{Catalog, EventId};
+use bayesperf_inference::Gaussian;
+use bayesperf_simcpu::{RingBuffer, Sample};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The value returned by a reader: an estimate with quantified uncertainty.
+///
+/// For the Linux reader the uncertainty is zero (perf reports a point
+/// value); for BayesPerf it is the posterior spread, and `interval95` the
+/// 95% credible interval (the paper's §4.2 confidence level).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reading {
+    /// Point estimate of the event's per-window count (MLE / posterior mean).
+    pub value: f64,
+    /// Posterior standard deviation (0 for point estimators).
+    pub std_dev: f64,
+    /// 95% credible interval.
+    pub interval95: (f64, f64),
+}
+
+impl Reading {
+    fn point(value: f64) -> Self {
+        Reading {
+            value,
+            std_dev: 0.0,
+            interval95: (value, value),
+        }
+    }
+
+    fn from_gaussian(g: &Gaussian) -> Self {
+        Reading {
+            value: g.mean,
+            std_dev: g.std_dev(),
+            interval95: g.interval(1.96),
+        }
+    }
+}
+
+/// A perf-like counter reader: samples in, per-event readings out.
+pub trait HpcReader {
+    /// Delivers one kernel sample (ring-buffer enqueue path).
+    fn push_sample(&mut self, sample: Sample);
+
+    /// Reads the current estimate for an event, if one is available yet.
+    fn read(&mut self, event: EventId) -> Option<Reading>;
+}
+
+/// Linux perf semantics: the latest sample, time-scaled.
+#[derive(Debug, Clone, Default)]
+pub struct LinuxReader {
+    latest: HashMap<EventId, Sample>,
+}
+
+impl LinuxReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl HpcReader for LinuxReader {
+    fn push_sample(&mut self, sample: Sample) {
+        self.latest.insert(sample.event, sample);
+    }
+
+    fn read(&mut self, event: EventId) -> Option<Reading> {
+        self.latest.get(&event).map(|s| {
+            // A whole-window sample needs no rescaling (the window was
+            // fully scheduled); perf's scaling matters for cumulative
+            // reads, which `linux_scaled` models.
+            Reading::point(s.value)
+        })
+    }
+}
+
+/// The BayesPerf shim: ring-buffered ingestion, chunked EP inference,
+/// posterior cache.
+pub struct BayesPerfShim<'a> {
+    catalog: &'a Catalog,
+    corrector: Corrector<'a>,
+    ring: Mutex<RingBuffer<Sample>>,
+    /// Windows being assembled from ring samples, keyed by window index.
+    assembling: HashMap<u32, Vec<Sample>>,
+    /// Complete windows awaiting a full chunk.
+    pending: Vec<(u32, Vec<Sample>)>,
+    /// Highest window index seen (windows below it are complete).
+    frontier: Option<u32>,
+    /// Latest posterior per event (count units).
+    cache: HashMap<EventId, Gaussian>,
+    /// Normalized posterior of the last inferred slice (chunk chaining).
+    chunks_run: usize,
+}
+
+impl std::fmt::Debug for BayesPerfShim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BayesPerfShim")
+            .field("pending_windows", &self.pending.len())
+            .field("chunks_run", &self.chunks_run)
+            .finish()
+    }
+}
+
+impl<'a> BayesPerfShim<'a> {
+    /// Creates a shim with the given corrector configuration and ring
+    /// capacity.
+    pub fn new(catalog: &'a Catalog, config: CorrectorConfig, ring_capacity: usize) -> Self {
+        BayesPerfShim {
+            catalog,
+            corrector: Corrector::new(catalog, config),
+            ring: Mutex::new(RingBuffer::new(ring_capacity)),
+            assembling: HashMap::new(),
+            pending: Vec::new(),
+            frontier: None,
+            cache: HashMap::new(),
+            chunks_run: 0,
+        }
+    }
+
+    /// Number of inference chunks executed so far.
+    pub fn chunks_run(&self) -> usize {
+        self.chunks_run
+    }
+
+    /// Samples dropped at the ring buffer (backpressure).
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped()
+    }
+
+    /// Drains the ring buffer, assembles windows, and runs inference when a
+    /// full chunk of windows is available. Called from `read`, but exposed
+    /// so background processing (the accelerator model) can drive it too.
+    pub fn process(&mut self) {
+        let drained: Vec<Sample> = self.ring.lock().drain();
+        for s in drained {
+            // A sample for window w means all windows < w are complete.
+            if self.frontier.map_or(true, |f| s.window > f) {
+                let newly_complete: Vec<u32> = self
+                    .assembling
+                    .keys()
+                    .copied()
+                    .filter(|&w| w < s.window)
+                    .collect();
+                for w in newly_complete {
+                    if let Some(samples) = self.assembling.remove(&w) {
+                        self.pending.push((w, samples));
+                    }
+                }
+                self.frontier = Some(s.window);
+            }
+            self.assembling.entry(s.window).or_default().push(s);
+        }
+        self.pending.sort_by_key(|(w, _)| *w);
+
+        let k = 6; // chunk size, matching ModelConfig::for_run
+        while self.pending.len() >= k {
+            let chunk: Vec<Vec<Sample>> = self
+                .pending
+                .drain(..k)
+                .map(|(_, samples)| samples)
+                .collect();
+            let series = self.corrector.correct_windows(&chunk);
+            let last = series.windows() - 1;
+            for e in self.catalog.iter() {
+                self.cache.insert(e.id, series.posterior(last, e.id));
+            }
+            self.chunks_run += 1;
+        }
+    }
+}
+
+impl HpcReader for BayesPerfShim<'_> {
+    fn push_sample(&mut self, sample: Sample) {
+        self.ring.lock().push(sample);
+    }
+
+    fn read(&mut self, event: EventId) -> Option<Reading> {
+        self.process();
+        self.cache.get(&event).map(Reading::from_gaussian)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesperf_events::{Arch, Semantic};
+    use bayesperf_simcpu::{pack_round_robin, NoiseModel, Pmu, PmuConfig};
+    use bayesperf_workloads::kmeans;
+
+    fn recorded_run(cat: &Catalog) -> bayesperf_simcpu::MultiplexRun {
+        let mut truth = kmeans().instantiate(cat, 0);
+        let pmu = Pmu::new(
+            cat,
+            PmuConfig {
+                noise: NoiseModel::default(),
+                seed: 3,
+                ..PmuConfig::for_catalog(cat)
+            },
+        );
+        let events = vec![
+            cat.require(Semantic::L1dMisses),
+            cat.require(Semantic::IcacheMisses),
+            cat.require(Semantic::LlcHits),
+            cat.require(Semantic::LlcMisses),
+        ];
+        let schedule = pack_round_robin(cat, &events).unwrap();
+        pmu.run_multiplexed(&mut truth, &schedule, 10)
+    }
+
+    #[test]
+    fn linux_reader_returns_latest_point_value() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat);
+        let mut reader = LinuxReader::new();
+        let ev = cat.require(Semantic::L1dMisses);
+        assert!(reader.read(ev).is_none());
+        for w in &run.windows {
+            for s in &w.samples {
+                reader.push_sample(*s);
+            }
+        }
+        let r = reader.read(ev).unwrap();
+        assert!(r.value > 0.0);
+        assert_eq!(r.std_dev, 0.0);
+    }
+
+    #[test]
+    fn shim_reads_posteriors_after_a_chunk() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat);
+        let cfg = CorrectorConfig::for_run(&run);
+        let mut shim = BayesPerfShim::new(&cat, cfg, 4096);
+        let ev = cat.require(Semantic::L1dMisses);
+        assert!(shim.read(ev).is_none(), "no chunk complete yet");
+
+        for w in &run.windows {
+            for s in &w.samples {
+                shim.push_sample(*s);
+            }
+        }
+        let r = shim.read(ev).expect("posterior after two chunks");
+        assert!(r.value > 0.0);
+        assert!(r.std_dev > 0.0, "BayesPerf quantifies uncertainty");
+        assert!(r.interval95.0 < r.value && r.value < r.interval95.1);
+        assert!(shim.chunks_run() >= 1, "10 windows -> at least one chunk");
+    }
+
+    #[test]
+    fn shim_reports_uncertainty_for_unmeasured_events() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat);
+        let cfg = CorrectorConfig::for_run(&run);
+        let mut shim = BayesPerfShim::new(&cat, cfg, 4096);
+        for w in &run.windows {
+            for s in &w.samples {
+                shim.push_sample(*s);
+            }
+        }
+        // LlcReferences is never scheduled but is invariant-linked.
+        let linked = shim.read(cat.require(Semantic::LlcReferences)).unwrap();
+        // DtlbMisses is unlinked to any measured event.
+        let unlinked = shim.read(cat.require(Semantic::DtlbMisses)).unwrap();
+        let rel = |r: &Reading| r.std_dev / r.value.abs().max(1.0);
+        assert!(
+            rel(&unlinked) > rel(&linked),
+            "unlinked {} should be more uncertain than linked {}",
+            rel(&unlinked),
+            rel(&linked)
+        );
+    }
+
+    #[test]
+    fn ring_backpressure_drops_are_counted() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat);
+        let cfg = CorrectorConfig::for_run(&run);
+        let mut shim = BayesPerfShim::new(&cat, cfg, 2);
+        for w in run.windows.iter().take(2) {
+            for s in &w.samples {
+                shim.push_sample(*s);
+            }
+        }
+        assert!(shim.dropped() > 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Processor architectures, their fixed microarchitectural parameters, and
+//! PMU register inventories.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The processor models supported by the catalogs, mirroring the paper's two
+/// testbeds (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// Intel Sky Lake-like x86_64 core: 3 fixed + 4 usable programmable HPCs
+    /// per SMT thread, 4-wide issue, reference-cycle fixed counter.
+    X86SkyLake,
+    /// IBM Power9-like ppc64 core: 2 fixed (run cycles / run instructions) +
+    /// 4 programmable PMCs, 6-wide dispatch, no reference-cycle counter.
+    Ppc64Power9,
+}
+
+impl Arch {
+    /// All supported architectures.
+    pub fn all() -> [Arch; 2] {
+        [Arch::X86SkyLake, Arch::Ppc64Power9]
+    }
+
+    /// Short lowercase label used in reports ("x86" / "ppc64").
+    pub fn label(self) -> &'static str {
+        match self {
+            Arch::X86SkyLake => "x86",
+            Arch::Ppc64Power9 => "ppc64",
+        }
+    }
+
+    /// Nominal core clock in Hz, used to convert between cycles and time.
+    pub fn clock_hz(self) -> f64 {
+        match self {
+            Arch::X86SkyLake => 2.5e9,
+            Arch::Ppc64Power9 => 3.1e9,
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fixed microarchitectural constants that parameterize the invariant
+/// library and ground-truth synthesis for one architecture.
+///
+/// These play the role of the vendor-manual constants the paper draws its
+/// algebraic models from (Intel SDM, IBM Power redbooks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchParams {
+    /// Pipeline issue/dispatch width in µops per cycle (top-down "slots").
+    pub issue_width: f64,
+    /// Recovery cycles charged per retired branch misprediction.
+    pub recovery_per_branch_miss: f64,
+    /// Recovery cycles charged per machine clear.
+    pub recovery_per_machine_clear: f64,
+    /// µops squashed per branch misprediction (bad-speculation cost).
+    pub badspec_uops_per_branch_miss: f64,
+    /// µops squashed per machine clear.
+    pub badspec_uops_per_machine_clear: f64,
+    /// Average L1D miss latency in cycles (drives pending-miss occupancy).
+    pub l1d_miss_latency: f64,
+    /// Ratio of reference cycles to core cycles; `None` if the architecture
+    /// has no reference-cycle fixed counter.
+    pub ref_cycle_ratio: Option<f64>,
+    /// Nominal µops per instruction (soft invariant center).
+    pub uops_per_inst_nominal: f64,
+    /// Cache line size in bytes (DRAM bandwidth composition).
+    pub cacheline_bytes: f64,
+}
+
+impl ArchParams {
+    /// Parameters for the given architecture.
+    pub fn for_arch(arch: Arch) -> Self {
+        match arch {
+            Arch::X86SkyLake => ArchParams {
+                issue_width: 4.0,
+                recovery_per_branch_miss: 12.0,
+                recovery_per_machine_clear: 30.0,
+                badspec_uops_per_branch_miss: 8.0,
+                badspec_uops_per_machine_clear: 20.0,
+                l1d_miss_latency: 40.0,
+                ref_cycle_ratio: Some(0.97),
+                uops_per_inst_nominal: 1.12,
+                cacheline_bytes: 64.0,
+            },
+            Arch::Ppc64Power9 => ArchParams {
+                issue_width: 6.0,
+                recovery_per_branch_miss: 10.0,
+                recovery_per_machine_clear: 24.0,
+                badspec_uops_per_branch_miss: 10.0,
+                badspec_uops_per_machine_clear: 26.0,
+                l1d_miss_latency: 48.0,
+                ref_cycle_ratio: None,
+                uops_per_inst_nominal: 1.05,
+                cacheline_bytes: 128.0,
+            },
+        }
+    }
+}
+
+/// Inventory of hardware counter registers for one processor model.
+///
+/// Mirrors the paper's §2: modern cores expose a handful of fixed counters
+/// plus 4–10 programmable ones (split between SMT threads), and a separate
+/// small set of uncore/offcore counters; offcore-response style events
+/// additionally consume one of a tiny pool of MSRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PmuSpec {
+    /// Number of fixed-function counters (always counting, not multiplexed).
+    pub n_fixed: u8,
+    /// Number of core programmable counters usable by one thread.
+    pub n_core: u8,
+    /// Number of uncore (IMC/IIO) counters.
+    pub n_uncore: u8,
+    /// Number of auxiliary MSRs available for offcore-response events.
+    pub n_msr: u8,
+}
+
+impl PmuSpec {
+    /// The PMU inventory for the given architecture.
+    pub fn for_arch(arch: Arch) -> Self {
+        match arch {
+            Arch::X86SkyLake => PmuSpec {
+                n_fixed: 3,
+                n_core: 4,
+                n_uncore: 4,
+                n_msr: 2,
+            },
+            Arch::Ppc64Power9 => PmuSpec {
+                n_fixed: 2,
+                n_core: 4,
+                n_uncore: 4,
+                n_msr: 2,
+            },
+        }
+    }
+
+    /// Total number of simultaneously programmable (multiplexable) counters.
+    pub fn programmable_total(&self) -> usize {
+        self.n_core as usize + self.n_uncore as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_labels_are_stable() {
+        assert_eq!(Arch::X86SkyLake.label(), "x86");
+        assert_eq!(Arch::Ppc64Power9.label(), "ppc64");
+        assert_eq!(Arch::X86SkyLake.to_string(), "x86");
+    }
+
+    #[test]
+    fn x86_has_ref_cycles_ppc_does_not() {
+        assert!(ArchParams::for_arch(Arch::X86SkyLake).ref_cycle_ratio.is_some());
+        assert!(ArchParams::for_arch(Arch::Ppc64Power9).ref_cycle_ratio.is_none());
+    }
+
+    #[test]
+    fn pmu_specs_match_paper_register_counts() {
+        let x86 = PmuSpec::for_arch(Arch::X86SkyLake);
+        // Three fixed + (eight programmable split between two SMT threads).
+        assert_eq!(x86.n_fixed, 3);
+        assert_eq!(x86.n_core, 4);
+        let ppc = PmuSpec::for_arch(Arch::Ppc64Power9);
+        assert_eq!(ppc.n_fixed, 2);
+        assert_eq!(ppc.programmable_total(), 8);
+    }
+
+    #[test]
+    fn issue_width_differs_across_arches() {
+        let x = ArchParams::for_arch(Arch::X86SkyLake);
+        let p = ArchParams::for_arch(Arch::Ppc64Power9);
+        assert!(p.issue_width > x.issue_width);
+    }
+}

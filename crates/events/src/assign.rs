@@ -1,0 +1,327 @@
+//! Configuration validity: assigning a set of events to hardware counters.
+//!
+//! Mirrors the Linux perf scheduling behaviour the paper relies on (§4.1):
+//! the checker iterates from the most-constrained event to the least
+//! constrained, and an assignment is valid only if every event obtains a
+//! register in its domain that its `counter_mask` allows, without exceeding
+//! the MSR budget.
+
+use crate::arch::PmuSpec;
+use crate::catalog::Catalog;
+use crate::event::Domain;
+use crate::id::{CounterId, EventId};
+use std::fmt;
+
+/// A successful placement of events onto counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// (event, core counter) pairs for core-domain events.
+    pub core: Vec<(EventId, CounterId)>,
+    /// (event, uncore counter) pairs for uncore-domain events.
+    pub uncore: Vec<(EventId, CounterId)>,
+    /// Number of offcore MSRs consumed.
+    pub msrs_used: u8,
+}
+
+/// Why a configuration cannot be scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignmentError {
+    /// More core events than core counters, or masks admit no matching.
+    CoreConflict {
+        /// The event perf would report as failing to schedule.
+        failed: EventId,
+    },
+    /// More uncore events than uncore counters.
+    UncoreOverflow {
+        /// Number of uncore events requested.
+        requested: usize,
+        /// Number of uncore counters available.
+        available: usize,
+    },
+    /// More MSR-consuming events than MSRs.
+    MsrOverflow {
+        /// Number of MSR-consuming events requested.
+        requested: usize,
+        /// Number of MSRs available.
+        available: usize,
+    },
+    /// A fixed event was passed; fixed counters are not configurable.
+    FixedEventInConfiguration(EventId),
+}
+
+impl fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignmentError::CoreConflict { failed } => {
+                write!(f, "no core counter available for event {failed}")
+            }
+            AssignmentError::UncoreOverflow {
+                requested,
+                available,
+            } => write!(f, "{requested} uncore events but only {available} counters"),
+            AssignmentError::MsrOverflow {
+                requested,
+                available,
+            } => write!(f, "{requested} offcore events but only {available} MSRs"),
+            AssignmentError::FixedEventInConfiguration(id) => {
+                write!(f, "fixed event {id} cannot be placed in a configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
+/// Attempts to place `events` onto the counters of `pmu`.
+///
+/// Core events are matched to registers by backtracking search ordered from
+/// most-constrained (fewest allowed registers) to least, the strategy perf
+/// uses to maximize counter utilization. Uncore events only need a free
+/// register. Duplicate events are rejected implicitly (each instance needs
+/// its own register).
+///
+/// # Errors
+///
+/// Returns the first scheduling failure, identifying the event that could
+/// not be placed — matching perf's "iterate until an event fails" behaviour.
+pub fn try_assign(
+    catalog: &Catalog,
+    events: &[EventId],
+    pmu: &PmuSpec,
+) -> Result<Assignment, AssignmentError> {
+    let mut core: Vec<EventId> = Vec::new();
+    let mut uncore: Vec<EventId> = Vec::new();
+    let mut msrs = 0usize;
+
+    for &id in events {
+        let desc = catalog.event(id);
+        match desc.domain {
+            Domain::Fixed => return Err(AssignmentError::FixedEventInConfiguration(id)),
+            Domain::Core => core.push(id),
+            Domain::Uncore => uncore.push(id),
+        }
+        if desc.needs_msr {
+            msrs += 1;
+        }
+    }
+
+    if msrs > pmu.n_msr as usize {
+        return Err(AssignmentError::MsrOverflow {
+            requested: msrs,
+            available: pmu.n_msr as usize,
+        });
+    }
+    if uncore.len() > pmu.n_uncore as usize {
+        return Err(AssignmentError::UncoreOverflow {
+            requested: uncore.len(),
+            available: pmu.n_uncore as usize,
+        });
+    }
+
+    // Most-constrained first: fewest allowed counters, then id for stability.
+    core.sort_by_key(|&id| (catalog.event(id).core_counter_choices(), id));
+
+    let n_core = pmu.n_core as usize;
+    let mut used = vec![false; n_core];
+    let mut placement: Vec<(EventId, CounterId)> = Vec::with_capacity(core.len());
+    if !place(catalog, &core, 0, n_core, &mut used, &mut placement) {
+        // Report the most-constrained unplaced event, like perf's iteration.
+        let failed = core.last().copied().unwrap_or(EventId::from_raw(0));
+        return Err(AssignmentError::CoreConflict { failed });
+    }
+
+    let uncore_placed = uncore
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, CounterId::from_raw(i as u8)))
+        .collect();
+
+    Ok(Assignment {
+        core: placement,
+        uncore: uncore_placed,
+        msrs_used: msrs as u8,
+    })
+}
+
+fn place(
+    catalog: &Catalog,
+    order: &[EventId],
+    idx: usize,
+    n_core: usize,
+    used: &mut [bool],
+    placement: &mut Vec<(EventId, CounterId)>,
+) -> bool {
+    if idx == order.len() {
+        return true;
+    }
+    if order.len() - idx > used.iter().filter(|u| !**u).count() {
+        return false;
+    }
+    let id = order[idx];
+    let mask = catalog.event(id).counter_mask;
+    for ctr in 0..n_core {
+        if !used[ctr] && mask & (1 << ctr) != 0 {
+            used[ctr] = true;
+            placement.push((id, CounterId::from_raw(ctr as u8)));
+            if place(catalog, order, idx + 1, n_core, used, placement) {
+                return true;
+            }
+            placement.pop();
+            used[ctr] = false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Arch;
+    use crate::event::Semantic;
+    use proptest::prelude::*;
+
+    fn cat() -> Catalog {
+        Catalog::new(Arch::X86SkyLake)
+    }
+
+    #[test]
+    fn four_unconstrained_core_events_fit() {
+        let c = cat();
+        let events = [
+            Semantic::UopsIssued,
+            Semantic::UopsRetired,
+            Semantic::BrInst,
+            Semantic::BrMisp,
+        ]
+        .map(|s| c.require(s));
+        let a = try_assign(&c, &events, &c.pmu()).unwrap();
+        assert_eq!(a.core.len(), 4);
+        // All four counters distinct.
+        let mut ctrs: Vec<_> = a.core.iter().map(|(_, c)| *c).collect();
+        ctrs.sort();
+        ctrs.dedup();
+        assert_eq!(ctrs.len(), 4);
+    }
+
+    #[test]
+    fn five_core_events_overflow() {
+        let c = cat();
+        let events = [
+            Semantic::UopsIssued,
+            Semantic::UopsRetired,
+            Semantic::BrInst,
+            Semantic::BrMisp,
+            Semantic::L1dMisses,
+        ]
+        .map(|s| c.require(s));
+        assert!(matches!(
+            try_assign(&c, &events, &c.pmu()),
+            Err(AssignmentError::CoreConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn pinned_event_forces_backtracking() {
+        let c = cat();
+        // L1D_PEND_MISS.PENDING can only live on counter 3; the two stall
+        // events only on counters 2-3 -> together they conflict.
+        let pend = c.require(Semantic::L1dPendMissPending);
+        let s2 = c.require(Semantic::StallsL2Pending);
+        let s1 = c.require(Semantic::StallsL1dPending);
+        let free = c.require(Semantic::BrInst);
+        // pend + one stall + two free is satisfiable...
+        let ok = try_assign(&c, &[pend, s2, free, c.require(Semantic::BrMisp)], &c.pmu()).unwrap();
+        assert!(ok
+            .core
+            .iter()
+            .any(|(e, ctr)| *e == pend && ctr.index() == 3));
+        // ...but pend + both stalls is not (three events, two upper slots).
+        assert!(try_assign(&c, &[pend, s2, s1], &c.pmu()).is_err());
+    }
+
+    #[test]
+    fn msr_budget_enforced() {
+        let c = cat();
+        let events = [
+            Semantic::OroDrdAnyCycles,
+            Semantic::OroDrdBwCycles,
+            Semantic::OroDrdLatCycles,
+        ]
+        .map(|s| c.require(s));
+        assert!(matches!(
+            try_assign(&c, &events, &c.pmu()),
+            Err(AssignmentError::MsrOverflow { requested: 3, available: 2 })
+        ));
+    }
+
+    #[test]
+    fn uncore_budget_enforced() {
+        let c = cat();
+        let events = [
+            Semantic::ImcCasRd,
+            Semantic::ImcCasWr,
+            Semantic::IioWrTotal,
+            Semantic::IioRdTotal,
+            Semantic::DmaTransactions,
+        ]
+        .map(|s| c.require(s));
+        assert!(matches!(
+            try_assign(&c, &events, &c.pmu()),
+            Err(AssignmentError::UncoreOverflow { requested: 5, available: 4 })
+        ));
+    }
+
+    #[test]
+    fn fixed_events_rejected() {
+        let c = cat();
+        let ev = c.require(Semantic::Cycles);
+        assert!(matches!(
+            try_assign(&c, &[ev], &c.pmu()),
+            Err(AssignmentError::FixedEventInConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_domain_configuration_valid() {
+        let c = cat();
+        let events = vec![
+            c.require(Semantic::L1dMisses),
+            c.require(Semantic::LlcMisses),
+            c.require(Semantic::OroDrdAnyCycles),
+            c.require(Semantic::L1dPendMissPending),
+            c.require(Semantic::ImcCasRd),
+            c.require(Semantic::ImcCasWr),
+            c.require(Semantic::DmaTransactions),
+        ];
+        let a = try_assign(&c, &events, &c.pmu()).unwrap();
+        assert_eq!(a.core.len(), 4);
+        assert_eq!(a.uncore.len(), 3);
+        assert_eq!(a.msrs_used, 1);
+    }
+
+    proptest! {
+        /// Any assignment returned is consistent: distinct registers,
+        /// masks respected, budgets respected.
+        #[test]
+        fn assignments_are_consistent(indices in proptest::collection::vec(0usize..42, 1..8)) {
+            let c = cat();
+            let prog = c.programmable_events();
+            let mut events: Vec<_> = indices.iter().map(|&i| prog[i % prog.len()]).collect();
+            events.sort();
+            events.dedup();
+            if let Ok(a) = try_assign(&c, &events, &c.pmu()) {
+                let mut seen = std::collections::HashSet::new();
+                for (e, ctr) in &a.core {
+                    prop_assert!(seen.insert(ctr.index()));
+                    prop_assert!(c.event(*e).counter_mask & (1 << ctr.index()) != 0);
+                }
+                let mut useen = std::collections::HashSet::new();
+                for (_, ctr) in &a.uncore {
+                    prop_assert!(useen.insert(ctr.index()));
+                }
+                prop_assert!(a.msrs_used <= c.pmu().n_msr);
+                prop_assert_eq!(a.core.len() + a.uncore.len(), events.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Derived events: named mathematical combinations of raw HPC measurements.
+
+use crate::expr::{EventEnv, Expr};
+use crate::id::EventId;
+use serde::{Deserialize, Serialize};
+
+/// A derived event (§2 of the paper): a metric computed from several raw
+/// HPC measurements, e.g. `Backend_Bound_SMT` on BroadwellX which alone
+/// reads 16 HPCs.
+///
+/// Derived events are the unit the evaluation measures: Fig. 6 collects the
+/// HPCs needed by ten derived events per architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DerivedEvent {
+    /// Metric name (e.g. `CPI`, `Memory_Bound`).
+    pub name: String,
+    /// What the metric means.
+    pub description: String,
+    /// The combining expression over raw events.
+    pub expr: Expr,
+}
+
+impl DerivedEvent {
+    /// Creates a derived event.
+    pub fn new(name: impl Into<String>, description: impl Into<String>, expr: Expr) -> Self {
+        DerivedEvent {
+            name: name.into(),
+            description: description.into(),
+            expr,
+        }
+    }
+
+    /// The raw events this metric reads, in id order.
+    pub fn events(&self) -> Vec<EventId> {
+        self.expr.events()
+    }
+
+    /// Evaluates the metric under `env`.
+    pub fn eval<E: EventEnv + ?Sized>(&self, env: &E) -> f64 {
+        self.expr.eval(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_event_evaluates_its_expression() {
+        let cpi = DerivedEvent::new(
+            "CPI",
+            "cycles per instruction",
+            Expr::event(EventId::from_raw(0)) / Expr::event(EventId::from_raw(1)),
+        );
+        let env = vec![10.0, 5.0];
+        assert_eq!(cpi.eval(&env), 2.0);
+        assert_eq!(cpi.events().len(), 2);
+    }
+}

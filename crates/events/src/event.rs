@@ -1,0 +1,278 @@
+//! Event descriptors: semantic roles, PMU domains, and counting constraints.
+
+use crate::id::EventId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Architecture-neutral role of an event.
+///
+/// Each [`crate::Catalog`] maps a subset of these roles to concrete,
+/// vendor-style event names. Higher layers (ground-truth synthesis, the
+/// invariant library, derived events) are written against semantics so the
+/// same code serves both architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Semantic {
+    // -- fixed-function --
+    /// Unhalted core clock cycles.
+    Cycles,
+    /// Reference (TSC-rate) cycles; x86 only.
+    RefCycles,
+    /// Retired instructions.
+    Instructions,
+
+    // -- pipeline / top-down --
+    /// µops issued by the rename/allocate stage.
+    UopsIssued,
+    /// µops retired.
+    UopsRetired,
+    /// µops issued but squashed on a mis-speculated path.
+    UopsBadSpec,
+    /// Issue slots with no µop delivered by the frontend.
+    IdqUopsNotDelivered,
+    /// µops delivered through the legacy decode pipeline (MITE).
+    IdqMiteUops,
+    /// µops delivered from the decoded-µop cache (DSB).
+    IdqDsbUops,
+    /// µops delivered by the microcode sequencer.
+    IdqMsUops,
+    /// Cycles the issue stage is stalled recovering from mis-speculation.
+    RecoveryCycles,
+    /// Issue slots lost to backend stalls (top-down remainder).
+    BackendStallSlots,
+    /// Machine clears (memory ordering, SMC, ...).
+    MachineClears,
+
+    // -- branches --
+    /// Retired branch instructions.
+    BrInst,
+    /// Retired mispredicted branches.
+    BrMisp,
+
+    // -- frontend / TLB --
+    /// Instruction-cache misses.
+    IcacheMisses,
+    /// Instruction TLB misses.
+    ItlbMisses,
+    /// Data TLB load misses.
+    DtlbMisses,
+
+    // -- cache hierarchy --
+    /// L1D cache line replacements (misses).
+    L1dMisses,
+    /// Cycles weighted by number of outstanding L1D misses (occupancy).
+    L1dPendMissPending,
+    /// Demand requests arriving at L2.
+    L2References,
+    /// L2 misses.
+    L2Misses,
+    /// Last-level-cache references.
+    LlcReferences,
+    /// Last-level-cache hits.
+    LlcHits,
+    /// Last-level-cache misses.
+    LlcMisses,
+    /// Dirty lines written back from LLC to memory.
+    LlcWritebacks,
+
+    // -- stalls --
+    /// Cycles with no µop executed (total execution stalls).
+    StallsTotal,
+    /// Execution stalls with at least one outstanding memory load.
+    StallsMemAny,
+    /// Execution stalls while an L2 miss is pending.
+    StallsL2Pending,
+    /// Execution stalls while only L1D misses are pending.
+    StallsL1dPending,
+    /// Execution stalls not attributable to memory.
+    StallsOther,
+
+    // -- offcore DRAM demand-read occupancy (§4 of the paper) --
+    /// Cycles with at least one outstanding offcore demand data read.
+    OroDrdAnyCycles,
+    /// Cycles where outstanding demand reads exceed the bandwidth threshold.
+    OroDrdBwCycles,
+    /// Latency-bound remainder of `OroDrdAnyCycles`.
+    OroDrdLatCycles,
+
+    // -- memory controller / IO (uncore) --
+    /// DMA transactions from IO devices (cache-line sized).
+    DmaTransactions,
+    /// Integrated-memory-controller read CAS commands.
+    ImcCasRd,
+    /// Integrated-memory-controller write CAS commands.
+    ImcCasWr,
+    /// IIO: allocating writes from PCIe devices.
+    IioWrAlloc,
+    /// IIO: full cache-line writes from PCIe devices.
+    IioWrFull,
+    /// IIO: partial writes from PCIe devices.
+    IioWrPart,
+    /// IIO: non-snoop writes from PCIe devices.
+    IioWrNonSnoop,
+    /// IIO: demand code reads by PCIe devices.
+    IioRdCode,
+    /// IIO: partial / MMIO reads by PCIe devices.
+    IioRdPart,
+    /// IIO: total device writes (sum of the write flavors).
+    IioWrTotal,
+    /// IIO: total device reads (sum of the read flavors).
+    IioRdTotal,
+}
+
+impl Semantic {
+    /// Every semantic role, in catalog order.
+    pub fn all() -> &'static [Semantic] {
+        use Semantic::*;
+        &[
+            Cycles,
+            RefCycles,
+            Instructions,
+            UopsIssued,
+            UopsRetired,
+            UopsBadSpec,
+            IdqUopsNotDelivered,
+            IdqMiteUops,
+            IdqDsbUops,
+            IdqMsUops,
+            RecoveryCycles,
+            BackendStallSlots,
+            MachineClears,
+            BrInst,
+            BrMisp,
+            IcacheMisses,
+            ItlbMisses,
+            DtlbMisses,
+            L1dMisses,
+            L1dPendMissPending,
+            L2References,
+            L2Misses,
+            LlcReferences,
+            LlcHits,
+            LlcMisses,
+            LlcWritebacks,
+            StallsTotal,
+            StallsMemAny,
+            StallsL2Pending,
+            StallsL1dPending,
+            StallsOther,
+            OroDrdAnyCycles,
+            OroDrdBwCycles,
+            OroDrdLatCycles,
+            DmaTransactions,
+            ImcCasRd,
+            ImcCasWr,
+            IioWrAlloc,
+            IioWrFull,
+            IioWrPart,
+            IioWrNonSnoop,
+            IioRdCode,
+            IioRdPart,
+            IioWrTotal,
+            IioRdTotal,
+        ]
+    }
+}
+
+impl fmt::Display for Semantic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Which PMU a counter/event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Fixed-function core counter: always counting, never multiplexed.
+    Fixed,
+    /// Core programmable counter (subject to multiplexing).
+    Core,
+    /// Uncore counter (IMC / IIO), its own small register pool.
+    Uncore,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A countable event as published by a processor's performance manual.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventDesc {
+    /// Dense id within the owning catalog.
+    pub id: EventId,
+    /// Vendor-style event name (e.g. `CPU_CLK_UNHALTED.THREAD`, `PM_RUN_CYC`).
+    pub name: String,
+    /// Architecture-neutral role.
+    pub semantic: Semantic,
+    /// PMU domain the event is counted on.
+    pub domain: Domain,
+    /// Bitmask of core counter registers able to count this event
+    /// (bit *i* set ⇒ counter *i* allowed). Ignored for `Fixed`/`Uncore`.
+    pub counter_mask: u8,
+    /// Whether the event consumes one of the scarce offcore-response MSRs.
+    pub needs_msr: bool,
+}
+
+impl EventDesc {
+    /// True if this event is subject to multiplexing (not a fixed counter).
+    pub fn is_programmable(&self) -> bool {
+        self.domain != Domain::Fixed
+    }
+
+    /// Number of core counters this event may be scheduled on.
+    pub fn core_counter_choices(&self) -> u32 {
+        match self.domain {
+            Domain::Core => self.counter_mask.count_ones(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_semantics_are_unique() {
+        let all = Semantic::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(all.len(), 45);
+    }
+
+    #[test]
+    fn constrained_event_reports_fewer_choices() {
+        let free = EventDesc {
+            id: EventId::from_raw(0),
+            name: "X".into(),
+            semantic: Semantic::L1dMisses,
+            domain: Domain::Core,
+            counter_mask: 0b1111,
+            needs_msr: false,
+        };
+        let pinned = EventDesc {
+            counter_mask: 0b1000,
+            ..free.clone()
+        };
+        assert_eq!(free.core_counter_choices(), 4);
+        assert_eq!(pinned.core_counter_choices(), 1);
+    }
+
+    #[test]
+    fn fixed_events_are_not_programmable() {
+        let fixed = EventDesc {
+            id: EventId::from_raw(0),
+            name: "CYC".into(),
+            semantic: Semantic::Cycles,
+            domain: Domain::Fixed,
+            counter_mask: 0,
+            needs_msr: false,
+        };
+        assert!(!fixed.is_programmable());
+        assert_eq!(fixed.core_counter_choices(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Strongly-typed identifiers for events and hardware counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an event within a [`crate::Catalog`].
+///
+/// `EventId`s are dense (0..catalog.len()) so event-indexed data can live in
+/// flat vectors. An id is only meaningful relative to the catalog that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub(crate) u16);
+
+impl EventId {
+    /// Creates an id from a raw index.
+    ///
+    /// Prefer obtaining ids from [`crate::Catalog::id`]; this constructor
+    /// exists for deserialization and testing.
+    pub fn from_raw(raw: u16) -> Self {
+        EventId(raw)
+    }
+
+    /// The dense index of this event, suitable for indexing flat vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a hardware counter register within one PMU domain.
+///
+/// Counters are numbered independently per [`crate::Domain`]: fixed counters
+/// `f0..`, core programmable counters `c0..`, and uncore counters `u0..`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CounterId(pub(crate) u8);
+
+impl CounterId {
+    /// Creates a counter id from a raw register index.
+    pub fn from_raw(raw: u8) -> Self {
+        CounterId(raw)
+    }
+
+    /// The register index within its domain.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CounterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_roundtrip() {
+        let id = EventId::from_raw(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "e7");
+    }
+
+    #[test]
+    fn counter_id_roundtrip() {
+        let id = CounterId::from_raw(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "c3");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(EventId::from_raw(1) < EventId::from_raw(2));
+        assert!(CounterId::from_raw(0) < CounterId::from_raw(1));
+    }
+}

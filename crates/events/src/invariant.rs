@@ -1,0 +1,119 @@
+//! Microarchitectural invariants: soft algebraic constraints between events.
+
+use crate::expr::{EventEnv, Expr};
+use crate::id::EventId;
+use serde::{Deserialize, Serialize};
+
+/// A (possibly soft) algebraic relation `lhs ≈ rhs` between event counts.
+///
+/// Exact invariants (`rel_noise` ≈ 0.01) come from flow conservation and
+/// architectural identities — they hold by construction on ground truth.
+/// Soft invariants (`rel_noise` ≈ 0.1) encode typical-workload regularities
+/// like µops-per-instruction; their residual is workload-dependent but
+/// bounded, which is exactly what a Gaussian factor with wider variance
+/// models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Invariant {
+    /// Human-readable name (used in reports and factor labels).
+    pub name: String,
+    /// Left-hand side.
+    pub lhs: Expr,
+    /// Right-hand side.
+    pub rhs: Expr,
+    /// Expected relative deviation of `lhs - rhs` from zero, as a fraction
+    /// of the invariant's magnitude. Drives the factor's Gaussian width.
+    pub rel_noise: f64,
+}
+
+/// Invariants with `rel_noise` at or below this bound hold (up to numerics)
+/// on synthesized ground truth.
+pub const EXACT_NOISE_BOUND: f64 = 0.02;
+
+impl Invariant {
+    /// Creates an invariant `lhs ≈ rhs` with the given relative noise.
+    pub fn new(name: impl Into<String>, lhs: Expr, rhs: Expr, rel_noise: f64) -> Self {
+        Invariant {
+            name: name.into(),
+            lhs,
+            rhs,
+            rel_noise,
+        }
+    }
+
+    /// True if the invariant is expected to hold exactly on ground truth.
+    pub fn is_exact(&self) -> bool {
+        self.rel_noise <= EXACT_NOISE_BOUND
+    }
+
+    /// All events referenced by either side, in id order.
+    pub fn events(&self) -> Vec<EventId> {
+        let mut ids = self.lhs.events();
+        ids.extend(self.rhs.events());
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Raw residual `lhs − rhs` under `env`.
+    pub fn residual<E: EventEnv + ?Sized>(&self, env: &E) -> f64 {
+        self.lhs.eval(env) - self.rhs.eval(env)
+    }
+
+    /// The magnitude against which the residual is normalized:
+    /// `max(|lhs|, |rhs|, 1)`.
+    pub fn magnitude<E: EventEnv + ?Sized>(&self, env: &E) -> f64 {
+        self.lhs
+            .eval(env)
+            .abs()
+            .max(self.rhs.eval(env).abs())
+            .max(1.0)
+    }
+
+    /// Residual normalized by the invariant's magnitude; the detector signal
+    /// of §3 ("probability of deviation from the invariant").
+    pub fn relative_residual<E: EventEnv + ?Sized>(&self, env: &E) -> f64 {
+        self.residual(env) / self.magnitude(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u16) -> Expr {
+        Expr::event(EventId::from_raw(i))
+    }
+
+    #[test]
+    fn residual_and_relative_residual() {
+        // e0 ≈ e1 + e2
+        let inv = Invariant::new("split", ev(0), ev(1) + ev(2), 0.01);
+        let env = vec![10.0, 6.0, 3.0];
+        assert_eq!(inv.residual(&env), 1.0);
+        assert!((inv.relative_residual(&env) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_are_deduplicated_and_sorted() {
+        let inv = Invariant::new("x", ev(2) + ev(0), ev(2), 0.01);
+        assert_eq!(
+            inv.events(),
+            vec![EventId::from_raw(0), EventId::from_raw(2)]
+        );
+    }
+
+    #[test]
+    fn exactness_threshold() {
+        let exact = Invariant::new("a", ev(0), ev(1), 0.01);
+        let soft = Invariant::new("b", ev(0), ev(1), 0.1);
+        assert!(exact.is_exact());
+        assert!(!soft.is_exact());
+    }
+
+    #[test]
+    fn magnitude_has_unit_floor() {
+        let inv = Invariant::new("tiny", ev(0), ev(1), 0.01);
+        let env = vec![0.1, 0.05];
+        assert_eq!(inv.magnitude(&env), 1.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Ground-truth synthesis: turn a small set of free workload parameters into
+//! a complete, invariant-consistent vector of event counts.
+//!
+//! The simulator needs a "true" value for every catalog event at every
+//! instant. Rather than specifying 45 correlated rates by hand per workload
+//! phase, workloads specify ~20 free parameters (IPC, miss ratios, stall
+//! fractions, IO rates); `synthesize` derives all event counts so that every
+//! *exact* invariant in the catalog holds by construction, and the soft
+//! invariants hold up to their stated tolerance.
+
+use crate::catalog::Catalog;
+use crate::event::Semantic;
+use serde::{Deserialize, Serialize};
+
+/// Free workload parameters, in per-mega-cycle units.
+///
+/// All `*_mpki` fields are events per kilo-instruction; `*_frac`/`*_ratio`
+/// fields are dimensionless in `[0, 1]`; `*_pmc` fields are counts per
+/// mega-cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreeParams {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// µops per instruction (soft-invariant center is arch nominal).
+    pub uops_per_inst: f64,
+    /// Branches per instruction.
+    pub branch_frac: f64,
+    /// Branch mispredictions per kilo-instruction.
+    pub branch_mpki: f64,
+    /// Machine clears per mega-cycle.
+    pub machine_clears_pmc: f64,
+    /// I-cache misses per kilo-instruction.
+    pub icache_mpki: f64,
+    /// ITLB misses per kilo-instruction.
+    pub itlb_mpki: f64,
+    /// DTLB load misses per kilo-instruction.
+    pub dtlb_mpki: f64,
+    /// L1D misses per kilo-instruction.
+    pub l1d_mpki: f64,
+    /// L2 miss ratio (L2 misses / L2 references).
+    pub l2_miss_ratio: f64,
+    /// LLC hit ratio (LLC hits / LLC references).
+    pub llc_hit_ratio: f64,
+    /// LLC writebacks as a fraction of LLC misses.
+    pub llc_wb_ratio: f64,
+    /// Fraction of issue slots starved by the frontend.
+    pub fe_bound_frac: f64,
+    /// Fraction of issued µops from the microcode sequencer.
+    pub ms_frac: f64,
+    /// Fraction of (non-MS) issued µops from the µop cache.
+    pub dsb_frac: f64,
+    /// Fraction of cycles stalled with memory outstanding.
+    pub mem_stall_frac: f64,
+    /// Share of memory stalls that have an L2 miss pending.
+    pub l2pend_share: f64,
+    /// Fraction of cycles stalled for non-memory reasons.
+    pub other_stall_frac: f64,
+    /// Fraction of cycles with ≥1 outstanding DRAM demand read.
+    pub oro_any_frac: f64,
+    /// Share of outstanding-read cycles that are bandwidth-bound.
+    pub oro_bw_share: f64,
+    /// IIO allocating writes per mega-cycle.
+    pub iio_wr_alloc_pmc: f64,
+    /// IIO full-line writes per mega-cycle.
+    pub iio_wr_full_pmc: f64,
+    /// IIO partial writes per mega-cycle.
+    pub iio_wr_part_pmc: f64,
+    /// IIO non-snoop writes per mega-cycle.
+    pub iio_wr_nonsnoop_pmc: f64,
+    /// IIO code reads per mega-cycle.
+    pub iio_rd_code_pmc: f64,
+    /// IIO partial/MMIO reads per mega-cycle.
+    pub iio_rd_part_pmc: f64,
+}
+
+impl Default for FreeParams {
+    /// A mid-of-the-road, cache-friendly workload used for nominal scales.
+    fn default() -> Self {
+        FreeParams {
+            ipc: 1.4,
+            uops_per_inst: 1.12,
+            branch_frac: 0.16,
+            branch_mpki: 3.0,
+            machine_clears_pmc: 20.0,
+            icache_mpki: 2.0,
+            itlb_mpki: 0.2,
+            dtlb_mpki: 0.8,
+            l1d_mpki: 18.0,
+            l2_miss_ratio: 0.35,
+            llc_hit_ratio: 0.6,
+            llc_wb_ratio: 0.4,
+            fe_bound_frac: 0.12,
+            ms_frac: 0.04,
+            dsb_frac: 0.65,
+            mem_stall_frac: 0.22,
+            l2pend_share: 0.55,
+            other_stall_frac: 0.08,
+            oro_any_frac: 0.25,
+            oro_bw_share: 0.4,
+            iio_wr_alloc_pmc: 120.0,
+            iio_wr_full_pmc: 300.0,
+            iio_wr_part_pmc: 40.0,
+            iio_wr_nonsnoop_pmc: 60.0,
+            iio_rd_code_pmc: 25.0,
+            iio_rd_part_pmc: 35.0,
+        }
+    }
+}
+
+impl FreeParams {
+    /// Clamps every field into its physically-meaningful range.
+    ///
+    /// Called by `synthesize`, so slightly-out-of-range parameters (e.g.
+    /// after additive phase modulation) are tolerated rather than producing
+    /// negative counts.
+    pub fn clamped(&self) -> FreeParams {
+        let frac = |v: f64| v.clamp(0.0, 0.95);
+        let pos = |v: f64| v.max(0.0);
+        FreeParams {
+            ipc: self.ipc.clamp(0.05, 3.8),
+            uops_per_inst: self.uops_per_inst.clamp(1.0, 1.6),
+            branch_frac: frac(self.branch_frac),
+            branch_mpki: pos(self.branch_mpki),
+            machine_clears_pmc: pos(self.machine_clears_pmc),
+            icache_mpki: pos(self.icache_mpki),
+            itlb_mpki: pos(self.itlb_mpki),
+            dtlb_mpki: pos(self.dtlb_mpki),
+            l1d_mpki: pos(self.l1d_mpki),
+            l2_miss_ratio: frac(self.l2_miss_ratio),
+            llc_hit_ratio: frac(self.llc_hit_ratio),
+            llc_wb_ratio: frac(self.llc_wb_ratio),
+            fe_bound_frac: frac(self.fe_bound_frac),
+            ms_frac: frac(self.ms_frac),
+            dsb_frac: frac(self.dsb_frac),
+            mem_stall_frac: frac(self.mem_stall_frac),
+            l2pend_share: frac(self.l2pend_share),
+            other_stall_frac: frac(self.other_stall_frac),
+            oro_any_frac: frac(self.oro_any_frac),
+            oro_bw_share: frac(self.oro_bw_share),
+            iio_wr_alloc_pmc: pos(self.iio_wr_alloc_pmc),
+            iio_wr_full_pmc: pos(self.iio_wr_full_pmc),
+            iio_wr_part_pmc: pos(self.iio_wr_part_pmc),
+            iio_wr_nonsnoop_pmc: pos(self.iio_wr_nonsnoop_pmc),
+            iio_rd_code_pmc: pos(self.iio_rd_code_pmc),
+            iio_rd_part_pmc: pos(self.iio_rd_part_pmc),
+        }
+    }
+}
+
+/// Cycles in one synthesis unit: all outputs are counts per mega-cycle.
+pub const MEGA: f64 = 1.0e6;
+
+/// Synthesizes a complete per-mega-cycle event-count vector (indexed by
+/// [`crate::EventId`]) from free parameters, such that all exact catalog
+/// invariants hold.
+pub fn synthesize(catalog: &Catalog, params: &FreeParams) -> Vec<f64> {
+    let mut out = vec![0.0; catalog.len()];
+    synthesize_into(catalog, params, &mut out);
+    out
+}
+
+/// Like [`synthesize`] but writes into a caller-provided buffer
+/// (`out.len()` must equal `catalog.len()`).
+///
+/// # Panics
+///
+/// Panics if `out` has the wrong length.
+pub fn synthesize_into(catalog: &Catalog, params: &FreeParams, out: &mut [f64]) {
+    assert_eq!(out.len(), catalog.len(), "output buffer length mismatch");
+    let p = params.clamped();
+    let a = catalog.params();
+    let w = a.issue_width;
+    let slots = w * MEGA;
+
+    let mut inst = p.ipc * MEGA;
+    let mut br = inst * p.branch_frac;
+    let mut brm = (inst / 1000.0 * p.branch_mpki).min(br);
+    let mut mc = p.machine_clears_pmc;
+
+    // Feasibility: issue demand plus recovery slots cannot exceed the slot
+    // budget. Demand is linear in the instruction stream, so if the request
+    // is infeasible the whole stream (instructions, branches, clears) is
+    // scaled down — preserving every flow-conservation invariant.
+    let demand = |inst: f64, brm: f64, mc: f64| {
+        let recovery = a.recovery_per_branch_miss * brm + a.recovery_per_machine_clear * mc;
+        let bad = a.badspec_uops_per_branch_miss * brm + a.badspec_uops_per_machine_clear * mc;
+        inst * p.uops_per_inst + bad + w * recovery
+    };
+    let committed0 = demand(inst, brm, mc);
+    if committed0 > slots {
+        let s = slots / committed0;
+        inst *= s;
+        br *= s;
+        brm *= s;
+        mc *= s;
+    }
+
+    let kinst = inst / 1000.0;
+    let uops_ret = inst * p.uops_per_inst;
+    let recovery = a.recovery_per_branch_miss * brm + a.recovery_per_machine_clear * mc;
+    let bad_uops = a.badspec_uops_per_branch_miss * brm + a.badspec_uops_per_machine_clear * mc;
+    let uops_issued = uops_ret + bad_uops;
+
+    // Frontend slots are whatever the remaining budget allows; backend is
+    // the (non-negative) remainder.
+    let committed = uops_issued + w * recovery;
+    let fe = (p.fe_bound_frac * slots).min((slots - committed).max(0.0));
+    let backend = (slots - committed - fe).max(0.0);
+
+    let ms = p.ms_frac * uops_issued;
+    let dsb = p.dsb_frac * (uops_issued - ms);
+    let mite = uops_issued - ms - dsb;
+
+    let l1d = kinst * p.l1d_mpki;
+    let icache = kinst * p.icache_mpki;
+    let l2_refs = l1d + icache;
+    let l2_miss = p.l2_miss_ratio * l2_refs;
+    let llc_refs = l2_miss;
+    let llc_hits = p.llc_hit_ratio * llc_refs;
+    let llc_miss = llc_refs - llc_hits;
+    let llc_wb = p.llc_wb_ratio * llc_miss;
+
+    let iio_wr = p.iio_wr_alloc_pmc + p.iio_wr_full_pmc + p.iio_wr_part_pmc + p.iio_wr_nonsnoop_pmc;
+    let iio_rd = p.iio_rd_code_pmc + p.iio_rd_part_pmc;
+    let dma = iio_wr + iio_rd;
+
+    // Split DRAM commands so reads carry demand fills + DMA reads and writes
+    // carry writebacks + DMA writes; the exact invariant constrains only the
+    // sum.
+    let cas_rd = llc_miss + iio_rd;
+    let cas_wr = llc_wb + iio_wr;
+
+    let mem_stall = p.mem_stall_frac * MEGA;
+    let l2pend = p.l2pend_share * mem_stall;
+    let l1dpend_stall = mem_stall - l2pend;
+    let other_stall = p.other_stall_frac * MEGA;
+    let total_stall = mem_stall + other_stall;
+
+    let oro_any = p.oro_any_frac * MEGA;
+    let oro_bw = p.oro_bw_share * oro_any;
+    let oro_lat = oro_any - oro_bw;
+
+    let mut set = |sem: Semantic, v: f64| {
+        if let Some(id) = catalog.id(sem) {
+            out[id.index()] = v;
+        }
+    };
+
+    set(Semantic::Cycles, MEGA);
+    if let Some(r) = a.ref_cycle_ratio {
+        set(Semantic::RefCycles, r * MEGA);
+    }
+    set(Semantic::Instructions, inst);
+    set(Semantic::UopsIssued, uops_issued);
+    set(Semantic::UopsRetired, uops_ret);
+    set(Semantic::UopsBadSpec, bad_uops);
+    set(Semantic::IdqUopsNotDelivered, fe);
+    set(Semantic::IdqMiteUops, mite);
+    set(Semantic::IdqDsbUops, dsb);
+    set(Semantic::IdqMsUops, ms);
+    set(Semantic::RecoveryCycles, recovery);
+    set(Semantic::BackendStallSlots, backend);
+    set(Semantic::MachineClears, mc);
+    set(Semantic::BrInst, br);
+    set(Semantic::BrMisp, brm);
+    set(Semantic::IcacheMisses, icache);
+    set(Semantic::ItlbMisses, kinst * p.itlb_mpki);
+    set(Semantic::DtlbMisses, kinst * p.dtlb_mpki);
+    set(Semantic::L1dMisses, l1d);
+    set(Semantic::L1dPendMissPending, a.l1d_miss_latency * l1d);
+    set(Semantic::L2References, l2_refs);
+    set(Semantic::L2Misses, l2_miss);
+    set(Semantic::LlcReferences, llc_refs);
+    set(Semantic::LlcHits, llc_hits);
+    set(Semantic::LlcMisses, llc_miss);
+    set(Semantic::LlcWritebacks, llc_wb);
+    set(Semantic::StallsTotal, total_stall);
+    set(Semantic::StallsMemAny, mem_stall);
+    set(Semantic::StallsL2Pending, l2pend);
+    set(Semantic::StallsL1dPending, l1dpend_stall);
+    set(Semantic::StallsOther, other_stall);
+    set(Semantic::OroDrdAnyCycles, oro_any);
+    set(Semantic::OroDrdBwCycles, oro_bw);
+    set(Semantic::OroDrdLatCycles, oro_lat);
+    set(Semantic::DmaTransactions, dma);
+    set(Semantic::ImcCasRd, cas_rd);
+    set(Semantic::ImcCasWr, cas_wr);
+    set(Semantic::IioWrAlloc, p.iio_wr_alloc_pmc);
+    set(Semantic::IioWrFull, p.iio_wr_full_pmc);
+    set(Semantic::IioWrPart, p.iio_wr_part_pmc);
+    set(Semantic::IioWrNonSnoop, p.iio_wr_nonsnoop_pmc);
+    set(Semantic::IioRdCode, p.iio_rd_code_pmc);
+    set(Semantic::IioRdPart, p.iio_rd_part_pmc);
+    set(Semantic::IioWrTotal, iio_wr);
+    set(Semantic::IioRdTotal, iio_rd);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Arch;
+    use proptest::prelude::*;
+
+    fn check_exact_invariants(arch: Arch, p: &FreeParams) {
+        let cat = Catalog::new(arch);
+        let truth = synthesize(&cat, p);
+        for inv in cat.invariants().iter().filter(|i| i.is_exact()) {
+            let r = inv.relative_residual(&truth);
+            assert!(
+                r.abs() < 1e-9,
+                "{} on {}: relative residual {}",
+                inv.name,
+                arch,
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn default_params_satisfy_exact_invariants() {
+        for arch in Arch::all() {
+            check_exact_invariants(arch, &FreeParams::default());
+        }
+    }
+
+    #[test]
+    fn counts_are_nonnegative() {
+        for arch in Arch::all() {
+            let cat = Catalog::new(arch);
+            let truth = synthesize(&cat, &FreeParams::default());
+            for (i, v) in truth.iter().enumerate() {
+                assert!(*v >= 0.0, "event {i} negative: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_ipc_is_squeezed_not_negative() {
+        let mut p = FreeParams::default();
+        p.ipc = 10.0; // clamped to 3.8
+        p.fe_bound_frac = 0.9;
+        for arch in Arch::all() {
+            check_exact_invariants(arch, &p);
+        }
+    }
+
+    #[test]
+    fn soft_invariants_hold_within_tolerance_at_nominal() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let truth = synthesize(&cat, &FreeParams::default());
+        for inv in cat.invariants() {
+            let r = inv.relative_residual(&truth).abs();
+            assert!(
+                r <= inv.rel_noise + 1e-9,
+                "{}: residual {} > tolerance {}",
+                inv.name,
+                r,
+                inv.rel_noise
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn random_params_satisfy_exact_invariants(
+            ipc in 0.1f64..3.5,
+            upi in 1.0f64..1.4,
+            bf in 0.02f64..0.3,
+            bmpki in 0.0f64..20.0,
+            mc in 0.0f64..200.0,
+            l1 in 0.0f64..60.0,
+            l2r in 0.0f64..0.95,
+            l3h in 0.0f64..0.95,
+            fe in 0.0f64..0.6,
+            mem in 0.0f64..0.7,
+            dma in 0.0f64..2000.0,
+        ) {
+            let p = FreeParams {
+                ipc,
+                uops_per_inst: upi,
+                branch_frac: bf,
+                branch_mpki: bmpki,
+                machine_clears_pmc: mc,
+                l1d_mpki: l1,
+                l2_miss_ratio: l2r,
+                llc_hit_ratio: l3h,
+                fe_bound_frac: fe,
+                mem_stall_frac: mem,
+                iio_wr_full_pmc: dma,
+                ..FreeParams::default()
+            };
+            for arch in Arch::all() {
+                check_exact_invariants(arch, &p);
+            }
+        }
+
+        #[test]
+        fn random_params_produce_nonnegative_counts(
+            ipc in 0.05f64..3.8,
+            fe in 0.0f64..1.0,
+            mem in 0.0f64..1.0,
+        ) {
+            let p = FreeParams {
+                ipc,
+                fe_bound_frac: fe,
+                mem_stall_frac: mem,
+                ..FreeParams::default()
+            };
+            let cat = Catalog::new(Arch::X86SkyLake);
+            let truth = synthesize(&cat, &p);
+            for v in truth {
+                prop_assert!(v >= 0.0);
+            }
+        }
+    }
+}

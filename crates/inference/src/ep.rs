@@ -1,0 +1,479 @@
+//! Expectation Propagation over partitioned likelihoods (Alg. 1 of the
+//! paper).
+//!
+//! The target density factorizes as `f(θ) = Π fₖ(θ)` where each `fₖ` is the
+//! likelihood of the data captured in one partition — for BayesPerf, one
+//! scheduled HPC configuration / time slice. EP maintains a global Gaussian
+//! mean-field approximation `g(θ) = prior · Π gₖ(θ)` and iterates:
+//!
+//! 1. cavity: `g₋ₖ ∝ g / gₖ`
+//! 2. tilted: `g\ₖ ∝ Pr(yₖ|θ) · g₋ₖ` — moments estimated by MCMC
+//! 3. local update: moment-match a Gaussian to the tilted distribution
+//! 4. global update: `g ← g · Δgₖ` with damping
+//!
+//! Because sites only interact through the global approximation, site
+//! updates are independent — the parallelism the BayesPerf accelerator's EP
+//! engines exploit (§5).
+
+use crate::dist::Gaussian;
+use crate::mcmc::{McmcConfig, McmcSampler, McmcStats, Target};
+use crate::message::GaussianMessage;
+use rand::Rng;
+
+/// One partition of the data: a likelihood term over a subset of the global
+/// variables.
+pub trait EpSite {
+    /// Indices of the global variables this site's likelihood touches.
+    fn vars(&self) -> &[usize];
+
+    /// Log likelihood of the site's data given the site-local state `x`
+    /// (aligned with [`EpSite::vars`]).
+    fn log_likelihood(&self, x: &[f64]) -> f64;
+
+    /// Change in log likelihood when local variable `i` moves from `x[i]`
+    /// to `new`; must leave `x` unchanged.
+    ///
+    /// The default recomputes the full likelihood twice. Sites with factor
+    /// structure should override it to only re-evaluate the factors adjacent
+    /// to `i` — the locality the BayesPerf accelerator exploits.
+    fn log_likelihood_delta(&self, x: &mut [f64], i: usize, new: f64) -> f64 {
+        let old = x[i];
+        let before = self.log_likelihood(x);
+        x[i] = new;
+        let after = self.log_likelihood(x);
+        x[i] = old;
+        after - before
+    }
+
+    /// Optional MCMC initialization hint for local variable `i` (e.g. the
+    /// scaled observation of that counter). `None` starts at the cavity
+    /// mean.
+    fn init_hint(&self, i: usize) -> Option<f64> {
+        let _ = i;
+        None
+    }
+
+    /// Optional proposal-scale hint for local variable `i` (e.g. the
+    /// observation factor's width). `None` uses the cavity standard
+    /// deviation.
+    fn scale_hint(&self, i: usize) -> Option<f64> {
+        let _ = i;
+        None
+    }
+}
+
+/// An [`EpSite`] built from a closure.
+#[derive(Debug, Clone)]
+pub struct FnSite<F> {
+    vars: Vec<usize>,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> f64> FnSite<F> {
+    /// Creates a site over `vars` with log-likelihood `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` contains duplicates.
+    pub fn new(vars: Vec<usize>, f: F) -> Self {
+        let mut sorted = vars.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vars.len(), "site variables must be unique");
+        FnSite { vars, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64> EpSite for FnSite<F> {
+    fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+    fn log_likelihood(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+}
+
+/// Configuration of the EP driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpConfig {
+    /// Maximum outer sweeps over all sites.
+    pub max_sweeps: usize,
+    /// Damping factor η ∈ (0, 1] for site/global updates.
+    pub damping: f64,
+    /// Convergence tolerance: maximum |Δmean|/σ across variables per sweep.
+    pub tol: f64,
+    /// Variance floor applied to tilted moments (guards MCMC degeneracy).
+    pub min_var: f64,
+    /// MCMC settings used for tilted-moment estimation.
+    pub mcmc: McmcConfig,
+}
+
+impl Default for EpConfig {
+    fn default() -> Self {
+        EpConfig {
+            max_sweeps: 6,
+            damping: 0.6,
+            tol: 0.02,
+            min_var: 1e-10,
+            mcmc: McmcConfig::default(),
+        }
+    }
+}
+
+/// Result of running EP.
+#[derive(Debug, Clone)]
+pub struct EpResult {
+    /// Posterior marginal per global variable.
+    pub marginals: Vec<Gaussian>,
+    /// Number of sweeps executed.
+    pub sweeps: usize,
+    /// Whether the tolerance was met before `max_sweeps`.
+    pub converged: bool,
+    /// Mean MCMC acceptance rate across all site updates.
+    pub mean_acceptance: f64,
+}
+
+/// The EP driver: owns the prior, the sites, and the evolving global
+/// approximation.
+pub struct ExpectationPropagation {
+    prior: Vec<Gaussian>,
+    global: Vec<GaussianMessage>,
+    sites: Vec<Box<dyn EpSite>>,
+    site_approx: Vec<Vec<GaussianMessage>>,
+    config: EpConfig,
+}
+
+impl std::fmt::Debug for ExpectationPropagation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpectationPropagation")
+            .field("num_vars", &self.prior.len())
+            .field("num_sites", &self.sites.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl ExpectationPropagation {
+    /// Creates a driver with the given per-variable Gaussian prior.
+    pub fn new(prior: Vec<Gaussian>, config: EpConfig) -> Self {
+        let global = prior.iter().map(GaussianMessage::from_gaussian).collect();
+        ExpectationPropagation {
+            prior,
+            global,
+            sites: Vec::new(),
+            site_approx: Vec::new(),
+            config,
+        }
+    }
+
+    /// Number of global variables.
+    pub fn num_vars(&self) -> usize {
+        self.prior.len()
+    }
+
+    /// Number of registered sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Registers a site (initialized with the vacuous approximation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site references a variable out of range.
+    pub fn add_site<S: EpSite + 'static>(&mut self, site: S) {
+        for &v in site.vars() {
+            assert!(v < self.prior.len(), "site variable {v} out of range");
+        }
+        self.site_approx
+            .push(vec![GaussianMessage::uniform(); site.vars().len()]);
+        self.sites.push(Box::new(site));
+    }
+
+    /// The current posterior marginal of variable `v` (prior if no update
+    /// has touched it).
+    pub fn marginal(&self, v: usize) -> Gaussian {
+        self.global[v].to_gaussian().unwrap_or(self.prior[v])
+    }
+
+    /// Runs EP to convergence (or `max_sweeps`).
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) -> EpResult {
+        let sampler = McmcSampler::new(self.config.mcmc);
+        let mut sweeps = 0;
+        let mut converged = false;
+        let mut acc_sum = 0.0;
+        let mut acc_n = 0usize;
+
+        while sweeps < self.config.max_sweeps {
+            sweeps += 1;
+            let mut max_shift = 0.0f64;
+            for k in 0..self.sites.len() {
+                let stats = self.update_site(k, &sampler, rng, &mut max_shift);
+                acc_sum += stats.acceptance;
+                acc_n += 1;
+            }
+            if max_shift <= self.config.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        EpResult {
+            marginals: (0..self.prior.len()).map(|v| self.marginal(v)).collect(),
+            sweeps,
+            converged,
+            mean_acceptance: if acc_n == 0 { 0.0 } else { acc_sum / acc_n as f64 },
+        }
+    }
+
+    /// One site update (lines 3–7 of Alg. 1). Returns the MCMC statistics;
+    /// updates `max_shift` with the largest normalized posterior-mean move.
+    fn update_site<R: Rng + ?Sized>(
+        &mut self,
+        k: usize,
+        sampler: &McmcSampler,
+        rng: &mut R,
+        max_shift: &mut f64,
+    ) -> McmcStats {
+        let scope: Vec<usize> = self.sites[k].vars().to_vec();
+        let d = scope.len();
+
+        // Line 3: cavity distribution g₋ₖ = g / gₖ, with a widened-prior
+        // fallback when the quotient is improper.
+        let mut cavity_msgs = Vec::with_capacity(d);
+        let mut cavity = Vec::with_capacity(d);
+        for (j, &v) in scope.iter().enumerate() {
+            let msg = self.global[v].div(&self.site_approx[k][j]);
+            let gauss = msg.to_gaussian().unwrap_or_else(|| {
+                let p = self.prior[v];
+                Gaussian::new(self.marginal(v).mean, p.var * 100.0)
+            });
+            cavity_msgs.push(GaussianMessage::from_gaussian(&gauss));
+            cavity.push(gauss);
+        }
+
+        // Line 4: tilted moments via MCMC on Pr(yₖ|θ)·g₋ₖ(θ).
+        let target = TiltedTarget {
+            site: self.sites[k].as_ref(),
+            cavity: &cavity,
+        };
+        let init: Vec<f64> = cavity
+            .iter()
+            .enumerate()
+            .map(|(j, g)| self.sites[k].init_hint(j).unwrap_or(g.mean))
+            .collect();
+        let scales: Vec<f64> = cavity
+            .iter()
+            .enumerate()
+            .map(|(j, g)| match self.sites[k].scale_hint(j) {
+                Some(h) => h.min(g.std_dev()),
+                None => g.std_dev(),
+            })
+            .collect();
+        let stats = sampler.run(&target, &init, &scales, rng);
+
+        // Lines 5–7: local moment match, damped site update, global update.
+        for (j, &v) in scope.iter().enumerate() {
+            let tilted = GaussianMessage::from_moments(
+                stats.mean[j],
+                stats.var[j].max(self.config.min_var),
+            );
+            let new_site = tilted.div(&cavity_msgs[j]);
+            let damped = self.site_approx[k][j].damped_toward(&new_site, self.config.damping);
+            let candidate = self.global[v].div(&self.site_approx[k][j]).mul(&damped);
+            if let Some(g_new) = candidate.to_gaussian() {
+                let g_old = self.marginal(v);
+                let shift = (g_new.mean - g_old.mean).abs() / g_old.std_dev().max(1e-12);
+                *max_shift = max_shift.max(shift);
+                self.global[v] = candidate;
+                self.site_approx[k][j] = damped;
+            }
+        }
+        stats
+    }
+}
+
+/// The tilted distribution of one site: likelihood × cavity.
+struct TiltedTarget<'a> {
+    site: &'a dyn EpSite,
+    cavity: &'a [Gaussian],
+}
+
+impl Target for TiltedTarget<'_> {
+    fn dim(&self) -> usize {
+        self.cavity.len()
+    }
+
+    fn log_density(&self, x: &[f64]) -> f64 {
+        let prior: f64 = x
+            .iter()
+            .zip(self.cavity)
+            .map(|(xi, g)| g.log_pdf(*xi))
+            .sum();
+        prior + self.site.log_likelihood(x)
+    }
+
+    fn log_density_delta(&self, x: &mut [f64], i: usize, new: f64) -> f64 {
+        let d_prior = self.cavity[i].log_pdf(new) - self.cavity[i].log_pdf(x[i]);
+        d_prior + self.site.log_likelihood_delta(x, i, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn gaussian_observation_matches_analytic_posterior() {
+        // Prior N(0, 4); observation x ~ N(6, 1). Posterior: N(4.8, 0.8).
+        let mut ep = ExpectationPropagation::new(
+            vec![Gaussian::new(0.0, 4.0)],
+            EpConfig::default(),
+        );
+        ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
+            Gaussian::new(6.0, 1.0).log_pdf(x[0])
+        }));
+        let r = ep.run(&mut rng());
+        assert!(
+            (r.marginals[0].mean - 4.8).abs() < 0.25,
+            "mean {}",
+            r.marginals[0].mean
+        );
+        assert!(
+            (r.marginals[0].var - 0.8).abs() < 0.4,
+            "var {}",
+            r.marginals[0].var
+        );
+    }
+
+    #[test]
+    fn two_sites_combine_like_a_product() {
+        // Two unit-variance observations at 0 and 10 on a flat-ish prior:
+        // posterior mean ≈ 5.
+        let mut ep = ExpectationPropagation::new(
+            vec![Gaussian::new(5.0, 1000.0)],
+            EpConfig::default(),
+        );
+        ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
+            Gaussian::new(0.0, 1.0).log_pdf(x[0])
+        }));
+        ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
+            Gaussian::new(10.0, 1.0).log_pdf(x[0])
+        }));
+        let r = ep.run(&mut rng());
+        assert!(
+            (r.marginals[0].mean - 5.0).abs() < 0.4,
+            "mean {}",
+            r.marginals[0].mean
+        );
+        // Posterior variance ≈ 0.5 (product of two unit-variance terms).
+        assert!(r.marginals[0].var < 1.5);
+    }
+
+    #[test]
+    fn linear_constraint_transfers_information() {
+        // x0 + x1 ≈ 10 (tight), x0 observed near 3 -> x1 ≈ 7 with
+        // uncertainty larger than x0's.
+        let mut ep = ExpectationPropagation::new(
+            vec![Gaussian::new(5.0, 100.0), Gaussian::new(5.0, 100.0)],
+            EpConfig::default(),
+        );
+        ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
+            Gaussian::new(3.0, 0.01).log_pdf(x[0])
+        }));
+        ep.add_site(FnSite::new(vec![0, 1], |x: &[f64]| {
+            Gaussian::new(0.0, 0.01).log_pdf(x[0] + x[1] - 10.0)
+        }));
+        let r = ep.run(&mut rng());
+        assert!(
+            (r.marginals[0].mean - 3.0).abs() < 0.3,
+            "x0 {}",
+            r.marginals[0].mean
+        );
+        assert!(
+            (r.marginals[1].mean - 7.0).abs() < 0.5,
+            "x1 {}",
+            r.marginals[1].mean
+        );
+    }
+
+    #[test]
+    fn chained_constraints_propagate_transitively() {
+        // x0 observed; x0 + x1 = 10; x1 + x2 = 12 -> x2 ≈ x0 + 2.
+        let prior = vec![
+            Gaussian::new(4.0, 50.0),
+            Gaussian::new(4.0, 50.0),
+            Gaussian::new(4.0, 50.0),
+        ];
+        let mut cfg = EpConfig::default();
+        cfg.max_sweeps = 10;
+        let mut ep = ExpectationPropagation::new(prior, cfg);
+        ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
+            Gaussian::new(4.0, 0.01).log_pdf(x[0])
+        }));
+        ep.add_site(FnSite::new(vec![0, 1], |x: &[f64]| {
+            Gaussian::new(0.0, 0.02).log_pdf(x[0] + x[1] - 10.0)
+        }));
+        ep.add_site(FnSite::new(vec![1, 2], |x: &[f64]| {
+            Gaussian::new(0.0, 0.02).log_pdf(x[0] + x[1] - 12.0)
+        }));
+        let r = ep.run(&mut rng());
+        assert!(
+            (r.marginals[2].mean - 6.0).abs() < 0.7,
+            "x2 {}",
+            r.marginals[2].mean
+        );
+    }
+
+    #[test]
+    fn untouched_variable_keeps_prior() {
+        let mut ep = ExpectationPropagation::new(
+            vec![Gaussian::new(1.0, 2.0), Gaussian::new(9.0, 3.0)],
+            EpConfig::default(),
+        );
+        ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
+            Gaussian::new(1.0, 1.0).log_pdf(x[0])
+        }));
+        let r = ep.run(&mut rng());
+        assert_eq!(r.marginals[1].mean, 9.0);
+        assert_eq!(r.marginals[1].var, 3.0);
+    }
+
+    #[test]
+    fn converges_and_reports_acceptance() {
+        let mut ep = ExpectationPropagation::new(
+            vec![Gaussian::new(0.0, 10.0)],
+            EpConfig {
+                max_sweeps: 20,
+                ..EpConfig::default()
+            },
+        );
+        ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
+            Gaussian::new(2.0, 0.5).log_pdf(x[0])
+        }));
+        let r = ep.run(&mut rng());
+        assert!(r.converged, "should converge in 20 sweeps");
+        assert!(r.sweeps < 20);
+        assert!(r.mean_acceptance > 0.05 && r.mean_acceptance < 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "site variable 3 out of range")]
+    fn rejects_out_of_range_site() {
+        let mut ep =
+            ExpectationPropagation::new(vec![Gaussian::new(0.0, 1.0)], EpConfig::default());
+        ep.add_site(FnSite::new(vec![3], |_: &[f64]| 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "site variables must be unique")]
+    fn rejects_duplicate_site_vars() {
+        FnSite::new(vec![0, 0], |_: &[f64]| 0.0);
+    }
+}

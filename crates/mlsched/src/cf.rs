@@ -1,0 +1,194 @@
+//! Paragon-style collaborative filtering (Delimitrou & Kozyrakis): matrix
+//! factorization that imputes application throughput from sparse
+//! observations, used as the paper's first ML scheduler (§6.3).
+
+use rand::Rng;
+
+/// A rank-`r` matrix factorization `M ≈ U·Vᵀ` trained by SGD on observed
+/// entries.
+#[derive(Debug, Clone)]
+pub struct CollabFilter {
+    u: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+    rank: usize,
+}
+
+impl CollabFilter {
+    /// Trains a factorization of an `rows × cols` matrix from observed
+    /// `(row, col, value)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero or any observation is out of bounds.
+    pub fn train<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        observed: &[(usize, usize, f64)],
+        rank: usize,
+        epochs: usize,
+        lr: f64,
+        reg: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        for &(r, c, _) in observed {
+            assert!(r < rows && c < cols, "observation ({r},{c}) out of bounds");
+        }
+        let init = |n: usize, rng: &mut R| -> Vec<Vec<f64>> {
+            (0..n)
+                .map(|_| (0..rank).map(|_| rng.gen::<f64>() * 0.2).collect())
+                .collect()
+        };
+        let mut cf = CollabFilter {
+            u: init(rows, rng),
+            v: init(cols, rng),
+            rank,
+        };
+        for _ in 0..epochs {
+            for &(r, c, x) in observed {
+                let pred = cf.predict(r, c);
+                let err = pred - x;
+                for k in 0..rank {
+                    let (uk, vk) = (cf.u[r][k], cf.v[c][k]);
+                    cf.u[r][k] -= lr * (err * vk + reg * uk);
+                    cf.v[c][k] -= lr * (err * uk + reg * vk);
+                }
+            }
+        }
+        cf
+    }
+
+    /// Predicted value at `(row, col)`.
+    pub fn predict(&self, row: usize, col: usize) -> f64 {
+        (0..self.rank).map(|k| self.u[row][k] * self.v[col][k]).sum()
+    }
+
+    /// Root-mean-square error on a set of triples.
+    pub fn rmse(&self, data: &[(usize, usize, f64)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let sse: f64 = data
+            .iter()
+            .map(|&(r, c, x)| {
+                let d = self.predict(r, c) - x;
+                d * d
+            })
+            .sum();
+        (sse / data.len() as f64).sqrt()
+    }
+
+    /// The column with the highest predicted value in `row` — the
+    /// scheduler's decision (which NIC/configuration to use).
+    pub fn best_column(&self, row: usize) -> usize {
+        let cols = self.v.len();
+        (0..cols)
+            .max_by(|&a, &b| {
+                self.predict(row, a)
+                    .partial_cmp(&self.predict(row, b))
+                    .expect("finite predictions")
+            })
+            .expect("at least one column")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A synthetic low-rank throughput matrix: throughput of workload r
+    /// under configuration c.
+    fn ground_truth(rows: usize, cols: usize) -> Vec<Vec<f64>> {
+        (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        let a = (r as f64 * 0.37).sin() + 1.5;
+                        let b = (c as f64 * 0.71).cos() + 1.5;
+                        let i = ((r + c) as f64 * 0.13).sin() * 0.4;
+                        a * b + i
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn observe(
+        truth: &[Vec<f64>],
+        sparsity: f64,
+        noise: f64,
+        rng: &mut StdRng,
+    ) -> (Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>) {
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (r, row) in truth.iter().enumerate() {
+            for (c, &x) in row.iter().enumerate() {
+                let noisy = x * (1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0));
+                if rng.gen::<f64>() > sparsity {
+                    train.push((r, c, noisy));
+                } else {
+                    test.push((r, c, x));
+                }
+            }
+        }
+        (train, test)
+    }
+
+    #[test]
+    fn reconstructs_heldout_entries_at_paper_sparsity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let truth = ground_truth(100, 20);
+        // 75% sparsity: the optimum the paper finds in its sweep.
+        let (train, test) = observe(&truth, 0.75, 0.0, &mut rng);
+        let cf = CollabFilter::train(100, 20, &train, 4, 800, 0.05, 0.005, &mut rng);
+        let rmse = cf.rmse(&test);
+        let scale: f64 = 2.5; // typical magnitude of truth entries
+        assert!(rmse < 0.2 * scale, "held-out RMSE {rmse}");
+    }
+
+    #[test]
+    fn noisier_observations_hurt_imputation() {
+        let truth = ground_truth(100, 20);
+        let rmse_at = |noise: f64| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let (train, test) = observe(&truth, 0.75, noise, &mut rng);
+            CollabFilter::train(100, 20, &train, 4, 800, 0.05, 0.005, &mut rng).rmse(&test)
+        };
+        // 40% input error (Linux) vs 7.6% (BayesPerf) — the §6.3 premise.
+        let linux = rmse_at(0.40);
+        let bayes = rmse_at(0.076);
+        assert!(
+            bayes < linux,
+            "BayesPerf-quality inputs {bayes} should beat Linux-quality {linux}"
+        );
+    }
+
+    #[test]
+    fn decisions_follow_predictions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let truth = ground_truth(20, 6);
+        let (train, _) = observe(&truth, 0.5, 0.02, &mut rng);
+        let cf = CollabFilter::train(20, 6, &train, 4, 600, 0.03, 0.005, &mut rng);
+        // The chosen column should be near-optimal for most rows.
+        let mut good = 0;
+        for (r, row) in truth.iter().enumerate() {
+            let best_true = (0..6)
+                .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                .unwrap();
+            let chosen = cf.best_column(r);
+            if row[chosen] >= 0.95 * row[best_true] {
+                good += 1;
+            }
+        }
+        assert!(good >= 16, "only {good}/20 near-optimal decisions");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_observation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        CollabFilter::train(2, 2, &[(5, 0, 1.0)], 2, 1, 0.1, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,231 @@
+//! Counter configurations and the traditional round-robin schedule packer.
+
+use bayesperf_events::{try_assign, Catalog, EventId};
+use std::fmt;
+
+/// A counter configuration: the set of events programmed onto the PMU
+/// during one multiplexing quantum (§3, "a mapping between counters and
+/// events").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    events: Vec<EventId>,
+}
+
+impl Configuration {
+    /// Creates a configuration after validating it against the catalog's
+    /// counter constraints (perf's most-constrained-first scheduling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InvalidConfiguration`] when the events
+    /// cannot all be placed on counters simultaneously.
+    pub fn new(catalog: &Catalog, events: Vec<EventId>) -> Result<Self, ScheduleError> {
+        match try_assign(catalog, &events, &catalog.pmu()) {
+            Ok(_) => Ok(Configuration { events }),
+            Err(e) => Err(ScheduleError::InvalidConfiguration(e.to_string())),
+        }
+    }
+
+    /// Creates a configuration without validity checking (for tests and for
+    /// the scheduler's intermediate search states).
+    pub fn new_unchecked(events: Vec<EventId>) -> Self {
+        Configuration { events }
+    }
+
+    /// The events in this configuration.
+    pub fn events(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// True if `id` is measured by this configuration.
+    pub fn contains(&self, id: EventId) -> bool {
+        self.events.contains(&id)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the configuration measures nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Errors from schedule construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A configuration violates the PMU's counter constraints.
+    InvalidConfiguration(String),
+    /// An event cannot be scheduled on this PMU at all.
+    Unschedulable(EventId),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InvalidConfiguration(msg) => {
+                write!(f, "invalid configuration: {msg}")
+            }
+            ScheduleError::Unschedulable(id) => {
+                write!(f, "event {id} cannot be scheduled on this PMU")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Packs `events` into the minimal greedy sequence of valid configurations,
+/// in request order — the traditional round-robin schedule Linux perf
+/// rotates through (Fig. 2, "Traditional").
+///
+/// Fixed-counter events are skipped (they are always measured).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Unschedulable`] if some event cannot be placed
+/// even alone.
+pub fn pack_round_robin(
+    catalog: &Catalog,
+    events: &[EventId],
+) -> Result<Vec<Configuration>, ScheduleError> {
+    let pmu = catalog.pmu();
+    let mut configs: Vec<Vec<EventId>> = Vec::new();
+    let mut current: Vec<EventId> = Vec::new();
+    for &id in events {
+        if !catalog.event(id).is_programmable() {
+            continue;
+        }
+        let mut candidate = current.clone();
+        candidate.push(id);
+        if try_assign(catalog, &candidate, &pmu).is_ok() {
+            current = candidate;
+        } else {
+            if try_assign(catalog, &[id], &pmu).is_err() {
+                return Err(ScheduleError::Unschedulable(id));
+            }
+            if !current.is_empty() {
+                configs.push(std::mem::take(&mut current));
+            }
+            current.push(id);
+        }
+    }
+    if !current.is_empty() {
+        configs.push(current);
+    }
+    Ok(configs
+        .into_iter()
+        .map(Configuration::new_unchecked)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesperf_events::{Arch, Semantic};
+
+    fn catalog() -> Catalog {
+        Catalog::new(Arch::X86SkyLake)
+    }
+
+    #[test]
+    fn valid_configuration_accepted() {
+        let c = catalog();
+        let events = vec![c.require(Semantic::BrInst), c.require(Semantic::BrMisp)];
+        let cfg = Configuration::new(&c, events.clone()).unwrap();
+        assert_eq!(cfg.events(), &events[..]);
+        assert!(cfg.contains(events[0]));
+        assert_eq!(cfg.len(), 2);
+    }
+
+    #[test]
+    fn invalid_configuration_rejected() {
+        let c = catalog();
+        let events = vec![
+            c.require(Semantic::UopsIssued),
+            c.require(Semantic::UopsRetired),
+            c.require(Semantic::BrInst),
+            c.require(Semantic::BrMisp),
+            c.require(Semantic::L1dMisses),
+        ];
+        assert!(matches!(
+            Configuration::new(&c, events),
+            Err(ScheduleError::InvalidConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn round_robin_packs_greedily() {
+        let c = catalog();
+        // 10 unconstrained core events -> ceil(10/4) = 3 configurations.
+        let events: Vec<EventId> = [
+            Semantic::UopsIssued,
+            Semantic::UopsRetired,
+            Semantic::UopsBadSpec,
+            Semantic::IdqMiteUops,
+            Semantic::IdqDsbUops,
+            Semantic::IdqMsUops,
+            Semantic::BrInst,
+            Semantic::BrMisp,
+            Semantic::L1dMisses,
+            Semantic::L2References,
+        ]
+        .iter()
+        .map(|&s| c.require(s))
+        .collect();
+        let configs = pack_round_robin(&c, &events).unwrap();
+        assert_eq!(configs.len(), 3);
+        assert_eq!(configs[0].len(), 4);
+        assert_eq!(configs[1].len(), 4);
+        assert_eq!(configs[2].len(), 2);
+        // Every event appears exactly once.
+        let mut all: Vec<EventId> = configs.iter().flat_map(|c| c.events().to_vec()).collect();
+        all.sort();
+        let mut want = events.clone();
+        want.sort();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn round_robin_skips_fixed_events() {
+        let c = catalog();
+        let events = vec![c.require(Semantic::Cycles), c.require(Semantic::BrInst)];
+        let configs = pack_round_robin(&c, &events).unwrap();
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs[0].len(), 1);
+    }
+
+    #[test]
+    fn round_robin_mixes_domains() {
+        let c = catalog();
+        // 4 core + 4 uncore fit in one configuration.
+        let events = vec![
+            c.require(Semantic::L1dMisses),
+            c.require(Semantic::L2Misses),
+            c.require(Semantic::LlcMisses),
+            c.require(Semantic::LlcHits),
+            c.require(Semantic::ImcCasRd),
+            c.require(Semantic::ImcCasWr),
+            c.require(Semantic::DmaTransactions),
+            c.require(Semantic::IioWrTotal),
+        ];
+        let configs = pack_round_robin(&c, &events).unwrap();
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs[0].len(), 8);
+    }
+
+    #[test]
+    fn constrained_events_split_configs() {
+        let c = catalog();
+        // Three MSR-hungry events can't share one configuration (2 MSRs).
+        let events = vec![
+            c.require(Semantic::OroDrdAnyCycles),
+            c.require(Semantic::OroDrdBwCycles),
+            c.require(Semantic::OroDrdLatCycles),
+        ];
+        let configs = pack_round_robin(&c, &events).unwrap();
+        assert_eq!(configs.len(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! A software performance-monitoring unit (PMU) with event multiplexing.
+//!
+//! This crate is the hardware substrate of the BayesPerf reproduction: a
+//! simulated CPU PMU that reproduces the *mechanisms* behind HPC measurement
+//! error described in §2 of the paper:
+//!
+//! * a small pool of fixed + programmable counter registers
+//!   ([`bayesperf_events::PmuSpec`]);
+//! * timer-driven **multiplexing**: counter configurations rotate every
+//!   scheduler quantum, so each programmable event is only *running* for a
+//!   fraction of the time it is *enabled* — exactly the
+//!   `time_enabled`/`time_running` bookkeeping Linux perf exposes;
+//! * **PMI-based sampling** within a quantum, yielding per-event sub-sample
+//!   statistics (mean/deviation/count) that feed the paper's §4.2 Student-t
+//!   error model;
+//! * a seeded **noise model** for OS nondeterminism: per-read measurement
+//!   noise, interrupt spikes, and smearing at configuration switches;
+//! * the kernel↔userspace [`RingBuffer`] with backpressure drop counting.
+//!
+//! Because the simulator also records per-window ground truth (which real
+//! hardware cannot provide), evaluation code can compute exact error — the
+//! paper has to approximate ground truth with a separate polling run, which
+//! [`Pmu::run_polling`] models as well.
+
+mod config;
+mod noise;
+mod pmu;
+mod ring;
+mod sample;
+mod truth;
+
+pub use config::{pack_round_robin, Configuration, ScheduleError};
+pub use noise::NoiseModel;
+pub use pmu::{MultiplexRun, Pmu, PmuConfig, Window};
+pub use ring::RingBuffer;
+pub use sample::Sample;
+pub use truth::{ConstantTruth, GroundTruth};

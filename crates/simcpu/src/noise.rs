@@ -1,0 +1,144 @@
+//! The measurement noise model: the sources of HPC error from §2.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated measurement-error process.
+///
+/// Models the §2 error modalities that survive even on real hardware:
+///
+/// * `measurement_sigma` — per-PMI-read relative noise (tool overheads,
+///   read skew);
+/// * `interrupt_rate`/`interrupt_spike` — OS nondeterminism: with some
+///   probability per tick, interrupt handling inflates counts by a spike
+///   proportional to the count;
+/// * `boundary_sigma` — smearing at multiplexing configuration switches:
+///   the first tick after an event is swapped in loses or gains a fraction
+///   of its count (the async start/stop of §2). More multiplexing means
+///   more switches, hence more error — the effect behind Fig. 1;
+/// * `overcount_bias` — small systematic overcount some counters exhibit
+///   (Weaver et al.); applied at switch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Relative std-dev of per-sub-sample multiplicative noise.
+    pub measurement_sigma: f64,
+    /// Probability per tick that an OS interrupt perturbs the reading.
+    pub interrupt_rate: f64,
+    /// Relative magnitude of an interrupt perturbation.
+    pub interrupt_spike: f64,
+    /// Relative std-dev of the loss/gain at configuration switches.
+    pub boundary_sigma: f64,
+    /// Mean relative overcount applied at configuration switches.
+    pub overcount_bias: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            measurement_sigma: 0.02,
+            interrupt_rate: 0.03,
+            interrupt_spike: 0.6,
+            boundary_sigma: 0.18,
+            overcount_bias: 0.02,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// A noise-free model (useful for isolating multiplexing error).
+    pub fn none() -> Self {
+        NoiseModel {
+            measurement_sigma: 0.0,
+            interrupt_rate: 0.0,
+            interrupt_spike: 0.0,
+            boundary_sigma: 0.0,
+            overcount_bias: 0.0,
+        }
+    }
+
+    /// Perturbs one tick's true count `v` for a *running* event.
+    ///
+    /// `at_boundary` marks the first tick after the event's configuration
+    /// was switched in.
+    pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, v: f64, at_boundary: bool) -> f64 {
+        let mut out = v;
+        if self.measurement_sigma > 0.0 {
+            out *= 1.0 + self.measurement_sigma * normal(rng);
+        }
+        if self.interrupt_rate > 0.0 && rng.gen::<f64>() < self.interrupt_rate {
+            out *= 1.0 + self.interrupt_spike * rng.gen::<f64>();
+        }
+        if at_boundary && (self.boundary_sigma > 0.0 || self.overcount_bias > 0.0) {
+            out *= 1.0 + self.overcount_bias + self.boundary_sigma * normal(rng);
+        }
+        out.max(0.0)
+    }
+}
+
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box-Muller; inlined to keep simcpu independent of the inference crate.
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = NoiseModel::none();
+        assert_eq!(n.perturb(&mut rng, 123.0, true), 123.0);
+        assert_eq!(n.perturb(&mut rng, 123.0, false), 123.0);
+    }
+
+    #[test]
+    fn noise_is_unbiased_off_boundary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = NoiseModel {
+            interrupt_rate: 0.0,
+            ..NoiseModel::default()
+        };
+        let count = 50_000;
+        let mean: f64 = (0..count)
+            .map(|_| n.perturb(&mut rng, 100.0, false))
+            .sum::<f64>()
+            / count as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn boundary_noise_is_larger() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = NoiseModel::default();
+        let spread = |boundary: bool, rng: &mut StdRng| {
+            let vals: Vec<f64> = (0..20_000).map(|_| n.perturb(rng, 100.0, boundary)).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let off = spread(false, &mut rng);
+        let on = spread(true, &mut rng);
+        assert!(on > off * 1.5, "boundary {on} vs off {off}");
+    }
+
+    #[test]
+    fn never_negative() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = NoiseModel {
+            boundary_sigma: 5.0, // absurdly noisy
+            ..NoiseModel::default()
+        };
+        for _ in 0..10_000 {
+            assert!(n.perturb(&mut rng, 1.0, true) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The kernel↔userspace ring buffer.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO modelling the perf mmap ring buffer between the kernel
+/// and the BayesPerf shim (§5): producers enqueue new samples; when the
+/// buffer is full new samples are *dropped* (backpressure), and the drop
+/// count is surfaced like the kernel's `PERF_RECORD_LOST`.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBuffer {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Enqueues a record. Returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, value: T) -> bool {
+        if self.buf.len() == self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.buf.push_back(value);
+        true
+    }
+
+    /// Dequeues the oldest record.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Drains all queued records in FIFO order.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Number of queued records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum number of queued records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut rb = RingBuffer::new(4);
+        for i in 0..4 {
+            assert!(rb.push(i));
+        }
+        assert_eq!(rb.pop(), Some(0));
+        assert_eq!(rb.pop(), Some(1));
+        assert!(rb.push(9));
+        assert_eq!(rb.drain(), vec![2, 3, 9]);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut rb = RingBuffer::new(2);
+        assert!(rb.push(1));
+        assert!(rb.push(2));
+        assert!(!rb.push(3));
+        assert_eq!(rb.dropped(), 1);
+        assert_eq!(rb.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        RingBuffer::<u8>::new(0);
+    }
+
+    proptest! {
+        /// Push/pop sequences preserve FIFO order of retained elements and
+        /// never exceed capacity.
+        #[test]
+        fn random_ops_maintain_invariants(
+            cap in 1usize..16,
+            ops in proptest::collection::vec(proptest::bool::ANY, 0..200)
+        ) {
+            let mut rb = RingBuffer::new(cap);
+            let mut model: std::collections::VecDeque<u32> = Default::default();
+            let mut next = 0u32;
+            let mut dropped = 0u64;
+            for is_push in ops {
+                if is_push {
+                    if model.len() == cap {
+                        dropped += 1;
+                    } else {
+                        model.push_back(next);
+                    }
+                    rb.push(next);
+                    next += 1;
+                } else {
+                    prop_assert_eq!(rb.pop(), model.pop_front());
+                }
+                prop_assert!(rb.len() <= cap);
+                prop_assert_eq!(rb.len(), model.len());
+                prop_assert_eq!(rb.dropped(), dropped);
+            }
+        }
+    }
+}

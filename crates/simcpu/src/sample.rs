@@ -1,0 +1,130 @@
+//! The sample record produced by the PMU, and its wire encoding.
+
+use bayesperf_events::EventId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// One multiplexing-window measurement of one event, as delivered through
+/// the kernel↔userspace ring buffer.
+///
+/// Mirrors a Linux perf sample record: the accumulated `value` plus the
+/// `time_enabled`/`time_running` pair used for undercount scaling
+/// (`value × time_enabled / time_running`, §4). Additionally carries the
+/// within-window PMI sub-sample statistics that BayesPerf's Student-t error
+/// model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The measured event.
+    pub event: EventId,
+    /// Index of the multiplexing window this sample was taken in.
+    pub window: u32,
+    /// Raw accumulated count over the window (noisy).
+    pub value: f64,
+    /// Mean of the PMI sub-samples within the window.
+    pub sub_mean: f64,
+    /// Standard deviation of the PMI sub-samples.
+    pub sub_sd: f64,
+    /// Number of PMI sub-samples.
+    pub sub_n: u32,
+    /// Ticks this event has been enabled (requested), cumulatively.
+    pub time_enabled: u64,
+    /// Ticks this event has actually been running on a counter.
+    pub time_running: u64,
+}
+
+impl Sample {
+    /// Linux's built-in undercount correction: scale the raw value by
+    /// enabled/running time (§4). Returns the raw value when the event
+    /// never ran (avoids division by zero; perf reports 0 in that case).
+    pub fn linux_scaled(&self) -> f64 {
+        if self.time_running == 0 {
+            return 0.0;
+        }
+        self.value * self.time_enabled as f64 / self.time_running as f64
+    }
+
+    /// Serialized size in bytes (fixed-width encoding).
+    pub const WIRE_SIZE: usize = 2 + 4 + 8 * 3 + 4 + 8 * 2;
+
+    /// Encodes the sample into `buf` (fixed-width little-endian layout, as a
+    /// kernel ring buffer would carry).
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.event.index() as u16);
+        buf.put_u32_le(self.window);
+        buf.put_f64_le(self.value);
+        buf.put_f64_le(self.sub_mean);
+        buf.put_f64_le(self.sub_sd);
+        buf.put_u32_le(self.sub_n);
+        buf.put_u64_le(self.time_enabled);
+        buf.put_u64_le(self.time_running);
+    }
+
+    /// Decodes a sample previously written by [`Sample::encode`].
+    ///
+    /// Returns `None` if `buf` holds fewer than [`Sample::WIRE_SIZE`] bytes.
+    pub fn decode(buf: &mut Bytes) -> Option<Sample> {
+        if buf.remaining() < Self::WIRE_SIZE {
+            return None;
+        }
+        Some(Sample {
+            event: EventId::from_raw(buf.get_u16_le()),
+            window: buf.get_u32_le(),
+            value: buf.get_f64_le(),
+            sub_mean: buf.get_f64_le(),
+            sub_sd: buf.get_f64_le(),
+            sub_n: buf.get_u32_le(),
+            time_enabled: buf.get_u64_le(),
+            time_running: buf.get_u64_le(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sample {
+        Sample {
+            event: EventId::from_raw(7),
+            window: 42,
+            value: 1234.5,
+            sub_mean: 308.6,
+            sub_sd: 12.25,
+            sub_n: 4,
+            time_enabled: 100,
+            time_running: 25,
+        }
+    }
+
+    #[test]
+    fn linux_scaling_multiplies_by_enabled_over_running() {
+        let s = sample();
+        assert!((s.linux_scaled() - 1234.5 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linux_scaling_handles_never_ran() {
+        let s = Sample {
+            time_running: 0,
+            ..sample()
+        };
+        assert_eq!(s.linux_scaled(), 0.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample();
+        let mut buf = BytesMut::new();
+        s.encode(&mut buf);
+        assert_eq!(buf.len(), Sample::WIRE_SIZE);
+        let mut bytes = buf.freeze();
+        let back = Sample::decode(&mut bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn decode_short_buffer_is_none() {
+        let mut short = Bytes::from_static(&[0u8; 10]);
+        assert!(Sample::decode(&mut short).is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! The ground-truth interface: what the machine is "really doing".
+
+/// A source of true per-mega-cycle event rates over time.
+///
+/// Implementors (the workload generators) fill `out` — indexed by
+/// [`bayesperf_events::EventId`] — with the true rate of every catalog event
+/// at the given tick. The PMU simulator integrates these rates into counts
+/// and perturbs what the counters would observe; evaluation code keeps the
+/// unperturbed values as ground truth.
+pub trait GroundTruth {
+    /// Writes the true rates (events per mega-cycle) at `tick` into `out`.
+    fn rates_at(&mut self, tick: u64, out: &mut [f64]);
+
+    /// Display name for reports.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// A trivial ground truth with constant rates — useful for tests.
+#[derive(Debug, Clone)]
+pub struct ConstantTruth {
+    rates: Vec<f64>,
+}
+
+impl ConstantTruth {
+    /// Creates a constant truth from a rate vector.
+    pub fn new(rates: Vec<f64>) -> Self {
+        ConstantTruth { rates }
+    }
+}
+
+impl GroundTruth for ConstantTruth {
+    fn rates_at(&mut self, _tick: u64, out: &mut [f64]) {
+        out.copy_from_slice(&self.rates);
+    }
+
+    fn name(&self) -> &str {
+        "constant"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_truth_is_constant() {
+        let mut t = ConstantTruth::new(vec![1.0, 2.0]);
+        let mut a = vec![0.0; 2];
+        let mut b = vec![0.0; 2];
+        t.rates_at(0, &mut a);
+        t.rates_at(99, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(t.name(), "constant");
+    }
+}

@@ -1,0 +1,40 @@
+//! HiBench-like workload generators.
+//!
+//! The paper's evaluation (§6.2) measures 29 workloads from the HiBench
+//! suite — microbenchmarks, machine learning, SQL, web search, graph
+//! analytics, and streaming — on a two-node Spark cluster. This crate
+//! provides 29 synthetic equivalents: each workload is a [`PhaseProgram`], a
+//! looping sequence of phases whose free parameters ([`FreeParams`]) are
+//! synthesized into full, invariant-consistent event-rate vectors by
+//! [`bayesperf_events::synthesize`].
+//!
+//! What matters for reproducing the paper's error phenomenology is that
+//! workloads are *non-stationary*: rates shift across phases (map vs shuffle
+//! vs reduce), oscillate within phases (iteration structure), and burst
+//! (GC pauses, checkpoint flushes). Multiplexed sampling misses those
+//! dynamics — that is precisely the error BayesPerf corrects — while the
+//! invariant structure ties concurrently-measured events together.
+//!
+//! # Example
+//!
+//! ```
+//! use bayesperf_events::{Arch, Catalog};
+//! use bayesperf_workloads::{all_workloads, by_name};
+//! use bayesperf_simcpu::GroundTruth;
+//!
+//! assert_eq!(all_workloads().len(), 29);
+//! let cat = Catalog::new(Arch::X86SkyLake);
+//! let kmeans = by_name("KMeans").unwrap();
+//! let mut run = kmeans.instantiate(&cat, 0); // run seed 0
+//! let mut rates = vec![0.0; cat.len()];
+//! run.rates_at(0, &mut rates);
+//! assert!(rates.iter().any(|&r| r > 0.0));
+//! ```
+
+mod modulation;
+mod program;
+mod suite;
+
+pub use modulation::Modulation;
+pub use program::{Phase, PhaseProgram, Workload, WorkloadFamily};
+pub use suite::{all_workloads, by_name, kmeans, names};

@@ -1,0 +1,136 @@
+//! Within-phase rate modulation: iteration sinusoids and bursts.
+
+use bayesperf_events::FreeParams;
+use serde::{Deserialize, Serialize};
+
+/// Periodic modulation applied to a phase's free parameters.
+///
+/// Two components:
+///
+/// * a **sinusoid** on compute intensity (IPC) and memory pressure with the
+///   given period and relative amplitude — models iteration structure
+///   (e.g. KMeans assignment/update sub-steps);
+/// * **bursts**: every `burst_every` ticks, for `burst_len` ticks, memory
+///   and IO parameters are multiplied by `burst_scale` — models GC pauses,
+///   shuffle spills, and checkpoint flushes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Modulation {
+    /// Sinusoid period in ticks (0 disables the sinusoid).
+    pub period_ticks: f64,
+    /// Relative sinusoid amplitude (0..1).
+    pub amplitude: f64,
+    /// Burst period in ticks (0 disables bursts).
+    pub burst_every: u64,
+    /// Burst duration in ticks.
+    pub burst_len: u64,
+    /// Multiplier on memory/IO parameters during a burst.
+    pub burst_scale: f64,
+}
+
+impl Modulation {
+    /// No modulation: the phase is stationary.
+    pub fn none() -> Self {
+        Modulation {
+            period_ticks: 0.0,
+            amplitude: 0.0,
+            burst_every: 0,
+            burst_len: 0,
+            burst_scale: 1.0,
+        }
+    }
+
+    /// True if `t` (phase-local ticks) falls inside a burst.
+    pub fn in_burst(&self, t: u64) -> bool {
+        self.burst_every > 0 && self.burst_len > 0 && t % self.burst_every < self.burst_len
+    }
+
+    /// Applies the modulation to `params` at phase-local tick `t`.
+    pub fn apply(&self, params: &FreeParams, t: u64) -> FreeParams {
+        let mut p = params.clone();
+        if self.period_ticks > 0.0 && self.amplitude > 0.0 {
+            let phase = 2.0 * std::f64::consts::PI * t as f64 / self.period_ticks;
+            let wave = self.amplitude * phase.sin();
+            // Compute intensity and memory pressure oscillate in
+            // anti-phase: iterations alternate compute and data movement.
+            p.ipc *= 1.0 + wave;
+            p.l1d_mpki *= 1.0 - 0.8 * wave;
+            p.mem_stall_frac *= 1.0 - 0.8 * wave;
+            p.oro_any_frac *= 1.0 - 0.8 * wave;
+        }
+        if self.in_burst(t) {
+            let s = self.burst_scale;
+            p.l1d_mpki *= s;
+            p.l2_miss_ratio = (p.l2_miss_ratio * s).min(0.95);
+            p.mem_stall_frac = (p.mem_stall_frac * s).min(0.95);
+            p.oro_any_frac = (p.oro_any_frac * s).min(0.95);
+            p.iio_wr_full_pmc *= s;
+            p.iio_wr_alloc_pmc *= s;
+            p.iio_rd_part_pmc *= s;
+            p.ipc /= s.max(1.0).sqrt();
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let m = Modulation::none();
+        let p = FreeParams::default();
+        let q = m.apply(&p, 17);
+        assert_eq!(p, q);
+        assert!(!m.in_burst(0));
+    }
+
+    #[test]
+    fn sinusoid_oscillates_ipc() {
+        let m = Modulation {
+            period_ticks: 40.0,
+            amplitude: 0.5,
+            ..Modulation::none()
+        };
+        let p = FreeParams::default();
+        let peak = m.apply(&p, 10); // sin(π/2) = 1
+        let trough = m.apply(&p, 30); // sin(3π/2) = -1
+        assert!(peak.ipc > p.ipc * 1.4);
+        assert!(trough.ipc < p.ipc * 0.6);
+        // Memory pressure moves in anti-phase.
+        assert!(peak.l1d_mpki < p.l1d_mpki);
+        assert!(trough.l1d_mpki > p.l1d_mpki);
+    }
+
+    #[test]
+    fn burst_window_detection() {
+        let m = Modulation {
+            burst_every: 10,
+            burst_len: 3,
+            burst_scale: 2.0,
+            ..Modulation::none()
+        };
+        assert!(m.in_burst(0));
+        assert!(m.in_burst(2));
+        assert!(!m.in_burst(3));
+        assert!(m.in_burst(10));
+        let p = FreeParams::default();
+        let burst = m.apply(&p, 1);
+        assert!(burst.l1d_mpki > p.l1d_mpki * 1.9);
+        assert!(burst.ipc < p.ipc);
+    }
+
+    #[test]
+    fn ratios_stay_bounded() {
+        let m = Modulation {
+            burst_every: 4,
+            burst_len: 4,
+            burst_scale: 100.0,
+            ..Modulation::none()
+        };
+        let p = FreeParams::default();
+        let q = m.apply(&p, 0);
+        assert!(q.l2_miss_ratio <= 0.95);
+        assert!(q.mem_stall_frac <= 0.95);
+    }
+}

@@ -1,0 +1,290 @@
+//! The 29-workload HiBench-like suite (§6.2, Fig. 6).
+
+use crate::modulation::Modulation;
+use crate::program::{Phase, PhaseProgram, WorkloadFamily};
+use bayesperf_events::FreeParams;
+
+/// Per-workload tuning knobs over the family templates.
+struct Profile {
+    name: &'static str,
+    family: WorkloadFamily,
+    /// Compute intensity multiplier (IPC).
+    compute: f64,
+    /// Memory intensity multiplier (miss rates, stalls, DRAM occupancy).
+    memory: f64,
+    /// IO/DMA intensity multiplier (shuffle & HDFS traffic).
+    io: f64,
+    /// Branchiness multiplier.
+    branchy: f64,
+    /// Iteration period in ticks (sinusoid), 0 for non-iterative.
+    iteration: f64,
+    /// Burst period in ticks (0 = no bursts).
+    burst_every: u64,
+}
+
+fn scaled(base: &FreeParams, p: &Profile) -> FreeParams {
+    FreeParams {
+        ipc: base.ipc * p.compute,
+        branch_frac: (base.branch_frac * p.branchy).min(0.3),
+        branch_mpki: base.branch_mpki * p.branchy,
+        l1d_mpki: base.l1d_mpki * p.memory,
+        icache_mpki: base.icache_mpki * p.branchy.max(1.0),
+        l2_miss_ratio: (base.l2_miss_ratio * p.memory.sqrt()).min(0.9),
+        llc_hit_ratio: (base.llc_hit_ratio / p.memory.sqrt()).clamp(0.05, 0.9),
+        mem_stall_frac: (base.mem_stall_frac * p.memory).min(0.8),
+        oro_any_frac: (base.oro_any_frac * p.memory).min(0.8),
+        oro_bw_share: (base.oro_bw_share * p.memory.sqrt()).min(0.9),
+        iio_wr_alloc_pmc: base.iio_wr_alloc_pmc * p.io,
+        iio_wr_full_pmc: base.iio_wr_full_pmc * p.io,
+        iio_wr_part_pmc: base.iio_wr_part_pmc * p.io,
+        iio_wr_nonsnoop_pmc: base.iio_wr_nonsnoop_pmc * p.io,
+        iio_rd_code_pmc: base.iio_rd_code_pmc * p.io,
+        iio_rd_part_pmc: base.iio_rd_part_pmc * p.io,
+        ..base.clone()
+    }
+}
+
+/// Builds the phase structure for one profile. Every workload alternates a
+/// compute-flavored phase, a data-movement phase, and (for iterative
+/// families) a synchronization/reduce phase — the Spark stage structure.
+fn build(p: &Profile) -> PhaseProgram {
+    let base = FreeParams::default();
+    let scaled_base = scaled(&base, p);
+
+    let compute_phase = Phase {
+        duration_ticks: match p.family {
+            WorkloadFamily::MachineLearning => 90,
+            WorkloadFamily::Sql => 60,
+            WorkloadFamily::Streaming => 40,
+            _ => 70,
+        },
+        params: FreeParams {
+            ipc: scaled_base.ipc * 1.3,
+            l1d_mpki: scaled_base.l1d_mpki * 0.5,
+            mem_stall_frac: scaled_base.mem_stall_frac * 0.5,
+            fe_bound_frac: 0.08,
+            ..scaled_base.clone()
+        },
+        modulation: Modulation {
+            period_ticks: p.iteration,
+            amplitude: if p.iteration > 0.0 { 0.45 } else { 0.0 },
+            burst_every: p.burst_every,
+            burst_len: if p.burst_every > 0 { 4 } else { 0 },
+            burst_scale: 2.5,
+        },
+    };
+
+    let shuffle_phase = Phase {
+        duration_ticks: match p.family {
+            WorkloadFamily::Micro => 80,
+            WorkloadFamily::Streaming => 30,
+            _ => 50,
+        },
+        params: FreeParams {
+            ipc: (scaled_base.ipc * 0.45).max(0.1),
+            l1d_mpki: scaled_base.l1d_mpki * 2.2,
+            l2_miss_ratio: (scaled_base.l2_miss_ratio * 1.4).min(0.9),
+            llc_hit_ratio: (scaled_base.llc_hit_ratio * 0.6).max(0.05),
+            mem_stall_frac: (scaled_base.mem_stall_frac * 2.0).min(0.8),
+            oro_any_frac: (scaled_base.oro_any_frac * 2.0).min(0.8),
+            iio_wr_full_pmc: scaled_base.iio_wr_full_pmc * 3.0,
+            iio_wr_alloc_pmc: scaled_base.iio_wr_alloc_pmc * 3.0,
+            iio_rd_part_pmc: scaled_base.iio_rd_part_pmc * 2.0,
+            fe_bound_frac: 0.15,
+            ..scaled_base.clone()
+        },
+        modulation: Modulation {
+            period_ticks: 0.0,
+            amplitude: 0.0,
+            burst_every: 23,
+            burst_len: 5,
+            burst_scale: 2.0,
+        },
+    };
+
+    let mut phases = vec![compute_phase, shuffle_phase];
+    if matches!(
+        p.family,
+        WorkloadFamily::MachineLearning | WorkloadFamily::Graph | WorkloadFamily::Websearch
+    ) {
+        // Reduce/synchronization phase: low activity, branchy control.
+        phases.push(Phase {
+            duration_ticks: 25,
+            params: FreeParams {
+                ipc: (scaled_base.ipc * 0.3).max(0.1),
+                branch_frac: 0.25,
+                branch_mpki: scaled_base.branch_mpki * 1.8,
+                l1d_mpki: scaled_base.l1d_mpki * 0.4,
+                mem_stall_frac: scaled_base.mem_stall_frac * 0.4,
+                fe_bound_frac: 0.25,
+                ..scaled_base.clone()
+            },
+            modulation: Modulation::none(),
+        });
+    }
+    PhaseProgram::new(p.name, p.family, phases)
+}
+
+fn profiles() -> Vec<Profile> {
+    use WorkloadFamily::*;
+    // compute, memory, io, branchy, iteration, burst_every
+    let p = |name, family, c, m, io, b, it, be| Profile {
+        name,
+        family,
+        compute: c,
+        memory: m,
+        io,
+        branchy: b,
+        iteration: it,
+        burst_every: be,
+    };
+    vec![
+        // -- micro --
+        p("Sort", Micro, 0.8, 1.8, 2.0, 0.9, 0.0, 31),
+        p("WordCount", Micro, 1.2, 0.9, 1.2, 1.3, 0.0, 41),
+        p("TeraSort", Micro, 0.7, 2.2, 2.6, 0.8, 0.0, 29),
+        p("Repartition", Micro, 0.6, 1.6, 3.0, 0.7, 0.0, 37),
+        p("DFSIOE", Micro, 0.5, 1.4, 3.5, 0.6, 0.0, 19),
+        // -- machine learning --
+        p("Bayes", MachineLearning, 1.1, 1.2, 1.4, 1.2, 48.0, 53),
+        p("KMeans", MachineLearning, 1.3, 1.1, 1.0, 0.9, 36.0, 47),
+        p("GMM", MachineLearning, 1.2, 1.3, 1.0, 0.9, 44.0, 59),
+        p("LR", MachineLearning, 1.4, 0.9, 0.9, 1.0, 32.0, 43),
+        p("ALS", MachineLearning, 1.0, 1.5, 1.3, 0.8, 52.0, 61),
+        p("GBT", MachineLearning, 1.1, 1.2, 1.0, 1.5, 40.0, 37),
+        p("XGBoost", MachineLearning, 1.3, 1.1, 1.0, 1.4, 28.0, 41),
+        p("Linear", MachineLearning, 1.5, 0.8, 0.9, 0.9, 30.0, 47),
+        p("LDA", MachineLearning, 1.0, 1.4, 1.1, 1.1, 56.0, 53),
+        p("PCA", MachineLearning, 1.2, 1.3, 1.0, 0.7, 38.0, 43),
+        p("RF", MachineLearning, 1.0, 1.2, 1.1, 1.6, 42.0, 59),
+        p("SVM", MachineLearning, 1.3, 1.0, 0.9, 1.0, 34.0, 37),
+        p("SVD", MachineLearning, 1.1, 1.5, 1.1, 0.7, 46.0, 61),
+        // -- SQL --
+        p("Scan", Sql, 0.7, 2.0, 1.8, 0.8, 0.0, 23),
+        p("Join", Sql, 0.8, 1.9, 2.0, 1.1, 0.0, 29),
+        p("Aggregate", Sql, 0.9, 1.6, 1.5, 1.0, 0.0, 31),
+        // -- web search --
+        p("PageRank", Websearch, 0.9, 1.7, 1.5, 1.2, 60.0, 43),
+        p("NutchIndexing", Websearch, 1.0, 1.3, 1.7, 1.3, 0.0, 37),
+        // -- graph --
+        p("NWeight", Graph, 0.8, 1.9, 1.4, 1.1, 64.0, 53),
+        // -- streaming --
+        p("Identity", Streaming, 1.1, 0.8, 1.6, 1.0, 0.0, 17),
+        p("RepartitionStream", Streaming, 0.8, 1.3, 2.4, 0.9, 0.0, 19),
+        p("StatefulWordCount", Streaming, 1.0, 1.1, 1.4, 1.3, 0.0, 23),
+        p("FixWindow", Streaming, 0.9, 1.2, 1.5, 1.1, 0.0, 29),
+        p("WordCountStream", Streaming, 1.1, 0.9, 1.3, 1.3, 0.0, 21),
+    ]
+}
+
+/// All 29 workloads of the suite, in Fig. 6 order.
+pub fn all_workloads() -> Vec<PhaseProgram> {
+    profiles().iter().map(build).collect()
+}
+
+/// The names of all workloads, in Fig. 6 order.
+pub fn names() -> Vec<&'static str> {
+    profiles().iter().map(|p| p.name).collect()
+}
+
+/// Looks up a workload by its HiBench name.
+pub fn by_name(name: &str) -> Option<PhaseProgram> {
+    profiles().iter().find(|p| p.name == name).map(build)
+}
+
+/// The KMeans workload used by the scaling studies (Figs. 1 and 8).
+pub fn kmeans() -> PhaseProgram {
+    by_name("KMeans").expect("KMeans is part of the suite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesperf_events::{Arch, Catalog};
+    use bayesperf_simcpu::GroundTruth;
+
+    #[test]
+    fn suite_has_29_uniquely_named_workloads() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 29);
+        let mut names: Vec<&str> = ws.iter().map(|w| w.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 29);
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert!(by_name("TeraSort").is_some());
+        assert!(by_name("KMeans").is_some());
+        assert!(by_name("NoSuchBench").is_none());
+        assert_eq!(kmeans().name(), "KMeans");
+    }
+
+    #[test]
+    fn ml_workloads_are_iterative() {
+        let km = kmeans();
+        assert!(km.phases()[0].modulation.period_ticks > 0.0);
+        assert_eq!(km.phases().len(), 3);
+    }
+
+    #[test]
+    fn all_workloads_produce_valid_ground_truth_on_both_arches() {
+        for arch in Arch::all() {
+            let cat = Catalog::new(arch);
+            let mut rates = vec![0.0; cat.len()];
+            for prog in all_workloads() {
+                let mut w = prog.instantiate(&cat, 1);
+                for tick in [0u64, 33, 77, 150] {
+                    w.rates_at(tick, &mut rates);
+                    assert!(
+                        rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+                        "{} produced invalid rates",
+                        prog.name()
+                    );
+                    for inv in cat.invariants().iter().filter(|i| i.is_exact()) {
+                        assert!(
+                            inv.relative_residual(&rates).abs() < 1e-9,
+                            "{} violates {} at tick {}",
+                            prog.name(),
+                            inv.name,
+                            tick
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_distinguishable() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let mut a = kmeans().instantiate(&cat, 0);
+        let mut b = by_name("TeraSort").unwrap().instantiate(&cat, 0);
+        let mut ra = vec![0.0; cat.len()];
+        let mut rb = vec![0.0; cat.len()];
+        a.rates_at(10, &mut ra);
+        b.rates_at(10, &mut rb);
+        let inst = cat
+            .require(bayesperf_events::Semantic::Instructions)
+            .index();
+        assert_ne!(ra[inst], rb[inst]);
+    }
+
+    #[test]
+    fn phases_are_nonstationary() {
+        // The error phenomenology needs rate shifts; verify the compute and
+        // shuffle phases differ by at least 2x in memory pressure.
+        for prog in all_workloads() {
+            let c = &prog.phases()[0].params;
+            let s = &prog.phases()[1].params;
+            assert!(
+                s.l1d_mpki > 1.5 * c.l1d_mpki,
+                "{}: shuffle {} vs compute {}",
+                prog.name(),
+                s.l1d_mpki,
+                c.l1d_mpki
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Explore the BayesPerf accelerator: simulate inference jobs through the
+//! DES, inspect the read path, and print the area/power model.
+//!
+//! Run with: `cargo run --release --example accelerator_sim`
+
+use bayesperf::accel::{
+    area_power, AccelConfig, Accelerator, FpgaPart, InferenceJob, ReadPath,
+};
+
+fn main() {
+    for (name, cfg) in [("ppc64 / CAPI 2.0", AccelConfig::ppc64()), ("x86 / PCIe DMA", AccelConfig::x86())] {
+        let acc = Accelerator::new(cfg);
+        let trace = acc.simulate_job(&InferenceJob::typical());
+        println!("{name}:");
+        println!(
+            "  job: {} cycles total ({:.0} us) = ingest {} + compute {} + writeback {}",
+            trace.total_cycles,
+            trace.total_us(acc.config()),
+            trace.ingest_cycles,
+            trace.compute_cycles,
+            trace.writeback_cycles
+        );
+        println!(
+            "  {} site updates, {} NoC messages, EP utilization {:.0}%",
+            trace.site_updates,
+            trace.noc_messages,
+            100.0 * trace.ep_utilization(acc.config())
+        );
+        let r = area_power(&cfg, &FpgaPart::vu3p());
+        println!(
+            "  area: BRAM {:.0}% DSP {:.0}% FF {:.0}% LUT {:.0}% URAM {:.0}%, power {:.1} W measured",
+            r.bram_pct, r.dsp_pct, r.ff_pct, r.lut_pct, r.uram_pct, r.measured_power_w
+        );
+    }
+    println!(
+        "\nread path: Linux {} cycles, rdpmc {}, BayesPerf+accel {} (+{:.1}%)",
+        ReadPath::LinuxSyscall.host_cycles(),
+        ReadPath::Rdpmc.host_cycles(),
+        ReadPath::BayesPerfAccel.host_cycles(),
+        100.0 * (ReadPath::BayesPerfAccel.host_cycles() as f64
+            / ReadPath::LinuxSyscall.host_cycles() as f64
+            - 1.0)
+    );
+}

@@ -1,0 +1,77 @@
+//! Measuring derived events (the §2 motivation): a metric like
+//! `Memory_Bound` combines several HPCs, so its error compounds. This
+//! example measures all ten derived metrics of the catalog through the
+//! BayesPerf shim and prints values with credible intervals.
+//!
+//! Run with: `cargo run --release --example derived_events`
+
+use bayesperf::core::corrector::CorrectorConfig;
+use bayesperf::core::shim::{BayesPerfShim, HpcReader};
+use bayesperf::core::scheduler::ScheduleTransformer;
+use bayesperf::events::{Arch, Catalog, EventEnv, EventId};
+use bayesperf::simcpu::{Pmu, PmuConfig};
+use bayesperf::workloads::by_name;
+use std::collections::BTreeSet;
+
+struct ShimEnv<'a, 'b> {
+    shim: std::cell::RefCell<&'a mut BayesPerfShim<'b>>,
+}
+
+impl EventEnv for ShimEnv<'_, '_> {
+    fn value(&self, id: EventId) -> f64 {
+        self.shim
+            .borrow_mut()
+            .read(id)
+            .map(|r| r.value)
+            .unwrap_or(0.0)
+    }
+}
+
+fn main() {
+    let catalog = Catalog::new(Arch::Ppc64Power9);
+    let workload = by_name("PageRank").expect("in suite");
+    let mut truth = workload.instantiate(&catalog, 7);
+
+    // The HPCs needed by the ten derived events.
+    let mut needed = BTreeSet::new();
+    for d in catalog.derived_events() {
+        needed.extend(d.events());
+    }
+    let events: Vec<EventId> = needed
+        .into_iter()
+        .filter(|&e| catalog.event(e).is_programmable())
+        .collect();
+    println!(
+        "{} derived events -> {} unique programmable HPCs on {} counters",
+        catalog.derived_events().len(),
+        events.len(),
+        catalog.pmu().programmable_total()
+    );
+
+    let transformer = ScheduleTransformer::new(&catalog);
+    let schedule = transformer.plan(&events);
+    let pmu = Pmu::new(&catalog, PmuConfig::for_catalog(&catalog));
+    let run = pmu.run_multiplexed(&mut truth, &schedule.configs, 12);
+
+    // Feed the kernel samples through the shim, then evaluate the derived
+    // expressions on the posterior means.
+    let mut shim = BayesPerfShim::new(&catalog, CorrectorConfig::for_run(&run), 1 << 14);
+    for w in &run.windows {
+        for s in &w.samples {
+            shim.push_sample(*s);
+        }
+    }
+    shim.process();
+
+    let last_truth = &run.windows.last().expect("windows").truth;
+    println!("\n{:<24} {:>12} {:>12}", "derived event", "bayesperf", "truth");
+    let derived = catalog.derived_events().to_vec();
+    let env = ShimEnv {
+        shim: std::cell::RefCell::new(&mut shim),
+    };
+    for d in &derived {
+        let estimated = d.eval(&env);
+        let true_val = d.eval(&last_truth[..]);
+        println!("{:<24} {:>12.4} {:>12.4}", d.name, estimated, true_val);
+    }
+}

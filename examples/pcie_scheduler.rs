@@ -1,0 +1,34 @@
+//! The §6.3 case study in miniature: train the actor-critic NIC scheduler
+//! with Linux-quality and BayesPerf-quality HPC inputs and compare
+//! convergence and decision quality.
+//!
+//! Run with: `cargo run --release --example pcie_scheduler`
+
+use bayesperf::mlsched::pcie::{Fabric, Flow, Node};
+use bayesperf::mlsched::rl::{CorrectionQuality, Trainer};
+
+fn main() {
+    // The Fig. 9 phenomenon: contention halves large-message bandwidth.
+    let fabric = Fabric::standard();
+    let halo = Flow { src: Node::Gpu(1), dst: Node::Gpu(2) };
+    let shuffle = Flow { src: Node::Nic(0), dst: Node::Cpu(1) };
+    let size = (1u64 << 20) as f64;
+    println!(
+        "1 MiB messages: isolated {:.1} GB/s, under contention {:.1} GB/s",
+        fabric.observed_bandwidth(&[halo], 0, size),
+        fabric.observed_bandwidth(&[halo, shuffle], 0, size)
+    );
+
+    println!("\ntraining the NIC scheduler (4000 iterations each)...");
+    for q in [CorrectionQuality::Linux, CorrectionQuality::BayesPerfAccel] {
+        let mut trainer = Trainer::new(q, 42);
+        let result = trainer.train(4000);
+        let eval = trainer.evaluate(1000);
+        println!(
+            "{:<16} final loss {:.3}, makespan improvement vs static NIC: {:+.1}%",
+            q.label(),
+            result.final_loss,
+            100.0 * eval.improvement_vs_static()
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: monitor a workload with multiplexed counters, correct the
+//! measurements with BayesPerf, and compare against Linux scaling.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bayesperf::baselines::{LinuxScaling, SeriesEstimator};
+use bayesperf::core::corrector::{Corrector, CorrectorConfig};
+use bayesperf::core::scheduler::ScheduleTransformer;
+use bayesperf::events::{Arch, Catalog, Semantic};
+use bayesperf::simcpu::{Pmu, PmuConfig};
+use bayesperf::workloads::by_name;
+
+fn main() {
+    // 1. A Sky Lake-like CPU and the TeraSort workload.
+    let catalog = Catalog::new(Arch::X86SkyLake);
+    let workload = by_name("TeraSort").expect("TeraSort is in the suite");
+    let mut truth = workload.instantiate(&catalog, 0);
+
+    // 2. Pick events: the cache hierarchy plus branches (8 events on 4
+    //    counters -> multiplexing).
+    let events: Vec<_> = [
+        Semantic::L1dMisses,
+        Semantic::IcacheMisses,
+        Semantic::L2References,
+        Semantic::L2Misses,
+        Semantic::LlcHits,
+        Semantic::LlcMisses,
+        Semantic::BrInst,
+        Semantic::BrMisp,
+    ]
+    .iter()
+    .map(|&s| catalog.require(s))
+    .collect();
+
+    // 3. Build a BayesPerf schedule (invariant-aware interleaving +
+    //    overlap links) and record a run.
+    let transformer = ScheduleTransformer::new(&catalog);
+    let schedule = transformer.plan(&events);
+    println!(
+        "schedule: {} configurations, {} overlaps inserted, fully linked: {}",
+        schedule.configs.len(),
+        schedule.overlaps_inserted,
+        schedule.fully_linked()
+    );
+    let pmu = Pmu::new(&catalog, PmuConfig::for_catalog(&catalog));
+    let run = pmu.run_multiplexed(&mut truth, &schedule.configs, 24);
+
+    // 4. Correct the run; compare per-window estimates against the
+    //    simulator's ground truth for one event.
+    let corrector = Corrector::new(&catalog, CorrectorConfig::for_run(&run));
+    let posterior = corrector.correct_run(&run);
+    let ev = catalog.require(Semantic::LlcMisses);
+    let bayes = posterior.mle_series(ev);
+    let sd = posterior.sd_series(ev);
+    let linux = LinuxScaling::new().estimate(&run, ev);
+    let truth_series = run.truth_series(ev);
+
+    println!("\nwindow  truth        linux        bayesperf    (posterior sd)");
+    let mut err_l = 0.0;
+    let mut err_b = 0.0;
+    for w in 0..run.windows.len() {
+        err_l += (linux[w] - truth_series[w]).abs() / truth_series[w].max(1.0);
+        err_b += (bayes[w] - truth_series[w]).abs() / truth_series[w].max(1.0);
+        if w % 4 == 0 {
+            println!(
+                "{w:>6}  {:>11.0}  {:>11.0}  {:>11.0}  (+-{:.0})",
+                truth_series[w], linux[w], bayes[w], sd[w]
+            );
+        }
+    }
+    let n = run.windows.len() as f64;
+    println!(
+        "\nmean relative error: Linux {:.1}%, BayesPerf {:.1}%",
+        100.0 * err_l / n,
+        100.0 * err_b / n
+    );
+}

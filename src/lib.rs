@@ -1,0 +1,28 @@
+//! # BayesPerf
+//!
+//! Facade crate for the BayesPerf workspace — a reproduction of
+//! *"BayesPerf: Minimizing Performance Monitoring Errors Using Bayesian
+//! Statistics"* (ASPLOS 2021).
+//!
+//! Re-exports every component crate under one roof so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`events`] — event catalogs, microarchitectural invariants, derived events
+//! * [`simcpu`] — PMU + multiplexing + sampling simulator
+//! * [`workloads`] — HiBench-like phase-structured workload generators
+//! * [`graph`] — factor graphs and Markov blankets
+//! * [`inference`] — distributions, MCMC, Expectation Propagation
+//! * [`core`] — scheduling, model building, the corrector, the perf-like shim
+//! * [`baselines`] — Linux scaling, CounterMiner, WM+Pin
+//! * [`accel`] — the accelerator discrete-event simulation + area/power model
+//! * [`mlsched`] — PCIe contention sim + ML scheduler case study
+
+pub use bayesperf_accel as accel;
+pub use bayesperf_baselines as baselines;
+pub use bayesperf_core as core;
+pub use bayesperf_events as events;
+pub use bayesperf_graph as graph;
+pub use bayesperf_inference as inference;
+pub use bayesperf_mlsched as mlsched;
+pub use bayesperf_simcpu as simcpu;
+pub use bayesperf_workloads as workloads;

@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: the full BayesPerf pipeline.
+
+use bayesperf::baselines::{LinuxScaling, SeriesEstimator};
+use bayesperf::core::corrector::{Corrector, CorrectorConfig};
+use bayesperf::core::metrics::dtw_relative_error;
+use bayesperf::core::scheduler::ScheduleTransformer;
+use bayesperf::core::shim::{BayesPerfShim, HpcReader, LinuxReader};
+use bayesperf::events::{try_assign, Arch, Catalog};
+use bayesperf::simcpu::{Pmu, PmuConfig};
+use bayesperf::workloads::{all_workloads, by_name};
+
+/// The headline claim, end to end: on a phase-structured workload with
+/// multiplexed counters, BayesPerf's posterior series has lower DTW error
+/// against ground truth than Linux scaling — on both architectures.
+#[test]
+fn bayesperf_beats_linux_on_both_architectures() {
+    for arch in Arch::all() {
+        let catalog = Catalog::new(arch);
+        let workload = by_name("ALS").expect("in suite");
+        let mut truth = workload.instantiate(&catalog, 3);
+
+        let transformer = ScheduleTransformer::new(&catalog);
+        let events: Vec<_> = catalog.programmable_events().into_iter().take(16).collect();
+        let schedule = transformer.plan(&events);
+        let pmu = Pmu::new(&catalog, PmuConfig::for_catalog(&catalog));
+        let run = pmu.run_multiplexed(&mut truth, &schedule.configs, 24);
+
+        let corrector = Corrector::new(&catalog, CorrectorConfig::for_run(&run));
+        let posterior = corrector.correct_run(&run);
+        let linux = LinuxScaling::new();
+
+        let mut err_bayes = 0.0;
+        let mut err_linux = 0.0;
+        for &ev in &events {
+            let truth_series = run.truth_series(ev);
+            err_bayes += dtw_relative_error(&posterior.mle_series(ev), &truth_series, 4);
+            err_linux += dtw_relative_error(&linux.estimate(&run, ev), &truth_series, 4);
+        }
+        assert!(
+            err_bayes < err_linux,
+            "{arch}: BayesPerf {err_bayes:.3} should beat Linux {err_linux:.3}"
+        );
+    }
+}
+
+/// The shim is API-compatible: the same monitoring loop runs against the
+/// Linux reader and the BayesPerf shim, and only BayesPerf quantifies
+/// uncertainty.
+#[test]
+fn shim_is_a_drop_in_replacement() {
+    let catalog = Catalog::new(Arch::X86SkyLake);
+    let mut truth = by_name("Join").expect("in suite").instantiate(&catalog, 1);
+    let events: Vec<_> = catalog.programmable_events().into_iter().take(8).collect();
+    let transformer = ScheduleTransformer::new(&catalog);
+    let schedule = transformer.plan(&events);
+    let pmu = Pmu::new(&catalog, PmuConfig::for_catalog(&catalog));
+    let run = pmu.run_multiplexed(&mut truth, &schedule.configs, 12);
+
+    fn monitor(reader: &mut dyn HpcReader, run: &bayesperf::simcpu::MultiplexRun) -> usize {
+        for w in &run.windows {
+            for s in &w.samples {
+                reader.push_sample(*s);
+            }
+        }
+        run.windows[0]
+            .samples
+            .iter()
+            .filter(|s| reader.read(s.event).is_some())
+            .count()
+    }
+
+    let mut linux = LinuxReader::new();
+    let mut shim = BayesPerfShim::new(&catalog, CorrectorConfig::for_run(&run), 1 << 14);
+    let linux_reads = monitor(&mut linux, &run);
+    let shim_reads = monitor(&mut shim, &run);
+    assert!(linux_reads > 0);
+    assert_eq!(linux_reads, shim_reads, "same events readable through both");
+
+    let ev = run.windows[0].samples[3].event;
+    let lr = linux.read(ev).expect("linux read");
+    let br = shim.read(ev).expect("shim read");
+    assert_eq!(lr.std_dev, 0.0, "perf reports point values");
+    assert!(br.std_dev > 0.0, "BayesPerf quantifies uncertainty");
+}
+
+/// Every workload in the suite yields a valid, fully-linked BayesPerf
+/// schedule for the derived-event HPC set, on both architectures.
+#[test]
+fn schedules_are_valid_for_the_whole_suite() {
+    for arch in Arch::all() {
+        let catalog = Catalog::new(arch);
+        let transformer = ScheduleTransformer::new(&catalog);
+        let mut events = Vec::new();
+        for d in catalog.derived_events() {
+            events.extend(d.events());
+        }
+        events.sort();
+        events.dedup();
+        events.retain(|&e| catalog.event(e).is_programmable());
+        let schedule = transformer.plan(&events);
+        for cfg in &schedule.configs {
+            assert!(try_assign(&catalog, cfg.events(), &catalog.pmu()).is_ok());
+        }
+        // Every requested event is still measured.
+        for &e in &events {
+            assert!(
+                schedule.configs.iter().any(|c| c.contains(e)),
+                "{arch}: event {e} lost"
+            );
+        }
+    }
+}
+
+/// Ground truth from every workload satisfies every exact invariant on
+/// every tick we sample — across the whole suite and both catalogs.
+#[test]
+fn suite_ground_truth_respects_invariants() {
+    use bayesperf::simcpu::GroundTruth;
+    for arch in Arch::all() {
+        let catalog = Catalog::new(arch);
+        let mut rates = vec![0.0; catalog.len()];
+        for program in all_workloads().iter().take(6) {
+            let mut w = program.instantiate(&catalog, 9);
+            for tick in [0u64, 41, 137] {
+                w.rates_at(tick, &mut rates);
+                for inv in catalog.invariants().iter().filter(|i| i.is_exact()) {
+                    assert!(
+                        inv.relative_residual(&rates).abs() < 1e-9,
+                        "{}: {} violated",
+                        program.name(),
+                        inv.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The accelerator keeps inference off the read path: posteriors computed
+/// by the software shim match a fresh corrector run (the accelerator is
+/// modelled as the same computation at lower latency).
+#[test]
+fn shim_posteriors_match_batch_correction() {
+    let catalog = Catalog::new(Arch::X86SkyLake);
+    let mut truth = by_name("Scan").expect("in suite").instantiate(&catalog, 5);
+    let events: Vec<_> = catalog.programmable_events().into_iter().take(8).collect();
+    let transformer = ScheduleTransformer::new(&catalog);
+    let schedule = transformer.plan(&events);
+    let pmu = Pmu::new(&catalog, PmuConfig::for_catalog(&catalog));
+    // 8 windows: the shim completes a window only when a later window's
+    // sample arrives, so 8 recorded windows yield one full 6-window chunk.
+    let run = pmu.run_multiplexed(&mut truth, &schedule.configs, 8);
+
+    let cfg = CorrectorConfig::for_run(&run);
+    let corrector = Corrector::new(&catalog, cfg.clone());
+    let series = corrector.correct_run(&run);
+
+    let mut shim = BayesPerfShim::new(&catalog, cfg, 1 << 14);
+    for w in &run.windows {
+        for s in &w.samples {
+            shim.push_sample(*s);
+        }
+    }
+    let ev = events[0];
+    let shim_read = shim.read(ev).expect("posterior available");
+    let batch = series.posterior(5, ev);
+    assert!(
+        (shim_read.value - batch.mean).abs() < 1e-6 * batch.mean.abs().max(1.0),
+        "shim {} vs batch {}",
+        shim_read.value,
+        batch.mean
+    );
+}
