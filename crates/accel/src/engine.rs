@@ -132,9 +132,18 @@ impl InferenceJob {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     IngestDone,
-    SiteAssigned { site: usize, sweep: usize },
-    SiteDone { site: usize, sweep: usize, ep: usize },
-    GlobalUpdated { sweep: usize },
+    SiteAssigned {
+        site: usize,
+        sweep: usize,
+    },
+    SiteDone {
+        site: usize,
+        sweep: usize,
+        ep: usize,
+    },
+    GlobalUpdated {
+        sweep: usize,
+    },
     WritebackDone,
 }
 
@@ -295,10 +304,7 @@ impl Accelerator {
                     if sites_done_in_sweep == job.sites {
                         sites_done_in_sweep = 0;
                         // Controller global update: serialized, cheap.
-                        q.schedule_in(
-                            50 * job.sites as SimTime,
-                            Ev::GlobalUpdated { sweep },
-                        );
+                        q.schedule_in(50 * job.sites as SimTime, Ev::GlobalUpdated { sweep });
                     }
                 }
                 Ev::GlobalUpdated { sweep } => {
@@ -331,14 +337,16 @@ impl Accelerator {
     /// Simulates `n` independent jobs in parallel threads (replication
     /// studies); results are in job order.
     pub fn simulate_batch(&self, jobs: &[InferenceJob]) -> Vec<JobTrace> {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .iter()
-                .map(|job| scope.spawn(move |_| self.simulate_job(job)))
+                .map(|job| scope.spawn(move || self.simulate_job(job)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sim thread"))
+                .collect()
         })
-        .expect("crossbeam scope")
     }
 
     /// Host cycles to read a corrected counter when the accelerator keeps

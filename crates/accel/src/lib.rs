@@ -25,5 +25,5 @@ pub mod engine;
 pub mod resource;
 
 pub use des::{EventQueue, SimTime};
-pub use engine::{Accelerator, AccelConfig, HostInterface, InferenceJob, JobTrace, ReadPath};
+pub use engine::{AccelConfig, Accelerator, HostInterface, InferenceJob, JobTrace, ReadPath};
 pub use resource::{area_power, FpgaPart, ResourceReport};

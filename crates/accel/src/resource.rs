@@ -69,13 +69,55 @@ impl Bom {
 }
 
 /// Per-component resource costs (calibrated; see module docs).
-const XDMA_SHELL: Bom = Bom { bram: 30.0, dsp: 300.0, ff: 36_000.0, lut: 26_000.0, uram: 0.0 };
-const PSL_SHELL: Bom = Bom { bram: 95.0, dsp: 27.0, ff: 12_000.0, lut: 18_000.0, uram: 0.0 };
-const EP_ENGINE: Bom = Bom { bram: 40.0, dsp: 200.0, ff: 40_000.0, lut: 30_000.0, uram: 20.0 };
-const SAMPLER: Bom = Bom { bram: 14.0, dsp: 52.0, ff: 14_000.0, lut: 12_000.0, uram: 7.0 };
-const NOC_PORT: Bom = Bom { bram: 2.0, dsp: 0.0, ff: 1_500.0, lut: 1_200.0, uram: 0.0 };
-const DRAM_CTRL: Bom = Bom { bram: 12.0, dsp: 12.0, ff: 4_000.0, lut: 2_000.0, uram: 5.0 };
-const CONTROLLER: Bom = Bom { bram: 8.0, dsp: 6.0, ff: 6_000.0, lut: 2_000.0, uram: 2.0 };
+const XDMA_SHELL: Bom = Bom {
+    bram: 30.0,
+    dsp: 300.0,
+    ff: 36_000.0,
+    lut: 26_000.0,
+    uram: 0.0,
+};
+const PSL_SHELL: Bom = Bom {
+    bram: 95.0,
+    dsp: 27.0,
+    ff: 12_000.0,
+    lut: 18_000.0,
+    uram: 0.0,
+};
+const EP_ENGINE: Bom = Bom {
+    bram: 40.0,
+    dsp: 200.0,
+    ff: 40_000.0,
+    lut: 30_000.0,
+    uram: 20.0,
+};
+const SAMPLER: Bom = Bom {
+    bram: 14.0,
+    dsp: 52.0,
+    ff: 14_000.0,
+    lut: 12_000.0,
+    uram: 7.0,
+};
+const NOC_PORT: Bom = Bom {
+    bram: 2.0,
+    dsp: 0.0,
+    ff: 1_500.0,
+    lut: 1_200.0,
+    uram: 0.0,
+};
+const DRAM_CTRL: Bom = Bom {
+    bram: 12.0,
+    dsp: 12.0,
+    ff: 4_000.0,
+    lut: 2_000.0,
+    uram: 5.0,
+};
+const CONTROLLER: Bom = Bom {
+    bram: 8.0,
+    dsp: 6.0,
+    ff: 6_000.0,
+    lut: 2_000.0,
+    uram: 2.0,
+};
 
 /// Utilization and power of one accelerator build (a Table 1 row).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -177,8 +219,16 @@ mod tests {
                 "utilization {got:.1} vs Table 1 {want}"
             );
         }
-        assert!((r.vivado_power_w - 11.2).abs() < 1.0, "{}", r.vivado_power_w);
-        assert!((r.measured_power_w - 17.2).abs() < 1.2, "{}", r.measured_power_w);
+        assert!(
+            (r.vivado_power_w - 11.2).abs() < 1.0,
+            "{}",
+            r.vivado_power_w
+        );
+        assert!(
+            (r.measured_power_w - 17.2).abs() < 1.2,
+            "{}",
+            r.measured_power_w
+        );
     }
 
     #[test]

@@ -46,7 +46,8 @@ impl CounterMiner {
     fn max_dev_law(n: usize) -> Gumbel {
         let n = n.max(2) as f64;
         let ln2n = (2.0 * n.ln()).max(1e-6);
-        let a = ln2n.sqrt() - ((n.ln()).ln() + (4.0 * std::f64::consts::PI).ln()) / (2.0 * ln2n.sqrt());
+        let a =
+            ln2n.sqrt() - ((n.ln()).ln() + (4.0 * std::f64::consts::PI).ln()) / (2.0 * ln2n.sqrt());
         let b = 1.0 / ln2n.sqrt();
         Gumbel::new(a.max(0.1), b)
     }
@@ -75,10 +76,7 @@ impl SeriesEstimator for CounterMiner {
             let x = sample.value;
             let value = if recent.len() >= 4 {
                 let mean = recent.iter().sum::<f64>() / recent.len() as f64;
-                let var = recent
-                    .iter()
-                    .map(|v| (v - mean) * (v - mean))
-                    .sum::<f64>()
+                let var = recent.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
                     / recent.len() as f64;
                 let sd = var.sqrt();
                 if sd > 0.0 && self.is_outlier((x - mean).abs() / sd, recent.len()) {

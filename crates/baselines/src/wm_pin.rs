@@ -50,7 +50,10 @@ impl SeriesEstimator for WmPin {
         }
         // Pin gives the exact retired-instruction stream; the correction
         // removes the deterministic interrupt overcount.
-        linux.into_iter().map(|v| v / (1.0 + self.overcount)).collect()
+        linux
+            .into_iter()
+            .map(|v| v / (1.0 + self.overcount))
+            .collect()
     }
 }
 

@@ -1,13 +1,18 @@
-//! Criterion benches for the inference hot path (the Fig. 3 CPU numbers).
+//! Criterion benches for the inference hot path (the Fig. 3 CPU numbers),
+//! plus the EP engine-farm scaling study: sequential vs multi-threaded
+//! sweeps on a 64-site model, reported as *paired* interleaved measurements
+//! (see `crates/bench/README.md` for the methodology).
 
 use bayesperf_core::corrector::{Corrector, CorrectorConfig};
 use bayesperf_core::model::{build_chunk_model, ModelConfig};
 use bayesperf_events::{Arch, Catalog};
+use bayesperf_inference::{EpConfig, ExpectationPropagation, FnSite, Gaussian};
 use bayesperf_simcpu::{pack_round_robin, Pmu, PmuConfig, Sample};
 use bayesperf_workloads::kmeans;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 fn chunk_fixture(cat: &Catalog) -> Vec<Vec<Sample>> {
     let mut truth = kmeans().instantiate(cat, 0);
@@ -18,13 +23,41 @@ fn chunk_fixture(cat: &Catalog) -> Vec<Vec<Sample>> {
     run.windows.iter().map(|w| w.samples.clone()).collect()
 }
 
+/// A 64-site engine-farm model: 32 chained variables, one observation site
+/// each, plus 31 pairwise coupling sites and one long-range site.
+fn farm_model() -> ExpectationPropagation {
+    let n = 32;
+    let prior = vec![Gaussian::new(5.0, 50.0); n];
+    let mut ep = ExpectationPropagation::new(prior, EpConfig::default());
+    for v in 0..n {
+        let center = 2.0 + v as f64 * 0.25;
+        ep.add_site(FnSite::new(vec![v], move |x: &[f64]| {
+            Gaussian::new(center, 0.5).log_pdf(x[0])
+        }));
+    }
+    for v in 0..n - 1 {
+        ep.add_site(FnSite::new(vec![v, v + 1], |x: &[f64]| {
+            Gaussian::new(0.25, 0.1).log_pdf(x[1] - x[0])
+        }));
+    }
+    ep.add_site(FnSite::new(vec![0, n - 1], move |x: &[f64]| {
+        Gaussian::new((n - 1) as f64 * 0.25, 1.0).log_pdf(x[1] - x[0])
+    }));
+    ep
+}
+
 fn bench_ep_chunk(c: &mut Criterion) {
     let cat = Catalog::new(Arch::X86SkyLake);
     let windows = chunk_fixture(&cat);
     let cfg = ModelConfig {
         cycles_per_window: 1.0e7,
-        ..ModelConfig::for_run(&bayesperf_simcpu::Pmu::new(&cat, PmuConfig::for_catalog(&cat))
-            .run_polling(&mut kmeans().instantiate(&cat, 0), &[], 1))
+        ..ModelConfig::for_run(
+            &bayesperf_simcpu::Pmu::new(&cat, PmuConfig::for_catalog(&cat)).run_polling(
+                &mut kmeans().instantiate(&cat, 0),
+                &[],
+                1,
+            ),
+        )
     };
     c.bench_function("ep_chunk_inference", |b| {
         b.iter(|| {
@@ -48,11 +81,83 @@ fn bench_corrector_run(c: &mut Criterion) {
             std::hint::black_box(corrector.correct_run(&run));
         })
     });
+    c.bench_function("corrector_8_windows_independent_4t", |b| {
+        b.iter(|| {
+            let cfg = CorrectorConfig::for_run(&run)
+                .independent_chunks()
+                .with_threads(4);
+            let corrector = Corrector::new(&cat, cfg);
+            std::hint::black_box(corrector.correct_run(&run));
+        })
+    });
+}
+
+fn bench_engine_farm(c: &mut Criterion) {
+    c.bench_function("ep_farm_64sites_sequential", |b| {
+        b.iter(|| std::hint::black_box(farm_model().run_parallel(1, 1)))
+    });
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = hw.clamp(2, 8);
+    c.bench_function("ep_farm_64sites_parallel", |b| {
+        b.iter(|| std::hint::black_box(farm_model().run_parallel(1, threads)))
+    });
+    // Honor the same CLI name filter bench_function applies, so e.g.
+    // `cargo bench ... ep_chunk_inference` doesn't pay for ~32 unrequested
+    // farm runs.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    if filter.is_none_or(|f| "ep_farm_speedup".contains(f.as_str())) {
+        report_paired_speedup(threads, hw);
+    }
+}
+
+/// Paired interleaved speedup measurement (cbdr-style): alternate
+/// sequential and parallel runs so drift affects both arms equally, compute
+/// per-pair ratios, and report the mean ratio with a 95% CI.
+fn report_paired_speedup(threads: usize, hw: usize) {
+    let pairs = if std::env::var_os("BENCH_QUICK").is_some() {
+        3
+    } else {
+        15
+    };
+    let mut ratios = Vec::with_capacity(pairs);
+    // One warm-up pair, discarded.
+    let _ = time(|| farm_model().run_parallel(0, 1));
+    let _ = time(|| farm_model().run_parallel(0, threads));
+    for p in 0..pairs {
+        let seq = time(|| farm_model().run_parallel(p as u64, 1));
+        let par = time(|| farm_model().run_parallel(p as u64, threads));
+        ratios.push(seq / par);
+    }
+    let n = ratios.len() as f64;
+    let mean = ratios.iter().sum::<f64>() / n;
+    let var = ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (n - 1.0).max(1.0);
+    let half = 1.96 * (var / n).sqrt();
+    println!(
+        "ep_farm_speedup_{threads}threads            ratio: [{:.2}x {:.2}x {:.2}x] \
+         (paired, n={pairs}, {hw} hw threads)",
+        mean - half,
+        mean,
+        mean + half,
+    );
+    if hw == 1 {
+        println!(
+            "    note: single-CPU host — parallel arm cannot exceed 1.0x here; \
+             see crates/bench/README.md"
+        );
+    }
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> f64 {
+    let t = Instant::now();
+    std::hint::black_box(f());
+    t.elapsed().as_secs_f64()
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ep_chunk, bench_corrector_run
+    targets = bench_ep_chunk, bench_corrector_run, bench_engine_farm
 }
 criterion_main!(benches);

@@ -30,7 +30,10 @@ fn main() {
         conv.push(mean_conv);
     }
 
-    println!("# Fig. 10: training loss vs iteration (mean of {} seeds)", SEEDS.len());
+    println!(
+        "# Fig. 10: training loss vs iteration (mean of {} seeds)",
+        SEEDS.len()
+    );
     println!("iteration\tBayesPerf(Acc)\tBayesPerf(CPU)\tCM\tLinux");
     for i in (0..ITERS).step_by(250) {
         println!(

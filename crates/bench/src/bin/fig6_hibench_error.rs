@@ -9,7 +9,9 @@ fn main() {
     let cfg = EvalConfig::default();
     let cats: Vec<Catalog> = Arch::all().iter().map(|&a| Catalog::new(a)).collect();
     println!("# Fig. 6: average HPC measurement error (%) across HiBench workloads");
-    println!("workload\tLinux(x86)\tLinux(ppc64)\tCM(x86)\tCM(ppc64)\tBayesPerf(x86)\tBayesPerf(ppc64)");
+    println!(
+        "workload\tLinux(x86)\tLinux(ppc64)\tCM(x86)\tCM(ppc64)\tBayesPerf(x86)\tBayesPerf(ppc64)"
+    );
     let mut sums = [0.0f64; 6];
     let workloads = all_workloads();
     for w in &workloads {

@@ -26,7 +26,10 @@ fn main() {
             if arch == Arch::X86SkyLake {
                 // WM+Pin corrects only instruction counts (a fixed counter
                 // here), so its multiplexed error tracks Linux.
-                println!("{k}\t{:.1}\t{:.1}\t{:.1}\t{:.1}", e.linux, e.cm, e.bayesperf, e.wm_pin);
+                println!(
+                    "{k}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+                    e.linux, e.cm, e.bayesperf, e.wm_pin
+                );
             } else {
                 println!("{k}\t{:.1}\t{:.1}\t{:.1}", e.linux, e.cm, e.bayesperf);
             }

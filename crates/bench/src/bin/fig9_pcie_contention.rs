@@ -5,14 +5,26 @@ use bayesperf_mlsched::pcie::{Fabric, Flow, Node};
 
 fn main() {
     let fabric = Fabric::standard();
-    let halo = Flow { src: Node::Gpu(1), dst: Node::Gpu(2) };
-    let shuffle = Flow { src: Node::Nic(0), dst: Node::Cpu(1) };
+    let halo = Flow {
+        src: Node::Gpu(1),
+        dst: Node::Gpu(2),
+    };
+    let shuffle = Flow {
+        src: Node::Nic(0),
+        dst: Node::Cpu(1),
+    };
     println!("# Fig. 9: GPU-GPU bandwidth (GB/s) vs message size");
     println!("msg_bytes\tisolated\tcontention\tslowdown_x");
     for p in 8..=22 {
         let size = (1u64 << p) as f64;
         let iso = fabric.observed_bandwidth(&[halo], 0, size);
         let con = fabric.observed_bandwidth(&[halo, shuffle], 0, size);
-        println!("{}\t{:.2}\t{:.2}\t{:.2}", 1u64 << p, iso, con, iso / con - 1.0);
+        println!(
+            "{}\t{:.2}\t{:.2}\t{:.2}",
+            1u64 << p,
+            iso,
+            con,
+            iso / con - 1.0
+        );
     }
 }

@@ -5,14 +5,25 @@ use bayesperf_accel::{area_power, AccelConfig, FpgaPart};
 
 fn main() {
     let part = FpgaPart::vu3p();
-    println!("# Table 1: FPGA utilization (%) and power (W) on {}", part.name);
+    println!(
+        "# Table 1: FPGA utilization (%) and power (W) on {}",
+        part.name
+    );
     println!("component\tBRAM\tDSP\tFF\tLUT\tURAM\tVivado_W\tMeasured_W");
-    for (name, cfg) in [("x86-PCIe", AccelConfig::x86()), ("ppc64-CAPI", AccelConfig::ppc64())] {
+    for (name, cfg) in [
+        ("x86-PCIe", AccelConfig::x86()),
+        ("ppc64-CAPI", AccelConfig::ppc64()),
+    ] {
         let r = area_power(&cfg, &part);
         println!(
             "{name}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{:.1}\t{:.1}",
-            r.bram_pct, r.dsp_pct, r.ff_pct, r.lut_pct, r.uram_pct,
-            r.vivado_power_w, r.measured_power_w
+            r.bram_pct,
+            r.dsp_pct,
+            r.ff_pct,
+            r.lut_pct,
+            r.uram_pct,
+            r.vivado_power_w,
+            r.measured_power_w
         );
     }
     let x86 = area_power(&AccelConfig::x86(), &part);

@@ -12,12 +12,24 @@ use rand::{Rng, SeedableRng};
 fn cf_improvement(noise: f64, seed: u64) -> f64 {
     let fabric = Fabric::standard();
     let nic_flows = [
-        Flow { src: Node::Nic(0), dst: Node::Cpu(1) },
-        Flow { src: Node::Nic(1), dst: Node::Cpu(0) },
+        Flow {
+            src: Node::Nic(0),
+            dst: Node::Cpu(1),
+        },
+        Flow {
+            src: Node::Nic(1),
+            dst: Node::Cpu(0),
+        },
     ];
     let halo = [
-        Flow { src: Node::Gpu(1), dst: Node::Gpu(2) },
-        Flow { src: Node::Gpu(4), dst: Node::Gpu(3) },
+        Flow {
+            src: Node::Gpu(1),
+            dst: Node::Gpu(2),
+        },
+        Flow {
+            src: Node::Gpu(4),
+            dst: Node::Gpu(3),
+        },
     ];
     // Columns: NIC choice x message size (the transfer configurations the
     // scheduler may pick); rows: (c0, c1) contention contexts.
@@ -40,19 +52,29 @@ fn cf_improvement(noise: f64, seed: u64) -> f64 {
                 truth[row][mi] = bw(c0, 0, msg);
                 truth[row][msgs.len() + mi] = bw(c1, 1, msg);
             }
+            #[allow(clippy::needless_range_loop)]
             for col in 0..n_cols {
                 // Our sweep's optimum lands at 50% observed entries (the
                 // paper sweeps 30-80% and reports its own optimum at 75%).
                 if rng.gen::<f64>() > 0.5 {
                     // Normalized to ~O(1) so SGD stays stable.
-                    let noisy = truth[row][col] / 12.5
-                        * (1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0));
+                    let noisy =
+                        truth[row][col] / 12.5 * (1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0));
                     observed.push((row, col, noisy));
                 }
             }
         }
     }
-    let cf = CollabFilter::train(grid * grid, n_cols, &observed, 2, 1500, 0.05, 0.002, &mut rng);
+    let cf = CollabFilter::train(
+        grid * grid,
+        n_cols,
+        &observed,
+        2,
+        1500,
+        0.05,
+        0.002,
+        &mut rng,
+    );
     // Makespan over all contexts: time = bytes / bw; static = NIC0 at the
     // middle message size.
     let (mut t_cf, mut t_static) = (0.0, 0.0);
@@ -80,8 +102,11 @@ fn main() {
     let cf_linux = 100.0 * mean(|s| cf_improvement(0.80, s), [1, 2, 3]);
     let cf_bayes = 100.0 * mean(|s| cf_improvement(0.15, s), [1, 2, 3]);
     let rl_linux = 100.0 * mean(|s| rl_improvement(CorrectionQuality::Linux, s), [11, 13]);
-    let rl_bayes =
-        100.0 * mean(|s| rl_improvement(CorrectionQuality::BayesPerfAccel, s), [11, 13]);
+    let rl_bayes = 100.0
+        * mean(
+            |s| rl_improvement(CorrectionQuality::BayesPerfAccel, s),
+            [11, 13],
+        );
     println!("CollabFilter\tLinux\t{cf_linux:.1}");
     println!("CollabFilter\tBayesPerf\t{cf_bayes:.1}");
     println!("ActorCritic\tLinux\t{rl_linux:.1}");

@@ -91,7 +91,15 @@ pub fn evaluate_workload(
     let mut totals = MethodErrors::default();
     for run_idx in 0..cfg.runs {
         let seed = cfg.seed + run_idx as u64;
-        let e = evaluate_once(catalog, program, events, &rr, &bp_schedule.configs, seed, cfg);
+        let e = evaluate_once(
+            catalog,
+            program,
+            events,
+            &rr,
+            &bp_schedule.configs,
+            seed,
+            cfg,
+        );
         totals.linux += e.linux / cfg.runs as f64;
         totals.cm += e.cm / cfg.runs as f64;
         totals.bayesperf += e.bayesperf / cfg.runs as f64;
@@ -130,7 +138,15 @@ fn evaluate_once(
     let linux = LinuxScaling::new();
     let cm = CounterMiner::new();
     let wm = WmPin::new(catalog);
-    let corrector = Corrector::new(catalog, CorrectorConfig::for_run(&bp_run));
+    // A moderately larger EP/MCMC budget than the corrector's fast
+    // default: the §6.2 comparisons are about estimator quality, so give
+    // the sampler enough moments that the outcome reflects the model, not
+    // Monte-Carlo luck.
+    let mut bp_cfg = CorrectorConfig::for_run(&bp_run);
+    bp_cfg.ep.max_sweeps = 6;
+    bp_cfg.ep.mcmc.burn_in = 100;
+    bp_cfg.ep.mcmc.samples = 250;
+    let corrector = Corrector::new(catalog, bp_cfg);
     let posterior = corrector.correct_run(&bp_run);
 
     let mut errors = MethodErrors::default();
@@ -139,9 +155,8 @@ fn evaluate_once(
         let reference: Vec<f64> = poll.windows.iter().map(|w| w.truth[ev.index()]).collect();
         let reference = noisy_reference(&poll, ev).unwrap_or(reference);
         let reference2 = noisy_reference(&poll2, ev).expect("event polled");
-        let err = |series: &[f64]| {
-            100.0 * adjusted_error(series, &reference, &reference2, cfg.band)
-        };
+        let err =
+            |series: &[f64]| 100.0 * adjusted_error(series, &reference, &reference2, cfg.band);
         errors.linux += err(&linux.estimate(&rr_run, ev)) / n;
         errors.cm += err(&cm.estimate(&rr_run, ev)) / n;
         errors.wm_pin += err(&wm.estimate(&rr_run, ev)) / n;

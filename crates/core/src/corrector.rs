@@ -1,11 +1,25 @@
 //! Batch correction of a recorded PMU run.
+//!
+//! Two execution strategies, selected by [`CorrectorConfig`]:
+//!
+//! * **chained** (the paper's default): chunks run sequentially, each
+//!   chunk's slice-0 prior seeded from the previous chunk's final-slice
+//!   posterior. Within a chunk the EP engine farm still parallelizes site
+//!   updates when `threads > 1`.
+//! * **independent**: prior chaining disabled, which removes the only
+//!   cross-chunk data dependency — chunks then run concurrently on
+//!   `std::thread::scope` workers, each chunk on its own deterministic
+//!   seed. Results are assembled in chunk order, so output is a pure
+//!   function of `(windows, config)` at any thread count.
+//!
+//! Both paths borrow sample windows as slices end-to-end (no per-window
+//! clone on either the [`Corrector::correct_run`] or
+//! [`Corrector::correct_windows`] path).
 
-use crate::model::{build_chunk_model, ModelConfig};
+use crate::model::{build_chunk_model, ChunkPosterior, ModelConfig};
 use bayesperf_events::{Catalog, EventId};
-use bayesperf_inference::{EpConfig, Gaussian};
+use bayesperf_inference::{derive_stream_seed, EpConfig, Gaussian};
 use bayesperf_simcpu::{MultiplexRun, Sample};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Configuration of the [`Corrector`].
 #[derive(Debug, Clone)]
@@ -16,14 +30,41 @@ pub struct CorrectorConfig {
     pub ep: EpConfig,
     /// RNG seed for the MCMC chains.
     pub seed: u64,
+    /// Chain each chunk's slice-0 prior from the previous chunk's
+    /// posterior (the paper's temporal coupling). Disabling it makes
+    /// chunks independent, unlocking chunk-level parallelism.
+    pub chain_chunks: bool,
+    /// Worker threads: within-chunk EP engine farm workers in chained
+    /// mode, concurrent chunks in independent mode. `1` means fully
+    /// sequential.
+    pub threads: usize,
 }
 
 impl CorrectorConfig {
-    /// Default configuration for a recorded run.
+    /// Default configuration for a recorded run: chained chunks,
+    /// sequential execution.
     pub fn for_run(run: &MultiplexRun) -> Self {
         let model = ModelConfig::for_run(run);
         let ep = model.fast_ep();
-        CorrectorConfig { model, ep, seed: 0 }
+        CorrectorConfig {
+            model,
+            ep,
+            seed: 0,
+            chain_chunks: true,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Disables prior chaining so chunks can be corrected concurrently.
+    pub fn independent_chunks(mut self) -> Self {
+        self.chain_chunks = false;
+        self
     }
 }
 
@@ -69,8 +110,7 @@ impl PosteriorSeries {
     }
 }
 
-/// Runs BayesPerf inference over a recorded run, chunk by chunk, chaining
-/// posteriors across chunk boundaries.
+/// Runs BayesPerf inference over a recorded run, chunk by chunk.
 #[derive(Debug, Clone)]
 pub struct Corrector<'a> {
     catalog: &'a Catalog,
@@ -83,35 +123,33 @@ impl<'a> Corrector<'a> {
         Corrector { catalog, config }
     }
 
-    /// Corrects a recorded run into posterior series.
+    /// Corrects a recorded run into posterior series, borrowing the run's
+    /// sample windows in place.
     pub fn correct_run(&self, run: &MultiplexRun) -> PosteriorSeries {
-        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
-        self.correct_windows(&windows)
+        let windows: Vec<&[Sample]> = run.windows.iter().map(|w| w.samples.as_slice()).collect();
+        self.correct_slices(&windows)
     }
 
-    /// Corrects a sequence of sample windows (the shim path).
+    /// Corrects a sequence of owned sample windows (the shim path).
     pub fn correct_windows(&self, windows: &[Vec<Sample>]) -> PosteriorSeries {
-        let ne = self.catalog.len();
-        let k = self.config.model.slices.max(1);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut data: Vec<Gaussian> = Vec::with_capacity(windows.len() * ne);
-        let mut prior: Option<Vec<Gaussian>> = None;
-        let mut converged = 0usize;
-        let mut chunks = 0usize;
+        let refs: Vec<&[Sample]> = windows.iter().map(Vec::as_slice).collect();
+        self.correct_slices(&refs)
+    }
 
-        let mut start = 0;
-        while start < windows.len() {
-            let end = (start + k).min(windows.len());
-            let chunk = windows[start..end].to_vec();
-            let model = build_chunk_model(
-                self.catalog,
-                &chunk,
-                &self.config.model,
-                prior.as_deref(),
-                self.config.ep,
-            );
-            let post = model.run(&mut rng);
-            chunks += 1;
+    /// Corrects borrowed sample windows.
+    pub fn correct_slices(&self, windows: &[&[Sample]]) -> PosteriorSeries {
+        let k = self.config.model.slices.max(1);
+        let chunks: Vec<&[&[Sample]]> = windows.chunks(k).collect();
+        let posteriors = if self.config.chain_chunks {
+            self.run_chained(&chunks)
+        } else {
+            self.run_independent(&chunks)
+        };
+
+        let ne = self.catalog.len();
+        let mut data: Vec<Gaussian> = Vec::with_capacity(windows.len() * ne);
+        let mut converged = 0usize;
+        for post in &posteriors {
             if post.converged {
                 converged += 1;
             }
@@ -120,19 +158,81 @@ impl<'a> Corrector<'a> {
                     data.push(post.posterior(t, e.id));
                 }
             }
-            prior = Some(post.last_slice_normalized());
-            start = end;
         }
-
         PosteriorSeries {
             n_events: ne,
             data,
-            convergence_rate: if chunks == 0 {
+            convergence_rate: if posteriors.is_empty() {
                 1.0
             } else {
-                converged as f64 / chunks as f64
+                converged as f64 / posteriors.len() as f64
             },
         }
+    }
+
+    /// Sequential chunk loop with prior chaining. Every chunk runs on the
+    /// deterministic engine farm with its own derived seed, so thread count
+    /// is purely a throughput knob here too — `threads = 1` and
+    /// `threads = 8` produce bit-identical series.
+    fn run_chained(&self, chunks: &[&[&[Sample]]]) -> Vec<ChunkPosterior> {
+        let mut prior: Option<Vec<Gaussian>> = None;
+        let mut out = Vec::with_capacity(chunks.len());
+        for (c, chunk) in chunks.iter().enumerate() {
+            let model = build_chunk_model(
+                self.catalog,
+                chunk,
+                &self.config.model,
+                prior.as_deref(),
+                self.config.ep,
+            );
+            let post =
+                model.run_parallel(derive_stream_seed(self.config.seed, c), self.config.threads);
+            prior = Some(post.last_slice_normalized());
+            out.push(post);
+        }
+        out
+    }
+
+    /// Concurrent chunk execution (requires `chain_chunks == false`):
+    /// chunks are data-independent, so workers process disjoint contiguous
+    /// ranges and results are reassembled in chunk order. Per-chunk seeds
+    /// make the output identical to the sequential un-chained run.
+    fn run_independent(&self, chunks: &[&[&[Sample]]]) -> Vec<ChunkPosterior> {
+        let workers = self.config.threads.clamp(1, chunks.len().max(1));
+        let per = chunks.len().div_ceil(workers).max(1);
+        // Threads left over when there are fewer chunks than workers go to
+        // each chunk's inner EP farm (bit-identical at any count, so this
+        // only affects speed).
+        let inner_threads = (self.config.threads / workers).max(1);
+        let mut results: Vec<Option<ChunkPosterior>> = vec![None; chunks.len()];
+        std::thread::scope(|scope| {
+            for (w, (chunk_range, out_range)) in
+                chunks.chunks(per).zip(results.chunks_mut(per)).enumerate()
+            {
+                let base = w * per;
+                scope.spawn(move || {
+                    for (i, (chunk, slot)) in
+                        chunk_range.iter().zip(out_range.iter_mut()).enumerate()
+                    {
+                        let model = build_chunk_model(
+                            self.catalog,
+                            chunk,
+                            &self.config.model,
+                            None,
+                            self.config.ep,
+                        );
+                        *slot = Some(model.run_parallel(
+                            derive_stream_seed(self.config.seed, base + i),
+                            inner_threads,
+                        ));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|p| p.expect("every chunk processed"))
+            .collect()
     }
 }
 
@@ -244,5 +344,56 @@ mod tests {
         assert_eq!(series.mle_series(ev).len(), 6);
         assert_eq!(series.sd_series(ev).len(), 6);
         assert!(series.convergence_rate >= 0.0 && series.convergence_rate <= 1.0);
+    }
+
+    #[test]
+    fn independent_chunks_identical_at_any_thread_count() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let prog = kmeans();
+        let mut truth = prog.instantiate(&cat, 0);
+        let pmu = Pmu::new(&cat, PmuConfig::for_catalog(&cat));
+        let events = vec![
+            cat.require(Semantic::L1dMisses),
+            cat.require(Semantic::LlcMisses),
+        ];
+        let schedule = pack_round_robin(&cat, &events).unwrap();
+        let run = pmu.run_multiplexed(&mut truth, &schedule, 12);
+
+        let series_for = |threads: usize| {
+            let cfg = CorrectorConfig::for_run(&run)
+                .independent_chunks()
+                .with_threads(threads);
+            Corrector::new(&cat, cfg).correct_run(&run)
+        };
+        let a = series_for(1);
+        let b = series_for(4);
+        assert_eq!(a.windows(), b.windows());
+        let ev = cat.require(Semantic::L1dMisses);
+        assert_eq!(a.mle_series(ev), b.mle_series(ev), "bit-identical MLE");
+        assert_eq!(a.sd_series(ev), b.sd_series(ev), "bit-identical SD");
+        assert_eq!(a.convergence_rate, b.convergence_rate);
+    }
+
+    #[test]
+    fn chained_mode_identical_at_any_thread_count() {
+        // Chained chunks serialize on the prior, but each chunk's EP farm
+        // is bit-identical at any thread count — so the whole series is.
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let prog = kmeans();
+        let mut truth = prog.instantiate(&cat, 0);
+        let pmu = Pmu::new(&cat, PmuConfig::for_catalog(&cat));
+        let events = vec![cat.require(Semantic::L1dMisses)];
+        let schedule = pack_round_robin(&cat, &events).unwrap();
+        let run = pmu.run_multiplexed(&mut truth, &schedule, 8);
+        let series_for = |threads: usize| {
+            let cfg = CorrectorConfig::for_run(&run).with_threads(threads);
+            Corrector::new(&cat, cfg).correct_run(&run)
+        };
+        let a = series_for(1);
+        let b = series_for(2);
+        assert_eq!(a.windows(), 8);
+        let ev = cat.require(Semantic::L1dMisses);
+        assert_eq!(a.mle_series(ev), b.mle_series(ev), "bit-identical MLE");
+        assert_eq!(a.sd_series(ev), b.sd_series(ev), "bit-identical SD");
     }
 }

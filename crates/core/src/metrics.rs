@@ -80,8 +80,7 @@ pub fn dtw_align(a: &[f64], b: &[f64], band: usize) -> Vec<(usize, usize)> {
 /// magnitude so near-zero windows of bursty counters do not dominate.
 pub fn dtw_relative_error(target: &[f64], reference: &[f64], band: usize) -> f64 {
     let path = dtw_align(target, reference, band);
-    let mean_ref =
-        reference.iter().map(|r| r.abs()).sum::<f64>() / reference.len() as f64;
+    let mean_ref = reference.iter().map(|r| r.abs()).sum::<f64>() / reference.len() as f64;
     let floor = (0.05 * mean_ref).max(1e-9);
     let mut acc = 0.0;
     for &(i, j) in &path {

@@ -17,6 +17,7 @@
 
 use crate::error_model::observation;
 use bayesperf_events::{Catalog, EventEnv, EventId, Expr};
+use bayesperf_graph::CsrAdjacency;
 use bayesperf_inference::{
     EpConfig, EpSite, ExpectationPropagation, Gaussian, McmcConfig, StudentT,
 };
@@ -105,11 +106,13 @@ struct SliceSite {
     /// `n_events..2·n_events` → previous slice (absent for slice 0).
     vars: Vec<usize>,
     factors: Vec<Factor>,
-    adj: Vec<Vec<u32>>,
+    /// CSR variable→factor index: `adj.row(i)` is the factor set touching
+    /// local variable `i` — the sparse locality the MCMC delta path walks.
+    adj: CsrAdjacency,
     hints: Vec<Option<f64>>,
     scale_hints: Vec<Option<f64>>,
     /// Denormalization scales, catalog-indexed (local i ↔ catalog event i).
-    scales: std::rc::Rc<Vec<f64>>,
+    scales: std::sync::Arc<Vec<f64>>,
 }
 
 struct SliceEnv<'a> {
@@ -148,21 +151,18 @@ impl EpSite for SliceSite {
     }
 
     fn log_likelihood(&self, x: &[f64]) -> f64 {
-        self.factors
-            .iter()
-            .map(|f| self.factor_log_pdf(f, x))
-            .sum()
+        self.factors.iter().map(|f| self.factor_log_pdf(f, x)).sum()
     }
 
     fn log_likelihood_delta(&self, x: &mut [f64], i: usize, new: f64) -> f64 {
         let old = x[i];
         let mut before = 0.0;
-        for &fi in &self.adj[i] {
+        for &fi in self.adj.row(i) {
             before += self.factor_log_pdf(&self.factors[fi as usize], x);
         }
         x[i] = new;
         let mut after = 0.0;
-        for &fi in &self.adj[i] {
+        for &fi in self.adj.row(i) {
             after += self.factor_log_pdf(&self.factors[fi as usize], x);
         }
         x[i] = old;
@@ -196,9 +196,21 @@ impl std::fmt::Debug for ChunkModel {
 }
 
 impl ChunkModel {
-    /// Runs EP and returns the posterior chunk.
+    /// Runs EP sequentially with a caller-supplied RNG and returns the
+    /// posterior chunk.
     pub fn run<R: rand::Rng + ?Sized>(mut self, rng: &mut R) -> ChunkPosterior {
         let result = self.ep.run(rng);
+        self.into_posterior(result)
+    }
+
+    /// Runs EP on the parallel engine farm (bit-identical for any
+    /// `threads ≥ 1` given the same `seed`).
+    pub fn run_parallel(mut self, seed: u64, threads: usize) -> ChunkPosterior {
+        let result = self.ep.run_parallel(seed, threads);
+        self.into_posterior(result)
+    }
+
+    fn into_posterior(self, result: bayesperf_inference::EpResult) -> ChunkPosterior {
         ChunkPosterior {
             marginals: result.marginals,
             n_events: self.n_events,
@@ -261,17 +273,20 @@ impl ChunkPosterior {
 /// # Panics
 ///
 /// Panics if `windows` is empty.
-pub fn build_chunk_model(
+pub fn build_chunk_model<W: AsRef<[Sample]>>(
     catalog: &Catalog,
-    windows: &[Vec<Sample>],
+    windows: &[W],
     cfg: &ModelConfig,
     prior0: Option<&[Gaussian]>,
     ep_config: EpConfig,
 ) -> ChunkModel {
-    assert!(!windows.is_empty(), "chunk must contain at least one window");
+    assert!(
+        !windows.is_empty(),
+        "chunk must contain at least one window"
+    );
     let slices = windows.len();
     let ne = catalog.len();
-    let scales = std::rc::Rc::new(event_scales(catalog, cfg.cycles_per_window));
+    let scales = std::sync::Arc::new(event_scales(catalog, cfg.cycles_per_window));
 
     // Priors: slice 0 chains from the previous chunk when available.
     let drift = cfg.temporal_tau * cfg.temporal_tau;
@@ -289,7 +304,7 @@ pub fn build_chunk_model(
     let mut ep = ExpectationPropagation::new(prior, ep_config);
     let tau_gauss = Gaussian::new(0.0, cfg.temporal_tau * cfg.temporal_tau);
 
-    for (t, window) in windows.iter().enumerate() {
+    for (t, window) in windows.iter().map(AsRef::as_ref).enumerate() {
         // Site variables: slice t first, then slice t-1 (if any).
         let mut vars: Vec<usize> = (0..ne).map(|e| t * ne + e).collect();
         if t > 0 {
@@ -330,14 +345,15 @@ pub fn build_chunk_model(
             }
         }
 
-        // Factor adjacency per local variable.
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nlocal];
+        // Factor adjacency per local variable, flattened to CSR.
+        let mut edges: Vec<(usize, u32)> = Vec::new();
         for (fi, f) in factors.iter().enumerate() {
+            let fi = fi as u32;
             match f {
-                Factor::Obs { local, .. } => adj[*local].push(fi as u32),
+                Factor::Obs { local, .. } => edges.push((*local, fi)),
                 Factor::Temporal { prev, cur, .. } => {
-                    adj[*prev].push(fi as u32);
-                    adj[*cur].push(fi as u32);
+                    edges.push((*prev, fi));
+                    edges.push((*cur, fi));
                 }
                 Factor::Inv { lhs, rhs, .. } => {
                     let mut ids = lhs.events();
@@ -345,11 +361,12 @@ pub fn build_chunk_model(
                     ids.sort_unstable();
                     ids.dedup();
                     for id in ids {
-                        adj[id.index()].push(fi as u32);
+                        edges.push((id.index(), fi));
                     }
                 }
             }
         }
+        let adj = CsrAdjacency::from_edges(nlocal, edges.iter().copied());
 
         ep.add_site(SliceSite {
             vars,
@@ -373,9 +390,7 @@ pub fn build_chunk_model(
 mod tests {
     use super::*;
     use bayesperf_events::{Arch, Semantic};
-    use bayesperf_simcpu::{
-        pack_round_robin, ConstantTruth, NoiseModel, Pmu, PmuConfig,
-    };
+    use bayesperf_simcpu::{pack_round_robin, ConstantTruth, NoiseModel, Pmu, PmuConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -412,8 +427,7 @@ mod tests {
     fn model_builds_with_expected_shape() {
         let (cat, run) = run_fixture();
         let cfg = ModelConfig::for_run(&run);
-        let windows: Vec<Vec<Sample>> =
-            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
         let model = build_chunk_model(&cat, &windows, &cfg, None, cfg.fast_ep());
         assert_eq!(model.slices(), 4);
     }
@@ -422,8 +436,7 @@ mod tests {
     fn observed_events_posterior_tracks_truth() {
         let (cat, run) = run_fixture();
         let cfg = ModelConfig::for_run(&run);
-        let windows: Vec<Vec<Sample>> =
-            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
         let model = build_chunk_model(&cat, &windows, &cfg, None, cfg.fast_ep());
         let mut rng = StdRng::seed_from_u64(5);
         let post = model.run(&mut rng);
@@ -433,15 +446,19 @@ mod tests {
         let truth = run.windows[0].truth[ev.index()];
         let g = post.posterior(0, ev);
         let rel = (g.mean - truth).abs() / truth;
-        assert!(rel < 0.15, "posterior {} vs truth {} ({rel})", g.mean, truth);
+        assert!(
+            rel < 0.15,
+            "posterior {} vs truth {} ({rel})",
+            g.mean,
+            truth
+        );
     }
 
     #[test]
     fn unobserved_event_inferred_via_invariants() {
         let (cat, run) = run_fixture();
         let cfg = ModelConfig::for_run(&run);
-        let windows: Vec<Vec<Sample>> =
-            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
         let model = build_chunk_model(&cat, &windows, &cfg, None, cfg.fast_ep());
         let mut rng = StdRng::seed_from_u64(6);
         let post = model.run(&mut rng);
@@ -464,8 +481,7 @@ mod tests {
     fn posterior_uncertainty_larger_for_unobserved() {
         let (cat, run) = run_fixture();
         let cfg = ModelConfig::for_run(&run);
-        let windows: Vec<Vec<Sample>> =
-            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
         let model = build_chunk_model(&cat, &windows, &cfg, None, cfg.fast_ep());
         let mut rng = StdRng::seed_from_u64(7);
         let post = model.run(&mut rng);
@@ -486,14 +502,12 @@ mod tests {
     fn prior_chaining_carries_information() {
         let (cat, run) = run_fixture();
         let cfg = ModelConfig::for_run(&run);
-        let windows: Vec<Vec<Sample>> =
-            run.windows.iter().map(|w| w.samples.clone()).collect();
+        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
         let mut rng = StdRng::seed_from_u64(8);
-        let first = build_chunk_model(&cat, &windows[..2].to_vec(), &cfg, None, cfg.fast_ep())
-            .run(&mut rng);
+        let first = build_chunk_model(&cat, &windows[..2], &cfg, None, cfg.fast_ep()).run(&mut rng);
         let chained = build_chunk_model(
             &cat,
-            &windows[2..].to_vec(),
+            &windows[2..],
             &cfg,
             Some(&first.last_slice_normalized()),
             cfg.fast_ep(),
@@ -521,6 +535,6 @@ mod tests {
             inv_sigma_floor: 0.02,
             cycles_per_window: 1e7,
         };
-        build_chunk_model(&cat, &[], &cfg, None, cfg.fast_ep());
+        build_chunk_model::<Vec<Sample>>(&cat, &[], &cfg, None, cfg.fast_ep());
     }
 }

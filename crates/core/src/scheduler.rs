@@ -137,9 +137,8 @@ impl<'a> ScheduleTransformer<'a> {
                     self.graph
                         .shortest_path(self.var_of[ea.index()], self.var_of[eb.index()], ok)
                 {
-                    let events: Vec<EventId> =
-                        path.iter().map(|&v| *self.graph.var(v)).collect();
-                    if best.as_ref().map_or(true, |b| events.len() < b.len()) {
+                    let events: Vec<EventId> = path.iter().map(|&v| *self.graph.var(v)).collect();
+                    if best.as_ref().is_none_or(|b| events.len() < b.len()) {
                         best = Some(events);
                     }
                 }
@@ -313,7 +312,8 @@ impl<'a> ScheduleTransformer<'a> {
             }
         }
         bins.retain(|b| !b.is_empty());
-        let configs: Vec<Configuration> = bins.into_iter().map(Configuration::new_unchecked).collect();
+        let configs: Vec<Configuration> =
+            bins.into_iter().map(Configuration::new_unchecked).collect();
         self.transform(&configs)
     }
 

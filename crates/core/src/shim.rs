@@ -152,7 +152,7 @@ impl<'a> BayesPerfShim<'a> {
         let drained: Vec<Sample> = self.ring.lock().drain();
         for s in drained {
             // A sample for window w means all windows < w are complete.
-            if self.frontier.map_or(true, |f| s.window > f) {
+            if self.frontier.is_none_or(|f| s.window > f) {
                 let newly_complete: Vec<u32> = self
                     .assembling
                     .keys()

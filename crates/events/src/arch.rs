@@ -159,8 +159,12 @@ mod tests {
 
     #[test]
     fn x86_has_ref_cycles_ppc_does_not() {
-        assert!(ArchParams::for_arch(Arch::X86SkyLake).ref_cycle_ratio.is_some());
-        assert!(ArchParams::for_arch(Arch::Ppc64Power9).ref_cycle_ratio.is_none());
+        assert!(ArchParams::for_arch(Arch::X86SkyLake)
+            .ref_cycle_ratio
+            .is_some());
+        assert!(ArchParams::for_arch(Arch::Ppc64Power9)
+            .ref_cycle_ratio
+            .is_none());
     }
 
     #[test]

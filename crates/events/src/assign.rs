@@ -250,7 +250,10 @@ mod tests {
         .map(|s| c.require(s));
         assert!(matches!(
             try_assign(&c, &events, &c.pmu()),
-            Err(AssignmentError::MsrOverflow { requested: 3, available: 2 })
+            Err(AssignmentError::MsrOverflow {
+                requested: 3,
+                available: 2
+            })
         ));
     }
 
@@ -267,7 +270,10 @@ mod tests {
         .map(|s| c.require(s));
         assert!(matches!(
             try_assign(&c, &events, &c.pmu()),
-            Err(AssignmentError::UncoreOverflow { requested: 5, available: 4 })
+            Err(AssignmentError::UncoreOverflow {
+                requested: 5,
+                available: 4
+            })
         ));
     }
 

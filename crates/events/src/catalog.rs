@@ -298,7 +298,9 @@ fn placement(arch: Arch, sem: Semantic) -> (Domain, u8, bool) {
         L1dPendMissPending => (Domain::Core, 0b1000, false),
         OroDrdAnyCycles | OroDrdBwCycles | OroDrdLatCycles => (Domain::Core, full, true),
         // Precise-distribution stall events occupy the upper counters on x86.
-        StallsL2Pending | StallsL1dPending if arch == Arch::X86SkyLake => (Domain::Core, 0b1100, false),
+        StallsL2Pending | StallsL1dPending if arch == Arch::X86SkyLake => {
+            (Domain::Core, 0b1100, false)
+        }
         _ => (Domain::Core, full, false),
     }
 }
@@ -315,7 +317,9 @@ fn build_invariants(c: &Catalog) -> Vec<Invariant> {
         // backend stall.
         Invariant::new(
             "top_down_slots",
-            c.ex(IdqUopsNotDelivered) + c.ex(UopsIssued) + k(w) * c.ex(RecoveryCycles)
+            c.ex(IdqUopsNotDelivered)
+                + c.ex(UopsIssued)
+                + k(w) * c.ex(RecoveryCycles)
                 + c.ex(BackendStallSlots),
             k(w) * c.ex(Cycles),
             0.01,

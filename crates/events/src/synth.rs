@@ -336,9 +336,11 @@ mod tests {
 
     #[test]
     fn infeasible_ipc_is_squeezed_not_negative() {
-        let mut p = FreeParams::default();
-        p.ipc = 10.0; // clamped to 3.8
-        p.fe_bound_frac = 0.9;
+        let p = FreeParams {
+            ipc: 10.0, // clamped to 3.8
+            fe_bound_frac: 0.9,
+            ..FreeParams::default()
+        };
         for arch in Arch::all() {
             check_exact_invariants(arch, &p);
         }

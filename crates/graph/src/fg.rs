@@ -274,6 +274,63 @@ impl<V, F> FactorGraph<V, F> {
         dist
     }
 
+    /// The variable→factor adjacency flattened into CSR form.
+    ///
+    /// The per-variable factor lists become one contiguous `targets` array
+    /// indexed by an `offsets` array — the cache-friendly layout the EP
+    /// engine farm's delta evaluation walks on every MCMC proposal (one
+    /// pointer chase instead of a `Vec<Vec<_>>` double indirection).
+    pub fn var_factor_csr(&self) -> CsrAdjacency {
+        CsrAdjacency::from_lists(
+            self.vars.len(),
+            |v| self.vars[v].factors.len(),
+            |v, out| {
+                for f in &self.vars[v].factors {
+                    out.push(f.index() as u32);
+                }
+            },
+        )
+    }
+
+    /// Greedy conflict coloring of factors: factors sharing a variable get
+    /// distinct colors, so all factors of one color form an independent set.
+    ///
+    /// Colors are assigned in factor-id order (first-fit), which makes the
+    /// result deterministic — the property the parallel EP sweep schedule
+    /// relies on to stay bit-identical at any thread count. Returns the
+    /// color of every factor and the number of colors used.
+    pub fn greedy_factor_coloring(&self) -> (Vec<u32>, u32) {
+        let nf = self.factors.len();
+        let mut color = vec![u32::MAX; nf];
+        // Per variable, the highest-colored incident factor seen so far is
+        // not enough (colors are not nested), so track full neighbor color
+        // sets via a scratch bitmap over colors.
+        let mut used = Vec::new();
+        let mut num_colors = 0u32;
+        for f in 0..nf {
+            used.clear();
+            used.resize(num_colors as usize, false);
+            for &v in &self.factors[f].vars {
+                for &g in &self.vars[v.index()].factors {
+                    let c = color[g.index()];
+                    if c != u32::MAX {
+                        used[c as usize] = true;
+                    }
+                }
+            }
+            let c = used
+                .iter()
+                .position(|&u| !u)
+                .map(|c| c as u32)
+                .unwrap_or(num_colors);
+            if c == num_colors {
+                num_colors += 1;
+            }
+            color[f] = c;
+        }
+        (color, num_colors)
+    }
+
     /// Connected components over variables (two variables connect when they
     /// share a factor). Returns a component index per variable.
     pub fn components(&self) -> Vec<usize> {
@@ -299,6 +356,81 @@ impl<V, F> FactorGraph<V, F> {
             next += 1;
         }
         comp
+    }
+}
+
+/// A compressed-sparse-row adjacency index: for each of `n` source nodes, a
+/// contiguous slice of target indices.
+///
+/// This is the flat layout backing hot-path locality queries (variable →
+/// adjacent factors): `row(v)` is a single slice borrow with no nested
+/// allocation, so MCMC delta evaluations touch one contiguous region per
+/// proposal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrAdjacency {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    /// Builds from per-row callbacks: `row_len(i)` sizes row `i`,
+    /// `fill(i, out)` appends its targets.
+    pub fn from_lists(
+        rows: usize,
+        row_len: impl Fn(usize) -> usize,
+        fill: impl Fn(usize, &mut Vec<u32>),
+    ) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0u32);
+        let total: usize = (0..rows).map(&row_len).sum();
+        let mut targets = Vec::with_capacity(total);
+        for i in 0..rows {
+            fill(i, &mut targets);
+            offsets.push(targets.len() as u32);
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Builds from `(source, target)` pairs (need not be sorted).
+    pub fn from_edges(rows: usize, edges: impl IntoIterator<Item = (usize, u32)> + Clone) -> Self {
+        let mut counts = vec![0u32; rows];
+        for (s, _) in edges.clone() {
+            counts[s] += 1;
+        }
+        let mut offsets = Vec::with_capacity(rows + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..rows].to_vec();
+        let mut targets = vec![0u32; acc as usize];
+        for (s, t) in edges {
+            targets[cursor[s] as usize] = t;
+            cursor[s] += 1;
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Number of source rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The targets adjacent to source `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 }
 
@@ -387,10 +519,7 @@ mod tests {
     fn distances_from_multiple_sources() {
         let (g, v) = chain(5);
         let d = g.distances_from(&[v[0], v[4]]);
-        assert_eq!(
-            d,
-            vec![Some(0), Some(1), Some(2), Some(1), Some(0)]
-        );
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(1), Some(0)]);
     }
 
     #[test]
@@ -405,7 +534,87 @@ mod tests {
         assert_ne!(comp[a.index()], comp[c.index()]);
     }
 
+    #[test]
+    fn csr_matches_factor_lists() {
+        let (mut g, v) = chain(5);
+        g.add_factor((), &[v[0], v[2], v[4]]);
+        let csr = g.var_factor_csr();
+        assert_eq!(csr.rows(), g.num_vars());
+        for var in g.var_ids() {
+            let expect: Vec<u32> = g.factors_of(var).iter().map(|f| f.index() as u32).collect();
+            assert_eq!(csr.row(var.index()), expect.as_slice(), "row {var}");
+        }
+        assert_eq!(csr.num_edges(), 4 * 2 + 3);
+    }
+
+    #[test]
+    fn csr_from_edges_handles_empty_rows() {
+        let csr = CsrAdjacency::from_edges(4, [(0usize, 7u32), (2, 1), (2, 9)]);
+        assert_eq!(csr.row(0), &[7]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[1, 9]);
+        assert_eq!(csr.row(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn coloring_on_chain_uses_two_colors() {
+        // Pairwise chain factors: adjacent factors share a variable, so the
+        // chain of factors 2-colors.
+        let (g, _) = chain(6);
+        let (colors, n) = g.greedy_factor_coloring();
+        assert_eq!(n, 2);
+        assert_eq!(colors, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn coloring_is_conflict_free() {
+        let (mut g, v) = chain(6);
+        g.add_factor((), &[v[0], v[3]]);
+        g.add_factor((), &[v[1], v[4], v[5]]);
+        let (colors, n) = g.greedy_factor_coloring();
+        assert!(n >= 2);
+        for var in g.var_ids() {
+            let fs = g.factors_of(var);
+            for (i, &a) in fs.iter().enumerate() {
+                for &b in &fs[i + 1..] {
+                    assert_ne!(
+                        colors[a.index()],
+                        colors[b.index()],
+                        "factors {a} and {b} share {var} but share a color"
+                    );
+                }
+            }
+        }
+    }
+
     proptest! {
+        /// Coloring never assigns one color to two factors sharing a
+        /// variable, on random bipartite graphs.
+        #[test]
+        fn random_coloring_is_conflict_free(
+            n in 2usize..12,
+            edges in proptest::collection::vec((0usize..12, 0usize..12), 1..30)
+        ) {
+            let mut g: FactorGraph<usize, ()> = FactorGraph::new();
+            let vars: Vec<_> = (0..n).map(|i| g.add_var(i)).collect();
+            for (a, b) in edges {
+                g.add_factor((), &[vars[a % n], vars[b % n]]);
+            }
+            let (colors, num) = g.greedy_factor_coloring();
+            prop_assert!(colors.iter().all(|&c| c < num));
+            for v in g.var_ids() {
+                let fs = g.factors_of(v);
+                for (i, &a) in fs.iter().enumerate() {
+                    for &b in &fs[i + 1..] {
+                        prop_assert!(
+                            colors[a.index()] != colors[b.index()] || a == b,
+                            "conflict at {v}"
+                        );
+                    }
+                }
+            }
+        }
+
         /// Path endpoints and adjacency are always consistent.
         #[test]
         fn random_graph_paths_are_valid(

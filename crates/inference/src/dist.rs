@@ -257,7 +257,10 @@ mod tests {
         let (mean, var) = sample_moments(&samples);
         assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
         let expected_var = t.variance().unwrap();
-        assert!((var - expected_var).abs() < 0.15 * expected_var, "var {var}");
+        assert!(
+            (var - expected_var).abs() < 0.15 * expected_var,
+            "var {var}"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Expectation Propagation over partitioned likelihoods (Alg. 1 of the
-//! paper).
+//! paper), executed by a software "EP engine farm".
 //!
 //! The target density factorizes as `f(θ) = Π fₖ(θ)` where each `fₖ` is the
 //! likelihood of the data captured in one partition — for BayesPerf, one
@@ -11,13 +11,50 @@
 //! 3. local update: moment-match a Gaussian to the tilted distribution
 //! 4. global update: `g ← g · Δgₖ` with damping
 //!
-//! Because sites only interact through the global approximation, site
-//! updates are independent — the parallelism the BayesPerf accelerator's EP
-//! engines exploit (§5).
+//! # The batched-parallel sweep schedule
+//!
+//! Sites only interact through the global approximation — the parallelism
+//! the BayesPerf accelerator's EP engines exploit (§5). The software farm
+//! ([`ExpectationPropagation::run_parallel`]) realizes it in three steps:
+//!
+//! 1. **Conflict-free batching.** Sites are partitioned by greedy coloring
+//!    of the site-conflict graph (two sites conflict when their variable
+//!    scopes intersect; see [`SweepSchedule`]). Within a batch, updates
+//!    touch disjoint variables, so Jacobi-style batch application equals
+//!    the sequential Gauss-Seidel order exactly.
+//! 2. **Parallel compute, ordered merge.** Each sweep walks the batches;
+//!    a batch's site updates are computed concurrently on
+//!    `std::thread::scope` workers into per-site [`SiteUpdate`] records,
+//!    then merged into the global approximation sequentially in ascending
+//!    site order. The merge is cheap (a handful of message writes per
+//!    site); all MCMC work happens in the parallel phase.
+//! 3. **Counter-based RNG streams.** Every site update draws from its own
+//!    [`SiteRng`] stream, keyed by `(seed, site, sweep)` — no shared
+//!    sequential generator.
+//!
+//! # Determinism guarantee
+//!
+//! Because the schedule is a pure function of the site list, each site's
+//! randomness is a pure function of `(seed, site, sweep)`, batch members
+//! read disjoint state, and merges happen in a fixed order,
+//! `run_parallel(seed, threads)` returns **bit-identical** [`EpResult`]s
+//! for any `threads ≥ 1`. Thread count is purely a throughput knob — the
+//! `parallel_determinism` integration test pins this down.
+//!
+//! The legacy [`ExpectationPropagation::run`] keeps the original
+//! caller-supplied-RNG sequential path (site updates in registration
+//! order, one shared stream); its results depend on the RNG stream, not on
+//! any scheduling choice.
+//!
+//! The hot path is allocation-free after warm-up: per-worker
+//! [`SiteWorkspace`] buffers (cavity state, MCMC scratch) and per-site
+//! [`SiteUpdate`] records are reused across sweeps.
 
 use crate::dist::Gaussian;
-use crate::mcmc::{McmcConfig, McmcSampler, McmcStats, Target};
+use crate::mcmc::{McmcConfig, McmcSampler, Target};
 use crate::message::GaussianMessage;
+use crate::parallel::{SiteUpdate, SiteWorkspace, SweepSchedule};
+use crate::rng::SiteRng;
 use rand::Rng;
 
 /// One partition of the data: a likelihood term over a subset of the global
@@ -36,6 +73,8 @@ pub trait EpSite {
     /// The default recomputes the full likelihood twice. Sites with factor
     /// structure should override it to only re-evaluate the factors adjacent
     /// to `i` — the locality the BayesPerf accelerator exploits.
+    /// [`FactorSite`](crate::FactorSite) implements exactly that, backed by
+    /// a CSR variable→factor index.
     fn log_likelihood_delta(&self, x: &mut [f64], i: usize, new: f64) -> f64 {
         let old = x[i];
         let before = self.log_likelihood(x);
@@ -121,7 +160,7 @@ impl Default for EpConfig {
 }
 
 /// Result of running EP.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpResult {
     /// Posterior marginal per global variable.
     pub marginals: Vec<Gaussian>,
@@ -138,7 +177,7 @@ pub struct EpResult {
 pub struct ExpectationPropagation {
     prior: Vec<Gaussian>,
     global: Vec<GaussianMessage>,
-    sites: Vec<Box<dyn EpSite>>,
+    sites: Vec<Box<dyn EpSite + Send + Sync>>,
     site_approx: Vec<Vec<GaussianMessage>>,
     config: EpConfig,
 }
@@ -178,10 +217,13 @@ impl ExpectationPropagation {
 
     /// Registers a site (initialized with the vacuous approximation).
     ///
+    /// Sites must be `Send + Sync` so the engine farm can update them from
+    /// worker threads.
+    ///
     /// # Panics
     ///
     /// Panics if the site references a variable out of range.
-    pub fn add_site<S: EpSite + 'static>(&mut self, site: S) {
+    pub fn add_site<S: EpSite + Send + Sync + 'static>(&mut self, site: S) {
         for &v in site.vars() {
             assert!(v < self.prior.len(), "site variable {v} out of range");
         }
@@ -196,9 +238,23 @@ impl ExpectationPropagation {
         self.global[v].to_gaussian().unwrap_or(self.prior[v])
     }
 
-    /// Runs EP to convergence (or `max_sweeps`).
+    /// The conflict-free batch schedule the engine farm would run — exposed
+    /// for diagnostics and benchmarks.
+    pub fn sweep_schedule(&self) -> SweepSchedule {
+        SweepSchedule::for_sites(self.prior.len(), &self.sites)
+    }
+
+    /// Runs EP sequentially with a caller-supplied RNG (the legacy path):
+    /// sites update in registration order, Gauss-Seidel style, all drawing
+    /// from `rng`'s single stream.
+    ///
+    /// Results depend on `rng`'s stream; for scheduling-independent,
+    /// thread-scalable inference use
+    /// [`ExpectationPropagation::run_parallel`].
     pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) -> EpResult {
         let sampler = McmcSampler::new(self.config.mcmc);
+        let mut ws = SiteWorkspace::new();
+        let mut out = SiteUpdate::default();
         let mut sweeps = 0;
         let mut converged = false;
         let mut acc_sum = 0.0;
@@ -208,8 +264,21 @@ impl ExpectationPropagation {
             sweeps += 1;
             let mut max_shift = 0.0f64;
             for k in 0..self.sites.len() {
-                let stats = self.update_site(k, &sampler, rng, &mut max_shift);
-                acc_sum += stats.acceptance;
+                out.prepare(self.sites[k].as_ref());
+                compute_site_update(
+                    self.sites[k].as_ref(),
+                    &self.site_approx[k],
+                    &self.global,
+                    &self.prior,
+                    &self.config,
+                    &sampler,
+                    rng,
+                    &mut ws,
+                    &mut out,
+                );
+                let shift = self.apply_site_update(k, &out);
+                max_shift = max_shift.max(shift);
+                acc_sum += out.acceptance;
                 acc_n += 1;
             }
             if max_shift <= self.config.tol {
@@ -218,78 +287,255 @@ impl ExpectationPropagation {
             }
         }
 
+        self.result(sweeps, converged, acc_sum, acc_n)
+    }
+
+    /// Runs EP on the engine farm: conflict-free batches of site updates
+    /// computed concurrently on up to `threads` workers, merged
+    /// deterministically.
+    ///
+    /// The result is **bit-identical for any `threads ≥ 1`** given the same
+    /// `seed` — see the module docs for why. `threads` is clamped to at
+    /// least 1 and at most the largest batch size (more workers than sites
+    /// in a batch cannot help).
+    pub fn run_parallel(&mut self, seed: u64, threads: usize) -> EpResult {
+        let schedule = self.sweep_schedule();
+        let threads = threads.clamp(1, schedule.max_batch_len().max(1));
+        let sampler = McmcSampler::new(self.config.mcmc);
+
+        // Per-site result records and per-worker workspaces, allocated once
+        // and reused across sweeps.
+        let mut outs: Vec<Vec<SiteUpdate>> = schedule
+            .batches()
+            .iter()
+            .map(|batch| {
+                batch
+                    .iter()
+                    .map(|&k| {
+                        let mut u = SiteUpdate::default();
+                        u.prepare(self.sites[k].as_ref());
+                        u
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut workspaces: Vec<SiteWorkspace> =
+            (0..threads).map(|_| SiteWorkspace::new()).collect();
+
+        let mut sweeps = 0;
+        let mut converged = false;
+        let mut acc_sum = 0.0;
+        let mut acc_n = 0usize;
+
+        while sweeps < self.config.max_sweeps {
+            let sweep_idx = sweeps;
+            sweeps += 1;
+            let mut max_shift = 0.0f64;
+            for (batch, batch_out) in schedule.batches().iter().zip(outs.iter_mut()) {
+                let chunk = batch.len().div_ceil(threads).max(1);
+                {
+                    let sites = &self.sites;
+                    let site_approx = &self.site_approx;
+                    let global = &self.global;
+                    let prior = &self.prior;
+                    let config = &self.config;
+                    let sampler = &sampler;
+                    let mut work = batch
+                        .chunks(chunk)
+                        .zip(batch_out.chunks_mut(chunk))
+                        .zip(workspaces.iter_mut());
+                    if threads == 1 {
+                        // Inline on the driver thread: same code path, no
+                        // spawn overhead (and trivially the same results —
+                        // workers never observe each other's writes).
+                        for ((site_chunk, out_chunk), ws) in work {
+                            farm_worker(
+                                sites,
+                                site_approx,
+                                global,
+                                prior,
+                                config,
+                                sampler,
+                                seed,
+                                sweep_idx,
+                                site_chunk,
+                                out_chunk,
+                                ws,
+                            );
+                        }
+                    } else {
+                        std::thread::scope(|scope| {
+                            for ((site_chunk, out_chunk), ws) in &mut work {
+                                scope.spawn(move || {
+                                    farm_worker(
+                                        sites,
+                                        site_approx,
+                                        global,
+                                        prior,
+                                        config,
+                                        sampler,
+                                        seed,
+                                        sweep_idx,
+                                        site_chunk,
+                                        out_chunk,
+                                        ws,
+                                    );
+                                });
+                            }
+                        });
+                    }
+                }
+                // Deterministic merge: ascending site order within the
+                // batch, regardless of which worker computed what.
+                for (&k, out) in batch.iter().zip(batch_out.iter()) {
+                    let shift = self.apply_site_update(k, out);
+                    max_shift = max_shift.max(shift);
+                    acc_sum += out.acceptance;
+                    acc_n += 1;
+                }
+            }
+            if max_shift <= self.config.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        self.result(sweeps, converged, acc_sum, acc_n)
+    }
+
+    /// Merges one staged site update into the global approximation.
+    /// Returns the largest normalized posterior-mean shift it caused.
+    fn apply_site_update(&mut self, k: usize, out: &SiteUpdate) -> f64 {
+        let mut max_shift = 0.0f64;
+        for (j, &v) in out.scope.iter().enumerate() {
+            if !out.accepted[j] {
+                continue;
+            }
+            let g_old = self.global[v].to_gaussian().unwrap_or(self.prior[v]);
+            if let Some(g_new) = out.global_new[j].to_gaussian() {
+                let shift = (g_new.mean - g_old.mean).abs() / g_old.std_dev().max(1e-12);
+                max_shift = max_shift.max(shift);
+            }
+            self.global[v] = out.global_new[j];
+            self.site_approx[k][j] = out.damped[j];
+        }
+        max_shift
+    }
+
+    fn result(&self, sweeps: usize, converged: bool, acc_sum: f64, acc_n: usize) -> EpResult {
         EpResult {
             marginals: (0..self.prior.len()).map(|v| self.marginal(v)).collect(),
             sweeps,
             converged,
-            mean_acceptance: if acc_n == 0 { 0.0 } else { acc_sum / acc_n as f64 },
+            mean_acceptance: if acc_n == 0 {
+                0.0
+            } else {
+                acc_sum / acc_n as f64
+            },
         }
     }
+}
 
-    /// One site update (lines 3–7 of Alg. 1). Returns the MCMC statistics;
-    /// updates `max_shift` with the largest normalized posterior-mean move.
-    fn update_site<R: Rng + ?Sized>(
-        &mut self,
-        k: usize,
-        sampler: &McmcSampler,
-        rng: &mut R,
-        max_shift: &mut f64,
-    ) -> McmcStats {
-        let scope: Vec<usize> = self.sites[k].vars().to_vec();
-        let d = scope.len();
+/// One worker's share of a batch: compute site updates for `site_chunk`
+/// into `out_chunk`, each site on its own counter-based RNG stream.
+#[allow(clippy::too_many_arguments)]
+fn farm_worker(
+    sites: &[Box<dyn EpSite + Send + Sync>],
+    site_approx: &[Vec<GaussianMessage>],
+    global: &[GaussianMessage],
+    prior: &[Gaussian],
+    config: &EpConfig,
+    sampler: &McmcSampler,
+    seed: u64,
+    sweep: usize,
+    site_chunk: &[usize],
+    out_chunk: &mut [SiteUpdate],
+    ws: &mut SiteWorkspace,
+) {
+    for (&k, out) in site_chunk.iter().zip(out_chunk.iter_mut()) {
+        let mut rng = SiteRng::for_site(seed, k, sweep);
+        compute_site_update(
+            sites[k].as_ref(),
+            &site_approx[k],
+            global,
+            prior,
+            config,
+            sampler,
+            &mut rng,
+            ws,
+            out,
+        );
+    }
+}
 
-        // Line 3: cavity distribution g₋ₖ = g / gₖ, with a widened-prior
-        // fallback when the quotient is improper.
-        let mut cavity_msgs = Vec::with_capacity(d);
-        let mut cavity = Vec::with_capacity(d);
-        for (j, &v) in scope.iter().enumerate() {
-            let msg = self.global[v].div(&self.site_approx[k][j]);
-            let gauss = msg.to_gaussian().unwrap_or_else(|| {
-                let p = self.prior[v];
-                Gaussian::new(self.marginal(v).mean, p.var * 100.0)
-            });
-            cavity_msgs.push(GaussianMessage::from_gaussian(&gauss));
-            cavity.push(gauss);
+/// One site update (lines 3–7 of Alg. 1), staged into `out` without
+/// touching shared state — the pure-compute half the engine farm runs in
+/// parallel. `out` must already be [`SiteUpdate::prepare`]d for `site`.
+#[allow(clippy::too_many_arguments)]
+fn compute_site_update<R: Rng + ?Sized>(
+    site: &dyn EpSite,
+    approx_k: &[GaussianMessage],
+    global: &[GaussianMessage],
+    prior: &[Gaussian],
+    config: &EpConfig,
+    sampler: &McmcSampler,
+    rng: &mut R,
+    ws: &mut SiteWorkspace,
+    out: &mut SiteUpdate,
+) {
+    let SiteWorkspace {
+        cavity_msgs,
+        cavity,
+        init,
+        scales,
+        scratch,
+    } = ws;
+    let scope = site.vars();
+
+    // Line 3: cavity distribution g₋ₖ = g / gₖ, with a widened-prior
+    // fallback when the quotient is improper.
+    cavity_msgs.clear();
+    cavity.clear();
+    for (j, &v) in scope.iter().enumerate() {
+        let msg = global[v].div(&approx_k[j]);
+        let gauss = msg.to_gaussian().unwrap_or_else(|| {
+            let p = prior[v];
+            let mean = global[v].to_gaussian().unwrap_or(p).mean;
+            Gaussian::new(mean, p.var * 100.0)
+        });
+        cavity_msgs.push(GaussianMessage::from_gaussian(&gauss));
+        cavity.push(gauss);
+    }
+
+    // Line 4: tilted moments via MCMC on Pr(yₖ|θ)·g₋ₖ(θ).
+    init.clear();
+    scales.clear();
+    for (j, g) in cavity.iter().enumerate() {
+        init.push(site.init_hint(j).unwrap_or(g.mean));
+        scales.push(match site.scale_hint(j) {
+            Some(h) => h.min(g.std_dev()),
+            None => g.std_dev(),
+        });
+    }
+    let target = TiltedTarget { site, cavity };
+    sampler.run_with_scratch(&target, init, scales, rng, scratch);
+    out.acceptance = scratch.acceptance();
+
+    // Lines 5–7: local moment match, damped site update, staged global
+    // update.
+    for (j, &v) in scope.iter().enumerate() {
+        let tilted =
+            GaussianMessage::from_moments(scratch.mean()[j], scratch.var()[j].max(config.min_var));
+        let new_site = tilted.div(&cavity_msgs[j]);
+        let damped = approx_k[j].damped_toward(&new_site, config.damping);
+        let candidate = global[v].div(&approx_k[j]).mul(&damped);
+        if candidate.is_proper() {
+            out.accepted[j] = true;
+            out.global_new[j] = candidate;
+            out.damped[j] = damped;
+        } else {
+            out.accepted[j] = false;
         }
-
-        // Line 4: tilted moments via MCMC on Pr(yₖ|θ)·g₋ₖ(θ).
-        let target = TiltedTarget {
-            site: self.sites[k].as_ref(),
-            cavity: &cavity,
-        };
-        let init: Vec<f64> = cavity
-            .iter()
-            .enumerate()
-            .map(|(j, g)| self.sites[k].init_hint(j).unwrap_or(g.mean))
-            .collect();
-        let scales: Vec<f64> = cavity
-            .iter()
-            .enumerate()
-            .map(|(j, g)| match self.sites[k].scale_hint(j) {
-                Some(h) => h.min(g.std_dev()),
-                None => g.std_dev(),
-            })
-            .collect();
-        let stats = sampler.run(&target, &init, &scales, rng);
-
-        // Lines 5–7: local moment match, damped site update, global update.
-        for (j, &v) in scope.iter().enumerate() {
-            let tilted = GaussianMessage::from_moments(
-                stats.mean[j],
-                stats.var[j].max(self.config.min_var),
-            );
-            let new_site = tilted.div(&cavity_msgs[j]);
-            let damped = self.site_approx[k][j].damped_toward(&new_site, self.config.damping);
-            let candidate = self.global[v].div(&self.site_approx[k][j]).mul(&damped);
-            if let Some(g_new) = candidate.to_gaussian() {
-                let g_old = self.marginal(v);
-                let shift = (g_new.mean - g_old.mean).abs() / g_old.std_dev().max(1e-12);
-                *max_shift = max_shift.max(shift);
-                self.global[v] = candidate;
-                self.site_approx[k][j] = damped;
-            }
-        }
-        stats
     }
 }
 
@@ -332,10 +578,8 @@ mod tests {
     #[test]
     fn gaussian_observation_matches_analytic_posterior() {
         // Prior N(0, 4); observation x ~ N(6, 1). Posterior: N(4.8, 0.8).
-        let mut ep = ExpectationPropagation::new(
-            vec![Gaussian::new(0.0, 4.0)],
-            EpConfig::default(),
-        );
+        let mut ep =
+            ExpectationPropagation::new(vec![Gaussian::new(0.0, 4.0)], EpConfig::default());
         ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
             Gaussian::new(6.0, 1.0).log_pdf(x[0])
         }));
@@ -356,10 +600,8 @@ mod tests {
     fn two_sites_combine_like_a_product() {
         // Two unit-variance observations at 0 and 10 on a flat-ish prior:
         // posterior mean ≈ 5.
-        let mut ep = ExpectationPropagation::new(
-            vec![Gaussian::new(5.0, 1000.0)],
-            EpConfig::default(),
-        );
+        let mut ep =
+            ExpectationPropagation::new(vec![Gaussian::new(5.0, 1000.0)], EpConfig::default());
         ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
             Gaussian::new(0.0, 1.0).log_pdf(x[0])
         }));
@@ -404,6 +646,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_matches_sequential_quality() {
+        // Same model as above, through the engine farm path.
+        let mut ep = ExpectationPropagation::new(
+            vec![Gaussian::new(5.0, 100.0), Gaussian::new(5.0, 100.0)],
+            EpConfig::default(),
+        );
+        ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
+            Gaussian::new(3.0, 0.01).log_pdf(x[0])
+        }));
+        ep.add_site(FnSite::new(vec![0, 1], |x: &[f64]| {
+            Gaussian::new(0.0, 0.01).log_pdf(x[0] + x[1] - 10.0)
+        }));
+        let r = ep.run_parallel(2024, 2);
+        assert!(
+            (r.marginals[0].mean - 3.0).abs() < 0.3,
+            "x0 {}",
+            r.marginals[0].mean
+        );
+        assert!(
+            (r.marginals[1].mean - 7.0).abs() < 0.5,
+            "x1 {}",
+            r.marginals[1].mean
+        );
+        assert!(r.mean_acceptance > 0.05 && r.mean_acceptance < 0.95);
+    }
+
+    #[test]
     fn chained_constraints_propagate_transitively() {
         // x0 observed; x0 + x1 = 10; x1 + x2 = 12 -> x2 ≈ x0 + 2.
         let prior = vec![
@@ -411,8 +680,10 @@ mod tests {
             Gaussian::new(4.0, 50.0),
             Gaussian::new(4.0, 50.0),
         ];
-        let mut cfg = EpConfig::default();
-        cfg.max_sweeps = 10;
+        let cfg = EpConfig {
+            max_sweeps: 10,
+            ..EpConfig::default()
+        };
         let mut ep = ExpectationPropagation::new(prior, cfg);
         ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
             Gaussian::new(4.0, 0.01).log_pdf(x[0])
@@ -447,10 +718,17 @@ mod tests {
 
     #[test]
     fn converges_and_reports_acceptance() {
+        // Extra MCMC samples shrink tilted-moment noise so the sweep shift
+        // reliably drops below tol (the default budget converges for most
+        // seeds but is a coin flip near the tolerance boundary).
         let mut ep = ExpectationPropagation::new(
             vec![Gaussian::new(0.0, 10.0)],
             EpConfig {
-                max_sweeps: 20,
+                max_sweeps: 30,
+                mcmc: McmcConfig {
+                    samples: 1200,
+                    ..McmcConfig::default()
+                },
                 ..EpConfig::default()
             },
         );
@@ -458,8 +736,8 @@ mod tests {
             Gaussian::new(2.0, 0.5).log_pdf(x[0])
         }));
         let r = ep.run(&mut rng());
-        assert!(r.converged, "should converge in 20 sweeps");
-        assert!(r.sweeps < 20);
+        assert!(r.converged, "should converge in 30 sweeps");
+        assert!(r.sweeps < 30);
         assert!(r.mean_acceptance > 0.05 && r.mean_acceptance < 0.95);
     }
 

@@ -38,14 +38,20 @@
 
 mod dist;
 mod ep;
+mod factor;
 mod mcmc;
 mod message;
+mod parallel;
+mod rng;
 mod special;
 
 pub use dist::{Gaussian, Gumbel, StudentT};
 pub use ep::{EpConfig, EpResult, EpSite, ExpectationPropagation, FnSite};
-pub use mcmc::{McmcConfig, McmcSampler, McmcStats, Target};
+pub use factor::{FactorSite, FactorSiteBuilder, LocalFactor};
+pub use mcmc::{McmcConfig, McmcSampler, McmcScratch, McmcStats, Target};
 pub use message::GaussianMessage;
+pub use parallel::{SiteWorkspace, SweepSchedule};
+pub use rng::{derive_stream_seed, SiteRng};
 pub use special::ln_gamma;
 
 /// Draws a standard-normal variate (Box-Muller transform).

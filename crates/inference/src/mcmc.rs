@@ -3,8 +3,14 @@
 //! This is the software model of the AcMC²-generated sampler IPs of §5: a
 //! random-walk MCMC kernel whose per-variable proposals only need the log
 //! density change of the factors adjacent to that variable. The accelerator
-//! runs many of these in parallel; in software we run them sequentially
-//! inside each EP site update.
+//! runs many of these in parallel; in software the EP engine farm runs one
+//! chain per site update across worker threads, so the kernel is built to be
+//! allocation-free after warm-up: all chain state, step sizes, and moment
+//! accumulators live in a caller-owned [`McmcScratch`] that is reused across
+//! site updates ([`McmcSampler::run_with_scratch`]). Moments are accumulated
+//! with Welford's online algorithm, which is numerically stable for counter
+//! magnitudes like 1e9 cycles where the naive `Σx²/n − mean²` form loses all
+//! significant digits to catastrophic cancellation.
 
 use crate::standard_normal;
 use rand::Rng;
@@ -59,7 +65,7 @@ impl Default for McmcConfig {
     }
 }
 
-/// First and second moments of the visited states.
+/// First and second moments of the visited states (owned snapshot).
 #[derive(Debug, Clone, PartialEq)]
 pub struct McmcStats {
     /// Per-component posterior mean estimate.
@@ -68,6 +74,107 @@ pub struct McmcStats {
     pub var: Vec<f64>,
     /// Overall acceptance rate of proposals.
     pub acceptance: f64,
+}
+
+/// Reusable chain state and moment accumulators — the allocation-free MCMC
+/// hot path.
+///
+/// Allocate one per worker (or one per sequential driver), call
+/// [`McmcSampler::run_with_scratch`] repeatedly, and read the results
+/// through [`McmcScratch::mean`]/[`McmcScratch::var`]. Once every buffer has
+/// grown to the largest site dimension encountered, subsequent runs perform
+/// **zero** heap allocation (asserted by the `alloc_free` integration
+/// test).
+#[derive(Debug, Clone, Default)]
+pub struct McmcScratch {
+    /// Chain state.
+    x: Vec<f64>,
+    /// Per-component proposal step sizes.
+    steps: Vec<f64>,
+    /// Welford running means.
+    mean: Vec<f64>,
+    /// Welford sum of squared deviations (M₂).
+    m2: Vec<f64>,
+    /// Finalized biased variances.
+    var: Vec<f64>,
+    /// Burn-in adaptation windows.
+    acc_window: Vec<u32>,
+    prop_window: Vec<u32>,
+    /// Acceptance rate of the last run.
+    acceptance: f64,
+}
+
+impl McmcScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for `dim`-dimensional targets, so even
+    /// the first run allocates nothing.
+    pub fn with_dim(dim: usize) -> Self {
+        let mut s = Self::default();
+        s.reserve(dim);
+        s
+    }
+
+    /// Grows every buffer to hold `dim` components.
+    pub fn reserve(&mut self, dim: usize) {
+        self.x.reserve(dim);
+        self.steps.reserve(dim);
+        self.mean.reserve(dim);
+        self.m2.reserve(dim);
+        self.var.reserve(dim);
+        self.acc_window.reserve(dim);
+        self.prop_window.reserve(dim);
+    }
+
+    /// Resets buffers for a `d`-dimensional run (no allocation once
+    /// capacity suffices).
+    fn prepare(&mut self, init: &[f64], scales: &[f64], initial_step: f64) {
+        self.x.clear();
+        self.x.extend_from_slice(init);
+        self.steps.clear();
+        self.steps
+            .extend(scales.iter().map(|s| initial_step * s.abs().max(1e-9)));
+        let d = init.len();
+        self.mean.clear();
+        self.mean.resize(d, 0.0);
+        self.m2.clear();
+        self.m2.resize(d, 0.0);
+        self.var.clear();
+        self.var.resize(d, 0.0);
+        self.acc_window.clear();
+        self.acc_window.resize(d, 0);
+        self.prop_window.clear();
+        self.prop_window.resize(d, 0);
+        self.acceptance = 0.0;
+    }
+
+    /// Per-component posterior mean estimates of the last run.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-component posterior variance estimates of the last run (biased,
+    /// ≥ 0).
+    pub fn var(&self) -> &[f64] {
+        &self.var
+    }
+
+    /// Acceptance rate of the last run.
+    pub fn acceptance(&self) -> f64 {
+        self.acceptance
+    }
+
+    /// Owned snapshot of the last run's statistics.
+    pub fn to_stats(&self) -> McmcStats {
+        McmcStats {
+            mean: self.mean.clone(),
+            var: self.var.clone(),
+            acceptance: self.acceptance,
+        }
+    }
 }
 
 /// Component-wise random-walk Metropolis-Hastings sampler with per-component
@@ -83,8 +190,9 @@ impl McmcSampler {
         McmcSampler { config }
     }
 
-    /// Runs the chain on `target`, starting from `init`, with per-component
-    /// proposal scales `scales` (e.g. cavity standard deviations).
+    /// Runs the chain, returning owned statistics. Convenience wrapper over
+    /// [`McmcSampler::run_with_scratch`] that allocates a fresh scratch —
+    /// use the scratch API on hot paths.
     ///
     /// # Panics
     ///
@@ -96,69 +204,82 @@ impl McmcSampler {
         scales: &[f64],
         rng: &mut R,
     ) -> McmcStats {
+        let mut scratch = McmcScratch::new();
+        self.run_with_scratch(target, init, scales, rng, &mut scratch);
+        scratch.to_stats()
+    }
+
+    /// Runs the chain on `target`, starting from `init`, with per-component
+    /// proposal scales `scales` (e.g. cavity standard deviations), storing
+    /// all state and results in `scratch`.
+    ///
+    /// This is the engine-farm hot path: after `scratch`'s buffers have
+    /// grown to the site dimension, the call performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` or `scales` length differs from `target.dim()`.
+    pub fn run_with_scratch<T: Target, R: Rng + ?Sized>(
+        &self,
+        target: &T,
+        init: &[f64],
+        scales: &[f64],
+        rng: &mut R,
+        scratch: &mut McmcScratch,
+    ) {
         let d = target.dim();
         assert_eq!(init.len(), d, "init length mismatch");
         assert_eq!(scales.len(), d, "scales length mismatch");
-        let mut x = init.to_vec();
-        let mut steps: Vec<f64> = scales
-            .iter()
-            .map(|s| self.config.initial_step * s.abs().max(1e-9))
-            .collect();
+        scratch.prepare(init, scales, self.config.initial_step);
 
-        let mut sum = vec![0.0; d];
-        let mut sum_sq = vec![0.0; d];
         let mut accepted = 0usize;
         let mut proposed = 0usize;
-
-        // Adaptation bookkeeping, per component.
-        let mut acc_window = vec![0usize; d];
-        let mut prop_window = vec![0usize; d];
-        const ADAPT_EVERY: usize = 20;
+        const ADAPT_EVERY: u32 = 20;
 
         let total = self.config.burn_in + self.config.samples;
+        let mut n = 0u64; // Welford sample counter
         for sweep in 0..total {
             let burning = sweep < self.config.burn_in;
             for i in 0..d {
-                let new = x[i] + steps[i] * standard_normal(rng);
-                let delta = target.log_density_delta(&mut x, i, new);
+                let new = scratch.x[i] + scratch.steps[i] * standard_normal(rng);
+                let delta = target.log_density_delta(&mut scratch.x, i, new);
                 proposed += 1;
-                prop_window[i] += 1;
+                scratch.prop_window[i] += 1;
                 if delta >= 0.0 || rng.gen::<f64>() < delta.exp() {
-                    x[i] = new;
+                    scratch.x[i] = new;
                     accepted += 1;
-                    acc_window[i] += 1;
+                    scratch.acc_window[i] += 1;
                 }
-                if burning && prop_window[i] >= ADAPT_EVERY {
-                    let rate = acc_window[i] as f64 / prop_window[i] as f64;
+                if burning && scratch.prop_window[i] >= ADAPT_EVERY {
+                    let rate = scratch.acc_window[i] as f64 / scratch.prop_window[i] as f64;
                     if rate > self.config.target_acceptance {
-                        steps[i] *= 1.15;
+                        scratch.steps[i] *= 1.15;
                     } else {
-                        steps[i] *= 0.85;
+                        scratch.steps[i] *= 0.85;
                     }
-                    acc_window[i] = 0;
-                    prop_window[i] = 0;
+                    scratch.acc_window[i] = 0;
+                    scratch.prop_window[i] = 0;
                 }
             }
             if !burning {
+                // Welford online update: stable where Σx²/n − mean² would
+                // cancel catastrophically (e.g. counters near 1e9 with
+                // spread of a few units).
+                n += 1;
+                let inv_n = 1.0 / n as f64;
                 for i in 0..d {
-                    sum[i] += x[i];
-                    sum_sq[i] += x[i] * x[i];
+                    let delta = scratch.x[i] - scratch.mean[i];
+                    scratch.mean[i] += delta * inv_n;
+                    scratch.m2[i] += delta * (scratch.x[i] - scratch.mean[i]);
                 }
             }
         }
 
-        let n = self.config.samples.max(1) as f64;
-        let mean: Vec<f64> = sum.iter().map(|s| s / n).collect();
-        let var: Vec<f64> = sum_sq
-            .iter()
-            .zip(&mean)
-            .map(|(sq, m)| (sq / n - m * m).max(0.0))
-            .collect();
-        McmcStats {
-            mean,
-            var,
-            acceptance: accepted as f64 / proposed.max(1) as f64,
+        let n = (n.max(1)) as f64;
+        for i in 0..d {
+            scratch.var[i] = (scratch.m2[i] / n).max(0.0);
         }
+        scratch.acceptance = accepted as f64 / proposed.max(1) as f64;
     }
 }
 
@@ -200,10 +321,64 @@ mod tests {
         });
         let mut rng = StdRng::seed_from_u64(42);
         let stats = sampler.run(&target, &[0.0, 0.0], &[1.0, 2.0], &mut rng);
-        assert!((stats.mean[0] - 2.0).abs() < 0.15, "mean0 {}", stats.mean[0]);
+        assert!(
+            (stats.mean[0] - 2.0).abs() < 0.15,
+            "mean0 {}",
+            stats.mean[0]
+        );
         assert!((stats.mean[1] + 5.0).abs() < 0.3, "mean1 {}", stats.mean[1]);
         assert!((stats.var[0] - 1.0).abs() < 0.3, "var0 {}", stats.var[0]);
         assert!((stats.var[1] - 4.0).abs() < 1.2, "var1 {}", stats.var[1]);
+    }
+
+    #[test]
+    fn welford_is_stable_at_counter_magnitudes() {
+        // A tight Gaussian around 1e9 (cycle-count scale). The naive
+        // sum-of-squares estimator loses all precision here: 1e18 + O(1)
+        // swamps f64's 15–16 significant digits. Welford keeps the spread.
+        let target = GaussTarget {
+            components: vec![Gaussian::new(1.0e9, 4.0)],
+        };
+        let sampler = McmcSampler::new(McmcConfig {
+            burn_in: 500,
+            samples: 8000,
+            ..McmcConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(44);
+        let stats = sampler.run(&target, &[1.0e9], &[2.0], &mut rng);
+        assert!(
+            (stats.mean[0] - 1.0e9).abs() < 0.5,
+            "mean {}",
+            stats.mean[0]
+        );
+        let rel = (stats.var[0] - 4.0).abs() / 4.0;
+        assert!(rel < 0.4, "var {} (rel err {rel})", stats.var[0]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_run() {
+        let target = GaussTarget {
+            components: vec![Gaussian::new(1.0, 2.0), Gaussian::new(-2.0, 0.5)],
+        };
+        let sampler = McmcSampler::new(McmcConfig::default());
+        let fresh = {
+            let mut rng = StdRng::seed_from_u64(9);
+            sampler.run(&target, &[0.0, 0.0], &[1.0, 1.0], &mut rng)
+        };
+        // Dirty the scratch with a different-dimension run first.
+        let mut scratch = McmcScratch::new();
+        let other = GaussTarget {
+            components: vec![Gaussian::new(0.0, 1.0); 5],
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        sampler.run_with_scratch(&other, &[0.0; 5], &[1.0; 5], &mut rng, &mut scratch);
+        let mut rng = StdRng::seed_from_u64(9);
+        sampler.run_with_scratch(&target, &[0.0, 0.0], &[1.0, 1.0], &mut rng, &mut scratch);
+        assert_eq!(
+            scratch.to_stats(),
+            fresh,
+            "scratch reuse must not leak state"
+        );
     }
 
     struct CorrelatedTarget;
@@ -222,7 +397,7 @@ mod tests {
     fn tracks_correlated_target() {
         let sampler = McmcSampler::new(McmcConfig {
             burn_in: 1000,
-            samples: 20_000,
+            samples: 40_000,
             ..McmcConfig::default()
         });
         let mut rng = StdRng::seed_from_u64(43);

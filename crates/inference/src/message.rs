@@ -185,5 +185,47 @@ mod tests {
             prop_assert!((g.mean - mean).abs() < 1e-6 * mean.abs().max(1.0));
             prop_assert!((g.var - var).abs() < 1e-6 * var);
         }
+
+        /// (a/b)*b == a even when the intermediate quotient is improper —
+        /// the transient state EP's cavity computation passes through.
+        #[test]
+        fn div_mul_roundtrip_through_improper(
+            m1 in -50.0f64..50.0, v1 in 0.01f64..50.0,
+            m2 in -50.0f64..50.0, v2 in 0.01f64..50.0,
+        ) {
+            let a = GaussianMessage::from_moments(m1, v1);
+            let b = GaussianMessage::from_moments(m2, v2);
+            let back = a.div(&b).mul(&b);
+            prop_assert!((back.precision - a.precision).abs() < 1e-9 * a.precision.max(1.0));
+            prop_assert!((back.mean_times_precision - a.mean_times_precision).abs() < 1e-6);
+        }
+
+        /// Damping is linear in natural parameters and stays within the
+        /// endpoint precisions.
+        #[test]
+        fn damping_is_a_natural_parameter_mixture(
+            m1 in -20.0f64..20.0, v1 in 0.01f64..20.0,
+            m2 in -20.0f64..20.0, v2 in 0.01f64..20.0,
+            eta in 0.0f64..1.0,
+        ) {
+            let a = GaussianMessage::from_moments(m1, v1);
+            let b = GaussianMessage::from_moments(m2, v2);
+            let d = a.damped_toward(&b, eta);
+            let expect_prec = (1.0 - eta) * a.precision + eta * b.precision;
+            prop_assert!((d.precision - expect_prec).abs() < 1e-12 * expect_prec.max(1.0));
+            let lo = a.precision.min(b.precision) - 1e-12;
+            let hi = a.precision.max(b.precision) + 1e-12;
+            prop_assert!(d.precision >= lo && d.precision <= hi);
+        }
+
+        /// The uniform message is the two-sided identity under mul/div.
+        #[test]
+        fn uniform_identity_everywhere(m in -100.0f64..100.0, v in 0.01f64..100.0) {
+            let a = GaussianMessage::from_moments(m, v);
+            let u = GaussianMessage::uniform();
+            prop_assert_eq!(a.mul(&u), a);
+            prop_assert_eq!(u.mul(&a), a);
+            prop_assert_eq!(a.div(&u), a);
+        }
     }
 }

@@ -1,0 +1,117 @@
+//! The engine farm's headline guarantee: `run_parallel(seed, threads)` is
+//! bit-identical for any thread count. Posterior means, variances, sweep
+//! counts, convergence flags, and acceptance statistics must all match to
+//! the last bit between 1, 2, and 8 workers.
+
+use bayesperf_inference::{
+    EpConfig, EpResult, ExpectationPropagation, FactorSite, FnSite, Gaussian,
+};
+
+/// A 64-site model shaped like the corrector's chunks: 32 variables in a
+/// chain, one observation site per variable, one coupling site per adjacent
+/// pair — plenty of conflicts for the coloring to untangle.
+fn chain_model() -> ExpectationPropagation {
+    let n = 32;
+    let prior = vec![Gaussian::new(5.0, 50.0); n];
+    let mut ep = ExpectationPropagation::new(prior, EpConfig::default());
+    for v in 0..n {
+        let center = 2.0 + (v as f64) * 0.25;
+        ep.add_site(FnSite::new(vec![v], move |x: &[f64]| {
+            Gaussian::new(center, 0.5).log_pdf(x[0])
+        }));
+    }
+    for v in 0..n - 1 {
+        ep.add_site(FnSite::new(vec![v, v + 1], |x: &[f64]| {
+            Gaussian::new(0.25, 0.1).log_pdf(x[1] - x[0])
+        }));
+    }
+    ep
+}
+
+fn run_with_threads(threads: usize) -> EpResult {
+    chain_model().run_parallel(0xB4FE5, threads)
+}
+
+fn assert_bit_identical(a: &EpResult, b: &EpResult, what: &str) {
+    assert_eq!(a.sweeps, b.sweeps, "{what}: sweep count");
+    assert_eq!(a.converged, b.converged, "{what}: convergence flag");
+    assert_eq!(
+        a.mean_acceptance.to_bits(),
+        b.mean_acceptance.to_bits(),
+        "{what}: acceptance"
+    );
+    assert_eq!(a.marginals.len(), b.marginals.len());
+    for (v, (ga, gb)) in a.marginals.iter().zip(&b.marginals).enumerate() {
+        assert_eq!(
+            ga.mean.to_bits(),
+            gb.mean.to_bits(),
+            "{what}: mean of variable {v} ({} vs {})",
+            ga.mean,
+            gb.mean
+        );
+        assert_eq!(
+            ga.var.to_bits(),
+            gb.var.to_bits(),
+            "{what}: var of variable {v}"
+        );
+    }
+}
+
+#[test]
+fn bit_identical_across_1_2_8_threads() {
+    let t1 = run_with_threads(1);
+    let t2 = run_with_threads(2);
+    let t8 = run_with_threads(8);
+    assert_bit_identical(&t1, &t2, "1 vs 2 threads");
+    assert_bit_identical(&t1, &t8, "1 vs 8 threads");
+    // And the run must have actually inferred something.
+    assert!(t1.mean_acceptance > 0.0);
+    assert!((t1.marginals[0].mean - 2.0).abs() < 1.5);
+}
+
+#[test]
+fn rerun_same_seed_is_reproducible() {
+    let a = run_with_threads(3);
+    let b = run_with_threads(3);
+    assert_bit_identical(&a, &b, "rerun");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = chain_model().run_parallel(1, 2);
+    let b = chain_model().run_parallel(2, 2);
+    assert!(
+        a.marginals
+            .iter()
+            .zip(&b.marginals)
+            .any(|(x, y)| x.mean.to_bits() != y.mean.to_bits()),
+        "distinct seeds should yield distinct MCMC noise"
+    );
+}
+
+#[test]
+fn factor_sites_are_bit_identical_across_threads_too() {
+    let build = || {
+        let n = 12;
+        let prior = vec![Gaussian::new(1.0, 25.0); n];
+        let mut ep = ExpectationPropagation::new(prior, EpConfig::default());
+        for v in 0..n - 1 {
+            ep.add_site(
+                FactorSite::builder(vec![v, v + 1])
+                    .factor(&[0], move |x: &[f64]| {
+                        Gaussian::new(v as f64, 0.3).log_pdf(x[0])
+                    })
+                    .factor(&[0, 1], |x: &[f64]| {
+                        Gaussian::new(1.0, 0.05).log_pdf(x[1] - x[0])
+                    })
+                    .build(),
+            );
+        }
+        ep
+    };
+    let mut a = build();
+    let mut b = build();
+    let ra = a.run_parallel(77, 1);
+    let rb = b.run_parallel(77, 8);
+    assert_bit_identical(&ra, &rb, "factor sites 1 vs 8 threads");
+}

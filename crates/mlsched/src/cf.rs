@@ -20,6 +20,7 @@ impl CollabFilter {
     /// # Panics
     ///
     /// Panics if `rank` is zero or any observation is out of bounds.
+    #[allow(clippy::too_many_arguments)]
     pub fn train<R: Rng + ?Sized>(
         rows: usize,
         cols: usize,
@@ -60,7 +61,9 @@ impl CollabFilter {
 
     /// Predicted value at `(row, col)`.
     pub fn predict(&self, row: usize, col: usize) -> f64 {
-        (0..self.rank).map(|k| self.u[row][k] * self.v[col][k]).sum()
+        (0..self.rank)
+            .map(|k| self.u[row][k] * self.v[col][k])
+            .sum()
     }
 
     /// Root-mean-square error on a set of triples.
@@ -115,12 +118,14 @@ mod tests {
             .collect()
     }
 
+    type Entries = Vec<(usize, usize, f64)>;
+
     fn observe(
         truth: &[Vec<f64>],
         sparsity: f64,
         noise: f64,
         rng: &mut StdRng,
-    ) -> (Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>) {
+    ) -> (Entries, Entries) {
         let mut train = Vec::new();
         let mut test = Vec::new();
         for (r, row) in truth.iter().enumerate() {

@@ -114,8 +114,7 @@ impl Mlp {
             // Parameter update + input gradient.
             let layer = &mut self.layers[li];
             let mut grad_in = vec![0.0; layer.n_in];
-            for o in 0..layer.n_out {
-                let g = grad[o];
+            for (o, &g) in grad.iter().enumerate().take(layer.n_out) {
                 let row = &mut layer.w[o * layer.n_in..(o + 1) * layer.n_in];
                 for (i, w) in row.iter_mut().enumerate() {
                     grad_in[i] += *w * g;

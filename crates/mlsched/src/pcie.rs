@@ -57,20 +57,76 @@ impl Fabric {
         let x16 = 12.5; // PCIe3 x16 effective GB/s
         let upi = 20.0; // inter-socket
         let links = vec![
-            Link { a: Cpu(0), b: Cpu(1), bw_gbps: upi },
-            Link { a: Cpu(0), b: Switch(0), bw_gbps: x16 },
-            Link { a: Cpu(0), b: Switch(1), bw_gbps: x16 },
-            Link { a: Cpu(1), b: Switch(2), bw_gbps: x16 },
-            Link { a: Cpu(1), b: Switch(3), bw_gbps: x16 },
-            Link { a: Switch(0), b: TrainingGpu, bw_gbps: x16 },
-            Link { a: Switch(0), b: Fpga, bw_gbps: x16 },
-            Link { a: Switch(1), b: Nic(0), bw_gbps: x16 },
-            Link { a: Switch(1), b: Gpu(0), bw_gbps: x16 },
-            Link { a: Switch(1), b: Gpu(1), bw_gbps: x16 },
-            Link { a: Switch(2), b: Gpu(2), bw_gbps: x16 },
-            Link { a: Switch(2), b: Gpu(3), bw_gbps: x16 },
-            Link { a: Switch(3), b: Nic(1), bw_gbps: x16 },
-            Link { a: Switch(3), b: Gpu(4), bw_gbps: x16 },
+            Link {
+                a: Cpu(0),
+                b: Cpu(1),
+                bw_gbps: upi,
+            },
+            Link {
+                a: Cpu(0),
+                b: Switch(0),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Cpu(0),
+                b: Switch(1),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Cpu(1),
+                b: Switch(2),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Cpu(1),
+                b: Switch(3),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Switch(0),
+                b: TrainingGpu,
+                bw_gbps: x16,
+            },
+            Link {
+                a: Switch(0),
+                b: Fpga,
+                bw_gbps: x16,
+            },
+            Link {
+                a: Switch(1),
+                b: Nic(0),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Switch(1),
+                b: Gpu(0),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Switch(1),
+                b: Gpu(1),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Switch(2),
+                b: Gpu(2),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Switch(2),
+                b: Gpu(3),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Switch(3),
+                b: Nic(1),
+                bw_gbps: x16,
+            },
+            Link {
+                a: Switch(3),
+                b: Gpu(4),
+                bw_gbps: x16,
+            },
         ];
         let mut nodes = Vec::new();
         for l in &links {
@@ -169,7 +225,7 @@ impl Fabric {
             for (li, &c) in count.iter().enumerate() {
                 if c > 0 {
                     let share = remaining[li] / c as f64;
-                    if best.map_or(true, |(_, s)| share < s) {
+                    if best.is_none_or(|(_, s)| share < s) {
                         best = Some((li, share));
                     }
                 }
@@ -213,13 +269,7 @@ impl Fabric {
 
     /// Seconds to transfer `bytes` for flow `idx` among `flows`, at the
     /// fair-share rate with per-message overheads (messages of `msg_bytes`).
-    pub fn transfer_seconds(
-        &self,
-        flows: &[Flow],
-        idx: usize,
-        bytes: f64,
-        msg_bytes: f64,
-    ) -> f64 {
+    pub fn transfer_seconds(&self, flows: &[Flow], idx: usize, bytes: f64, msg_bytes: f64) -> f64 {
         let bw = self.observed_bandwidth(flows, idx, msg_bytes);
         bytes / (bw * 1.0e9)
     }
@@ -245,7 +295,10 @@ mod tests {
     #[test]
     fn isolated_flow_gets_full_link_bandwidth() {
         let f = Fabric::standard();
-        let flows = [Flow { src: Gpu(1), dst: Gpu(2) }];
+        let flows = [Flow {
+            src: Gpu(1),
+            dst: Gpu(2),
+        }];
         let rates = f.max_min_rates(&flows);
         assert!((rates[0] - 12.5).abs() < 1e-9);
     }
@@ -255,8 +308,14 @@ mod tests {
         let f = Fabric::standard();
         // Both flows traverse switch1->cpu0.
         let flows = [
-            Flow { src: Gpu(1), dst: Gpu(2) },  // halo exchange cross-socket
-            Flow { src: Nic(0), dst: Cpu(1) },  // shuffle through NIC0
+            Flow {
+                src: Gpu(1),
+                dst: Gpu(2),
+            }, // halo exchange cross-socket
+            Flow {
+                src: Nic(0),
+                dst: Cpu(1),
+            }, // shuffle through NIC0
         ];
         let rates = f.max_min_rates(&flows);
         assert!((rates[0] - 6.25).abs() < 1e-9, "{rates:?}");
@@ -267,8 +326,14 @@ mod tests {
     fn non_overlapping_flows_do_not_interfere() {
         let f = Fabric::standard();
         let flows = [
-            Flow { src: Gpu(0), dst: Gpu(1) }, // local to switch 1
-            Flow { src: Nic(1), dst: Cpu(1) }, // socket 1
+            Flow {
+                src: Gpu(0),
+                dst: Gpu(1),
+            }, // local to switch 1
+            Flow {
+                src: Nic(1),
+                dst: Cpu(1),
+            }, // socket 1
         ];
         let rates = f.max_min_rates(&flows);
         assert!((rates[0] - 12.5).abs() < 1e-9);
@@ -278,8 +343,14 @@ mod tests {
     #[test]
     fn bandwidth_curve_matches_fig9_shape() {
         let f = Fabric::standard();
-        let halo = Flow { src: Gpu(1), dst: Gpu(2) };
-        let shuffle = Flow { src: Nic(0), dst: Cpu(1) };
+        let halo = Flow {
+            src: Gpu(1),
+            dst: Gpu(2),
+        };
+        let shuffle = Flow {
+            src: Nic(0),
+            dst: Cpu(1),
+        };
         let mut prev = 0.0;
         for p in 8..=22 {
             let size = (1u64 << p) as f64;
@@ -310,9 +381,18 @@ mod tests {
         let f = Fabric::standard();
         // Three flows all crossing cpu0<->cpu1.
         let flows = [
-            Flow { src: Gpu(0), dst: Gpu(3) },
-            Flow { src: Gpu(1), dst: Gpu(4) },
-            Flow { src: Nic(0), dst: Gpu(2) },
+            Flow {
+                src: Gpu(0),
+                dst: Gpu(3),
+            },
+            Flow {
+                src: Gpu(1),
+                dst: Gpu(4),
+            },
+            Flow {
+                src: Nic(0),
+                dst: Gpu(2),
+            },
         ];
         let rates = f.max_min_rates(&flows);
         let total: f64 = rates.iter().sum();
@@ -324,7 +404,10 @@ mod tests {
     #[test]
     fn transfer_time_scales_with_bytes() {
         let f = Fabric::standard();
-        let flows = [Flow { src: Gpu(1), dst: Gpu(2) }];
+        let flows = [Flow {
+            src: Gpu(1),
+            dst: Gpu(2),
+        }];
         let t1 = f.transfer_seconds(&flows, 0, 1.0e9, 1.0e6);
         let t2 = f.transfer_seconds(&flows, 0, 2.0e9, 1.0e6);
         assert!((t2 / t1 - 2.0).abs() < 1e-6);

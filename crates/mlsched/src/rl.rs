@@ -90,19 +90,30 @@ impl SchedulerEnv {
         // NIC0 shares switch-1 / cpu0 links with the cross-socket halo
         // exchange; NIC1 shares switch-3 / cpu1 links with socket-1 GPUs.
         let nic_flows = [
-            Flow { src: Node::Nic(0), dst: Node::Cpu(1) },
-            Flow { src: Node::Nic(1), dst: Node::Cpu(0) },
+            Flow {
+                src: Node::Nic(0),
+                dst: Node::Cpu(1),
+            },
+            Flow {
+                src: Node::Nic(1),
+                dst: Node::Cpu(0),
+            },
         ];
         let halo = [
-            Flow { src: Node::Gpu(1), dst: Node::Gpu(2) },
-            Flow { src: Node::Gpu(4), dst: Node::Gpu(3) },
+            Flow {
+                src: Node::Gpu(1),
+                dst: Node::Gpu(2),
+            },
+            Flow {
+                src: Node::Gpu(4),
+                dst: Node::Gpu(3),
+            },
         ];
         let mut iso_bw = [0.0; 2];
         let mut con_bw = [0.0; 2];
         for i in 0..2 {
             iso_bw[i] = fabric.observed_bandwidth(&[nic_flows[i]], 0, Self::MSG_BYTES);
-            con_bw[i] =
-                fabric.observed_bandwidth(&[nic_flows[i], halo[i]], 0, Self::MSG_BYTES);
+            con_bw[i] = fabric.observed_bandwidth(&[nic_flows[i], halo[i]], 0, Self::MSG_BYTES);
         }
         let mut env = SchedulerEnv {
             fabric,
@@ -160,7 +171,11 @@ impl SchedulerEnv {
             0.7 * c1,                     // DRAM channel bw, socket 1
             0.5 * (c0 + c1),              // memory-bus bw
             self.shuffle_bytes / 128.0e6, // shuffle size (normalized)
-            if self.shuffle_bytes > 64.0e6 { 1.0 } else { 0.0 }, // NUMA node
+            if self.shuffle_bytes > 64.0e6 {
+                1.0
+            } else {
+                0.0
+            }, // NUMA node
             1.0,                          // bias
         ]
     }
@@ -185,9 +200,8 @@ impl SchedulerEnv {
         let corrupted: Vec<f64> = raw
             .iter()
             .map(|r| {
-                (r * (1.0 + sigma * normal(&mut self.rng))
-                    + 0.3 * sigma * normal(&mut self.rng))
-                .max(0.0)
+                (r * (1.0 + sigma * normal(&mut self.rng)) + 0.3 * sigma * normal(&mut self.rng))
+                    .max(0.0)
             })
             .collect();
         let mut out = Vec::with_capacity(N_FEATURES);
@@ -310,7 +324,11 @@ impl Trainer {
             self.env.step();
             let feats = self.env.observe(self.quality);
             let probs = softmax(&self.policy.forward(&feats));
-            let a = if self.rng.gen::<f64>() < probs[0] { 0 } else { 1 };
+            let a = if self.rng.gen::<f64>() < probs[0] {
+                0
+            } else {
+                1
+            };
 
             let t = self.env.shuffle_time(a);
             let t_iso = self.env.isolated_time();
@@ -407,8 +425,7 @@ mod tests {
         env.step();
         let spread = |q: CorrectionQuality, env: &mut SchedulerEnv| {
             let obs: Vec<Vec<f64>> = (0..200).map(|_| env.observe(q)).collect();
-            let mean: f64 =
-                obs.iter().map(|o| o[0]).sum::<f64>() / obs.len() as f64;
+            let mean: f64 = obs.iter().map(|o| o[0]).sum::<f64>() / obs.len() as f64;
             (obs.iter().map(|o| (o[0] - mean).powi(2)).sum::<f64>() / obs.len() as f64).sqrt()
         };
         let linux = spread(CorrectionQuality::Linux, &mut env);

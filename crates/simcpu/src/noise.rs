@@ -121,7 +121,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let n = NoiseModel::default();
         let spread = |boundary: bool, rng: &mut StdRng| {
-            let vals: Vec<f64> = (0..20_000).map(|_| n.perturb(rng, 100.0, boundary)).collect();
+            let vals: Vec<f64> = (0..20_000)
+                .map(|_| n.perturb(rng, 100.0, boundary))
+                .collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
             (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
         };

@@ -3,12 +3,13 @@
 //!
 //! Run with: `cargo run --release --example accelerator_sim`
 
-use bayesperf::accel::{
-    area_power, AccelConfig, Accelerator, FpgaPart, InferenceJob, ReadPath,
-};
+use bayesperf::accel::{area_power, AccelConfig, Accelerator, FpgaPart, InferenceJob, ReadPath};
 
 fn main() {
-    for (name, cfg) in [("ppc64 / CAPI 2.0", AccelConfig::ppc64()), ("x86 / PCIe DMA", AccelConfig::x86())] {
+    for (name, cfg) in [
+        ("ppc64 / CAPI 2.0", AccelConfig::ppc64()),
+        ("x86 / PCIe DMA", AccelConfig::x86()),
+    ] {
         let acc = Accelerator::new(cfg);
         let trace = acc.simulate_job(&InferenceJob::typical());
         println!("{name}:");
@@ -37,8 +38,9 @@ fn main() {
         ReadPath::LinuxSyscall.host_cycles(),
         ReadPath::Rdpmc.host_cycles(),
         ReadPath::BayesPerfAccel.host_cycles(),
-        100.0 * (ReadPath::BayesPerfAccel.host_cycles() as f64
-            / ReadPath::LinuxSyscall.host_cycles() as f64
-            - 1.0)
+        100.0
+            * (ReadPath::BayesPerfAccel.host_cycles() as f64
+                / ReadPath::LinuxSyscall.host_cycles() as f64
+                - 1.0)
     );
 }

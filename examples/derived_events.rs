@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example derived_events`
 
 use bayesperf::core::corrector::CorrectorConfig;
-use bayesperf::core::shim::{BayesPerfShim, HpcReader};
 use bayesperf::core::scheduler::ScheduleTransformer;
+use bayesperf::core::shim::{BayesPerfShim, HpcReader};
 use bayesperf::events::{Arch, Catalog, EventEnv, EventId};
 use bayesperf::simcpu::{Pmu, PmuConfig};
 use bayesperf::workloads::by_name;
@@ -64,7 +64,10 @@ fn main() {
     shim.process();
 
     let last_truth = &run.windows.last().expect("windows").truth;
-    println!("\n{:<24} {:>12} {:>12}", "derived event", "bayesperf", "truth");
+    println!(
+        "\n{:<24} {:>12} {:>12}",
+        "derived event", "bayesperf", "truth"
+    );
     let derived = catalog.derived_events().to_vec();
     let env = ShimEnv {
         shim: std::cell::RefCell::new(&mut shim),

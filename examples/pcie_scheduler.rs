@@ -10,8 +10,14 @@ use bayesperf::mlsched::rl::{CorrectionQuality, Trainer};
 fn main() {
     // The Fig. 9 phenomenon: contention halves large-message bandwidth.
     let fabric = Fabric::standard();
-    let halo = Flow { src: Node::Gpu(1), dst: Node::Gpu(2) };
-    let shuffle = Flow { src: Node::Nic(0), dst: Node::Cpu(1) };
+    let halo = Flow {
+        src: Node::Gpu(1),
+        dst: Node::Gpu(2),
+    };
+    let shuffle = Flow {
+        src: Node::Nic(0),
+        dst: Node::Cpu(1),
+    };
     let size = (1u64 << 20) as f64;
     println!(
         "1 MiB messages: isolated {:.1} GB/s, under contention {:.1} GB/s",

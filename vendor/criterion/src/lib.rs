@@ -1,0 +1,212 @@
+//! Vendored mini `criterion` (offline build).
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`/`criterion_main!`,
+//! `black_box` — backed by a small but statistically honest harness
+//! (following the cbdr advice in SNIPPETS.md): per benchmark it collects
+//! `sample_size` wall-clock samples, each batched to amortize timer
+//! overhead, and reports the sample mean with a 95% confidence interval
+//! computed from the sample standard deviation. Environment knobs:
+//!
+//! * `BENCH_QUICK=1` — smoke mode: 2 samples, minimal batching (CI).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Harness configuration and registry.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Minimum measured duration per sample (batched iterations).
+    min_sample_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var_os("BENCH_QUICK").is_some();
+        Criterion {
+            sample_size: if quick { 2 } else { 20 },
+            min_sample_time: if quick {
+                Duration::from_millis(1)
+            } else {
+                Duration::from_millis(40)
+            },
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        if std::env::var_os("BENCH_QUICK").is_none() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    /// Sets the measurement time budget hint per sample.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.min_sample_time = t / self.sample_size.max(1) as u32;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            min_sample_time: self.min_sample_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; drives the timing loop.
+pub struct Bencher {
+    min_sample_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: grow the batch until one batch exceeds
+        // the per-sample floor, so timer overhead is amortized.
+        let mut batch = 1usize;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.min_sample_time || batch >= 1 << 20 {
+                break;
+            }
+            // Aim directly for the floor with 50% headroom.
+            let scale = self.min_sample_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            batch = ((batch as f64 * scale * 1.5).ceil() as usize).clamp(batch + 1, 1 << 20);
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Mean per-iteration time of the last `iter` run, in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples collected)");
+            return;
+        }
+        let n = self.samples_ns.len() as f64;
+        let mean = self.mean_ns();
+        let var = self
+            .samples_ns
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (n - 1.0).max(1.0);
+        // 95% CI half-width under a normal approximation of the sample mean.
+        let half = 1.96 * (var / n).sqrt();
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(mean - half),
+            fmt_ns(mean),
+            fmt_ns(mean + half),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    let ns = ns.max(0.0);
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (`--bench`,
+            // `--test`); only `--bench` mode should execute benchmarks.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_and_reports() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+            assert!(b.mean_ns() >= 0.0);
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,240 @@
+//! Vendored mini `proptest` (offline build).
+//!
+//! Implements the subset of the proptest API this workspace's tests use:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, range
+//! strategies over numeric types, tuple strategies, `collection::vec`, and
+//! `bool::ANY`. Cases are generated from a deterministic per-test seed
+//! (stable across runs and platforms). There is **no shrinking** — a
+//! failing case panics with the standard assert message; reproduce it by
+//! rerunning the test, which replays the identical case sequence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Number of cases per property.
+pub const CASES: usize = 64;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let u: f64 = rng.gen();
+                self.start + (self.end - self.start) * u as $t
+            }
+        }
+    )*};
+}
+impl_float_range!(f64, f32);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements from
+    /// `elem`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Creates a [`VecStrategy`].
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(
+            !len.is_empty(),
+            "vec strategy requires a non-empty length range"
+        );
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform over `{true, false}`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// Runs `f` for [`CASES`] deterministic cases derived from `name`.
+pub fn run_cases(name: &str, f: impl FnMut(&mut TestRng)) {
+    run_n_cases(name, CASES, f)
+}
+
+/// Runs `f` for `n` deterministic cases derived from `name`.
+pub fn run_n_cases(name: &str, n: usize, mut f: impl FnMut(&mut TestRng)) {
+    // FNV-1a over the test name gives a stable per-test seed.
+    let mut seed: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100000001b3);
+    }
+    for case in 0..n {
+        let mut rng = TestRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        f(&mut rng);
+    }
+}
+
+/// The proptest entry macro: declares `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __pt_rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// Property assertion (no shrinking: panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion (no shrinking: panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Case precondition: silently skips the current case when false (the
+/// surrounding generated closure returns unit, so an early return discards
+/// the case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Everything tests usually import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds and tuples/vecs compose.
+        #[test]
+        fn strategies_stay_in_bounds(
+            x in -5.0f64..5.0,
+            n in 1usize..9,
+            pair in (0usize..10, 0usize..10),
+            v in crate::collection::vec(0u32..100, 1..20),
+            b in crate::bool::ANY,
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 100));
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        crate::run_n_cases("det", 5, |rng| a.push((0.0f64..1.0).sample(rng)));
+        let mut b = Vec::new();
+        crate::run_n_cases("det", 5, |rng| b.push((0.0f64..1.0).sample(rng)));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! Vendored stand-in for `serde` (the build environment is offline).
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker — no code path actually serializes — so the
+//! traits here are empty markers and the derive macros (from the sibling
+//! `serde_derive` stub) emit empty impls. Swapping in real serde later is a
+//! manifest-only change.
+
+/// Marker for serializable types (vendored stub — no methods).
+pub trait Serialize {}
+
+/// Marker for deserializable types (vendored stub — no methods, no
+/// deserializer lifetime).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_markers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl Serialize for str {}

@@ -1,0 +1,108 @@
+//! Vendored `serde_derive` stub (offline build): the real serde traits are
+//! replaced by empty marker traits in the sibling `serde` stub, so the
+//! derives only need to emit `impl serde::Serialize for T {}` — no field
+//! inspection, no `syn`/`quote`. Plain generic parameters (lifetimes, types,
+//! consts, with or without bounds/defaults) are supported; that covers every
+//! derive site in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let code = if params.is_empty() {
+        format!("impl serde::{trait_name} for {name} {{}}")
+    } else {
+        let args = params.join(", ");
+        format!("impl<{args}> serde::{trait_name} for {name}<{args}> {{}}")
+    };
+    code.parse().expect("generated marker impl parses")
+}
+
+/// Extracts the item name and its generic parameter *names* (bounds and
+/// defaults stripped) from a struct/enum/union definition.
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut trees = input.into_iter().peekable();
+    // Skip attributes and visibility until the item keyword.
+    while let Some(tt) = trees.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                if let Some(TokenTree::Group(g)) = trees.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        trees.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id)
+                if id.to_string() == "struct"
+                    || id.to_string() == "enum"
+                    || id.to_string() == "union" =>
+            {
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    // Generic parameters, if any.
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = trees.peek() {
+        if p.as_char() == '<' {
+            trees.next();
+            let mut depth = 1usize;
+            let mut current: Vec<String> = Vec::new();
+            let mut in_bound_or_default = false;
+            for tt in trees.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if !current.is_empty() {
+                                params.push(current.concat());
+                            }
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        if !current.is_empty() {
+                            params.push(current.concat());
+                        }
+                        current.clear();
+                        in_bound_or_default = false;
+                        continue;
+                    }
+                    TokenTree::Punct(p)
+                        if (p.as_char() == ':' || p.as_char() == '=') && depth == 1 =>
+                    {
+                        in_bound_or_default = true;
+                        continue;
+                    }
+                    _ => {}
+                }
+                if !in_bound_or_default && depth >= 1 {
+                    match &tt {
+                        TokenTree::Ident(id) if id.to_string() == "const" => {}
+                        TokenTree::Ident(id) => current.push(id.to_string()),
+                        TokenTree::Punct(p) if p.as_char() == '\'' => current.push("'".to_string()),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    (name, params)
+}
