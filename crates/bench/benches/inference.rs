@@ -1,13 +1,20 @@
 //! Criterion benches for the inference hot path (the Fig. 3 CPU numbers),
-//! plus the EP engine-farm scaling study: sequential vs multi-threaded
-//! sweeps on a 64-site model, reported as *paired* interleaved measurements
-//! (see `crates/bench/README.md` for the methodology).
+//! plus two *paired* interleaved studies (see `crates/bench/README.md` for
+//! the methodology):
+//!
+//! * the EP engine-farm scaling study — sequential vs multi-threaded
+//!   sweeps on a 64-site model (`ep_farm_speedup_*`);
+//! * the warm-vs-cold corrector study — incremental warm-started chained
+//!   correction vs the cold rebuild-per-chunk baseline on the fig6-style
+//!   workload (`corrector_warm_speedup`). With `BENCH_GATE=1` the warm
+//!   arm is *asserted* to finish in under 0.9× of the cold arm's time — a
+//!   CI sanity floor, far below the ≥3× the warm path actually delivers.
 
 use bayesperf_core::corrector::{Corrector, CorrectorConfig};
 use bayesperf_core::model::{build_chunk_model, ModelConfig};
 use bayesperf_events::{Arch, Catalog};
 use bayesperf_inference::{EpConfig, ExpectationPropagation, FnSite, Gaussian};
-use bayesperf_simcpu::{pack_round_robin, Pmu, PmuConfig, Sample};
+use bayesperf_simcpu::{pack_round_robin, MultiplexRun, Pmu, PmuConfig, Sample};
 use bayesperf_workloads::kmeans;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -77,7 +84,7 @@ fn bench_corrector_run(c: &mut Criterion) {
     let run = pmu.run_multiplexed(&mut truth, &schedule, 8);
     c.bench_function("corrector_8_windows", |b| {
         b.iter(|| {
-            let corrector = Corrector::new(&cat, CorrectorConfig::for_run(&run));
+            let mut corrector = Corrector::new(&cat, CorrectorConfig::for_run(&run));
             std::hint::black_box(corrector.correct_run(&run));
         })
     });
@@ -86,7 +93,7 @@ fn bench_corrector_run(c: &mut Criterion) {
             let cfg = CorrectorConfig::for_run(&run)
                 .independent_chunks()
                 .with_threads(4);
-            let corrector = Corrector::new(&cat, cfg);
+            let mut corrector = Corrector::new(&cat, cfg);
             std::hint::black_box(corrector.correct_run(&run));
         })
     });
@@ -155,9 +162,115 @@ fn time<T>(f: impl FnOnce() -> T) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    // Long enough that the one unavoidable cold chunk (chunk 0 warms the
+    // engine up) stops dominating the per-window average — the quantity of
+    // interest is the steady-state sliding-window cost.
+    let n_windows = 96;
+    let (cat, run) = bayesperf_bench::fig6_fixture(n_windows);
+    c.bench_function("corrector_96w_chained_cold", |b| {
+        b.iter(|| {
+            let mut corrector = Corrector::new(&cat, CorrectorConfig::for_run(&run).cold_start());
+            std::hint::black_box(corrector.correct_run(&run));
+        })
+    });
+    c.bench_function("corrector_96w_chained_warm", |b| {
+        b.iter(|| {
+            let mut corrector = Corrector::new(&cat, CorrectorConfig::for_run(&run));
+            std::hint::black_box(corrector.correct_run(&run));
+        })
+    });
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    if filter.is_none_or(|f| "corrector_warm_speedup".contains(f.as_str())) {
+        report_warm_speedup(&cat, &run, n_windows);
+    }
+}
+
+/// Paired interleaved warm-vs-cold measurement (cbdr-style): alternate the
+/// cold rebuild-per-chunk baseline and the warm-started incremental path on
+/// the same recorded run, compute per-pair ratios, and report the mean
+/// ratio with a 95% CI plus per-window times.
+///
+/// The warm arm measures the **steady state**: one persistent corrector
+/// streams the run's chunks through [`Corrector::push_chunk`] without ever
+/// resetting, so every measured chunk is warm-started — matching a
+/// production monitor, where the single cold chunk at stream start
+/// amortizes to nothing over an unbounded window stream. (The
+/// `corrector_96w_chained_warm` criterion line above measures the same
+/// path *including* that cold start, for comparison.)
+///
+/// `BENCH_GATE=1` turns the sanity floor (warm must finish in < 0.9× the
+/// cold time) into a hard assertion for CI.
+fn report_warm_speedup(cat: &Catalog, run: &MultiplexRun, n_windows: usize) {
+    let pairs = if std::env::var_os("BENCH_QUICK").is_some() {
+        3
+    } else {
+        10
+    };
+    let windows: Vec<&[Sample]> = run.windows.iter().map(|w| w.samples.as_slice()).collect();
+    let k = CorrectorConfig::for_run(run).model.slices.max(1);
+    // Both arms must cover the same windows: the warm arm streams whole
+    // chunks, so the fixture length must be chunk-aligned.
+    assert_eq!(
+        n_windows % k,
+        0,
+        "fixture windows must be a multiple of the chunk size"
+    );
+    let chunks: Vec<&[&[Sample]]> = windows.chunks(k).collect();
+    let mut warm_corr = Corrector::new(cat, CorrectorConfig::for_run(run));
+    // One cold corrector reused across pairs: cold mode carries no state
+    // between calls, and constructing it outside the timed region keeps
+    // engine construction out of both arms equally.
+    let mut cold_corr = Corrector::new(cat, CorrectorConfig::for_run(run).cold_start());
+    let mut cold_once = || {
+        std::hint::black_box(cold_corr.correct_run(run));
+    };
+    let mut warm_once = || {
+        for chunk in &chunks {
+            std::hint::black_box(warm_corr.push_chunk(chunk));
+        }
+    };
+    // One warm-up pair, discarded (this also takes the streaming corrector
+    // past its cold first chunk).
+    let _ = time(&mut cold_once);
+    let _ = time(&mut warm_once);
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut cold_ns = 0.0;
+    let mut warm_ns = 0.0;
+    for _ in 0..pairs {
+        let cold = time(&mut cold_once);
+        let warm = time(&mut warm_once);
+        cold_ns += cold * 1e9;
+        warm_ns += warm * 1e9;
+        ratios.push(cold / warm);
+    }
+    let n = ratios.len() as f64;
+    let mean = ratios.iter().sum::<f64>() / n;
+    let var = ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (n - 1.0).max(1.0);
+    let half = 1.96 * (var / n).sqrt();
+    let per_window = |total_ns: f64| total_ns / n / n_windows as f64;
+    println!(
+        "corrector_warm_speedup                  ratio: [{:.2}x {:.2}x {:.2}x] \
+         (paired, n={pairs}; cold {:.0} ns/window, warm {:.0} ns/window)",
+        mean - half,
+        mean,
+        mean + half,
+        per_window(cold_ns),
+        per_window(warm_ns),
+    );
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            mean >= 1.0 / 0.9,
+            "warm-start regression: warm path is only {mean:.2}x faster than cold \
+             (gate requires warm time < 0.9x cold time)"
+        );
+        println!("corrector_warm_speedup                  gate: PASS (>= 1.11x)");
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ep_chunk, bench_corrector_run, bench_engine_farm
+    targets = bench_ep_chunk, bench_corrector_run, bench_engine_farm, bench_warm_vs_cold
 }
 criterion_main!(benches);

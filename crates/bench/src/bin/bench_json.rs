@@ -1,0 +1,133 @@
+//! Machine-readable inference perf baseline: runs the warm-vs-cold paired
+//! corrector benchmark on the fig6-style workload and writes
+//! `BENCH_inference.json` — the trajectory file future PRs diff their hot
+//! path against.
+//!
+//! The warm arm measures the **steady state**: one persistent corrector
+//! streams the run's chunks through `push_chunk` without resetting, so
+//! every measured chunk is warm-started (production monitors run
+//! unbounded streams; the single cold chunk at startup amortizes away).
+//! The cold arm is the pre-incremental baseline: rebuild + cold EP per
+//! chunk.
+//!
+//! Schema (all times wall-clock, single process, fixed seeds):
+//!
+//! ```json
+//! {
+//!   "bench": "inference_warm_vs_cold",
+//!   "workload": "kmeans",
+//!   "windows": 96,
+//!   "chunk_slices": 6,
+//!   "pairs": 10,
+//!   "cold": { "ns_per_window": 0.0, "sweeps_per_chunk": 0.0,
+//!             "mcmc_samples_per_site_update": 0.0, "mcmc_samples_total": 0 },
+//!   "warm": { "ns_per_window": 0.0, "sweeps_per_chunk": 0.0,
+//!             "mcmc_samples_per_site_update": 0.0, "mcmc_samples_total": 0,
+//!             "jump_site_resets": 0 },
+//!   "speedup": { "mean": 0.0, "ci95_lo": 0.0, "ci95_hi": 0.0 }
+//! }
+//! ```
+//!
+//! `BENCH_QUICK=1` shrinks the pair count for CI smoke runs;
+//! `BENCH_JSON_PATH` overrides the output path.
+
+use bayesperf_bench::fig6_fixture;
+use bayesperf_core::corrector::{CorrectionStats, Corrector, CorrectorConfig};
+use bayesperf_simcpu::Sample;
+use std::time::Instant;
+
+const N_WINDOWS: usize = 96;
+
+fn main() {
+    let pairs = if std::env::var_os("BENCH_QUICK").is_some() {
+        3
+    } else {
+        10
+    };
+    let (cat, run) = fig6_fixture(N_WINDOWS);
+    // Chunking must match the corrector's configured slice count, or
+    // push_chunk panics on a window-count mismatch.
+    let slices = CorrectorConfig::for_run(&run).model.slices.max(1);
+    assert_eq!(N_WINDOWS % slices, 0, "fixture must be chunk-aligned");
+    let windows: Vec<&[Sample]> = run.windows.iter().map(|w| w.samples.as_slice()).collect();
+    let chunks: Vec<&[&[Sample]]> = windows.chunks(slices).collect();
+
+    let mut warm_corr = Corrector::new(&cat, CorrectorConfig::for_run(&run));
+    // One cold corrector reused across pairs (cold mode is stateless), so
+    // engine construction stays outside the timed region of both arms.
+    let mut cold_corr = Corrector::new(&cat, CorrectorConfig::for_run(&run).cold_start());
+    let cold_once = |corr: &mut Corrector| -> (f64, CorrectionStats) {
+        let t = Instant::now();
+        let series = std::hint::black_box(corr.correct_run(&run));
+        (t.elapsed().as_nanos() as f64, series.stats)
+    };
+    let warm_once = |corr: &mut Corrector| -> (f64, CorrectionStats) {
+        let mut stats = CorrectionStats::default();
+        let t = Instant::now();
+        for chunk in &chunks {
+            let s = std::hint::black_box(corr.push_chunk(chunk));
+            stats.absorb_run(&s, true);
+            stats.jump_site_resets += corr.last_push_jump_resets();
+        }
+        (t.elapsed().as_nanos() as f64, stats)
+    };
+
+    // Warm-up pair, discarded (takes the streaming corrector past its cold
+    // first chunk).
+    let _ = cold_once(&mut cold_corr);
+    let _ = warm_once(&mut warm_corr);
+
+    let mut cold_ns = 0.0;
+    let mut warm_ns = 0.0;
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut cold_stats = CorrectionStats::default();
+    let mut warm_stats = CorrectionStats::default();
+    for _ in 0..pairs {
+        let (c_ns, c_stats) = cold_once(&mut cold_corr);
+        let (w_ns, w_stats) = warm_once(&mut warm_corr);
+        cold_ns += c_ns;
+        warm_ns += w_ns;
+        ratios.push(c_ns / w_ns);
+        cold_stats = c_stats;
+        warm_stats = w_stats;
+    }
+    let n = ratios.len() as f64;
+    let mean = ratios.iter().sum::<f64>() / n;
+    let var = ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (n - 1.0).max(1.0);
+    let half = 1.96 * (var / n).sqrt();
+    let ns_per_window = |total_ns: f64| total_ns / n / N_WINDOWS as f64;
+
+    let json = format!(
+        r#"{{
+  "bench": "inference_warm_vs_cold",
+  "workload": "kmeans",
+  "windows": {N_WINDOWS},
+  "chunk_slices": {slices},
+  "pairs": {pairs},
+  "cold": {{ "ns_per_window": {:.0}, "sweeps_per_chunk": {:.3},
+            "mcmc_samples_per_site_update": {:.1}, "mcmc_samples_total": {} }},
+  "warm": {{ "ns_per_window": {:.0}, "sweeps_per_chunk": {:.3},
+            "mcmc_samples_per_site_update": {:.1}, "mcmc_samples_total": {},
+            "jump_site_resets": {} }},
+  "speedup": {{ "mean": {:.3}, "ci95_lo": {:.3}, "ci95_hi": {:.3} }}
+}}
+"#,
+        ns_per_window(cold_ns),
+        cold_stats.sweeps_per_chunk(),
+        cold_stats.samples_per_site_update(),
+        cold_stats.mcmc_samples,
+        ns_per_window(warm_ns),
+        warm_stats.sweeps_per_chunk(),
+        warm_stats.samples_per_site_update(),
+        warm_stats.mcmc_samples,
+        warm_stats.jump_site_resets,
+        mean,
+        mean - half,
+        mean + half,
+    );
+
+    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_inference.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_inference.json");
+    print!("{json}");
+    eprintln!("wrote {path} (steady-state warm speedup {mean:.2}x over {pairs} pairs)");
+}

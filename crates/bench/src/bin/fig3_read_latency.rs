@@ -25,7 +25,7 @@ fn main() {
     // BayesPerf (CPU): full inference amortized over the posterior reads
     // it serves.
     let t0 = Instant::now();
-    let corrector = Corrector::new(&cat, CorrectorConfig::for_run(&run));
+    let mut corrector = Corrector::new(&cat, CorrectorConfig::for_run(&run));
     let _ = std::hint::black_box(corrector.correct_run(&run));
     let cpu_cycles = t0.elapsed().as_nanos() as f64 * clock_ghz / reads;
 

@@ -31,9 +31,9 @@ pub mod model;
 pub mod scheduler;
 pub mod shim;
 
-pub use corrector::{Corrector, CorrectorConfig, PosteriorSeries};
+pub use corrector::{CorrectionStats, Corrector, CorrectorConfig, PosteriorSeries};
 pub use error_model::observation;
 pub use metrics::{adjusted_error, dtw_align, dtw_relative_error};
-pub use model::{build_chunk_model, ChunkModel, ModelConfig};
+pub use model::{build_chunk_model, ChunkEngine, ChunkModel, ChunkPosterior, ModelConfig};
 pub use scheduler::{Schedule, ScheduleTransformer};
 pub use shim::{BayesPerfShim, HpcReader, LinuxReader, Reading};

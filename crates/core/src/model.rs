@@ -14,12 +14,27 @@
 //!   value to its value in the preceding slice — this is what lets samples
 //!   of overlapping events in adjacent configurations inform unscheduled
 //!   events (Fig. 2's `⇝` edges).
+//!
+//! # Engine reuse across windows
+//!
+//! The factor-graph *topology* is a pure function of the catalog: every
+//! slice has one observation slot per event (inactive slots contribute
+//! zero likelihood), the invariant set is fixed, and the temporal chain
+//! depends only on the slice count. Only the observed counts change from
+//! window to window. [`ChunkEngine`] therefore builds the sites, the CSR
+//! factor adjacency and the EP engine (with its cached sweep schedule)
+//! **once**, and per window merely swaps the observation slots and either
+//! [`ChunkEngine::load_warm`]s (keep EP messages — the incremental
+//! corrector path) or [`ChunkEngine::load_cold`]s (reset messages — the
+//! independent-chunks path). [`build_chunk_model`] wraps a single-shot
+//! cold engine for the legacy build-per-chunk API.
 
 use crate::error_model::observation;
 use bayesperf_events::{Catalog, EventEnv, EventId, Expr};
 use bayesperf_graph::CsrAdjacency;
 use bayesperf_inference::{
-    EpConfig, EpSite, ExpectationPropagation, Gaussian, McmcConfig, StudentT,
+    AdaptiveBudget, EpConfig, EpRunStats, EpSite, ExpectationPropagation, Gaussian, McmcConfig,
+    StudentT,
 };
 use bayesperf_simcpu::{MultiplexRun, Sample};
 
@@ -56,19 +71,31 @@ impl ModelConfig {
         }
     }
 
-    /// Fast EP settings matched to this model (used by the corrector).
+    /// Fast EP settings matched to this model (used by the corrector):
+    /// 4 cold sweeps, 2 warm sweeps, and an adaptive MCMC floor of roughly
+    /// a third of the full budget for warm sites whose cavity is quiet.
     pub fn fast_ep(&self) -> EpConfig {
         EpConfig {
             max_sweeps: 4,
+            warm_max_sweeps: 2,
             damping: 0.7,
             tol: 0.05,
             min_var: 1e-10,
+            max_precision_ratio: 1e6,
             mcmc: McmcConfig {
                 burn_in: 70,
                 samples: 150,
                 initial_step: 1.0,
                 target_acceptance: 0.44,
             },
+            adaptive: Some(AdaptiveBudget {
+                move_tol: 2.5,
+                jump_tol: 40.0,
+                burn_in: 18,
+                samples: 40,
+            }),
+            warm_decay: 1.0,
+            warm_escalation: 0.25,
         }
     }
 }
@@ -83,8 +110,10 @@ fn event_scales(catalog: &Catalog, cycles_per_window: f64) -> Vec<f64> {
 
 /// One factor of a slice site.
 enum Factor {
-    /// Student-t observation on a single local variable.
-    Obs { local: usize, dist: StudentT },
+    /// Observation slot on a single local variable; the Student-t lives in
+    /// the site's `obs` table and is swapped per window (`None` = the
+    /// event was not sampled in this window; zero likelihood).
+    Obs { local: usize },
     /// Gaussian random walk between the previous and current slice values.
     Temporal {
         prev: usize,
@@ -106,6 +135,8 @@ struct SliceSite {
     /// `n_events..2·n_events` → previous slice (absent for slice 0).
     vars: Vec<usize>,
     factors: Vec<Factor>,
+    /// Per-event observation slot (indexed by local variable `0..n_events`).
+    obs: Vec<Option<StudentT>>,
     /// CSR variable→factor index: `adj.row(i)` is the factor set touching
     /// local variable `i` — the sparse locality the MCMC delta path walks.
     adj: CsrAdjacency,
@@ -129,7 +160,10 @@ impl EventEnv for SliceEnv<'_> {
 impl SliceSite {
     fn factor_log_pdf(&self, f: &Factor, x: &[f64]) -> f64 {
         match f {
-            Factor::Obs { local, dist } => dist.log_pdf(x[*local]),
+            Factor::Obs { local } => match &self.obs[*local] {
+                Some(dist) => dist.log_pdf(x[*local]),
+                None => 0.0,
+            },
             Factor::Temporal { prev, cur, gauss } => gauss.log_pdf(x[*cur] - x[*prev]),
             Factor::Inv { lhs, rhs, gauss } => {
                 let env = SliceEnv {
@@ -141,6 +175,34 @@ impl SliceSite {
                 let rel = (l - r) / l.abs().max(r.abs()).max(1.0);
                 gauss.log_pdf(rel)
             }
+        }
+    }
+
+    /// Swaps this slice's observations to `window` (allocation-free): all
+    /// slots and hints reset, then sampled events re-filled.
+    ///
+    /// One observation slot per event: a window is expected to carry at
+    /// most one sample per event (the PMU delivers one merged reading per
+    /// window — `Sample` already aggregates the PMI sub-samples). If a
+    /// caller passes duplicates anyway, the last one wins; callers that
+    /// need multiple readings per event per window should merge them into
+    /// one `Sample` (sub-sample statistics combined) first.
+    fn set_window(&mut self, window: &[Sample], sigma_floor: f64) {
+        for o in &mut self.obs {
+            *o = None;
+        }
+        for h in &mut self.hints {
+            *h = None;
+        }
+        for s in &mut self.scale_hints {
+            *s = None;
+        }
+        for s in window {
+            let local = s.event.index();
+            let dist = observation(s, self.scales[local], sigma_floor);
+            self.hints[local] = Some(dist.loc);
+            self.scale_hints[local] = Some(dist.scale * 3.0);
+            self.obs[local] = Some(dist);
         }
     }
 }
@@ -178,19 +240,418 @@ impl EpSite for SliceSite {
     }
 }
 
-/// A built chunk model, ready to run.
-pub struct ChunkModel {
+/// A persistent per-catalog inference engine: the factor-graph topology,
+/// EP sites, sweep schedule and all scratch buffers, reused across
+/// windows. See the module docs for the warm/cold lifecycle.
+pub struct ChunkEngine {
     ep: ExpectationPropagation,
     n_events: usize,
     slices: usize,
-    scales: Vec<f64>,
+    scales: std::sync::Arc<Vec<f64>>,
+    /// Reused per-load prior buffer (`slices · n_events`).
+    prior_buf: Vec<Gaussian>,
+    /// Chained slice-0 prior (normalized, `n_events`); active when
+    /// `has_chain`.
+    chain_buf: Vec<Gaussian>,
+    has_chain: bool,
+    base_prior: Gaussian,
+    drift: f64,
+    obs_sigma_floor: f64,
+    /// Last observed (normalized) value per event across all loads
+    /// (`NAN` = never observed) — the change-point detector's history.
+    last_obs: Vec<f64>,
+    /// Scratch copy of `last_obs` for chronological scoring.
+    score_buf: Vec<f64>,
+    /// Per-slice jump flags of the last adaptive load (reused buffer).
+    jump_flags: Vec<bool>,
+    /// Per-window (total, jumped) observation counts of the last jump
+    /// scan (reused buffer).
+    jump_counts: Vec<(u32, u32)>,
+}
+
+impl std::fmt::Debug for ChunkEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkEngine")
+            .field("n_events", &self.n_events)
+            .field("slices", &self.slices)
+            .field("warm", &self.ep.is_warm())
+            .finish()
+    }
+}
+
+impl ChunkEngine {
+    /// Builds the engine for `cfg.slices` time slices.
+    pub fn new(catalog: &Catalog, cfg: &ModelConfig, ep_config: EpConfig) -> Self {
+        Self::with_slices(catalog, cfg, ep_config, cfg.slices.max(1))
+    }
+
+    /// Builds the engine for an explicit slice count (used by
+    /// [`build_chunk_model`] for ragged tail chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is zero.
+    pub fn with_slices(
+        catalog: &Catalog,
+        cfg: &ModelConfig,
+        ep_config: EpConfig,
+        slices: usize,
+    ) -> Self {
+        assert!(slices > 0, "chunk must contain at least one window");
+        let ne = catalog.len();
+        let scales = std::sync::Arc::new(event_scales(catalog, cfg.cycles_per_window));
+        let base_prior = Gaussian::new(cfg.prior_mean, cfg.prior_sd * cfg.prior_sd);
+        let prior = vec![base_prior; slices * ne];
+        let mut ep = ExpectationPropagation::new(prior.clone(), ep_config);
+        let tau_gauss = Gaussian::new(0.0, cfg.temporal_tau * cfg.temporal_tau);
+
+        for t in 0..slices {
+            // Site variables: slice t first, then slice t-1 (if any).
+            let mut vars: Vec<usize> = (0..ne).map(|e| t * ne + e).collect();
+            if t > 0 {
+                vars.extend((0..ne).map(|e| (t - 1) * ne + e));
+            }
+            let nlocal = vars.len();
+            let mut factors = Vec::new();
+
+            // One observation slot per event of slice t; slots activate
+            // when a window delivers a sample for the event.
+            for e in 0..ne {
+                factors.push(Factor::Obs { local: e });
+            }
+
+            // Invariant factors on slice t.
+            for inv in catalog.invariants() {
+                let sigma = inv.rel_noise.max(cfg.inv_sigma_floor);
+                factors.push(Factor::Inv {
+                    lhs: inv.lhs.clone(),
+                    rhs: inv.rhs.clone(),
+                    gauss: Gaussian::new(0.0, sigma * sigma),
+                });
+            }
+
+            // Temporal factors between slice t-1 and t.
+            if t > 0 {
+                for e in 0..ne {
+                    factors.push(Factor::Temporal {
+                        prev: ne + e,
+                        cur: e,
+                        gauss: tau_gauss,
+                    });
+                }
+            }
+
+            // Factor adjacency per local variable, flattened to CSR.
+            let mut edges: Vec<(usize, u32)> = Vec::new();
+            for (fi, f) in factors.iter().enumerate() {
+                let fi = fi as u32;
+                match f {
+                    Factor::Obs { local } => edges.push((*local, fi)),
+                    Factor::Temporal { prev, cur, .. } => {
+                        edges.push((*prev, fi));
+                        edges.push((*cur, fi));
+                    }
+                    Factor::Inv { lhs, rhs, .. } => {
+                        let mut ids = lhs.events();
+                        ids.extend(rhs.events());
+                        ids.sort_unstable();
+                        ids.dedup();
+                        for id in ids {
+                            edges.push((id.index(), fi));
+                        }
+                    }
+                }
+            }
+            let adj = CsrAdjacency::from_edges(nlocal, edges.iter().copied());
+
+            ep.add_site(SliceSite {
+                vars,
+                factors,
+                obs: vec![None; ne],
+                adj,
+                hints: vec![None; nlocal],
+                scale_hints: vec![None; nlocal],
+                scales: scales.clone(),
+            });
+        }
+
+        ChunkEngine {
+            ep,
+            n_events: ne,
+            slices,
+            scales,
+            prior_buf: prior,
+            chain_buf: vec![base_prior; ne],
+            has_chain: false,
+            last_obs: vec![f64::NAN; ne],
+            score_buf: Vec::with_capacity(ne),
+            jump_flags: Vec::with_capacity(slices),
+            jump_counts: Vec::with_capacity(slices),
+            base_prior,
+            drift: cfg.temporal_tau * cfg.temporal_tau,
+            obs_sigma_floor: cfg.obs_sigma_floor,
+        }
+    }
+
+    /// Number of time slices modelled.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Number of catalog events per slice.
+    pub fn n_events(&self) -> usize {
+        self.n_events
+    }
+
+    /// Sets the chained slice-0 prior (normalized units; length
+    /// `n_events`). The random-walk drift is added at load time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior.len() != n_events`.
+    pub fn set_chain_prior(&mut self, prior: &[Gaussian]) {
+        assert_eq!(prior.len(), self.n_events, "chain prior length mismatch");
+        self.chain_buf.copy_from_slice(prior);
+        self.has_chain = true;
+    }
+
+    /// Captures the current posterior of the final slice as the next
+    /// load's chained slice-0 prior (allocation-free).
+    pub fn capture_chain_prior(&mut self) {
+        let base = (self.slices - 1) * self.n_events;
+        for e in 0..self.n_events {
+            self.chain_buf[e] = self.ep.marginal(base + e);
+        }
+        self.has_chain = true;
+    }
+
+    /// The chained prior captured by
+    /// [`ChunkEngine::capture_chain_prior`]/[`ChunkEngine::set_chain_prior`]
+    /// (normalized units).
+    pub fn chain_prior(&self) -> &[Gaussian] {
+        &self.chain_buf
+    }
+
+    /// Forgets the chained prior: the next load starts from the base prior.
+    pub fn clear_chain_prior(&mut self) {
+        self.has_chain = false;
+    }
+
+    /// Composes the per-variable prior for the next load into `prior_buf`.
+    fn compose_prior(&mut self) {
+        for t in 0..self.slices {
+            for e in 0..self.n_events {
+                self.prior_buf[t * self.n_events + e] = if t == 0 && self.has_chain {
+                    let p = self.chain_buf[e];
+                    Gaussian::new(p.mean, p.var + self.drift)
+                } else {
+                    self.base_prior
+                };
+            }
+        }
+    }
+
+    /// Swaps each slice's observations to the corresponding window.
+    fn swap_observations<W: AsRef<[Sample]>>(&mut self, windows: &[W]) {
+        assert_eq!(
+            windows.len(),
+            self.slices,
+            "engine built for {} slices, got {} windows",
+            self.slices,
+            windows.len()
+        );
+        let floor = self.obs_sigma_floor;
+        for (t, w) in windows.iter().enumerate() {
+            for s in w.as_ref() {
+                let e = s.event.index();
+                self.last_obs[e] = (s.value / self.scales[e]).max(1e-9);
+            }
+            let site = self
+                .ep
+                .site_mut::<SliceSite>(t)
+                .expect("slice sites are SliceSite");
+            site.set_window(w.as_ref(), floor);
+        }
+    }
+
+    /// Change-point score of a window chunk: the fraction of its
+    /// observations whose value moved by more than a factor of `ratio`
+    /// (up or down) since the *same event* was last observed — a purely
+    /// data-driven detector. Near zero in steady state (measurement noise
+    /// and within-phase modulation are well under 2×); jumps toward 1 at
+    /// a workload phase change, where warm-starting would carry a
+    /// confidently-wrong approximation forward. Observations are compared
+    /// chronologically (intra-chunk jumps count too) against history
+    /// recorded by previous loads. Allocation-free after the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio <= 1`.
+    pub fn jump_score<W: AsRef<[Sample]>>(&mut self, windows: &[W], ratio: f64) -> f64 {
+        self.scan_jumps(windows, ratio);
+        let (total, jumped) = self
+            .jump_counts
+            .iter()
+            .fold((0u32, 0u32), |(t, j), &(wt, wj)| (t + wt, j + wj));
+        if total == 0 {
+            0.0
+        } else {
+            jumped as f64 / total as f64
+        }
+    }
+
+    /// The chronological jump scan shared by [`ChunkEngine::jump_score`]
+    /// and [`ChunkEngine::load_warm_adaptive`]: walks every observation of
+    /// `windows` in order, compares it against the same event's previous
+    /// observation (seeded from the engine's recorded history, rolled
+    /// forward within the scan), and records per window how many
+    /// comparisons were made and how many moved by more than a factor of
+    /// `ratio` up or down (into the reusable `jump_counts` buffer). The
+    /// engine's recorded history itself is *not* modified — that happens
+    /// when the windows are actually loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio <= 1`.
+    fn scan_jumps<W: AsRef<[Sample]>>(&mut self, windows: &[W], ratio: f64) {
+        assert!(ratio > 1.0, "jump ratio must exceed 1, got {ratio}");
+        self.score_buf.clear();
+        self.score_buf.extend_from_slice(&self.last_obs);
+        self.jump_counts.clear();
+        for w in windows {
+            let mut total = 0u32;
+            let mut jumped = 0u32;
+            for s in w.as_ref() {
+                let e = s.event.index();
+                let loc = (s.value / self.scales[e]).max(1e-9);
+                let prev = self.score_buf[e];
+                if prev.is_finite() {
+                    total += 1;
+                    let r = loc / prev.max(1e-9);
+                    if r > ratio || r < 1.0 / ratio {
+                        jumped += 1;
+                    }
+                }
+                self.score_buf[e] = loc;
+            }
+            self.jump_counts.push((total, jumped));
+        }
+    }
+
+    /// Loads a window chunk cold: observations swapped, EP messages
+    /// discarded, prior re-seated (chained slice 0 when a chain prior is
+    /// set). The next run pays the full sweep/MCMC budget.
+    pub fn load_cold<W: AsRef<[Sample]>>(&mut self, windows: &[W]) {
+        self.swap_observations(windows);
+        self.compose_prior();
+        let ChunkEngine { ep, prior_buf, .. } = self;
+        ep.cold_reset(prior_buf);
+    }
+
+    /// Loads a window chunk warm: observations swapped, EP messages
+    /// **kept** as the starting approximation, prior re-seated. The next
+    /// run converges in 1–2 sweeps with adaptive MCMC budgets — the
+    /// incremental sliding-window path.
+    pub fn load_warm<W: AsRef<[Sample]>>(&mut self, windows: &[W]) {
+        self.swap_observations(windows);
+        self.compose_prior();
+        let ChunkEngine { ep, prior_buf, .. } = self;
+        ep.warm_start(prior_buf);
+    }
+
+    /// [`ChunkEngine::load_warm`] with selective change-point resets: any
+    /// slice whose window moved more than a factor of `jump_ratio` on at
+    /// least `jump_frac` of its observations (vs each event's previous
+    /// observation, scanned chronologically) has the sites touching its
+    /// variables reset to the vacuous approximation. Those sites then run
+    /// with the full cold budget and vote to extend the warm run, while
+    /// unaffected slices keep the cheap warm path — a data phase change
+    /// costs a partial re-solve instead of a whole-model cold start.
+    /// Returns the number of sites reset. Allocation-free after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jump_ratio <= 1` or the window count mismatches.
+    pub fn load_warm_adaptive<W: AsRef<[Sample]>>(
+        &mut self,
+        windows: &[W],
+        jump_ratio: f64,
+        jump_frac: f64,
+    ) -> usize {
+        // Per-slice jump flags, scanned chronologically against the last
+        // observation of each event (before this chunk updates them).
+        self.scan_jumps(windows, jump_ratio);
+        let ChunkEngine {
+            jump_counts,
+            jump_flags,
+            ..
+        } = self;
+        jump_flags.clear();
+        for &(total, jumped) in jump_counts.iter() {
+            jump_flags.push(total > 0 && jumped as f64 > jump_frac * total as f64);
+        }
+
+        self.swap_observations(windows);
+        self.compose_prior();
+        // A jumped slice t invalidates every site whose scope contains its
+        // variables: site t (its own observations and backward temporal
+        // factors) and site t+1 (the forward temporal factors).
+        let mut reset = 0;
+        for k in 0..self.slices {
+            let flagged = self.jump_flags[k] || (k > 0 && self.jump_flags[k - 1]);
+            if flagged {
+                self.ep.reset_site(k);
+                reset += 1;
+            }
+        }
+        let ChunkEngine { ep, prior_buf, .. } = self;
+        ep.warm_start(prior_buf);
+        reset
+    }
+
+    /// Runs EP on the engine farm (allocation-free after the first run).
+    pub fn run_farm(&mut self, seed: u64, threads: usize) -> EpRunStats {
+        self.ep.run_farm(seed, threads)
+    }
+
+    /// Posterior of `event` at `slice`, in *count* units (denormalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn posterior(&self, slice: usize, event: EventId) -> Gaussian {
+        assert!(slice < self.slices, "slice {slice} out of range");
+        let g = self.ep.marginal(slice * self.n_events + event.index());
+        let s = self.scales[event.index()];
+        Gaussian::new(g.mean * s, g.var * s * s)
+    }
+
+    /// Snapshot of the current posterior as an owned [`ChunkPosterior`]
+    /// (allocates; the streaming corrector reads
+    /// [`ChunkEngine::posterior`] instead).
+    pub fn to_posterior(&self, converged: bool) -> ChunkPosterior {
+        let n = self.slices * self.n_events;
+        ChunkPosterior {
+            marginals: (0..n).map(|v| self.ep.marginal(v)).collect(),
+            n_events: self.n_events,
+            slices: self.slices,
+            scales: self.scales.as_ref().clone(),
+            converged,
+        }
+    }
+}
+
+/// A built chunk model, ready to run — the legacy single-shot wrapper over
+/// a cold [`ChunkEngine`].
+pub struct ChunkModel {
+    engine: ChunkEngine,
 }
 
 impl std::fmt::Debug for ChunkModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChunkModel")
-            .field("n_events", &self.n_events)
-            .field("slices", &self.slices)
+            .field("n_events", &self.engine.n_events)
+            .field("slices", &self.engine.slices)
             .finish()
     }
 }
@@ -199,30 +660,29 @@ impl ChunkModel {
     /// Runs EP sequentially with a caller-supplied RNG and returns the
     /// posterior chunk.
     pub fn run<R: rand::Rng + ?Sized>(mut self, rng: &mut R) -> ChunkPosterior {
-        let result = self.ep.run(rng);
-        self.into_posterior(result)
+        let result = self.engine.ep.run(rng);
+        self.engine.to_posterior(result.converged)
     }
 
     /// Runs EP on the parallel engine farm (bit-identical for any
     /// `threads ≥ 1` given the same `seed`).
-    pub fn run_parallel(mut self, seed: u64, threads: usize) -> ChunkPosterior {
-        let result = self.ep.run_parallel(seed, threads);
-        self.into_posterior(result)
+    pub fn run_parallel(self, seed: u64, threads: usize) -> ChunkPosterior {
+        self.run_parallel_with_stats(seed, threads).0
     }
 
-    fn into_posterior(self, result: bayesperf_inference::EpResult) -> ChunkPosterior {
-        ChunkPosterior {
-            marginals: result.marginals,
-            n_events: self.n_events,
-            slices: self.slices,
-            scales: self.scales,
-            converged: result.converged,
-        }
+    /// [`ChunkModel::run_parallel`] plus the run's work counters.
+    pub fn run_parallel_with_stats(
+        mut self,
+        seed: u64,
+        threads: usize,
+    ) -> (ChunkPosterior, EpRunStats) {
+        let stats = self.engine.run_farm(seed, threads);
+        (self.engine.to_posterior(stats.converged), stats)
     }
 
     /// Number of time slices modelled.
     pub fn slices(&self) -> usize {
-        self.slices
+        self.engine.slices()
     }
 }
 
@@ -284,106 +744,12 @@ pub fn build_chunk_model<W: AsRef<[Sample]>>(
         !windows.is_empty(),
         "chunk must contain at least one window"
     );
-    let slices = windows.len();
-    let ne = catalog.len();
-    let scales = std::sync::Arc::new(event_scales(catalog, cfg.cycles_per_window));
-
-    // Priors: slice 0 chains from the previous chunk when available.
-    let drift = cfg.temporal_tau * cfg.temporal_tau;
-    let mut prior = Vec::with_capacity(slices * ne);
-    for t in 0..slices {
-        for e in 0..ne {
-            let g = match (t, prior0) {
-                (0, Some(p)) => Gaussian::new(p[e].mean, p[e].var + drift),
-                _ => Gaussian::new(cfg.prior_mean, cfg.prior_sd * cfg.prior_sd),
-            };
-            prior.push(g);
-        }
+    let mut engine = ChunkEngine::with_slices(catalog, cfg, ep_config, windows.len());
+    if let Some(p) = prior0 {
+        engine.set_chain_prior(p);
     }
-
-    let mut ep = ExpectationPropagation::new(prior, ep_config);
-    let tau_gauss = Gaussian::new(0.0, cfg.temporal_tau * cfg.temporal_tau);
-
-    for (t, window) in windows.iter().map(AsRef::as_ref).enumerate() {
-        // Site variables: slice t first, then slice t-1 (if any).
-        let mut vars: Vec<usize> = (0..ne).map(|e| t * ne + e).collect();
-        if t > 0 {
-            vars.extend((0..ne).map(|e| (t - 1) * ne + e));
-        }
-        let nlocal = vars.len();
-        let mut factors = Vec::new();
-        let mut hints = vec![None; nlocal];
-        let mut scale_hints = vec![None; nlocal];
-
-        // Observation factors.
-        for s in window {
-            let local = s.event.index();
-            let dist = observation(s, scales[local], cfg.obs_sigma_floor);
-            hints[local] = Some(dist.loc);
-            scale_hints[local] = Some(dist.scale * 3.0);
-            factors.push(Factor::Obs { local, dist });
-        }
-
-        // Invariant factors on slice t.
-        for inv in catalog.invariants() {
-            let sigma = inv.rel_noise.max(cfg.inv_sigma_floor);
-            factors.push(Factor::Inv {
-                lhs: inv.lhs.clone(),
-                rhs: inv.rhs.clone(),
-                gauss: Gaussian::new(0.0, sigma * sigma),
-            });
-        }
-
-        // Temporal factors between slice t-1 and t.
-        if t > 0 {
-            for e in 0..ne {
-                factors.push(Factor::Temporal {
-                    prev: ne + e,
-                    cur: e,
-                    gauss: tau_gauss,
-                });
-            }
-        }
-
-        // Factor adjacency per local variable, flattened to CSR.
-        let mut edges: Vec<(usize, u32)> = Vec::new();
-        for (fi, f) in factors.iter().enumerate() {
-            let fi = fi as u32;
-            match f {
-                Factor::Obs { local, .. } => edges.push((*local, fi)),
-                Factor::Temporal { prev, cur, .. } => {
-                    edges.push((*prev, fi));
-                    edges.push((*cur, fi));
-                }
-                Factor::Inv { lhs, rhs, .. } => {
-                    let mut ids = lhs.events();
-                    ids.extend(rhs.events());
-                    ids.sort_unstable();
-                    ids.dedup();
-                    for id in ids {
-                        edges.push((id.index(), fi));
-                    }
-                }
-            }
-        }
-        let adj = CsrAdjacency::from_edges(nlocal, edges.iter().copied());
-
-        ep.add_site(SliceSite {
-            vars,
-            factors,
-            adj,
-            hints,
-            scale_hints,
-            scales: scales.clone(),
-        });
-    }
-
-    ChunkModel {
-        ep,
-        n_events: ne,
-        slices,
-        scales: scales.as_ref().clone(),
-    }
+    engine.load_cold(windows);
+    ChunkModel { engine }
 }
 
 #[cfg(test)]
@@ -520,6 +886,81 @@ mod tests {
         let g = post.posterior(0, ev);
         let rel = (g.mean - truth).abs() / truth;
         assert!(rel < 0.5, "chained posterior {} vs {truth}", g.mean);
+    }
+
+    #[test]
+    fn warm_reload_tracks_a_new_window() {
+        // Engine correctness: a warm reload with the *same* windows and no
+        // chain prior must reproduce posteriors close to the cold run —
+        // the EP fixed point does not move when the data does not.
+        let (cat, run) = run_fixture();
+        let cfg = ModelConfig::for_run(&run);
+        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
+        let mut engine = ChunkEngine::with_slices(&cat, &cfg, cfg.fast_ep(), windows.len());
+        engine.load_cold(&windows);
+        engine.run_farm(3, 1);
+        let ev = cat.require(Semantic::L1dMisses);
+        let cold = engine.posterior(0, ev);
+
+        engine.load_warm(&windows);
+        let stats = engine.run_farm(4, 1);
+        let warm = engine.posterior(0, ev);
+        assert!(stats.sweeps_run <= 2, "warm run capped at 2 sweeps");
+        let rel = (warm.mean - cold.mean).abs() / cold.mean.abs().max(1.0);
+        assert!(
+            rel < 0.05,
+            "warm {} vs cold {} ({rel})",
+            warm.mean,
+            cold.mean
+        );
+    }
+
+    #[test]
+    fn adaptive_load_resets_only_jumped_slices() {
+        let (cat, run) = run_fixture();
+        let cfg = ModelConfig::for_run(&run);
+        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
+        let mut engine = ChunkEngine::with_slices(&cat, &cfg, cfg.fast_ep(), windows.len());
+        engine.load_cold(&windows);
+        engine.run_farm(3, 1);
+
+        // Same data again: steady state, no slice should reset.
+        let reset = engine.load_warm_adaptive(&windows, 2.0, 0.25);
+        assert_eq!(reset, 0, "steady-state reload must not reset sites");
+        engine.run_farm(4, 1);
+
+        // Scale every sample of the last window by 4x: a clear phase jump
+        // confined to one slice — that slice's site resets (there is no
+        // following slice here), the rest stay warm.
+        let mut jumped = windows.clone();
+        let last = jumped.len() - 1;
+        for s in &mut jumped[last] {
+            s.value *= 4.0;
+            s.sub_mean *= 4.0;
+        }
+        let reset = engine.load_warm_adaptive(&jumped, 2.0, 0.25);
+        assert_eq!(reset, 1, "exactly the jumped slice resets");
+    }
+
+    #[test]
+    fn jump_score_is_zero_in_steady_state_and_high_on_jump() {
+        let (cat, run) = run_fixture();
+        let cfg = ModelConfig::for_run(&run);
+        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
+        let mut engine = ChunkEngine::with_slices(&cat, &cfg, cfg.fast_ep(), windows.len());
+        engine.load_cold(&windows);
+        assert_eq!(engine.jump_score(&windows, 2.0), 0.0, "same data: no jumps");
+        let mut jumped = windows.clone();
+        for w in &mut jumped {
+            for s in w {
+                s.value *= 5.0;
+            }
+        }
+        // The scan is chronological: each event registers the 5x move the
+        // first time it is re-observed (later windows match the new
+        // level), so the score is the first-occurrence fraction.
+        let score = engine.jump_score(&jumped, 2.0);
+        assert!(score > 0.2, "uniform 5x move must read as a jump ({score})");
     }
 
     #[test]

@@ -170,17 +170,21 @@ impl<'a> BayesPerfShim<'a> {
         }
         self.pending.sort_by_key(|(w, _)| *w);
 
-        let k = 6; // chunk size, matching ModelConfig::for_run
+        let k = self.corrector.config().model.slices.max(1);
         while self.pending.len() >= k {
             let chunk: Vec<Vec<Sample>> = self
                 .pending
                 .drain(..k)
                 .map(|(_, samples)| samples)
                 .collect();
-            let series = self.corrector.correct_windows(&chunk);
-            let last = series.windows() - 1;
+            let refs: Vec<&[Sample]> = chunk.iter().map(Vec::as_slice).collect();
+            // Streaming correction: chains and warm-starts across chunks,
+            // so steady-state shim inference pays the incremental (1–2
+            // sweep, floor-budget) cost instead of a cold EP run.
+            self.corrector.push_chunk(&refs);
             for e in self.catalog.iter() {
-                self.cache.insert(e.id, series.posterior(last, e.id));
+                self.cache
+                    .insert(e.id, self.corrector.posterior(k - 1, e.id));
             }
             self.chunks_run += 1;
         }

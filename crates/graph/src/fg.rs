@@ -331,6 +331,14 @@ impl<V, F> FactorGraph<V, F> {
         (color, num_colors)
     }
 
+    /// The greedy factor coloring grouped into conflict-free batches — the
+    /// cacheable sweep-schedule value ([`ColorBatches`]) the EP engine farm
+    /// replays across sliding windows.
+    pub fn conflict_batches(&self) -> ColorBatches {
+        let (colors, num_colors) = self.greedy_factor_coloring();
+        ColorBatches::from_coloring(&colors, num_colors)
+    }
+
     /// Connected components over variables (two variables connect when they
     /// share a factor). Returns a component index per variable.
     pub fn components(&self) -> Vec<usize> {
@@ -431,6 +439,76 @@ impl CsrAdjacency {
     #[inline]
     pub fn row(&self, i: usize) -> &[u32] {
         &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// A cached conflict-coloring schedule: factors grouped by color into
+/// conflict-free batches, CSR-flattened into two arrays.
+///
+/// This is the value type behind the EP engine farm's sweep schedule. The
+/// coloring is a pure function of the graph topology, not of the per-window
+/// data, so a corrector that keeps its factor-graph topology fixed across
+/// sliding windows computes it **once** and replays it every window — the
+/// warm-start path stores one of these per catalog instead of re-coloring
+/// per chunk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColorBatches {
+    /// `offsets[c]..offsets[c + 1]` bounds batch `c` in `members`.
+    offsets: Vec<u32>,
+    /// Factor indices, grouped by color, ascending within a batch.
+    members: Vec<u32>,
+}
+
+impl ColorBatches {
+    /// Groups `colors[f]` (one entry per factor, colors `< num_colors`)
+    /// into per-color batches. Factor order within a batch is ascending.
+    pub fn from_coloring(colors: &[u32], num_colors: u32) -> Self {
+        let mut counts = vec![0u32; num_colors as usize];
+        for &c in colors {
+            counts[c as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_colors as usize + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..num_colors as usize].to_vec();
+        let mut members = vec![0u32; colors.len()];
+        for (f, &c) in colors.iter().enumerate() {
+            members[cursor[c as usize] as usize] = f as u32;
+            cursor[c as usize] += 1;
+        }
+        ColorBatches { offsets, members }
+    }
+
+    /// Number of batches (colors).
+    pub fn num_batches(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The factor indices of batch `c`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn batch(&self, c: usize) -> &[u32] {
+        &self.members[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Size of the largest batch — the available factor-level parallelism.
+    pub fn max_batch_len(&self) -> usize {
+        (0..self.num_batches())
+            .map(|c| self.batch(c).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over the batches in color order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_batches()).map(move |c| self.batch(c))
     }
 }
 

@@ -32,4 +32,4 @@
 
 mod fg;
 
-pub use fg::{CsrAdjacency, FactorGraph, FactorId, VarId};
+pub use fg::{ColorBatches, CsrAdjacency, FactorGraph, FactorId, VarId};

@@ -7,7 +7,8 @@
 //! mean-field approximation `g(θ) = prior · Π gₖ(θ)` and iterates:
 //!
 //! 1. cavity: `g₋ₖ ∝ g / gₖ`
-//! 2. tilted: `g\ₖ ∝ Pr(yₖ|θ) · g₋ₖ` — moments estimated by MCMC
+//! 2. tilted: `g\ₖ ∝ Pr(yₖ|θ) · g₋ₖ` — moments estimated by MCMC, or in
+//!    closed form when the site is Gaussian-linear (see below)
 //! 3. local update: moment-match a Gaussian to the tilted distribution
 //! 4. global update: `g ← g · Δgₖ` with damping
 //!
@@ -39,23 +40,83 @@
 //! read disjoint state, and merges happen in a fixed order,
 //! `run_parallel(seed, threads)` returns **bit-identical** [`EpResult`]s
 //! for any `threads ≥ 1`. Thread count is purely a throughput knob — the
-//! `parallel_determinism` integration test pins this down.
+//! `parallel_determinism` integration test pins this down. The guarantee
+//! extends to warm-started runs: the adaptive MCMC budget is derived from
+//! per-site cavity history that is itself updated in deterministic merge
+//! order.
+//!
+//! # Warm-start lifecycle
+//!
+//! A `Corrector` that slides across multiplexing windows solves a sequence
+//! of *nearly identical* inference problems: the factor-graph topology is a
+//! pure function of the event catalog, only the observed counts move. The
+//! engine is therefore built to be **reused**, not rebuilt:
+//!
+//! ```text
+//!   build once            per window                     per window
+//!   ──────────            ───────────                    ───────────
+//!   new() + add_site()    site_mut() — swap observations  run_parallel()
+//!        │                warm_start(prior) — keep            │
+//!        ▼                site messages, re-seat prior        ▼
+//!   first run_parallel()  (or cold_reset() to discard)    marginals
+//! ```
+//!
+//! * [`ExpectationPropagation::warm_start`] re-seats the per-variable prior
+//!   (e.g. the chained prior from the previous window's posterior), keeps
+//!   all site messages and rebuilds the global approximation as
+//!   `prior · Π site messages`. Because the previous window's messages
+//!   already approximate the new window's likelihoods, warm runs converge
+//!   in 1–2 sweeps (capped by [`EpConfig::warm_max_sweeps`]) instead of the
+//!   cold sweep budget.
+//! * The **adaptive MCMC budget** ([`EpConfig::adaptive`]) shrinks the
+//!   per-site chain to [`AdaptiveBudget`]'s floor when the site's cavity
+//!   barely moved since its previous update (measured by
+//!   [`GaussianMessage::moments_shift`]); cold starts and post-swap jumps
+//!   keep the full configured budget. Sites whose cavity *jumped* past
+//!   [`AdaptiveBudget::jump_tol`] vote to extend the warm run by an extra
+//!   sweep ([`EpConfig::warm_escalation`]).
+//! * [`ExpectationPropagation::reset_site`] selectively discards one
+//!   site's messages — the warm-started corrector applies it to the
+//!   slices of a detected data phase change, re-solving just those from
+//!   scratch while the rest of the window stays warm.
+//! * [`ExpectationPropagation::cold_reset`] discards all messages (vacuous
+//!   approximation, global = prior) while **keeping** the cached sweep
+//!   schedule, site-update records and per-worker workspaces — the
+//!   structural reuse the independent-chunks corrector mode relies on.
+//! * Sites whose tilted distribution is exactly Gaussian
+//!   ([`MomentStrategy::Analytic`], e.g. [`FactorSite`](crate::FactorSite)s
+//!   made of linear-Gaussian / high-count-Poisson factors) bypass MCMC
+//!   entirely and compute moments by a site-local Cholesky solve.
+//!
+//! The hot path is allocation-free after warm-up: the sweep schedule,
+//! per-worker [`SiteWorkspace`] buffers (cavity state, MCMC scratch,
+//! analytic scratch) and per-site [`SiteUpdate`] records are cached inside
+//! the engine and reused across sweeps *and* across windows.
 //!
 //! The legacy [`ExpectationPropagation::run`] keeps the original
 //! caller-supplied-RNG sequential path (site updates in registration
 //! order, one shared stream); its results depend on the RNG stream, not on
 //! any scheduling choice.
-//!
-//! The hot path is allocation-free after warm-up: per-worker
-//! [`SiteWorkspace`] buffers (cavity state, MCMC scratch) and per-site
-//! [`SiteUpdate`] records are reused across sweeps.
 
+use crate::analytic::AnalyticScratch;
 use crate::dist::Gaussian;
 use crate::mcmc::{McmcConfig, McmcSampler, Target};
 use crate::message::GaussianMessage;
 use crate::parallel::{SiteUpdate, SiteWorkspace, SweepSchedule};
 use crate::rng::SiteRng;
 use rand::Rng;
+
+/// How a site's tilted moments are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MomentStrategy {
+    /// Estimate moments by running the site's MCMC chain (the general
+    /// path; any log-likelihood).
+    Mcmc,
+    /// Compute moments in closed form — valid when the site's likelihood
+    /// is Gaussian in a linear transform of its variables, so the tilted
+    /// distribution `cavity × likelihood` is exactly Gaussian.
+    Analytic,
+}
 
 /// One partition of the data: a likelihood term over a subset of the global
 /// variables.
@@ -99,6 +160,35 @@ pub trait EpSite {
         let _ = i;
         None
     }
+
+    /// How this site's tilted moments should be computed. Sites returning
+    /// [`MomentStrategy::Analytic`] must also implement
+    /// [`EpSite::analytic_moments`].
+    fn moment_strategy(&self) -> MomentStrategy {
+        MomentStrategy::Mcmc
+    }
+
+    /// Computes the tilted moments in closed form into `ws` (read back via
+    /// [`AnalyticScratch::mean`]/[`AnalyticScratch::var`]). Returns `false`
+    /// to decline — the driver then falls back to MCMC, so a conservative
+    /// implementation may bail on numerically degenerate cavities.
+    fn analytic_moments(&self, cavity: &[Gaussian], ws: &mut AnalyticScratch) -> bool {
+        let _ = (cavity, ws);
+        false
+    }
+}
+
+/// Object-safe site storage: [`EpSite`] plus `Any` for typed mutable access
+/// (the warm-start observation swap) — implemented for every concrete site
+/// automatically.
+trait SiteObj: EpSite + Send + Sync {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl<S: EpSite + Send + Sync + 'static> SiteObj for S {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 /// An [`EpSite`] built from a closure.
@@ -132,31 +222,136 @@ impl<F: Fn(&[f64]) -> f64> EpSite for FnSite<F> {
     }
 }
 
+/// Floor budget and trigger threshold for the adaptive MCMC budget of
+/// warm-started runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveBudget {
+    /// Cavity movement (per [`GaussianMessage::moments_shift`], averaged
+    /// over the site's variables) below which the floor budget applies.
+    /// EP-with-MCMC churns individual weak variables by ~1 normalized unit
+    /// per sweep even at a fixed point, so the useful threshold sits above
+    /// that churn floor: a genuine window-to-window data jump moves many
+    /// observed variables at once and pushes the mean past it.
+    pub move_tol: f64,
+    /// Single-variable jump threshold: if *any* of the site's variables
+    /// moved past this (far above the churn tail), the site takes the full
+    /// budget regardless of the diluted mean, and casts a "hot" vote
+    /// toward sweep escalation ([`EpConfig::warm_escalation`]). This is
+    /// what catches a data phase change that only touches a few observed
+    /// variables of a wide site.
+    pub jump_tol: f64,
+    /// Floor burn-in sweeps.
+    pub burn_in: usize,
+    /// Floor sample sweeps.
+    pub samples: usize,
+}
+
+impl Default for AdaptiveBudget {
+    fn default() -> Self {
+        AdaptiveBudget {
+            move_tol: 2.0,
+            jump_tol: 40.0,
+            burn_in: 25,
+            samples: 60,
+        }
+    }
+}
+
 /// Configuration of the EP driver.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpConfig {
-    /// Maximum outer sweeps over all sites.
+    /// Maximum outer sweeps over all sites (cold runs).
     pub max_sweeps: usize,
+    /// Maximum outer sweeps for warm-started runs (after
+    /// [`ExpectationPropagation::warm_start`]) — warm runs start near the
+    /// fixed point, so 1–2 sweeps usually suffice.
+    pub warm_max_sweeps: usize,
     /// Damping factor η ∈ (0, 1] for site/global updates.
     pub damping: f64,
     /// Convergence tolerance: maximum |Δmean|/σ across variables per sweep.
     pub tol: f64,
     /// Variance floor applied to tilted moments (guards MCMC degeneracy).
     pub min_var: f64,
-    /// MCMC settings used for tilted-moment estimation.
+    /// Per-variable site-message precision ceiling, as a multiple of the
+    /// variable's prior precision. Noisy tilted-variance estimates can
+    /// otherwise ratchet site precisions toward infinity across sweeps
+    /// (and, warm-started, across windows): an under-measured variance
+    /// tightens the cavity, which shrinks the next chain's proposals,
+    /// which under-measures again. The ceiling bounds the feedback loop
+    /// while leaving legitimately tight observations (a few orders above
+    /// the prior precision) untouched.
+    pub max_precision_ratio: f64,
+    /// MCMC settings used for tilted-moment estimation (the full budget).
     pub mcmc: McmcConfig,
+    /// Adaptive MCMC budget for warm-started runs: sites whose cavity
+    /// barely moved since their previous update shrink to the floor
+    /// budget. `None` disables adaptation; cold runs always use the full
+    /// budget either way.
+    pub adaptive: Option<AdaptiveBudget>,
+    /// Exponential forgetting applied by
+    /// [`ExpectationPropagation::warm_start`]: every site message's
+    /// natural parameters are scaled by this factor (`1.0` = keep all
+    /// information, smaller = wider starting approximation). A sliding
+    /// window *replaces* its observations, so the messages fitted to the
+    /// previous window are partially stale — decaying them lets the new
+    /// window's data dominate within the short warm sweep budget instead
+    /// of fighting an overconfident carried-over posterior at data phase
+    /// changes. The decay only moves the starting point, not the fixed
+    /// point: run to convergence, warm still matches cold.
+    pub warm_decay: f64,
+    /// Sweep-escalation threshold for warm runs, as a fraction of the
+    /// sweep's MCMC site updates that cast a "hot" vote (some variable's
+    /// cavity jumped past [`AdaptiveBudget::jump_tol`], or the site was
+    /// selectively reset). When a warm run reaches `warm_max_sweeps` and
+    /// at least this fraction of the last sweep's sites were hot, it runs
+    /// **one** extra polishing sweep (never beyond `max_sweeps`) — reset
+    /// sites re-fit in their first full-budget update, so a single extra
+    /// sweep recovers most of the cold refinement at a fraction of its
+    /// cost, while quiet windows keep the 1–2 sweep fast path. Values
+    /// above 1.0 disable escalation; escalation is also inert when
+    /// [`EpConfig::adaptive`] is `None` (no votes are cast).
+    pub warm_escalation: f64,
 }
 
 impl Default for EpConfig {
     fn default() -> Self {
         EpConfig {
             max_sweeps: 6,
+            warm_max_sweeps: 6,
             damping: 0.6,
             tol: 0.02,
             min_var: 1e-10,
+            max_precision_ratio: 1e6,
             mcmc: McmcConfig::default(),
+            adaptive: Some(AdaptiveBudget::default()),
+            warm_decay: 1.0,
+            warm_escalation: 0.25,
         }
     }
+}
+
+/// Per-run scalar statistics — the allocation-free subset of [`EpResult`]
+/// that [`ExpectationPropagation::run_farm`] returns on the steady-state
+/// corrector path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpRunStats {
+    /// Cumulative sweeps executed since engine creation / last
+    /// [`ExpectationPropagation::cold_reset`] (grows across warm windows).
+    pub sweeps_total: usize,
+    /// Sweeps executed by this run only.
+    pub sweeps_run: usize,
+    /// Whether the tolerance was met before the sweep cap.
+    pub converged: bool,
+    /// Proposal-weighted mean MCMC acceptance rate across the MCMC-path
+    /// site updates of this run; `0.0` (not NaN) when every site took the
+    /// analytic path.
+    pub mean_acceptance: f64,
+    /// Site updates that estimated moments by MCMC.
+    pub mcmc_site_updates: u64,
+    /// Site updates that computed moments analytically (no sampling).
+    pub analytic_site_updates: u64,
+    /// Total MCMC samples collected across all site updates of this run.
+    pub mcmc_samples: u64,
 }
 
 /// Result of running EP.
@@ -164,12 +359,104 @@ impl Default for EpConfig {
 pub struct EpResult {
     /// Posterior marginal per global variable.
     pub marginals: Vec<Gaussian>,
-    /// Number of sweeps executed.
-    pub sweeps: usize,
-    /// Whether the tolerance was met before `max_sweeps`.
+    /// Cumulative sweeps executed since engine creation (equals
+    /// `sweeps_run` for a fresh or cold-reset engine; grows across warm
+    /// windows).
+    pub sweeps_total: usize,
+    /// Sweeps executed by this run.
+    pub sweeps_run: usize,
+    /// Whether the tolerance was met before the sweep cap.
     pub converged: bool,
-    /// Mean MCMC acceptance rate across all site updates.
+    /// Proposal-weighted mean MCMC acceptance rate over MCMC-path site
+    /// updates only — analytic sites are excluded, so the value is NaN-free
+    /// even when no sampling happened (`0.0` then).
     pub mean_acceptance: f64,
+    /// Site updates that estimated moments by MCMC.
+    pub mcmc_site_updates: u64,
+    /// Site updates that computed moments analytically.
+    pub analytic_site_updates: u64,
+    /// Total MCMC samples collected across this run's site updates.
+    pub mcmc_samples: u64,
+}
+
+impl EpResult {
+    fn from_stats(marginals: Vec<Gaussian>, s: EpRunStats) -> Self {
+        EpResult {
+            marginals,
+            sweeps_total: s.sweeps_total,
+            sweeps_run: s.sweeps_run,
+            converged: s.converged,
+            mean_acceptance: s.mean_acceptance,
+            mcmc_site_updates: s.mcmc_site_updates,
+            analytic_site_updates: s.analytic_site_updates,
+            mcmc_samples: s.mcmc_samples,
+        }
+    }
+}
+
+/// Cached farm state: the conflict-free sweep schedule plus the per-batch
+/// site-update records and per-worker workspaces, built on first use and
+/// reused across runs (and, for a warm-started corrector, across windows).
+struct FarmCache {
+    schedule: SweepSchedule,
+    outs: Vec<Vec<SiteUpdate>>,
+    workspaces: Vec<SiteWorkspace>,
+}
+
+/// Running aggregates of one run's site updates.
+#[derive(Default)]
+struct RunAccum {
+    proposed: u64,
+    accepted: u64,
+    mcmc_updates: u64,
+    analytic_updates: u64,
+    mcmc_samples: u64,
+}
+
+impl RunAccum {
+    fn absorb(&mut self, out: &SiteUpdate) {
+        if out.used_mcmc {
+            self.mcmc_updates += 1;
+            self.mcmc_samples += out.mcmc_samples as u64;
+            self.proposed += out.proposed;
+            self.accepted += out.accepted_n;
+        } else {
+            self.analytic_updates += 1;
+        }
+    }
+
+    fn mean_acceptance(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+}
+
+/// One sweep's adaptive-budget vote tally — the sweep-escalation signal.
+#[derive(Default)]
+struct SweepVotes {
+    mcmc_updates: usize,
+    full_budget_votes: usize,
+}
+
+impl SweepVotes {
+    fn absorb(&mut self, out: &SiteUpdate) {
+        if out.used_mcmc {
+            self.mcmc_updates += 1;
+            if out.full_budget_vote {
+                self.full_budget_votes += 1;
+            }
+        }
+    }
+
+    /// Whether at least `frac` of the sweep's MCMC site updates (and at
+    /// least one) voted for the full budget.
+    fn hot(&self, frac: f64) -> bool {
+        self.full_budget_votes > 0
+            && self.full_budget_votes as f64 >= frac * self.mcmc_updates as f64
+    }
 }
 
 /// The EP driver: owns the prior, the sites, and the evolving global
@@ -177,9 +464,17 @@ pub struct EpResult {
 pub struct ExpectationPropagation {
     prior: Vec<Gaussian>,
     global: Vec<GaussianMessage>,
-    sites: Vec<Box<dyn EpSite + Send + Sync>>,
+    sites: Vec<Box<dyn SiteObj>>,
     site_approx: Vec<Vec<GaussianMessage>>,
+    /// Cavity snapshot from each site's previous update (empty until the
+    /// site has been updated once) — the adaptive-budget movement baseline.
+    site_prev_cavity: Vec<Vec<GaussianMessage>>,
     config: EpConfig,
+    cache: Option<FarmCache>,
+    total_sweeps: usize,
+    /// Whether the current messages carry over from a previous window
+    /// (set by [`ExpectationPropagation::warm_start`]).
+    warm: bool,
 }
 
 impl std::fmt::Debug for ExpectationPropagation {
@@ -187,6 +482,7 @@ impl std::fmt::Debug for ExpectationPropagation {
         f.debug_struct("ExpectationPropagation")
             .field("num_vars", &self.prior.len())
             .field("num_sites", &self.sites.len())
+            .field("warm", &self.warm)
             .field("config", &self.config)
             .finish()
     }
@@ -201,7 +497,11 @@ impl ExpectationPropagation {
             global,
             sites: Vec::new(),
             site_approx: Vec::new(),
+            site_prev_cavity: Vec::new(),
             config,
+            cache: None,
+            total_sweeps: 0,
+            warm: false,
         }
     }
 
@@ -213,6 +513,12 @@ impl ExpectationPropagation {
     /// Number of registered sites.
     pub fn num_sites(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Whether the next run is warm-started (messages carried over from a
+    /// previous window).
+    pub fn is_warm(&self) -> bool {
+        self.warm
     }
 
     /// Registers a site (initialized with the vacuous approximation).
@@ -229,7 +535,21 @@ impl ExpectationPropagation {
         }
         self.site_approx
             .push(vec![GaussianMessage::uniform(); site.vars().len()]);
+        self.site_prev_cavity.push(Vec::new());
         self.sites.push(Box::new(site));
+        // Topology changed: the cached schedule and update records are
+        // stale.
+        self.cache = None;
+    }
+
+    /// Typed mutable access to site `k` — the warm-start observation swap.
+    ///
+    /// Returns `None` if `k` is out of range or the site is not an `S`.
+    /// The caller must only mutate per-window *data* (observed values,
+    /// hints); the variable scope must stay fixed, since the cached sweep
+    /// schedule depends on it.
+    pub fn site_mut<S: EpSite + Send + Sync + 'static>(&mut self, k: usize) -> Option<&mut S> {
+        self.sites.get_mut(k)?.as_any_mut().downcast_mut::<S>()
     }
 
     /// The current posterior marginal of variable `v` (prior if no update
@@ -241,7 +561,102 @@ impl ExpectationPropagation {
     /// The conflict-free batch schedule the engine farm would run — exposed
     /// for diagnostics and benchmarks.
     pub fn sweep_schedule(&self) -> SweepSchedule {
-        SweepSchedule::for_sites(self.prior.len(), &self.sites)
+        SweepSchedule::for_scopes(self.prior.len(), self.sites.iter().map(|s| s.vars()))
+    }
+
+    /// Prepares the engine for the next window of a sliding-window
+    /// sequence: re-seats the per-variable prior (length must match),
+    /// **keeps** every site message, and rebuilds the global approximation
+    /// as `prior · Π site messages`. Subsequent runs are warm: they start
+    /// from the previous window's approximation, are capped at
+    /// [`EpConfig::warm_max_sweeps`], and may shrink per-site MCMC budgets
+    /// via [`EpConfig::adaptive`].
+    ///
+    /// Swap the new window's observations into the sites (via
+    /// [`ExpectationPropagation::site_mut`]) before or after this call,
+    /// but before the next run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior.len() != self.num_vars()`.
+    pub fn warm_start(&mut self, prior: &[Gaussian]) {
+        assert_eq!(prior.len(), self.prior.len(), "prior length mismatch");
+        self.prior.copy_from_slice(prior);
+        // Exponential forgetting: scale every site message's natural
+        // parameters so stale observation information fades (see
+        // [`EpConfig::warm_decay`]). A no-op at the default 1.0.
+        let decay = self.config.warm_decay;
+        if decay < 1.0 {
+            for msgs in &mut self.site_approx {
+                for m in msgs {
+                    m.precision *= decay;
+                    m.mean_times_precision *= decay;
+                }
+            }
+        }
+        self.rebuild_global();
+        self.warm = true;
+    }
+
+    /// Resets a single site's statistical state: its messages become
+    /// vacuous and its cavity history clears, so its next update runs with
+    /// the full MCMC budget (and votes for sweep escalation) while every
+    /// other site stays warm. This is the *selective* restart a
+    /// sliding-window corrector applies to the slices of a detected data
+    /// jump — the stale, confidently-wrong messages about the jumped
+    /// window are discarded without paying a whole-model cold start.
+    ///
+    /// Call before [`ExpectationPropagation::warm_start`] (which rebuilds
+    /// the global approximation from the surviving messages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn reset_site(&mut self, k: usize) {
+        for m in &mut self.site_approx[k] {
+            *m = GaussianMessage::uniform();
+        }
+        self.site_prev_cavity[k].clear();
+    }
+
+    /// Discards all statistical state — site messages become vacuous, the
+    /// global approximation returns to the (new) prior, cavity history and
+    /// the sweep counter reset — while keeping the cached sweep schedule
+    /// and buffers. The next run is cold (full budgets), but pays no
+    /// topology or allocation cost: this is the structural-reuse path the
+    /// independent-chunks corrector mode uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior.len() != self.num_vars()`.
+    pub fn cold_reset(&mut self, prior: &[Gaussian]) {
+        assert_eq!(prior.len(), self.prior.len(), "prior length mismatch");
+        self.prior.copy_from_slice(prior);
+        for msgs in &mut self.site_approx {
+            for m in msgs {
+                *m = GaussianMessage::uniform();
+            }
+        }
+        for pc in &mut self.site_prev_cavity {
+            pc.clear();
+        }
+        for (g, p) in self.global.iter_mut().zip(&self.prior) {
+            *g = GaussianMessage::from_gaussian(p);
+        }
+        self.total_sweeps = 0;
+        self.warm = false;
+    }
+
+    /// Rebuilds `global[v] = prior[v] · Π site messages touching v`.
+    fn rebuild_global(&mut self) {
+        for (g, p) in self.global.iter_mut().zip(&self.prior) {
+            *g = GaussianMessage::from_gaussian(p);
+        }
+        for (site, approx) in self.sites.iter().zip(&self.site_approx) {
+            for (&v, m) in site.vars().iter().zip(approx) {
+                self.global[v] = self.global[v].mul(m);
+            }
+        }
     }
 
     /// Runs EP sequentially with a caller-supplied RNG (the legacy path):
@@ -257,20 +672,24 @@ impl ExpectationPropagation {
         let mut out = SiteUpdate::default();
         let mut sweeps = 0;
         let mut converged = false;
-        let mut acc_sum = 0.0;
-        let mut acc_n = 0usize;
+        let mut accum = RunAccum::default();
+        let mut hot = false;
 
-        while sweeps < self.config.max_sweeps {
+        while self.keep_sweeping(sweeps, hot) {
             sweeps += 1;
             let mut max_shift = 0.0f64;
+            let mut votes = SweepVotes::default();
             for k in 0..self.sites.len() {
                 out.prepare(self.sites[k].as_ref());
                 compute_site_update(
                     self.sites[k].as_ref(),
                     &self.site_approx[k],
+                    &self.site_prev_cavity[k],
                     &self.global,
                     &self.prior,
                     &self.config,
+                    self.warm,
+                    hot,
                     &sampler,
                     rng,
                     &mut ws,
@@ -278,16 +697,19 @@ impl ExpectationPropagation {
                 );
                 let shift = self.apply_site_update(k, &out);
                 max_shift = max_shift.max(shift);
-                acc_sum += out.acceptance;
-                acc_n += 1;
+                accum.absorb(&out);
+                votes.absorb(&out);
             }
+            hot = votes.hot(self.config.warm_escalation);
             if max_shift <= self.config.tol {
                 converged = true;
                 break;
             }
         }
+        self.total_sweeps += sweeps;
 
-        self.result(sweeps, converged, acc_sum, acc_n)
+        let stats = self.stats(sweeps, converged, &accum);
+        EpResult::from_stats(self.collect_marginals(), stats)
     }
 
     /// Runs EP on the engine farm: conflict-free batches of site updates
@@ -299,51 +721,50 @@ impl ExpectationPropagation {
     /// least 1 and at most the largest batch size (more workers than sites
     /// in a batch cannot help).
     pub fn run_parallel(&mut self, seed: u64, threads: usize) -> EpResult {
-        let schedule = self.sweep_schedule();
-        let threads = threads.clamp(1, schedule.max_batch_len().max(1));
-        let sampler = McmcSampler::new(self.config.mcmc);
+        let stats = self.run_farm(seed, threads);
+        EpResult::from_stats(self.collect_marginals(), stats)
+    }
 
-        // Per-site result records and per-worker workspaces, allocated once
-        // and reused across sweeps.
-        let mut outs: Vec<Vec<SiteUpdate>> = schedule
-            .batches()
-            .iter()
-            .map(|batch| {
-                batch
-                    .iter()
-                    .map(|&k| {
-                        let mut u = SiteUpdate::default();
-                        u.prepare(self.sites[k].as_ref());
-                        u
-                    })
-                    .collect()
-            })
-            .collect();
-        let mut workspaces: Vec<SiteWorkspace> =
-            (0..threads).map(|_| SiteWorkspace::new()).collect();
+    /// [`ExpectationPropagation::run_parallel`] without materializing the
+    /// marginal vector — the steady-state warm-start path, allocation-free
+    /// once the engine caches are grown. Read marginals back through
+    /// [`ExpectationPropagation::marginal`].
+    pub fn run_farm(&mut self, seed: u64, threads: usize) -> EpRunStats {
+        self.ensure_cache();
+        let mut cache = self.cache.take().expect("cache just ensured");
+        let threads = threads.clamp(1, cache.schedule.max_batch_len().max(1));
+        while cache.workspaces.len() < threads {
+            cache.workspaces.push(SiteWorkspace::new());
+        }
+        let sampler = McmcSampler::new(self.config.mcmc);
 
         let mut sweeps = 0;
         let mut converged = false;
-        let mut acc_sum = 0.0;
-        let mut acc_n = 0usize;
+        let mut accum = RunAccum::default();
+        let mut hot = false;
 
-        while sweeps < self.config.max_sweeps {
-            let sweep_idx = sweeps;
+        while self.keep_sweeping(sweeps, hot) {
+            let sweep_idx = self.total_sweeps + sweeps;
             sweeps += 1;
             let mut max_shift = 0.0f64;
-            for (batch, batch_out) in schedule.batches().iter().zip(outs.iter_mut()) {
+            let mut votes = SweepVotes::default();
+            for (b, batch_out) in cache.outs.iter_mut().enumerate() {
+                let batch = cache.schedule.batch(b);
                 let chunk = batch.len().div_ceil(threads).max(1);
                 {
                     let sites = &self.sites;
                     let site_approx = &self.site_approx;
+                    let site_prev_cavity = &self.site_prev_cavity;
                     let global = &self.global;
                     let prior = &self.prior;
                     let config = &self.config;
+                    let warm = self.warm;
+                    let hot_prev = hot;
                     let sampler = &sampler;
                     let mut work = batch
                         .chunks(chunk)
                         .zip(batch_out.chunks_mut(chunk))
-                        .zip(workspaces.iter_mut());
+                        .zip(cache.workspaces.iter_mut());
                     if threads == 1 {
                         // Inline on the driver thread: same code path, no
                         // spawn overhead (and trivially the same results —
@@ -352,9 +773,12 @@ impl ExpectationPropagation {
                             farm_worker(
                                 sites,
                                 site_approx,
+                                site_prev_cavity,
                                 global,
                                 prior,
                                 config,
+                                warm,
+                                hot_prev,
                                 sampler,
                                 seed,
                                 sweep_idx,
@@ -370,9 +794,12 @@ impl ExpectationPropagation {
                                     farm_worker(
                                         sites,
                                         site_approx,
+                                        site_prev_cavity,
                                         global,
                                         prior,
                                         config,
+                                        warm,
+                                        hot_prev,
                                         sampler,
                                         seed,
                                         sweep_idx,
@@ -388,19 +815,66 @@ impl ExpectationPropagation {
                 // Deterministic merge: ascending site order within the
                 // batch, regardless of which worker computed what.
                 for (&k, out) in batch.iter().zip(batch_out.iter()) {
-                    let shift = self.apply_site_update(k, out);
+                    let shift = self.apply_site_update(k as usize, out);
                     max_shift = max_shift.max(shift);
-                    acc_sum += out.acceptance;
-                    acc_n += 1;
+                    accum.absorb(out);
+                    votes.absorb(out);
                 }
             }
+            hot = votes.hot(self.config.warm_escalation);
             if max_shift <= self.config.tol {
                 converged = true;
                 break;
             }
         }
+        self.total_sweeps += sweeps;
+        self.cache = Some(cache);
 
-        self.result(sweeps, converged, acc_sum, acc_n)
+        self.stats(sweeps, converged, &accum)
+    }
+
+    /// Whether another sweep should run, given how many already did and
+    /// whether the previous sweep was "hot" (enough adaptive-budget votes
+    /// for the full budget — the data-jump signal). Cold runs sweep to
+    /// `max_sweeps`; warm runs stop at `warm_max_sweeps` unless hot, in
+    /// which case they escalate by one extra sweep (capped by the cold
+    /// budget) — reset sites re-fit in their first full-budget update, so
+    /// one polishing sweep recovers most of the cold path's refinement at
+    /// a fraction of its cost.
+    fn keep_sweeping(&self, sweeps: usize, hot: bool) -> bool {
+        if !self.warm {
+            return sweeps < self.config.max_sweeps;
+        }
+        if sweeps < self.config.warm_max_sweeps {
+            return true;
+        }
+        hot && sweeps < (self.config.warm_max_sweeps + 1).min(self.config.max_sweeps)
+    }
+
+    /// Builds the schedule / update records / workspaces if missing.
+    fn ensure_cache(&mut self) {
+        if self.cache.is_some() {
+            return;
+        }
+        let schedule = self.sweep_schedule();
+        let outs: Vec<Vec<SiteUpdate>> = schedule
+            .iter()
+            .map(|batch| {
+                batch
+                    .iter()
+                    .map(|&k| {
+                        let mut u = SiteUpdate::default();
+                        u.prepare(self.sites[k as usize].as_ref());
+                        u
+                    })
+                    .collect()
+            })
+            .collect();
+        self.cache = Some(FarmCache {
+            schedule,
+            outs,
+            workspaces: Vec::new(),
+        });
     }
 
     /// Merges one staged site update into the global approximation.
@@ -419,19 +893,27 @@ impl ExpectationPropagation {
             self.global[v] = out.global_new[j];
             self.site_approx[k][j] = out.damped[j];
         }
+        // Record the cavity this update saw — the movement baseline the
+        // adaptive budget compares against next time this site updates.
+        let prev = &mut self.site_prev_cavity[k];
+        prev.clear();
+        prev.extend_from_slice(&out.cavity);
         max_shift
     }
 
-    fn result(&self, sweeps: usize, converged: bool, acc_sum: f64, acc_n: usize) -> EpResult {
-        EpResult {
-            marginals: (0..self.prior.len()).map(|v| self.marginal(v)).collect(),
-            sweeps,
+    fn collect_marginals(&self) -> Vec<Gaussian> {
+        (0..self.prior.len()).map(|v| self.marginal(v)).collect()
+    }
+
+    fn stats(&self, sweeps: usize, converged: bool, accum: &RunAccum) -> EpRunStats {
+        EpRunStats {
+            sweeps_total: self.total_sweeps,
+            sweeps_run: sweeps,
             converged,
-            mean_acceptance: if acc_n == 0 {
-                0.0
-            } else {
-                acc_sum / acc_n as f64
-            },
+            mean_acceptance: accum.mean_acceptance(),
+            mcmc_site_updates: accum.mcmc_updates,
+            analytic_site_updates: accum.analytic_updates,
+            mcmc_samples: accum.mcmc_samples,
         }
     }
 }
@@ -440,26 +922,34 @@ impl ExpectationPropagation {
 /// into `out_chunk`, each site on its own counter-based RNG stream.
 #[allow(clippy::too_many_arguments)]
 fn farm_worker(
-    sites: &[Box<dyn EpSite + Send + Sync>],
+    sites: &[Box<dyn SiteObj>],
     site_approx: &[Vec<GaussianMessage>],
+    site_prev_cavity: &[Vec<GaussianMessage>],
     global: &[GaussianMessage],
     prior: &[Gaussian],
     config: &EpConfig,
+    warm: bool,
+    hot_prev: bool,
     sampler: &McmcSampler,
     seed: u64,
     sweep: usize,
-    site_chunk: &[usize],
+    site_chunk: &[u32],
     out_chunk: &mut [SiteUpdate],
     ws: &mut SiteWorkspace,
 ) {
     for (&k, out) in site_chunk.iter().zip(out_chunk.iter_mut()) {
+        let k = k as usize;
         let mut rng = SiteRng::for_site(seed, k, sweep);
+        out.prepare(sites[k].as_ref());
         compute_site_update(
             sites[k].as_ref(),
             &site_approx[k],
+            &site_prev_cavity[k],
             global,
             prior,
             config,
+            warm,
+            hot_prev,
             sampler,
             &mut rng,
             ws,
@@ -475,9 +965,12 @@ fn farm_worker(
 fn compute_site_update<R: Rng + ?Sized>(
     site: &dyn EpSite,
     approx_k: &[GaussianMessage],
+    prev_cavity_k: &[GaussianMessage],
     global: &[GaussianMessage],
     prior: &[Gaussian],
     config: &EpConfig,
+    warm: bool,
+    hot_prev: bool,
     sampler: &McmcSampler,
     rng: &mut R,
     ws: &mut SiteWorkspace,
@@ -489,6 +982,7 @@ fn compute_site_update<R: Rng + ?Sized>(
         init,
         scales,
         scratch,
+        analytic,
     } = ws;
     let scope = site.vars();
 
@@ -506,27 +1000,100 @@ fn compute_site_update<R: Rng + ?Sized>(
         cavity_msgs.push(GaussianMessage::from_gaussian(&gauss));
         cavity.push(gauss);
     }
+    // Snapshot the cavity for the engine's per-site movement history.
+    out.cavity.copy_from_slice(cavity_msgs);
 
-    // Line 4: tilted moments via MCMC on Pr(yₖ|θ)·g₋ₖ(θ).
-    init.clear();
-    scales.clear();
-    for (j, g) in cavity.iter().enumerate() {
-        init.push(site.init_hint(j).unwrap_or(g.mean));
-        scales.push(match site.scale_hint(j) {
-            Some(h) => h.min(g.std_dev()),
-            None => g.std_dev(),
-        });
+    // Line 4: tilted moments — in closed form for Gaussian-linear sites,
+    // by MCMC on Pr(yₖ|θ)·g₋ₖ(θ) otherwise.
+    let analytic_ok = site.moment_strategy() == MomentStrategy::Analytic
+        && site.analytic_moments(cavity, analytic);
+    out.full_budget_vote = false;
+    if analytic_ok {
+        out.used_mcmc = false;
+        out.mcmc_samples = 0;
+        out.proposed = 0;
+        out.accepted_n = 0;
+        out.acceptance = 0.0;
+    } else {
+        init.clear();
+        scales.clear();
+        for (j, g) in cavity.iter().enumerate() {
+            init.push(site.init_hint(j).unwrap_or(g.mean));
+            scales.push(match site.scale_hint(j) {
+                Some(h) => h.min(g.std_dev()),
+                None => g.std_dev(),
+            });
+        }
+        // Adaptive budget: a warm site whose cavity barely moved since its
+        // previous update tracks the posterior with the floor budget; cold
+        // starts (or a site with no history) keep the full budget, and a
+        // sweep following a "hot" one (data jump in flight) runs every
+        // site at the full budget — cold-level refinement for the
+        // transient.
+        let (burn_in, samples) = match (warm, config.adaptive) {
+            (true, Some(ab)) if !prev_cavity_k.is_empty() => {
+                // Two movement statistics over the site's variables:
+                // * the mean — EP-with-MCMC churns individual weak
+                //   variables by ~1 unit per sweep even at a fixed point,
+                //   so the aggregate separates "same data, sampling noise"
+                //   from "broad data movement";
+                // * the max against a much higher bar (`jump_tol`) — a
+                //   phase change that only touches a few observed
+                //   variables of a wide site is invisible to the diluted
+                //   mean but blows through the churn tail on those
+                //   variables.
+                let mut mean_shift = 0.0f64;
+                let mut max_shift = 0.0f64;
+                for (p, c) in prev_cavity_k.iter().zip(cavity_msgs.iter()) {
+                    let s = p.moments_shift(c);
+                    mean_shift += s;
+                    max_shift = max_shift.max(s);
+                }
+                mean_shift /= prev_cavity_k.len().max(1) as f64;
+                // Single-variable jump: a vote toward extending the warm
+                // run past its sweep cap (and always the full budget).
+                out.full_budget_vote = max_shift > ab.jump_tol;
+                // A sweep following a "hot" one keeps everything at full
+                // budget only if this site itself is still moving; quiet
+                // sites stay floored even mid-transient.
+                if out.full_budget_vote
+                    || mean_shift >= ab.move_tol
+                    || (hot_prev && mean_shift >= ab.move_tol * 0.5)
+                {
+                    (config.mcmc.burn_in, config.mcmc.samples)
+                } else {
+                    (ab.burn_in, ab.samples)
+                }
+            }
+            (true, Some(_)) => {
+                // A site with no cavity history inside a warm run was
+                // selectively reset (a detected data jump): full budget,
+                // and a vote toward extending the run.
+                out.full_budget_vote = true;
+                (config.mcmc.burn_in, config.mcmc.samples)
+            }
+            _ => (config.mcmc.burn_in, config.mcmc.samples),
+        };
+        let target = TiltedTarget { site, cavity };
+        sampler.run_budgeted(&target, init, scales, rng, scratch, burn_in, samples);
+        out.used_mcmc = true;
+        out.mcmc_samples = scratch.samples_run();
+        out.proposed = scratch.proposed();
+        out.accepted_n = scratch.accepted();
+        out.acceptance = scratch.acceptance();
     }
-    let target = TiltedTarget { site, cavity };
-    sampler.run_with_scratch(&target, init, scales, rng, scratch);
-    out.acceptance = scratch.acceptance();
+    let (means, vars): (&[f64], &[f64]) = if analytic_ok {
+        (analytic.mean(), analytic.var())
+    } else {
+        (scratch.mean(), scratch.var())
+    };
 
     // Lines 5–7: local moment match, damped site update, staged global
     // update.
     for (j, &v) in scope.iter().enumerate() {
-        let tilted =
-            GaussianMessage::from_moments(scratch.mean()[j], scratch.var()[j].max(config.min_var));
-        let new_site = tilted.div(&cavity_msgs[j]);
+        let tilted = GaussianMessage::from_moments(means[j], vars[j].max(config.min_var));
+        let prec_cap = config.max_precision_ratio / prior[v].var;
+        let new_site = tilted.div(&cavity_msgs[j]).capped_precision(prec_cap);
         let damped = approx_k[j].damped_toward(&new_site, config.damping);
         let candidate = global[v].div(&approx_k[j]).mul(&damped);
         if candidate.is_proper() {
@@ -568,6 +1135,7 @@ impl Target for TiltedTarget<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::factor::FactorSite;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -670,6 +1238,9 @@ mod tests {
             r.marginals[1].mean
         );
         assert!(r.mean_acceptance > 0.05 && r.mean_acceptance < 0.95);
+        assert_eq!(r.analytic_site_updates, 0);
+        assert!(r.mcmc_site_updates > 0);
+        assert!(r.mcmc_samples > 0);
     }
 
     #[test]
@@ -737,8 +1308,144 @@ mod tests {
         }));
         let r = ep.run(&mut rng());
         assert!(r.converged, "should converge in 30 sweeps");
-        assert!(r.sweeps < 30);
+        assert!(r.sweeps_run < 30);
+        assert_eq!(
+            r.sweeps_total, r.sweeps_run,
+            "fresh engine: cumulative == run"
+        );
         assert!(r.mean_acceptance > 0.05 && r.mean_acceptance < 0.95);
+    }
+
+    #[test]
+    fn analytic_sites_bypass_mcmc_entirely() {
+        // Two Gaussian-linear sites: the whole run must be sample-free and
+        // match the exact posterior (EP is exact for Gaussian models).
+        let mut ep = ExpectationPropagation::new(
+            vec![Gaussian::new(5.0, 100.0), Gaussian::new(5.0, 100.0)],
+            EpConfig {
+                max_sweeps: 40,
+                tol: 1e-10,
+                damping: 0.8,
+                ..EpConfig::default()
+            },
+        );
+        ep.add_site(
+            FactorSite::builder(vec![0])
+                .gaussian_linear(&[0], &[1.0], 3.0, 0.01)
+                .build(),
+        );
+        ep.add_site(
+            FactorSite::builder(vec![0, 1])
+                .gaussian_linear(&[0, 1], &[1.0, 1.0], 10.0, 0.01)
+                .build(),
+        );
+        let r = ep.run_parallel(7, 2);
+        assert_eq!(r.mcmc_site_updates, 0, "no MCMC on the analytic path");
+        assert_eq!(r.mcmc_samples, 0);
+        assert!(r.analytic_site_updates > 0);
+        assert_eq!(r.mean_acceptance, 0.0, "NaN-free when nothing sampled");
+        // Exact posterior (the wide prior pulls ~4e-4 off the observations).
+        assert!(
+            (r.marginals[0].mean - 3.0).abs() < 0.01,
+            "x0 {}",
+            r.marginals[0].mean
+        );
+        assert!(
+            (r.marginals[1].mean - 7.0).abs() < 0.01,
+            "x1 {}",
+            r.marginals[1].mean
+        );
+    }
+
+    #[test]
+    fn mixed_sites_report_acceptance_over_mcmc_only() {
+        let mut ep = ExpectationPropagation::new(
+            vec![Gaussian::new(0.0, 10.0), Gaussian::new(0.0, 10.0)],
+            EpConfig::default(),
+        );
+        ep.add_site(
+            FactorSite::builder(vec![0])
+                .gaussian_linear(&[0], &[1.0], 2.0, 0.5)
+                .build(),
+        );
+        ep.add_site(FnSite::new(vec![1], |x: &[f64]| {
+            Gaussian::new(-1.0, 0.5).log_pdf(x[0])
+        }));
+        let r = ep.run_parallel(3, 1);
+        assert!(r.analytic_site_updates > 0);
+        assert!(r.mcmc_site_updates > 0);
+        // Aggregated over the MCMC site only — still a real rate.
+        assert!(r.mean_acceptance > 0.05 && r.mean_acceptance < 0.95);
+    }
+
+    #[test]
+    fn warm_start_keeps_messages_and_shrinks_the_run() {
+        let prior = vec![Gaussian::new(0.0, 25.0)];
+        let cfg = EpConfig {
+            max_sweeps: 30,
+            warm_max_sweeps: 30,
+            tol: 1e-9,
+            damping: 0.9,
+            ..EpConfig::default()
+        };
+        let mut ep = ExpectationPropagation::new(prior.clone(), cfg);
+        ep.add_site(
+            FactorSite::builder(vec![0])
+                .gaussian_linear(&[0], &[1.0], 4.0, 1.0)
+                .build(),
+        );
+        let cold = ep.run_parallel(11, 1);
+        assert!(cold.converged);
+        // Swap the observation slightly and warm-start.
+        ep.site_mut::<FactorSite>(0).unwrap().set_linear_obs(0, 4.1);
+        ep.warm_start(&prior);
+        assert!(ep.is_warm());
+        let warm = ep.run_parallel(12, 1);
+        assert!(warm.converged);
+        assert!(
+            warm.sweeps_run <= cold.sweeps_run,
+            "warm {} vs cold {} sweeps",
+            warm.sweeps_run,
+            cold.sweeps_run
+        );
+        assert!(
+            warm.sweeps_total > warm.sweeps_run,
+            "cumulative includes history"
+        );
+        // Exact posterior of N(0,25) with N(4.1,1): mean 4.1·(25/26).
+        let expect = 4.1 * 25.0 / 26.0;
+        assert!(
+            (warm.marginals[0].mean - expect).abs() < 1e-4,
+            "mean {} vs {expect}",
+            warm.marginals[0].mean
+        );
+    }
+
+    #[test]
+    fn cold_reset_matches_fresh_engine_bitwise() {
+        let prior = vec![Gaussian::new(5.0, 100.0), Gaussian::new(5.0, 100.0)];
+        let build = |ep: &mut ExpectationPropagation| {
+            ep.add_site(FnSite::new(vec![0], |x: &[f64]| {
+                Gaussian::new(3.0, 0.01).log_pdf(x[0])
+            }));
+            ep.add_site(FnSite::new(vec![0, 1], |x: &[f64]| {
+                Gaussian::new(0.0, 0.01).log_pdf(x[0] + x[1] - 10.0)
+            }));
+        };
+        let mut fresh = ExpectationPropagation::new(prior.clone(), EpConfig::default());
+        build(&mut fresh);
+        let want = fresh.run_parallel(42, 1);
+
+        let mut reused = ExpectationPropagation::new(prior.clone(), EpConfig::default());
+        build(&mut reused);
+        let _ = reused.run_parallel(7, 1); // dirty the state
+        reused.cold_reset(&prior);
+        let got = reused.run_parallel(42, 1);
+        assert_eq!(want.sweeps_total, got.sweeps_total);
+        for (a, b) in want.marginals.iter().zip(&got.marginals) {
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(a.var.to_bits(), b.var.to_bits());
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Factor-structured EP sites with sparse delta evaluation.
+//! Factor-structured EP sites with sparse delta evaluation and an analytic
+//! Gaussian-linear fast path.
 //!
 //! [`EpSite::log_likelihood_delta`] documents the locality contract — when
 //! one local variable moves, only the factors adjacent to it need
@@ -11,9 +12,35 @@
 //! site with `F` factors of bounded arity, a proposal costs `O(deg(i))`
 //! instead of `O(F)` — the same sparsity the accelerator's AcMC² sampler IPs
 //! exploit in hardware (§5).
+//!
+//! # Typed factors and the analytic moment fast path
+//!
+//! Beyond opaque closures, a site can hold *typed* factors:
+//!
+//! * [`FactorSiteBuilder::gaussian_linear`] — a Gaussian pseudo-observation
+//!   of a linear combination `Σ cᵢ·xᵢ ~ N(obs, var)` (BayesPerf's
+//!   linear-constraint invariants, e.g. `refs = hits + misses`);
+//! * [`FactorSiteBuilder::poisson`] — a Poisson count observation
+//!   `k ~ Poisson(exposure·x)`; at high counts (`k ≥ 64`) it is
+//!   statistically indistinguishable from the Gaussian
+//!   `exposure·x − k ~ N(0, k)` and reports that linearization.
+//!
+//! When **every** factor of a site is Gaussian-linear (including
+//! high-count Poissons), the tilted distribution is exactly Gaussian and
+//! the site advertises [`MomentStrategy::Analytic`]: the EP driver computes
+//! tilted moments in closed form through [`AnalyticScratch`]
+//! (`O(d³)` Cholesky) and never runs MCMC for the site. A single low-count
+//! Poisson or opaque closure demotes the whole site to
+//! [`MomentStrategy::Mcmc`].
 
-use crate::ep::EpSite;
+use crate::analytic::AnalyticScratch;
+use crate::dist::Gaussian;
+use crate::ep::{EpSite, MomentStrategy};
 use bayesperf_graph::CsrAdjacency;
+
+/// Observed counts at or above this threshold let a Poisson factor use its
+/// Gaussian approximation `N(k, k)` (relative moment error below ~1%).
+pub const POISSON_GAUSSIAN_COUNT: f64 = 64.0;
 
 /// One factor of a [`FactorSite`]: a log-density over the site-local state.
 ///
@@ -31,11 +58,163 @@ impl<F: Fn(&[f64]) -> f64 + Send + Sync> LocalFactor for F {
     }
 }
 
+/// A Gaussian pseudo-observation of a linear combination of local
+/// variables: `Σᵢ coeffs[i]·x[locals[i]] ~ N(obs, var)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearGaussianFactor {
+    locals: Vec<usize>,
+    coeffs: Vec<f64>,
+    obs: f64,
+    var: f64,
+}
+
+impl LinearGaussianFactor {
+    /// Creates the factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locals`/`coeffs` lengths differ, `locals` repeats an
+    /// index, or `var` is not positive and finite.
+    pub fn new(locals: Vec<usize>, coeffs: Vec<f64>, obs: f64, var: f64) -> Self {
+        assert_eq!(locals.len(), coeffs.len(), "locals/coeffs length mismatch");
+        let mut sorted = locals.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), locals.len(), "factor locals must be unique");
+        assert!(
+            var.is_finite() && var > 0.0,
+            "variance must be positive, got {var}"
+        );
+        LinearGaussianFactor {
+            locals,
+            coeffs,
+            obs,
+            var,
+        }
+    }
+
+    /// The observed value of the linear combination.
+    pub fn obs(&self) -> f64 {
+        self.obs
+    }
+
+    fn log_pdf(&self, x: &[f64]) -> f64 {
+        let s: f64 = self
+            .locals
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(&l, &c)| c * x[l])
+            .sum();
+        let d = s - self.obs;
+        -0.5 * d * d / self.var - 0.5 * self.var.ln()
+    }
+}
+
+/// A Poisson count observation on one local variable:
+/// `count ~ Poisson(exposure · x)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonFactor {
+    local: usize,
+    count: f64,
+    exposure: f64,
+}
+
+impl PoissonFactor {
+    /// Creates the factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is negative or `exposure` is not positive and
+    /// finite.
+    pub fn new(local: usize, count: f64, exposure: f64) -> Self {
+        assert!(count >= 0.0, "count must be non-negative, got {count}");
+        assert!(
+            exposure.is_finite() && exposure > 0.0,
+            "exposure must be positive, got {exposure}"
+        );
+        PoissonFactor {
+            local,
+            count,
+            exposure,
+        }
+    }
+
+    /// The observed count.
+    pub fn count(&self) -> f64 {
+        self.count
+    }
+
+    /// Whether the count is high enough for the Gaussian approximation.
+    pub fn is_gaussian(&self) -> bool {
+        self.count >= POISSON_GAUSSIAN_COUNT
+    }
+
+    fn log_pdf(&self, x: &[f64]) -> f64 {
+        let lambda = self.exposure * x[self.local];
+        if lambda <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        self.count * lambda.ln() - lambda
+    }
+}
+
+/// Internal representation of one site factor.
+enum SiteFactor {
+    /// An opaque closure — never analytic.
+    Opaque(Box<dyn LocalFactor>),
+    /// A typed Gaussian-linear factor — always analytic.
+    Linear(LinearGaussianFactor),
+    /// A typed Poisson factor — analytic at high counts.
+    Poisson(PoissonFactor),
+}
+
+impl SiteFactor {
+    fn log_pdf(&self, x: &[f64]) -> f64 {
+        match self {
+            SiteFactor::Opaque(f) => f.log_pdf(x),
+            SiteFactor::Linear(f) => f.log_pdf(x),
+            SiteFactor::Poisson(f) => f.log_pdf(x),
+        }
+    }
+
+    /// Accumulates this factor's Gaussian-linear form into `ws`, or reports
+    /// that it has none.
+    fn add_linear_term(&self, ws: &mut AnalyticScratch) -> bool {
+        match self {
+            SiteFactor::Opaque(_) => false,
+            SiteFactor::Linear(f) => {
+                ws.add_term(&f.locals, &f.coeffs, f.obs, f.var);
+                true
+            }
+            SiteFactor::Poisson(f) => {
+                if !f.is_gaussian() {
+                    return false;
+                }
+                ws.add_term(
+                    std::slice::from_ref(&f.local),
+                    std::slice::from_ref(&f.exposure),
+                    f.count,
+                    f.count.max(1.0),
+                );
+                true
+            }
+        }
+    }
+
+    fn is_linear(&self) -> bool {
+        match self {
+            SiteFactor::Opaque(_) => false,
+            SiteFactor::Linear(_) => true,
+            SiteFactor::Poisson(f) => f.is_gaussian(),
+        }
+    }
+}
+
 /// Builder for [`FactorSite`]: collect factors, then seal the CSR index.
 #[derive(Default)]
 pub struct FactorSiteBuilder {
     vars: Vec<usize>,
-    factors: Vec<Box<dyn LocalFactor>>,
+    factors: Vec<SiteFactor>,
     edges: Vec<(usize, u32)>,
     hints: Vec<Option<f64>>,
     scale_hints: Vec<Option<f64>>,
@@ -62,17 +241,7 @@ impl FactorSiteBuilder {
         }
     }
 
-    /// Adds a factor touching the *local* variable indices `locals`
-    /// (positions within the site's scope, not global indices).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a local index is out of range or repeated.
-    pub fn factor(
-        mut self,
-        locals: &[usize],
-        f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
-    ) -> Self {
+    fn register_edges(&mut self, locals: &[usize]) {
         let fi = self.factors.len() as u32;
         let mut seen = locals.to_vec();
         seen.sort_unstable();
@@ -86,7 +255,56 @@ impl FactorSiteBuilder {
             );
             self.edges.push((l, fi));
         }
-        self.factors.push(Box::new(f));
+    }
+
+    /// Adds an opaque factor touching the *local* variable indices `locals`
+    /// (positions within the site's scope, not global indices). Opaque
+    /// factors force the site onto the MCMC moment path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local index is out of range or repeated.
+    pub fn factor(
+        mut self,
+        locals: &[usize],
+        f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        self.register_edges(locals);
+        self.factors.push(SiteFactor::Opaque(Box::new(f)));
+        self
+    }
+
+    /// Adds a typed Gaussian-linear factor:
+    /// `Σᵢ coeffs[i]·x[locals[i]] ~ N(obs, var)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local index is out of range or repeated, lengths differ,
+    /// or `var` is not positive.
+    pub fn gaussian_linear(mut self, locals: &[usize], coeffs: &[f64], obs: f64, var: f64) -> Self {
+        self.register_edges(locals);
+        self.factors
+            .push(SiteFactor::Linear(LinearGaussianFactor::new(
+                locals.to_vec(),
+                coeffs.to_vec(),
+                obs,
+                var,
+            )));
+        self
+    }
+
+    /// Adds a typed Poisson count observation:
+    /// `count ~ Poisson(exposure·x[local])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range, `count` is negative, or
+    /// `exposure` is not positive.
+    pub fn poisson(mut self, local: usize, count: f64, exposure: f64) -> Self {
+        self.register_edges(&[local]);
+        self.factors.push(SiteFactor::Poisson(PoissonFactor::new(
+            local, count, exposure,
+        )));
         self
     }
 
@@ -124,10 +342,11 @@ impl FactorSiteBuilder {
 }
 
 /// An [`EpSite`] whose likelihood is an explicit product of factors, with
-/// CSR-indexed sparse delta evaluation.
+/// CSR-indexed sparse delta evaluation and, when every factor is
+/// Gaussian-linear, closed-form tilted moments.
 pub struct FactorSite {
     vars: Vec<usize>,
-    factors: Vec<Box<dyn LocalFactor>>,
+    factors: Vec<SiteFactor>,
     adj: CsrAdjacency,
     hints: Vec<Option<f64>>,
     scale_hints: Vec<Option<f64>>,
@@ -138,6 +357,7 @@ impl std::fmt::Debug for FactorSite {
         f.debug_struct("FactorSite")
             .field("num_vars", &self.vars.len())
             .field("num_factors", &self.factors.len())
+            .field("strategy", &EpSite::moment_strategy(self))
             .finish()
     }
 }
@@ -156,6 +376,34 @@ impl FactorSite {
     /// The factor indices adjacent to local variable `i`.
     pub fn factors_of(&self, i: usize) -> &[u32] {
         self.adj.row(i)
+    }
+
+    /// Replaces the observed value of the Gaussian-linear factor at
+    /// `factor_idx` — the warm-start observation swap (topology and
+    /// coefficients stay fixed; only the datum moves between windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor_idx` is out of range or names a non-linear factor.
+    pub fn set_linear_obs(&mut self, factor_idx: usize, obs: f64) {
+        match &mut self.factors[factor_idx] {
+            SiteFactor::Linear(f) => f.obs = obs,
+            _ => panic!("factor {factor_idx} is not a Gaussian-linear factor"),
+        }
+    }
+
+    /// Replaces the observed count of the Poisson factor at `factor_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor_idx` is out of range, names a non-Poisson factor,
+    /// or `count` is negative.
+    pub fn set_poisson_count(&mut self, factor_idx: usize, count: f64) {
+        assert!(count >= 0.0, "count must be non-negative, got {count}");
+        match &mut self.factors[factor_idx] {
+            SiteFactor::Poisson(f) => f.count = count,
+            _ => panic!("factor {factor_idx} is not a Poisson factor"),
+        }
     }
 }
 
@@ -190,12 +438,29 @@ impl EpSite for FactorSite {
     fn scale_hint(&self, i: usize) -> Option<f64> {
         self.scale_hints[i]
     }
+
+    fn moment_strategy(&self) -> MomentStrategy {
+        if !self.factors.is_empty() && self.factors.iter().all(SiteFactor::is_linear) {
+            MomentStrategy::Analytic
+        } else {
+            MomentStrategy::Mcmc
+        }
+    }
+
+    fn analytic_moments(&self, cavity: &[Gaussian], ws: &mut AnalyticScratch) -> bool {
+        ws.begin(cavity);
+        for f in &self.factors {
+            if !f.add_linear_term(ws) {
+                return false;
+            }
+        }
+        ws.solve()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dist::Gaussian;
 
     fn two_factor_site() -> FactorSite {
         // x0 observed near 3; x0 + x1 ≈ 10.
@@ -242,6 +507,91 @@ mod tests {
         let mut x = vec![0.0, 1.0];
         let d = trap.log_likelihood_delta(&mut x, 1, 2.0);
         assert!((d - (-4.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opaque_factors_select_mcmc() {
+        assert_eq!(two_factor_site().moment_strategy(), MomentStrategy::Mcmc);
+    }
+
+    #[test]
+    fn all_linear_factors_select_analytic() {
+        let site = FactorSite::builder(vec![0, 1])
+            .gaussian_linear(&[0], &[1.0], 3.0, 0.01)
+            .gaussian_linear(&[0, 1], &[1.0, 1.0], 10.0, 0.01)
+            .build();
+        assert_eq!(site.moment_strategy(), MomentStrategy::Analytic);
+    }
+
+    #[test]
+    fn one_opaque_factor_demotes_to_mcmc() {
+        let site = FactorSite::builder(vec![0, 1])
+            .gaussian_linear(&[0], &[1.0], 3.0, 0.01)
+            .factor(&[1], |x: &[f64]| -x[1] * x[1])
+            .build();
+        assert_eq!(site.moment_strategy(), MomentStrategy::Mcmc);
+    }
+
+    #[test]
+    fn poisson_strategy_depends_on_count() {
+        let high = FactorSite::builder(vec![0])
+            .poisson(0, 1000.0, 10.0)
+            .build();
+        assert_eq!(high.moment_strategy(), MomentStrategy::Analytic);
+        let low = FactorSite::builder(vec![0]).poisson(0, 5.0, 10.0).build();
+        assert_eq!(low.moment_strategy(), MomentStrategy::Mcmc);
+    }
+
+    #[test]
+    fn analytic_moments_match_conjugate_update() {
+        let site = FactorSite::builder(vec![0])
+            .gaussian_linear(&[0], &[1.0], 6.0, 1.0)
+            .build();
+        let mut ws = AnalyticScratch::new();
+        assert!(site.analytic_moments(&[Gaussian::new(0.0, 4.0)], &mut ws));
+        assert!((ws.mean()[0] - 4.8).abs() < 1e-12);
+        assert!((ws.var()[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_count_poisson_moments_match_gaussian_limit() {
+        // k = 10_000 at exposure 100: posterior of x concentrates near
+        // k/exposure = 100 with var ≈ k/exposure² = 1 (wide cavity).
+        let site = FactorSite::builder(vec![0])
+            .poisson(0, 10_000.0, 100.0)
+            .build();
+        let mut ws = AnalyticScratch::new();
+        assert!(site.analytic_moments(&[Gaussian::new(90.0, 1e6)], &mut ws));
+        assert!((ws.mean()[0] - 100.0).abs() < 0.1, "mean {}", ws.mean()[0]);
+        assert!((ws.var()[0] - 1.0).abs() < 0.05, "var {}", ws.var()[0]);
+    }
+
+    #[test]
+    fn observation_swap_updates_linear_factor() {
+        let mut site = FactorSite::builder(vec![0])
+            .gaussian_linear(&[0], &[1.0], 6.0, 1.0)
+            .build();
+        site.set_linear_obs(0, 8.0);
+        let mut ws = AnalyticScratch::new();
+        assert!(site.analytic_moments(&[Gaussian::new(0.0, 4.0)], &mut ws));
+        // Posterior mean of N(0,4) prior with N(8,1) obs: 8·(4/5) = 6.4.
+        assert!((ws.mean()[0] - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a Gaussian-linear factor")]
+    fn observation_swap_rejects_wrong_kind() {
+        let mut site = FactorSite::builder(vec![0]).poisson(0, 100.0, 1.0).build();
+        site.set_linear_obs(0, 1.0);
+    }
+
+    #[test]
+    fn poisson_log_pdf_peaks_at_rate() {
+        let f = PoissonFactor::new(0, 100.0, 10.0);
+        // λ = 10·x; peak at x = k/exposure = 10.
+        assert!(f.log_pdf(&[10.0]) > f.log_pdf(&[9.0]));
+        assert!(f.log_pdf(&[10.0]) > f.log_pdf(&[11.0]));
+        assert_eq!(f.log_pdf(&[-1.0]), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! assert!((result.marginals[1].mean - 7.0).abs() < 0.5);
 //! ```
 
+mod analytic;
 mod dist;
 mod ep;
 mod factor;
@@ -45,9 +46,16 @@ mod parallel;
 mod rng;
 mod special;
 
+pub use analytic::AnalyticScratch;
 pub use dist::{Gaussian, Gumbel, StudentT};
-pub use ep::{EpConfig, EpResult, EpSite, ExpectationPropagation, FnSite};
-pub use factor::{FactorSite, FactorSiteBuilder, LocalFactor};
+pub use ep::{
+    AdaptiveBudget, EpConfig, EpResult, EpRunStats, EpSite, ExpectationPropagation, FnSite,
+    MomentStrategy,
+};
+pub use factor::{
+    FactorSite, FactorSiteBuilder, LinearGaussianFactor, LocalFactor, PoissonFactor,
+    POISSON_GAUSSIAN_COUNT,
+};
 pub use mcmc::{McmcConfig, McmcSampler, McmcScratch, McmcStats, Target};
 pub use message::GaussianMessage;
 pub use parallel::{SiteWorkspace, SweepSchedule};

@@ -102,6 +102,13 @@ pub struct McmcScratch {
     prop_window: Vec<u32>,
     /// Acceptance rate of the last run.
     acceptance: f64,
+    /// Post-burn-in sweeps collected by the last run.
+    samples_run: u32,
+    /// Proposals made / accepted by the last run (across all components and
+    /// sweeps, burn-in included) — the raw counts behind `acceptance`,
+    /// exposed so EP can aggregate a proposal-weighted mean over MCMC sites.
+    proposed: u64,
+    accepted: u64,
 }
 
 impl McmcScratch {
@@ -149,6 +156,9 @@ impl McmcScratch {
         self.prop_window.clear();
         self.prop_window.resize(d, 0);
         self.acceptance = 0.0;
+        self.samples_run = 0;
+        self.proposed = 0;
+        self.accepted = 0;
     }
 
     /// Per-component posterior mean estimates of the last run.
@@ -165,6 +175,22 @@ impl McmcScratch {
     /// Acceptance rate of the last run.
     pub fn acceptance(&self) -> f64 {
         self.acceptance
+    }
+
+    /// Post-burn-in sweeps collected by the last run (the per-site MCMC
+    /// sample count the adaptive budget varies).
+    pub fn samples_run(&self) -> u32 {
+        self.samples_run
+    }
+
+    /// Proposals made by the last run (all components, burn-in included).
+    pub fn proposed(&self) -> u64 {
+        self.proposed
+    }
+
+    /// Proposals accepted by the last run.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
     }
 
     /// Owned snapshot of the last run's statistics.
@@ -227,6 +253,36 @@ impl McmcSampler {
         rng: &mut R,
         scratch: &mut McmcScratch,
     ) {
+        self.run_budgeted(
+            target,
+            init,
+            scales,
+            rng,
+            scratch,
+            self.config.burn_in,
+            self.config.samples,
+        );
+    }
+
+    /// [`McmcSampler::run_with_scratch`] with an explicit per-run budget
+    /// overriding the configured `burn_in`/`samples` — the hook EP's
+    /// adaptive budget uses to shrink warm-started site updates without
+    /// rebuilding the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` or `scales` length differs from `target.dim()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_budgeted<T: Target, R: Rng + ?Sized>(
+        &self,
+        target: &T,
+        init: &[f64],
+        scales: &[f64],
+        rng: &mut R,
+        scratch: &mut McmcScratch,
+        burn_in: usize,
+        samples: usize,
+    ) {
         let d = target.dim();
         assert_eq!(init.len(), d, "init length mismatch");
         assert_eq!(scales.len(), d, "scales length mismatch");
@@ -236,10 +292,10 @@ impl McmcSampler {
         let mut proposed = 0usize;
         const ADAPT_EVERY: u32 = 20;
 
-        let total = self.config.burn_in + self.config.samples;
+        let total = burn_in + samples;
         let mut n = 0u64; // Welford sample counter
         for sweep in 0..total {
-            let burning = sweep < self.config.burn_in;
+            let burning = sweep < burn_in;
             for i in 0..d {
                 let new = scratch.x[i] + scratch.steps[i] * standard_normal(rng);
                 let delta = target.log_density_delta(&mut scratch.x, i, new);
@@ -275,11 +331,14 @@ impl McmcSampler {
             }
         }
 
+        scratch.samples_run = n as u32;
         let n = (n.max(1)) as f64;
         for i in 0..d {
             scratch.var[i] = (scratch.m2[i] / n).max(0.0);
         }
         scratch.acceptance = accepted as f64 / proposed.max(1) as f64;
+        scratch.proposed = proposed as u64;
+        scratch.accepted = accepted as u64;
     }
 }
 
@@ -429,6 +488,33 @@ mod tests {
         let mut y = x.clone();
         y[0] = 1.5;
         assert!((delta - (t.log_density(&y) - before)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_override_shrinks_the_run_and_is_accounted() {
+        let target = GaussTarget {
+            components: vec![Gaussian::new(0.0, 1.0), Gaussian::new(0.0, 1.0)],
+        };
+        let sampler = McmcSampler::new(McmcConfig::default());
+        let mut scratch = McmcScratch::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        sampler.run_budgeted(
+            &target,
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            &mut rng,
+            &mut scratch,
+            10,
+            40,
+        );
+        assert_eq!(scratch.samples_run(), 40);
+        // (10 + 40) sweeps × 2 components proposals.
+        assert_eq!(scratch.proposed(), 100);
+        assert!(scratch.accepted() <= scratch.proposed());
+        assert!(
+            (scratch.acceptance() - scratch.accepted() as f64 / scratch.proposed() as f64).abs()
+                < 1e-12
+        );
     }
 
     #[test]

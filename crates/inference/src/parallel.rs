@@ -7,27 +7,30 @@
 //! * [`SweepSchedule`] — a deterministic partition of sites into
 //!   *conflict-free batches*: greedy coloring of the site-conflict graph
 //!   (two sites conflict when they share a global variable), computed with
-//!   [`bayesperf_graph`]'s factor coloring. Within a batch no two sites
-//!   touch the same variable, so their updates commute and can run on any
-//!   worker in any order;
+//!   [`bayesperf_graph`]'s factor coloring and stored as a cacheable
+//!   [`ColorBatches`] value. The schedule is a pure function of the site
+//!   topology — not the per-window data — so a warm-started engine computes
+//!   it once and replays it across sliding windows;
 //! * [`SiteWorkspace`] — one per worker thread: cavity buffers, MCMC init
-//!   and proposal-scale vectors, and the sampler's [`McmcScratch`]. All
-//!   reused across site updates, so the steady-state sweep performs no heap
-//!   allocation;
+//!   and proposal-scale vectors, the sampler's [`McmcScratch`], and the
+//!   analytic solver's [`AnalyticScratch`]. All reused across site updates,
+//!   so the steady-state sweep performs no heap allocation;
 //! * [`SiteUpdate`] — the per-site result record (damped site message, new
-//!   global message, acceptance) workers fill in parallel and the driver
-//!   applies sequentially in site order, keeping the merge deterministic.
+//!   global message, cavity snapshot, MCMC accounting) workers fill in
+//!   parallel and the driver applies sequentially in site order, keeping
+//!   the merge deterministic.
 
+use crate::analytic::AnalyticScratch;
 use crate::dist::Gaussian;
 use crate::ep::EpSite;
 use crate::mcmc::McmcScratch;
 use crate::message::GaussianMessage;
-use bayesperf_graph::FactorGraph;
+use bayesperf_graph::{ColorBatches, FactorGraph};
 
 /// The batched sweep schedule: sites partitioned into conflict-free groups.
 #[derive(Debug, Clone)]
 pub struct SweepSchedule {
-    batches: Vec<Vec<usize>>,
+    batches: ColorBatches,
 }
 
 impl SweepSchedule {
@@ -39,34 +42,45 @@ impl SweepSchedule {
     /// first-fit order makes the schedule a pure function of the site list —
     /// the foundation of the bit-identical-at-any-thread-count guarantee.
     pub fn for_sites(num_vars: usize, sites: &[Box<dyn EpSite + Send + Sync>]) -> Self {
-        let mut g: FactorGraph<(), usize> = FactorGraph::new();
-        let vars: Vec<_> = (0..num_vars).map(|_| g.add_var(())).collect();
-        for (k, site) in sites.iter().enumerate() {
-            let scope: Vec<_> = site.vars().iter().map(|&v| vars[v]).collect();
-            g.add_factor(k, &scope);
-        }
-        let (colors, num_colors) = g.greedy_factor_coloring();
-        let mut batches = vec![Vec::new(); num_colors as usize];
-        for (k, &c) in colors.iter().enumerate() {
-            batches[c as usize].push(k);
-        }
-        SweepSchedule { batches }
+        Self::for_scopes(num_vars, sites.iter().map(|s| s.vars()))
     }
 
-    /// The conflict-free batches, in execution order. Site indices within a
-    /// batch are ascending.
-    pub fn batches(&self) -> &[Vec<usize>] {
-        &self.batches
+    /// Builds the schedule from raw variable scopes (one per site).
+    pub fn for_scopes<'a>(num_vars: usize, scopes: impl Iterator<Item = &'a [usize]>) -> Self {
+        let mut g: FactorGraph<(), usize> = FactorGraph::new();
+        let vars: Vec<_> = (0..num_vars).map(|_| g.add_var(())).collect();
+        for (k, scope) in scopes.enumerate() {
+            let scope: Vec<_> = scope.iter().map(|&v| vars[v]).collect();
+            g.add_factor(k, &scope);
+        }
+        SweepSchedule {
+            batches: g.conflict_batches(),
+        }
+    }
+
+    /// The site indices of batch `c` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn batch(&self, c: usize) -> &[u32] {
+        self.batches.batch(c)
+    }
+
+    /// Iterates over the conflict-free batches in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.batches.iter()
     }
 
     /// Number of batches (colors) per sweep.
     pub fn num_batches(&self) -> usize {
-        self.batches.len()
+        self.batches.num_batches()
     }
 
     /// Size of the largest batch — the available site-level parallelism.
     pub fn max_batch_len(&self) -> usize {
-        self.batches.iter().map(Vec::len).max().unwrap_or(0)
+        self.batches.max_batch_len()
     }
 }
 
@@ -74,8 +88,9 @@ impl SweepSchedule {
 ///
 /// Everything a site update needs besides the shared read-only state:
 /// cavity messages/distributions, MCMC initialization and proposal scales,
-/// and the chain's [`McmcScratch`]. Buffers grow to the largest site
-/// dimension seen, then stay allocation-free.
+/// the chain's [`McmcScratch`], and the Gaussian-linear solver's
+/// [`AnalyticScratch`]. Buffers grow to the largest site dimension seen,
+/// then stay allocation-free.
 #[derive(Debug, Default)]
 pub struct SiteWorkspace {
     pub(crate) cavity_msgs: Vec<GaussianMessage>,
@@ -83,6 +98,7 @@ pub struct SiteWorkspace {
     pub(crate) init: Vec<f64>,
     pub(crate) scales: Vec<f64>,
     pub(crate) scratch: McmcScratch,
+    pub(crate) analytic: AnalyticScratch,
 }
 
 impl SiteWorkspace {
@@ -105,7 +121,23 @@ pub struct SiteUpdate {
     pub(crate) global_new: Vec<GaussianMessage>,
     /// Whether the candidate global message was proper (update applied).
     pub(crate) accepted: Vec<bool>,
-    /// MCMC acceptance rate of the site's chain.
+    /// The cavity this update was computed against — merged into the
+    /// engine's per-site history so the next update of the same site can
+    /// measure how far its cavity moved (the adaptive-budget signal).
+    pub(crate) cavity: Vec<GaussianMessage>,
+    /// Whether the tilted moments came from MCMC (false: analytic path).
+    pub(crate) used_mcmc: bool,
+    /// Whether a warm adaptive-budget decision voted for the *full* MCMC
+    /// budget (the site's cavity jumped) — the sweep-escalation signal.
+    /// Always false for cold runs, analytic sites, or `adaptive: None`.
+    pub(crate) full_budget_vote: bool,
+    /// MCMC samples collected (0 on the analytic path).
+    pub(crate) mcmc_samples: u32,
+    /// MCMC proposals made / accepted (0 on the analytic path) — the raw
+    /// counts behind the proposal-weighted acceptance aggregate.
+    pub(crate) proposed: u64,
+    pub(crate) accepted_n: u64,
+    /// MCMC acceptance rate of the site's chain (unset on analytic path).
     pub(crate) acceptance: f64,
 }
 
@@ -121,6 +153,13 @@ impl SiteUpdate {
         self.global_new.resize(d, GaussianMessage::uniform());
         self.accepted.clear();
         self.accepted.resize(d, false);
+        self.cavity.clear();
+        self.cavity.resize(d, GaussianMessage::uniform());
+        self.used_mcmc = false;
+        self.full_budget_vote = false;
+        self.mcmc_samples = 0;
+        self.proposed = 0;
+        self.accepted_n = 0;
         self.acceptance = 0.0;
     }
 }
@@ -139,7 +178,7 @@ mod tests {
         let sites = vec![boxed(vec![0]), boxed(vec![1]), boxed(vec![2, 3])];
         let s = SweepSchedule::for_sites(4, &sites);
         assert_eq!(s.num_batches(), 1);
-        assert_eq!(s.batches()[0], vec![0, 1, 2]);
+        assert_eq!(s.batch(0), &[0, 1, 2]);
         assert_eq!(s.max_batch_len(), 3);
     }
 
@@ -155,16 +194,16 @@ mod tests {
         let s = SweepSchedule::for_sites(5, &sites);
         assert_eq!(s.num_batches(), 2);
         // Every batch is conflict-free.
-        for batch in s.batches() {
+        for batch in s.iter() {
             let mut seen = std::collections::BTreeSet::new();
             for &k in batch {
-                for &v in sites[k].vars() {
+                for &v in sites[k as usize].vars() {
                     assert!(seen.insert(v), "batch shares variable {v}");
                 }
             }
         }
         // All sites scheduled exactly once.
-        let mut all: Vec<usize> = s.batches().iter().flatten().copied().collect();
+        let mut all: Vec<u32> = s.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3]);
     }
@@ -181,6 +220,8 @@ mod tests {
         };
         let a = SweepSchedule::for_sites(5, &mk());
         let b = SweepSchedule::for_sites(5, &mk());
-        assert_eq!(a.batches(), b.batches());
+        let batches =
+            |s: &SweepSchedule| -> Vec<Vec<u32>> { s.iter().map(|b| b.to_vec()).collect() };
+        assert_eq!(batches(&a), batches(&b));
     }
 }

@@ -64,7 +64,7 @@ fn same_likelihood_same_delta() {
 fn ep_posteriors_are_bit_identical() {
     let ra = fn_site_model().run_parallel(42, 1);
     let rb = factor_site_model().run_parallel(42, 1);
-    assert_eq!(ra.sweeps, rb.sweeps);
+    assert_eq!(ra.sweeps_run, rb.sweeps_run);
     assert_eq!(ra.converged, rb.converged);
     for (ga, gb) in ra.marginals.iter().zip(&rb.marginals) {
         assert_eq!(ga.mean.to_bits(), gb.mean.to_bits());

@@ -33,7 +33,8 @@ fn run_with_threads(threads: usize) -> EpResult {
 }
 
 fn assert_bit_identical(a: &EpResult, b: &EpResult, what: &str) {
-    assert_eq!(a.sweeps, b.sweeps, "{what}: sweep count");
+    assert_eq!(a.sweeps_run, b.sweeps_run, "{what}: sweep count");
+    assert_eq!(a.sweeps_total, b.sweeps_total, "{what}: cumulative sweeps");
     assert_eq!(a.converged, b.converged, "{what}: convergence flag");
     assert_eq!(
         a.mean_acceptance.to_bits(),
@@ -87,6 +88,34 @@ fn different_seeds_differ() {
             .any(|(x, y)| x.mean.to_bits() != y.mean.to_bits()),
         "distinct seeds should yield distinct MCMC noise"
     );
+}
+
+#[test]
+fn warm_start_is_bit_identical_across_1_2_8_threads() {
+    // The warm-start lifecycle — run, warm_start (keep messages, re-seat
+    // the prior), run again — must stay bit-identical at any thread count:
+    // the adaptive-budget decisions derive from cavity history that is
+    // merged in deterministic site order, so they are part of the
+    // guarantee, not an exception to it.
+    let prior = vec![Gaussian::new(5.0, 50.0); 32];
+    let run_seq = |threads: usize| -> EpResult {
+        let mut ep = chain_model();
+        let _ = ep.run_parallel(0xC0FFEE, threads);
+        ep.warm_start(&prior);
+        let warm1 = ep.run_parallel(0xC0FFEE + 1, threads);
+        assert!(ep.is_warm());
+        ep.warm_start(&prior);
+        let warm2 = ep.run_parallel(0xC0FFEE + 2, threads);
+        // The second warm window must continue from the first's state.
+        assert!(warm2.sweeps_total > warm2.sweeps_run);
+        assert_eq!(warm1.marginals.len(), warm2.marginals.len());
+        warm2
+    };
+    let t1 = run_seq(1);
+    let t2 = run_seq(2);
+    let t8 = run_seq(8);
+    assert_bit_identical(&t1, &t2, "warm 1 vs 2 threads");
+    assert_bit_identical(&t1, &t8, "warm 1 vs 8 threads");
 }
 
 #[test]

@@ -47,7 +47,7 @@ fn main() {
 
     // 4. Correct the run; compare per-window estimates against the
     //    simulator's ground truth for one event.
-    let corrector = Corrector::new(&catalog, CorrectorConfig::for_run(&run));
+    let mut corrector = Corrector::new(&catalog, CorrectorConfig::for_run(&run));
     let posterior = corrector.correct_run(&run);
     let ev = catalog.require(Semantic::LlcMisses);
     let bayes = posterior.mle_series(ev);

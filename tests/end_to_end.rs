@@ -25,7 +25,7 @@ fn bayesperf_beats_linux_on_both_architectures() {
         let pmu = Pmu::new(&catalog, PmuConfig::for_catalog(&catalog));
         let run = pmu.run_multiplexed(&mut truth, &schedule.configs, 24);
 
-        let corrector = Corrector::new(&catalog, CorrectorConfig::for_run(&run));
+        let mut corrector = Corrector::new(&catalog, CorrectorConfig::for_run(&run));
         let posterior = corrector.correct_run(&run);
         let linux = LinuxScaling::new();
 
@@ -152,7 +152,7 @@ fn shim_posteriors_match_batch_correction() {
     let run = pmu.run_multiplexed(&mut truth, &schedule.configs, 8);
 
     let cfg = CorrectorConfig::for_run(&run);
-    let corrector = Corrector::new(&catalog, cfg.clone());
+    let mut corrector = Corrector::new(&catalog, cfg.clone());
     let series = corrector.correct_run(&run);
 
     let mut shim = BayesPerfShim::new(&catalog, cfg, 1 << 14);
