@@ -24,15 +24,22 @@
 //!   "warm": { "ns_per_window": 0.0, "sweeps_per_chunk": 0.0,
 //!             "mcmc_samples_per_site_update": 0.0, "mcmc_samples_total": 0,
 //!             "jump_site_resets": 0 },
-//!   "speedup": { "mean": 0.0, "ci95_lo": 0.0, "ci95_hi": 0.0 }
+//!   "speedup": { "mean": 0.0, "ci95_lo": 0.0, "ci95_hi": 0.0 },
+//!   "shim_read": { "reads": 0, "p50_ns": 0.0, "p99_ns": 0.0,
+//!                  "warm_push_chunk_ns": 0.0, "push_over_p99_read": 0.0 }
 //! }
 //! ```
 //!
-//! `BENCH_QUICK=1` shrinks the pair count for CI smoke runs;
+//! `shim_read` measures `Session::read` against a live monitor (the Fig. 3
+//! read path: lock-free snapshot, zero inference); with `BENCH_GATE=1` the
+//! p99 read must be at least 10x cheaper than one warm `push_chunk`.
+//!
+//! `BENCH_QUICK=1` shrinks the pair and read counts for CI smoke runs;
 //! `BENCH_JSON_PATH` overrides the output path.
 
 use bayesperf_bench::fig6_fixture;
 use bayesperf_core::corrector::{CorrectionStats, Corrector, CorrectorConfig};
+use bayesperf_core::Monitor;
 use bayesperf_simcpu::Sample;
 use std::time::Instant;
 
@@ -97,6 +104,48 @@ fn main() {
     let half = 1.96 * (var / n).sqrt();
     let ns_per_window = |total_ns: f64| total_ns / n / N_WINDOWS as f64;
 
+    // Shim read latency (the Fig. 3 claim): a `Session::read` is served
+    // from the lock-free posterior snapshot — it must be orders of
+    // magnitude cheaper than the warm inference it hides. Measured
+    // against a live monitor that has corrected the same run.
+    let reads = if std::env::var_os("BENCH_QUICK").is_some() {
+        2_000
+    } else {
+        20_000
+    };
+    let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 16);
+    let session = monitor.session().open().expect("fresh monitor");
+    for w in &run.windows {
+        for s in &w.samples {
+            let _ = monitor.push_sample(*s);
+        }
+    }
+    monitor.flush().expect("service alive");
+    let ev = run.windows[0].samples[0].event;
+    let mut read_ns: Vec<f64> = (0..reads)
+        .map(|_| {
+            let t = Instant::now();
+            let r = std::hint::black_box(session.read(ev));
+            let ns = t.elapsed().as_nanos() as f64;
+            assert!(r.is_ok(), "posterior published after flush");
+            ns
+        })
+        .collect();
+    read_ns.sort_by(|a, b| a.total_cmp(b));
+    let read_p50 = read_ns[reads / 2];
+    let read_p99 = read_ns[reads * 99 / 100];
+    // One warm push_chunk costs warm ns-per-window x chunk size; the
+    // acceptance bar is p99 read >= 10x cheaper than that.
+    let warm_chunk_ns = ns_per_window(warm_ns) * slices as f64;
+    let read_vs_push = warm_chunk_ns / read_p99.max(1.0);
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            read_vs_push >= 10.0,
+            "p99 shim read {read_p99:.0} ns must be >= 10x cheaper than a warm \
+             push_chunk ({warm_chunk_ns:.0} ns), got {read_vs_push:.1}x"
+        );
+    }
+
     let json = format!(
         r#"{{
   "bench": "inference_warm_vs_cold",
@@ -109,7 +158,9 @@ fn main() {
   "warm": {{ "ns_per_window": {:.0}, "sweeps_per_chunk": {:.3},
             "mcmc_samples_per_site_update": {:.1}, "mcmc_samples_total": {},
             "jump_site_resets": {} }},
-  "speedup": {{ "mean": {:.3}, "ci95_lo": {:.3}, "ci95_hi": {:.3} }}
+  "speedup": {{ "mean": {:.3}, "ci95_lo": {:.3}, "ci95_hi": {:.3} }},
+  "shim_read": {{ "reads": {reads}, "p50_ns": {:.0}, "p99_ns": {:.0},
+                 "warm_push_chunk_ns": {:.0}, "push_over_p99_read": {:.1} }}
 }}
 "#,
         ns_per_window(cold_ns),
@@ -124,6 +175,10 @@ fn main() {
         mean,
         mean - half,
         mean + half,
+        read_p50,
+        read_p99,
+        warm_chunk_ns,
+        read_vs_push,
     );
 
     let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_inference.json".into());

@@ -25,6 +25,7 @@
 //! clone on either the [`Corrector::correct_run`] or
 //! [`Corrector::correct_windows`] path).
 
+use crate::error::ShimError;
 use crate::model::{build_chunk_model, ChunkEngine, ChunkPosterior, ModelConfig};
 use bayesperf_events::{Catalog, EventId};
 use bayesperf_inference::{derive_stream_seed, EpConfig, EpRunStats, Gaussian};
@@ -187,10 +188,23 @@ impl PosteriorSeries {
     ///
     /// # Panics
     ///
-    /// Panics if `w` is out of range.
+    /// Panics if `w` is out of range; [`PosteriorSeries::try_posterior`] is
+    /// the fallible variant.
     pub fn posterior(&self, w: usize, event: EventId) -> Gaussian {
         assert!(w < self.windows(), "window {w} out of range");
         self.data[w * self.n_events + event.index()]
+    }
+
+    /// The posterior of `event` at window `w`, or
+    /// [`ShimError::SliceOutOfRange`] when `w` is outside the series.
+    pub fn try_posterior(&self, w: usize, event: EventId) -> Result<Gaussian, ShimError> {
+        if w >= self.windows() {
+            return Err(ShimError::SliceOutOfRange {
+                slice: w,
+                slices: self.windows(),
+            });
+        }
+        Ok(self.data[w * self.n_events + event.index()])
     }
 
     /// The maximum-likelihood (posterior-mean) series of an event — what
@@ -246,6 +260,13 @@ impl<'a> Corrector<'a> {
         &self.config
     }
 
+    /// Retunes the worker-thread budget mid-stream. Purely a throughput
+    /// knob: the engine farm is bit-identical at any thread count, so this
+    /// never changes results.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
+    }
+
     /// Streaming correction: corrects exactly one chunk of
     /// `config.model.slices` windows, chaining the prior and warm-starting
     /// the engine from the previous [`Corrector::push_chunk`] call (the
@@ -259,8 +280,29 @@ impl<'a> Corrector<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `windows.len() != config.model.slices`.
+    /// Panics if `windows.len() != config.model.slices`;
+    /// [`Corrector::try_push_chunk`] is the fallible variant.
     pub fn push_chunk(&mut self, windows: &[&[Sample]]) -> EpRunStats {
+        match self.try_push_chunk(windows) {
+            Ok(stats) => stats,
+            Err(e) => panic!("push_chunk: {e}"),
+        }
+    }
+
+    /// [`Corrector::push_chunk`] that reports a wrong-sized chunk as
+    /// [`ShimError::WindowMismatch`] (or [`ShimError::EmptyChunk`]) instead
+    /// of panicking — the background inference service's ingestion path.
+    pub fn try_push_chunk(&mut self, windows: &[&[Sample]]) -> Result<EpRunStats, ShimError> {
+        let k = self.config.model.slices.max(1);
+        if windows.is_empty() {
+            return Err(ShimError::EmptyChunk);
+        }
+        if windows.len() != k {
+            return Err(ShimError::WindowMismatch {
+                expected: k,
+                got: windows.len(),
+            });
+        }
         let c = self.stream_count;
         let chained = self.config.chain_chunks;
         if c == 0 || !chained {
@@ -287,8 +329,60 @@ impl<'a> Corrector<'a> {
             self.engine.capture_chain_prior();
         }
         self.stream_count += 1;
-        stats
+        Ok(stats)
     }
+
+    /// Corrects a **partial** final chunk (fewer than `config.model.slices`
+    /// windows) — the stream's ragged tail that [`Corrector::push_chunk`]
+    /// cannot accept. Runs a one-shot cold model chained off the last full
+    /// chunk's posterior (the batch [`Corrector::correct_slices`] warm
+    /// path calls this too, so a streamed run followed by `push_tail`
+    /// reproduces the batch series bit for bit). The persistent engine's
+    /// chain state and stream count are untouched: the tail is terminal,
+    /// and a later [`Corrector::push_chunk`] continues chained from the
+    /// last *full* chunk — the tail therefore derives its seed from a
+    /// disjoint domain (`seed ^ TAIL_SEED_TAG`) so it never shares an RNG
+    /// stream with that next chunk.
+    pub fn push_tail(
+        &mut self,
+        windows: &[&[Sample]],
+    ) -> Result<(ChunkPosterior, EpRunStats), ShimError> {
+        let k = self.config.model.slices.max(1);
+        if windows.is_empty() {
+            return Err(ShimError::EmptyChunk);
+        }
+        if windows.len() >= k {
+            // The tail must be strictly shorter than a full chunk; a
+            // chunk of `k` (or more) windows belongs on `push_chunk`.
+            return Err(ShimError::WindowMismatch {
+                expected: k,
+                got: windows.len(),
+            });
+        }
+        let chained = self.config.chain_chunks && self.stream_count > 0;
+        let prior = chained.then(|| self.engine.chain_prior().to_vec());
+        let model = build_chunk_model(
+            self.catalog,
+            windows,
+            &self.config.model,
+            prior.as_deref(),
+            self.config.ep,
+        );
+        let (post, stats) = model.run_parallel_with_stats(
+            derive_stream_seed(
+                self.config.seed ^ Self::TAIL_SEED_TAG,
+                self.stream_count as usize,
+            ),
+            self.config.threads,
+        );
+        Ok((post, stats))
+    }
+
+    /// Seed-domain separator for ragged tails: `push_tail` does not
+    /// advance `stream_count`, so without the tag the tail and the *next*
+    /// full chunk would derive the same per-chunk seed and share an MCMC
+    /// RNG stream.
+    const TAIL_SEED_TAG: u64 = 0x7A11_5EED_7A11_5EED;
 
     /// How many sites the most recent [`Corrector::push_chunk`] selectively
     /// reset on a change-point.
@@ -301,9 +395,22 @@ impl<'a> Corrector<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `slice` is out of range.
+    /// Panics if `slice` is out of range; [`Corrector::try_posterior`] is
+    /// the fallible variant.
     pub fn posterior(&self, slice: usize, event: EventId) -> Gaussian {
         self.engine.posterior(slice, event)
+    }
+
+    /// Posterior of `event` at `slice` of the most recent
+    /// [`Corrector::push_chunk`], or [`ShimError::SliceOutOfRange`].
+    pub fn try_posterior(&self, slice: usize, event: EventId) -> Result<Gaussian, ShimError> {
+        if slice >= self.engine.slices() {
+            return Err(ShimError::SliceOutOfRange {
+                slice,
+                slices: self.engine.slices(),
+            });
+        }
+        Ok(self.engine.posterior(slice, event))
     }
 
     /// Resets the streaming state: the next [`Corrector::push_chunk`] runs
@@ -401,20 +508,12 @@ impl<'a> Corrector<'a> {
                 Self::push_engine_posteriors(self.catalog, &self.engine, k, data);
                 stats.absorb_run(&s, warm);
             } else {
-                // Ragged tail: topology differs (fewer slices), one-shot
-                // cold model chained off the engine's posterior.
-                let prior = (c > 0).then(|| self.engine.chain_prior().to_vec());
-                let model = build_chunk_model(
-                    self.catalog,
-                    chunk,
-                    &self.config.model,
-                    prior.as_deref(),
-                    self.config.ep,
-                );
-                let (post, s) = model.run_parallel_with_stats(
-                    derive_stream_seed(self.config.seed, c),
-                    self.config.threads,
-                );
+                // Ragged tail: topology differs (fewer slices) — the same
+                // one-shot chained model the streaming flush path runs,
+                // so batch and streamed series stay bit-identical.
+                let (post, s) = self
+                    .push_tail(chunk)
+                    .expect("chunks() yields a non-empty tail shorter than k");
                 Self::push_chunk_posteriors(self.catalog, &post, data);
                 stats.absorb_run(&s, false);
             }

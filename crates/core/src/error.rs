@@ -1,0 +1,93 @@
+//! The workspace-level shim/service error type.
+//!
+//! Every fallible operation on the session API ([`crate::service`]) and the
+//! fallible variants of the corrector API report through [`ShimError`]
+//! instead of panicking or collapsing every failure into `None` — a reader
+//! can distinguish "no posterior computed yet" (poll again) from "that
+//! event does not exist" (a programming error) from "the service is gone".
+
+use bayesperf_events::EventId;
+use std::fmt;
+
+/// Everything that can go wrong on the shim's session API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShimError {
+    /// The event is not in the catalog or was not selected by this session.
+    UnknownEvent(EventId),
+    /// No derived event with this name exists in the catalog.
+    UnknownDerived(String),
+    /// The monitor service has been closed; no new sessions or samples are
+    /// accepted and reads no longer serve.
+    SessionClosed,
+    /// The service is paused (the deterministic-backpressure test hook),
+    /// so a sync barrier cannot honor its "everything processed"
+    /// guarantee. Resume first.
+    ServicePaused,
+    /// The kernel↔shim ring buffer was full and the sample was dropped.
+    /// `dropped` is the cumulative drop count including this one.
+    RingOverflow {
+        /// Total samples dropped at the ring so far.
+        dropped: u64,
+    },
+    /// Inference has not yet published a posterior snapshot (fewer than one
+    /// complete chunk of windows ingested). Poll again after more samples.
+    NoPosteriorYet,
+    /// A window chunk of the wrong size was handed to the corrector.
+    WindowMismatch {
+        /// Windows the corrector's engine was built for.
+        expected: usize,
+        /// Windows actually supplied.
+        got: usize,
+    },
+    /// A posterior was requested for a slice index outside the chunk.
+    SliceOutOfRange {
+        /// Requested slice.
+        slice: usize,
+        /// Slices in the chunk.
+        slices: usize,
+    },
+    /// An empty window chunk was handed to the corrector.
+    EmptyChunk,
+}
+
+impl fmt::Display for ShimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShimError::UnknownEvent(e) => write!(f, "unknown or unselected event {e}"),
+            ShimError::UnknownDerived(name) => write!(f, "unknown derived event {name:?}"),
+            ShimError::SessionClosed => write!(f, "monitor service is closed"),
+            ShimError::ServicePaused => write!(f, "monitor service is paused"),
+            ShimError::RingOverflow { dropped } => {
+                write!(f, "ring buffer full, sample dropped ({dropped} total)")
+            }
+            ShimError::NoPosteriorYet => write!(f, "no posterior published yet"),
+            ShimError::WindowMismatch { expected, got } => {
+                write!(f, "chunk of {got} windows, engine built for {expected}")
+            }
+            ShimError::SliceOutOfRange { slice, slices } => {
+                write!(f, "slice {slice} out of range (chunk has {slices})")
+            }
+            ShimError::EmptyChunk => write!(f, "chunk must contain at least one window"),
+        }
+    }
+}
+
+impl std::error::Error for ShimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ShimError::RingOverflow { dropped: 3 };
+        assert!(e.to_string().contains("3 total"));
+        let e = ShimError::UnknownDerived("ipc".into());
+        assert!(e.to_string().contains("ipc"));
+        let e = ShimError::WindowMismatch {
+            expected: 6,
+            got: 4,
+        };
+        assert!(e.to_string().contains('6') && e.to_string().contains('4'));
+    }
+}

@@ -17,23 +17,34 @@
 //!   sites;
 //! * [`corrector`] — batch correction of a recorded PMU run into posterior
 //!   distributions per event per window;
-//! * [`shim`] — the userspace "BayesPerf shim": a perf-like reader API fed
-//!   by the kernel ring buffer, returning full posteriors while hiding
-//!   inference latency behind a cache (the role the accelerator plays in
-//!   hardware);
+//! * [`service`] — the session-oriented shim service: a shared [`Monitor`]
+//!   with a background inference thread, `perf_event_open`-style
+//!   [`Session`] handles, and lock-free posterior snapshot publication
+//!   ([`snapshot`]);
+//! * [`shim`] — the perf-like single-client reader surface
+//!   ([`HpcReader`], [`LinuxReader`], and the [`BayesPerfShim`] compat
+//!   adapter over a single-session monitor);
+//! * [`error`] — the workspace-level [`ShimError`] type every fallible
+//!   shim/corrector operation reports through;
 //! * [`metrics`] — dynamic-time-warping alignment and the paper's error
 //!   definition (§2, §6.2).
 
 pub mod corrector;
+pub mod error;
 pub mod error_model;
 pub mod metrics;
 pub mod model;
 pub mod scheduler;
+pub mod service;
 pub mod shim;
+pub mod snapshot;
 
 pub use corrector::{CorrectionStats, Corrector, CorrectorConfig, PosteriorSeries};
+pub use error::ShimError;
 pub use error_model::observation;
 pub use metrics::{adjusted_error, dtw_align, dtw_relative_error};
 pub use model::{build_chunk_model, ChunkEngine, ChunkModel, ChunkPosterior, ModelConfig};
 pub use scheduler::{Schedule, ScheduleTransformer};
+pub use service::{GroupReading, Monitor, PosteriorUpdate, Session, SessionBuilder, Updates};
 pub use shim::{BayesPerfShim, HpcReader, LinuxReader, Reading};
+pub use snapshot::{snapshot_cell, SnapshotGuard, SnapshotReader, SnapshotWriter};

@@ -1,0 +1,1301 @@
+//! The session-oriented BayesPerf monitoring service.
+//!
+//! This is the shim's `perf_event_open`-shaped API (§5 of the paper): a
+//! shared [`Monitor`] owns the event catalog, the kernel↔userspace sample
+//! ring, and a dedicated **background inference thread** that drives the
+//! warm-start streaming [`Corrector`]. Monitoring applications open
+//! [`Session`] handles ([`Monitor::session`] → [`SessionBuilder`] →
+//! [`SessionBuilder::open`]) that are `Clone + Send + Sync` and read
+//! posteriors without ever running — or waiting on — inference:
+//!
+//! ```text
+//!  producers                 Monitor service                   readers
+//!  ─────────                 ───────────────                   ───────
+//!  push_sample ─▶ ring ─▶ inference thread:                Session::read
+//!                          assemble windows,    lock-free  Session::read_group
+//!                          push_chunk (warm EP) ─────────▶ Session::subscribe
+//!                          publish snapshot      snapshot
+//!                                                  cell
+//! ```
+//!
+//! The inference thread publishes immutable `(window, event → Gaussian)`
+//! snapshots through the in-tree lock-free publication cell
+//! ([`crate::snapshot`]); N reader threads observe internally-consistent
+//! snapshots while EP is mid-chunk, and a read costs two atomic RMWs plus
+//! a copy — the software analogue of the paper's accelerator serving reads
+//! from already-computed posteriors in host memory (Fig. 3).
+//!
+//! Failures are typed ([`ShimError`]), not `None`: an unknown event is a
+//! programming error, "no posterior yet" means poll again, a ring overflow
+//! is backpressure, and a closed monitor is terminal.
+
+use crate::corrector::{Corrector, CorrectorConfig};
+use crate::error::ShimError;
+use crate::shim::Reading;
+use crate::snapshot::{snapshot_cell, SnapshotReader, SnapshotWriter};
+use bayesperf_events::{Catalog, EventEnv, EventId};
+use bayesperf_inference::{EpRunStats, Gaussian};
+use bayesperf_simcpu::{RingBuffer, Sample};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
+};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The posterior state published by the inference thread after each chunk:
+/// every catalog event's posterior at the most recent corrected window.
+struct PosteriorSnapshot {
+    /// Global index of the most recent corrected window.
+    window: u32,
+    /// 1-based count of inference runs published so far.
+    chunk: u64,
+    /// Run statistics of the EP run that produced this snapshot.
+    stats: EpRunStats,
+    /// Catalog-indexed posteriors (count units).
+    posteriors: Vec<Gaussian>,
+}
+
+/// One per-window posterior update streamed to [`Session::subscribe`]rs.
+#[derive(Debug, Clone)]
+pub struct PosteriorUpdate {
+    /// Global index of the corrected window.
+    pub window: u32,
+    /// 1-based index of the inference run that corrected it.
+    pub chunk: u64,
+    /// Run statistics of that inference run (shared by the chunk's
+    /// windows).
+    pub stats: EpRunStats,
+    /// Posteriors of the subscribing session's selected events (count
+    /// units).
+    pub posteriors: Vec<(EventId, Gaussian)>,
+}
+
+impl PosteriorUpdate {
+    /// The posterior of `event` in this update, if selected.
+    pub fn gaussian(&self, event: EventId) -> Option<Gaussian> {
+        self.posteriors
+            .iter()
+            .find(|(e, _)| *e == event)
+            .map(|(_, g)| *g)
+    }
+
+    /// The [`Reading`] of `event` in this update, if selected.
+    pub fn reading(&self, event: EventId) -> Option<Reading> {
+        self.gaussian(event).map(|g| Reading::from_gaussian(&g))
+    }
+}
+
+/// A consistent multi-event read: every reading comes from the same
+/// posterior snapshot (same window, same inference run).
+#[derive(Debug, Clone)]
+pub struct GroupReading {
+    /// Global index of the snapshot's most recent corrected window.
+    pub window: u32,
+    /// 1-based index of the inference run that produced the snapshot.
+    pub chunk: u64,
+    /// Run statistics of that inference run.
+    pub stats: EpRunStats,
+    /// Readings of the session's selected events, in catalog order.
+    pub readings: Vec<(EventId, Reading)>,
+}
+
+/// Which catalog events a session reads; `None` means all.
+#[derive(Debug)]
+struct Selection {
+    events: Option<Vec<EventId>>,
+}
+
+impl Selection {
+    fn contains(&self, event: EventId) -> bool {
+        match &self.events {
+            None => true,
+            Some(list) => list.binary_search(&event).is_ok(),
+        }
+    }
+
+    /// Selected events in catalog order.
+    fn iter<'a>(&'a self, catalog: &'a Catalog) -> Box<dyn Iterator<Item = EventId> + 'a> {
+        match &self.events {
+            None => Box::new(catalog.iter().map(|e| e.id)),
+            Some(list) => Box::new(list.iter().copied()),
+        }
+    }
+}
+
+/// Per-subscriber queue bound: a consumer that stops polling loses
+/// updates beyond this backlog instead of growing memory without bound
+/// (the gap is visible as skipped `window` indices, like the ring's
+/// `PERF_RECORD_LOST`).
+const UPDATE_QUEUE_CAP: usize = 1024;
+
+/// A subscriber channel plus its event selection.
+struct Subscriber {
+    tx: SyncSender<PosteriorUpdate>,
+    selection: Arc<Selection>,
+}
+
+/// Control messages to the inference thread. Every variant carries an ack
+/// channel so callers can block until the service has acted.
+enum Control {
+    /// Process everything enqueued before this message, then ack.
+    Sync(Sender<()>),
+    /// Complete all assembling windows, correct remaining full chunks and
+    /// the ragged tail, publish, then ack.
+    Flush(Sender<()>),
+    /// Stop draining the ring (samples queue up / overflow) — test hook
+    /// for deterministic backpressure.
+    Pause(Sender<()>),
+    /// Resume draining, process the backlog, then ack.
+    Resume(Sender<()>),
+    /// Re-apply chunking / thread-budget settings at a chunk boundary.
+    Reconfigure {
+        chunk_windows: Option<usize>,
+        threads: Option<usize>,
+        ack: Sender<()>,
+    },
+}
+
+/// Producer-facing state behind the service mutex. Held only long enough
+/// to enqueue a sample or hand the whole backlog to the service thread —
+/// never across inference.
+struct ServiceState {
+    ring: RingBuffer<Sample>,
+    control: VecDeque<Control>,
+    shutdown: bool,
+}
+
+/// State shared between the [`Monitor`], its [`Session`]s and the
+/// inference thread.
+struct Shared {
+    catalog: Arc<Catalog>,
+    state: Mutex<ServiceState>,
+    cv: Condvar,
+    snapshot: SnapshotReader<PosteriorSnapshot>,
+    subscribers: Mutex<Vec<Subscriber>>,
+    /// Set once the service thread has exited (after the shutdown flush).
+    closed: AtomicBool,
+    /// Mirrors the service's pause state (the [`Monitor::pause`] test
+    /// hook) so [`Monitor::sync`] can refuse instead of silently acking
+    /// without processing.
+    paused: AtomicBool,
+    late_samples: AtomicU64,
+    chunks_run: AtomicU64,
+    windows_published: AtomicU64,
+}
+
+impl Shared {
+    fn notify(&self) {
+        self.cv.notify_one();
+    }
+
+    fn enqueue_control(&self, ctrl: Control) -> Result<(), ShimError> {
+        {
+            // The closed check must happen under the state lock: the
+            // service thread sets `closed` and drains leftover controls
+            // under the same lock at exit, so a control can never be
+            // enqueued after that final drain (which would leave its
+            // caller blocked on an ack forever).
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if self.closed.load(Relaxed) {
+                return Err(ShimError::SessionClosed);
+            }
+            st.control.push_back(ctrl);
+        }
+        self.notify();
+        Ok(())
+    }
+
+    /// Enqueues a control message and blocks until the service acks it.
+    fn control_roundtrip(&self, make: impl FnOnce(Sender<()>) -> Control) -> Result<(), ShimError> {
+        let (tx, rx) = channel();
+        self.enqueue_control(make(tx))?;
+        rx.recv().map_err(|_| ShimError::SessionClosed)
+    }
+}
+
+/// The shared monitoring service: catalog + sample ring + background
+/// inference thread. Create one per monitored target; open any number of
+/// concurrent [`Session`]s against it.
+///
+/// Dropping (or [`Monitor::close`]-ing) the monitor flushes the stream —
+/// the partial final chunk is corrected and published to subscribers —
+/// and stops the inference thread.
+pub struct Monitor {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("chunks_run", &self.chunks_run())
+            .field("closed", &self.shared.closed.load(Relaxed))
+            .finish()
+    }
+}
+
+impl Monitor {
+    /// Starts a monitor service: clones the catalog, builds the ring, and
+    /// spawns the inference thread (which owns the streaming
+    /// [`Corrector`]).
+    pub fn new(catalog: &Catalog, config: CorrectorConfig, ring_capacity: usize) -> Monitor {
+        let catalog = Arc::new(catalog.clone());
+        let (writer, reader) = snapshot_cell();
+        let shared = Arc::new(Shared {
+            catalog,
+            state: Mutex::new(ServiceState {
+                ring: RingBuffer::new(ring_capacity.max(1)),
+                control: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            snapshot: reader,
+            subscribers: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+            late_samples: AtomicU64::new(0),
+            chunks_run: AtomicU64::new(0),
+            windows_published: AtomicU64::new(0),
+        });
+        let handle = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("bayesperf-inference".into())
+                .spawn(move || InferenceService::new(shared, writer, config).run())
+                .expect("spawn inference service thread")
+        };
+        Monitor {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// The monitored catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.shared.catalog
+    }
+
+    /// Delivers one kernel sample into the ring (the producer path).
+    /// Returns [`ShimError::RingOverflow`] — with the sample dropped and
+    /// counted — when the service is not keeping up, and
+    /// [`ShimError::SessionClosed`] after [`Monitor::close`].
+    ///
+    /// Samples must arrive **window-ordered**, as the kernel's per-CPU
+    /// ring delivers them: a sample for window `w` declares every window
+    /// `< w` complete, and later samples for completed windows are
+    /// dropped as late. Concurrent producers are safe only if they do not
+    /// interleave across window boundaries (e.g. one producer per
+    /// monitor, or an external ordering barrier between windows).
+    pub fn push_sample(&self, sample: Sample) -> Result<(), ShimError> {
+        let result = {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if self.shared.closed.load(Relaxed) {
+                return Err(ShimError::SessionClosed);
+            }
+            if st.ring.push(sample) {
+                Ok(())
+            } else {
+                // The ring itself is the drop accounting (the kernel's
+                // PERF_RECORD_LOST analogue); no parallel counter to keep
+                // in lockstep.
+                Err(ShimError::RingOverflow {
+                    dropped: st.ring.dropped(),
+                })
+            }
+        };
+        self.shared.notify();
+        result
+    }
+
+    /// Starts building a new read session.
+    pub fn session(&self) -> SessionBuilder<'_> {
+        SessionBuilder {
+            monitor: self,
+            events: None,
+            chunk_windows: None,
+            threads: None,
+            err: None,
+        }
+    }
+
+    /// Blocks until every sample pushed before this call has been ingested
+    /// and every complete chunk corrected and published — the
+    /// deterministic barrier the [`crate::shim::BayesPerfShim`] compat
+    /// adapter reads through. While the service is [`Monitor::pause`]d
+    /// that guarantee cannot hold, so `sync` returns
+    /// [`ShimError::ServicePaused`] instead of acking a no-op.
+    pub fn sync(&self) -> Result<(), ShimError> {
+        if self.shared.paused.load(Relaxed) {
+            return Err(ShimError::ServicePaused);
+        }
+        self.shared.control_roundtrip(Control::Sync)
+    }
+
+    /// Corrects the stream's ragged tail **now**: completes all assembling
+    /// windows, runs the remaining full chunks, corrects the partial final
+    /// chunk (chained off the last full chunk's posterior), and publishes
+    /// the result. Samples for already-flushed windows arriving later are
+    /// dropped as late.
+    pub fn flush(&self) -> Result<(), ShimError> {
+        self.shared.control_roundtrip(Control::Flush)
+    }
+
+    /// Stops the service draining the ring, so pushed samples queue up (or
+    /// overflow) deterministically — the backpressure test hook.
+    pub fn pause(&self) -> Result<(), ShimError> {
+        self.shared.control_roundtrip(Control::Pause)
+    }
+
+    /// Resumes draining after [`Monitor::pause`] and processes the
+    /// backlog before acking.
+    pub fn resume(&self) -> Result<(), ShimError> {
+        self.shared.control_roundtrip(Control::Resume)
+    }
+
+    /// Samples dropped at the ring (backpressure) — the ring's own
+    /// `PERF_RECORD_LOST`-style count.
+    pub fn dropped(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ring
+            .dropped()
+    }
+
+    /// Samples dropped because they arrived for an already-completed
+    /// window.
+    pub fn late_samples(&self) -> u64 {
+        self.shared.late_samples.load(Relaxed)
+    }
+
+    /// Inference runs executed (full chunks plus flushed tails).
+    pub fn chunks_run(&self) -> u64 {
+        self.shared.chunks_run.load(Relaxed)
+    }
+
+    /// Windows whose posteriors have been published.
+    pub fn windows_published(&self) -> u64 {
+        self.shared.windows_published.load(Relaxed)
+    }
+
+    /// Flushes the stream (tail correction published to subscribers) and
+    /// stops the inference thread. Subsequent reads and pushes return
+    /// [`ShimError::SessionClosed`]; subscriber iterators end after
+    /// draining the flushed updates. Idempotent; also runs on drop.
+    pub fn close(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        let _ = handle.join();
+        self.shared.closed.store(true, Relaxed);
+    }
+}
+
+impl Drop for Monitor {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Configures and opens a [`Session`]. Event selection defaults to the
+/// whole catalog; [`SessionBuilder::chunk_windows`] and
+/// [`SessionBuilder::threads`] retune the shared inference service (they
+/// apply at the next chunk boundary and affect every session).
+#[derive(Debug)]
+pub struct SessionBuilder<'m> {
+    monitor: &'m Monitor,
+    events: Option<Vec<EventId>>,
+    chunk_windows: Option<usize>,
+    threads: Option<usize>,
+    err: Option<ShimError>,
+}
+
+impl SessionBuilder<'_> {
+    /// Restricts the session to `events` (adds to any previous selection).
+    pub fn events(mut self, events: &[EventId]) -> Self {
+        for &e in events {
+            self = self.event(e);
+        }
+        self
+    }
+
+    /// Adds one event to the selection.
+    pub fn event(mut self, event: EventId) -> Self {
+        if event.index() >= self.monitor.catalog().len() {
+            self.err.get_or_insert(ShimError::UnknownEvent(event));
+            return self;
+        }
+        self.events.get_or_insert_with(Vec::new).push(event);
+        self
+    }
+
+    /// Adds a derived event by name: its component raw events join the
+    /// selection so [`Session::read_derived`] can evaluate it.
+    pub fn derived(mut self, name: &str) -> Self {
+        let components = self
+            .monitor
+            .catalog()
+            .derived_events()
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.events());
+        match components {
+            Some(events) => self.events(&events),
+            None => {
+                self.err
+                    .get_or_insert(ShimError::UnknownDerived(name.to_string()));
+                self
+            }
+        }
+    }
+
+    /// Selects every catalog event (the default).
+    pub fn all_events(mut self) -> Self {
+        self.events = None;
+        self
+    }
+
+    /// Requests a different chunk size (windows per inference run) from
+    /// the shared service. Applied at the next chunk boundary; rebuilds
+    /// the inference engine, so the next chunk runs cold.
+    pub fn chunk_windows(mut self, windows: usize) -> Self {
+        self.chunk_windows = Some(windows.max(1));
+        self
+    }
+
+    /// Requests a different worker-thread budget for the inference farm
+    /// (a pure throughput knob: results are bit-identical at any count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Opens the session, applying any service retuning first.
+    pub fn open(self) -> Result<Session, ShimError> {
+        if let Some(err) = self.err {
+            return Err(err);
+        }
+        if self.monitor.shared.closed.load(Relaxed) {
+            return Err(ShimError::SessionClosed);
+        }
+        if self.chunk_windows.is_some() || self.threads.is_some() {
+            self.monitor
+                .shared
+                .control_roundtrip(|ack| Control::Reconfigure {
+                    chunk_windows: self.chunk_windows,
+                    threads: self.threads,
+                    ack,
+                })?;
+        }
+        let events = self.events.map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        });
+        Ok(Session {
+            shared: self.monitor.shared.clone(),
+            selection: Arc::new(Selection { events }),
+        })
+    }
+}
+
+/// A read handle onto the monitor's posterior stream: cheap to clone,
+/// sendable across threads, and **never** blocking on inference — every
+/// read is served from the latest published snapshot in memory.
+#[derive(Clone)]
+pub struct Session {
+    shared: Arc<Shared>,
+    selection: Arc<Selection>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("selection", &self.selection)
+            .finish()
+    }
+}
+
+impl Session {
+    fn ensure_open(&self) -> Result<(), ShimError> {
+        if self.shared.closed.load(Relaxed) {
+            Err(ShimError::SessionClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_event(&self, event: EventId) -> Result<(), ShimError> {
+        if event.index() >= self.shared.catalog.len() || !self.selection.contains(event) {
+            return Err(ShimError::UnknownEvent(event));
+        }
+        Ok(())
+    }
+
+    /// The monitored catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.shared.catalog
+    }
+
+    /// Reads the latest posterior of `event`. Non-blocking: one lock-free
+    /// snapshot acquisition and a copy; inference never runs on this path.
+    pub fn read(&self, event: EventId) -> Result<Reading, ShimError> {
+        self.ensure_open()?;
+        self.check_event(event)?;
+        let snap = self
+            .shared
+            .snapshot
+            .read()
+            .ok_or(ShimError::NoPosteriorYet)?;
+        Ok(Reading::from_gaussian(&snap.posteriors[event.index()]))
+    }
+
+    /// Reads all selected events from **one** consistent snapshot: every
+    /// reading in the group comes from the same window and inference run.
+    pub fn read_group(&self) -> Result<GroupReading, ShimError> {
+        self.ensure_open()?;
+        let snap = self
+            .shared
+            .snapshot
+            .read()
+            .ok_or(ShimError::NoPosteriorYet)?;
+        let readings = self
+            .selection
+            .iter(&self.shared.catalog)
+            .map(|e| (e, Reading::from_gaussian(&snap.posteriors[e.index()])))
+            .collect();
+        Ok(GroupReading {
+            window: snap.window,
+            chunk: snap.chunk,
+            stats: snap.stats,
+            readings,
+        })
+    }
+
+    /// Evaluates a derived event (by catalog name) on the latest
+    /// snapshot: the value is the metric at the posterior means, the
+    /// spread a first-order propagation of each component's posterior
+    /// standard deviation through the metric. The session must have
+    /// selected the metric's component events
+    /// ([`SessionBuilder::derived`] does exactly that); an unselected
+    /// component is [`ShimError::UnknownEvent`], as on [`Session::read`].
+    pub fn read_derived(&self, name: &str) -> Result<Reading, ShimError> {
+        self.ensure_open()?;
+        let derived = self
+            .shared
+            .catalog
+            .derived_events()
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| ShimError::UnknownDerived(name.to_string()))?;
+        // The metric reads its component raw events, so the session must
+        // have selected them (what `SessionBuilder::derived` sets up) —
+        // the same access rule `read` enforces per event.
+        for e in derived.events() {
+            self.check_event(e)?;
+        }
+        let snap = self
+            .shared
+            .snapshot
+            .read()
+            .ok_or(ShimError::NoPosteriorYet)?;
+
+        struct MeanEnv<'a> {
+            posteriors: &'a [Gaussian],
+            bump: Option<(usize, f64)>,
+        }
+        impl EventEnv for MeanEnv<'_> {
+            fn value(&self, id: EventId) -> f64 {
+                let mean = self.posteriors[id.index()].mean;
+                match self.bump {
+                    Some((i, delta)) if i == id.index() => mean + delta,
+                    _ => mean,
+                }
+            }
+        }
+
+        let posteriors = snap.posteriors.as_slice();
+        let value = derived.eval(&MeanEnv {
+            posteriors,
+            bump: None,
+        });
+        let mut var = 0.0;
+        for e in derived.events() {
+            let sd = posteriors[e.index()].std_dev();
+            if sd == 0.0 {
+                continue;
+            }
+            let hi = derived.eval(&MeanEnv {
+                posteriors,
+                bump: Some((e.index(), sd)),
+            });
+            let lo = derived.eval(&MeanEnv {
+                posteriors,
+                bump: Some((e.index(), -sd)),
+            });
+            let half = (hi - lo) / 2.0;
+            var += half * half;
+        }
+        // Build the reading directly: a metric with a division can go
+        // non-finite while a denominator's posterior is still vague
+        // (early run), and a flat metric has zero spread — both are
+        // legitimate readings here, not the strictly-positive-finite
+        // variance `Gaussian::new` asserts. Reads must never panic.
+        let std_dev = var.max(0.0).sqrt();
+        Ok(Reading {
+            value,
+            std_dev,
+            interval95: (value - 1.96 * std_dev, value + 1.96 * std_dev),
+        })
+    }
+
+    /// Subscribes to the per-window posterior stream: the returned
+    /// iterator yields one [`PosteriorUpdate`] per corrected window
+    /// (filtered to this session's selection) and ends when the monitor
+    /// closes. [`Updates::next`] blocks; [`Updates::try_next`] polls.
+    ///
+    /// The queue is bounded: a subscriber that falls more than
+    /// `UPDATE_QUEUE_CAP` updates behind loses the overflow (never the
+    /// service's progress) — skipped `window` indices mark the gap.
+    pub fn subscribe(&self) -> Updates {
+        let (tx, rx) = sync_channel(UPDATE_QUEUE_CAP);
+        {
+            // Check `closed` under the subscribers lock: the exiting
+            // service thread sets the flag before clearing this list
+            // (also under the lock), so a subscriber can never register
+            // after the final clear and block on a sender nobody holds.
+            let mut subs = self
+                .shared
+                .subscribers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if !self.shared.closed.load(Relaxed) {
+                subs.push(Subscriber {
+                    tx,
+                    selection: self.selection.clone(),
+                });
+            }
+        }
+        Updates { rx }
+    }
+
+    /// Samples dropped at the ring (backpressure) — the ring's own
+    /// `PERF_RECORD_LOST`-style count.
+    pub fn dropped(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ring
+            .dropped()
+    }
+
+    /// Samples dropped for arriving after their window completed.
+    pub fn late_samples(&self) -> u64 {
+        self.shared.late_samples.load(Relaxed)
+    }
+
+    /// Inference runs executed so far.
+    pub fn chunks_run(&self) -> u64 {
+        self.shared.chunks_run.load(Relaxed)
+    }
+
+    /// Windows whose posteriors have been published.
+    pub fn windows_published(&self) -> u64 {
+        self.shared.windows_published.load(Relaxed)
+    }
+}
+
+/// Blocking iterator over a session's [`PosteriorUpdate`] stream.
+#[derive(Debug)]
+pub struct Updates {
+    rx: Receiver<PosteriorUpdate>,
+}
+
+impl Updates {
+    /// Non-blocking poll: `Ok(Some(update))` when one is queued,
+    /// `Ok(None)` when the stream is open but currently empty, and
+    /// `Err(SessionClosed)` once the monitor has closed and every
+    /// buffered update has been drained — so a polling consumer can tell
+    /// "nothing yet" from "the stream ended".
+    pub fn try_next(&mut self) -> Result<Option<PosteriorUpdate>, ShimError> {
+        match self.rx.try_recv() {
+            Ok(u) => Ok(Some(u)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ShimError::SessionClosed),
+        }
+    }
+}
+
+impl Iterator for Updates {
+    type Item = PosteriorUpdate;
+
+    fn next(&mut self) -> Option<PosteriorUpdate> {
+        self.rx.recv().ok()
+    }
+}
+
+/// The background inference service: owns the streaming corrector, the
+/// window assembly state and the snapshot writer.
+struct InferenceService {
+    shared: Arc<Shared>,
+    catalog: Arc<Catalog>,
+    config: CorrectorConfig,
+    writer: SnapshotWriter<PosteriorSnapshot>,
+    /// Windows being assembled from ring samples, keyed by window index.
+    assembling: HashMap<u32, Vec<Sample>>,
+    /// Complete windows awaiting a full chunk, sorted by window index.
+    pending: Vec<(u32, Vec<Sample>)>,
+    /// Lowest window index still accepted; samples below it are late.
+    frontier: Option<u32>,
+    /// Reused ring-drain buffer.
+    drained: Vec<Sample>,
+    paused: bool,
+}
+
+impl InferenceService {
+    fn new(
+        shared: Arc<Shared>,
+        writer: SnapshotWriter<PosteriorSnapshot>,
+        config: CorrectorConfig,
+    ) -> Self {
+        let catalog = shared.catalog.clone();
+        InferenceService {
+            shared,
+            catalog,
+            config,
+            writer,
+            assembling: HashMap::new(),
+            pending: Vec::new(),
+            frontier: None,
+            drained: Vec::new(),
+            paused: false,
+        }
+    }
+
+    fn run(mut self) {
+        // The shutdown handshake must happen on EVERY exit path — a panic
+        // in EP/MCMC on pathological data included — or callers blocked
+        // in `control_roundtrip` / `Updates::next` would hang forever. A
+        // drop guard makes unwinding perform the same handshake as a
+        // clean exit:
+        // 1. mark closed and drop any controls that raced in, under the
+        //    state lock (dropping a control's ack sender errors its
+        //    caller's recv into SessionClosed; `enqueue_control` checks
+        //    `closed` under the same lock, so none slip in after);
+        // 2. disconnect subscribers so their iterators end (`subscribe`
+        //    re-checks `closed` under that lock, so no late registration
+        //    survives the clear).
+        // In-flight controls already dequeued by the loop unwind first
+        // (locals drop before the guard), erroring their acks too.
+        struct ShutdownGuard(Arc<Shared>);
+        impl Drop for ShutdownGuard {
+            fn drop(&mut self) {
+                {
+                    let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+                    self.0.closed.store(true, Relaxed);
+                    st.control.clear();
+                }
+                self.0
+                    .subscribers
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clear();
+            }
+        }
+        let _shutdown = ShutdownGuard(self.shared.clone());
+        let catalog = self.catalog.clone();
+        let mut corrector = Corrector::new(&catalog, self.config.clone());
+        loop {
+            let (controls, shutdown) = self.wait_for_work();
+            if !self.paused {
+                self.drain_and_correct(&mut corrector);
+            }
+            for ctrl in controls {
+                match ctrl {
+                    Control::Sync(ack) => {
+                        if !self.paused {
+                            self.drain_and_correct(&mut corrector);
+                        }
+                        let _ = ack.send(());
+                    }
+                    Control::Flush(ack) => {
+                        self.flush(&mut corrector);
+                        let _ = ack.send(());
+                    }
+                    Control::Pause(ack) => {
+                        self.paused = true;
+                        self.shared.paused.store(true, Relaxed);
+                        let _ = ack.send(());
+                    }
+                    Control::Resume(ack) => {
+                        self.paused = false;
+                        self.shared.paused.store(false, Relaxed);
+                        self.drain_and_correct(&mut corrector);
+                        let _ = ack.send(());
+                    }
+                    Control::Reconfigure {
+                        chunk_windows,
+                        threads,
+                        ack,
+                    } => {
+                        if let Some(t) = threads {
+                            self.config.threads = t;
+                            corrector.set_threads(t);
+                        }
+                        if let Some(k) = chunk_windows {
+                            if k != self.config.model.slices {
+                                self.config.model.slices = k;
+                                corrector = Corrector::new(&catalog, self.config.clone());
+                                // Windows already pending may form
+                                // complete chunks under the new size;
+                                // correct them now rather than stalling
+                                // until the next sample arrives.
+                                if !self.paused {
+                                    self.drain_and_correct(&mut corrector);
+                                }
+                            }
+                        }
+                        let _ = ack.send(());
+                    }
+                }
+            }
+            if shutdown {
+                self.flush(&mut corrector);
+                break;
+            }
+        }
+        // ShutdownGuard performs the close handshake as it drops.
+    }
+
+    /// Blocks until there are samples to drain (unless paused), control
+    /// messages, or shutdown. Returns the pending controls and the
+    /// shutdown flag.
+    fn wait_for_work(&mut self) -> (VecDeque<Control>, bool) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        while (self.paused || st.ring.is_empty()) && st.control.is_empty() && !st.shutdown {
+            st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        (std::mem::take(&mut st.control), st.shutdown)
+    }
+
+    /// Drains the ring, assembles windows (dropping late samples), and
+    /// corrects every complete chunk.
+    fn drain_and_correct(&mut self, corrector: &mut Corrector<'_>) {
+        self.drained.clear();
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.ring.drain_into(&mut self.drained);
+        }
+        self.ingest();
+        self.correct_full_chunks(corrector);
+    }
+
+    /// Window assembly. A sample for window `w` means every window `< w`
+    /// is complete (the PMU delivers window-ordered streams); a sample for
+    /// a window *below* the frontier arrived after its window completed —
+    /// it is dropped and counted as late instead of leaking into
+    /// `assembling` forever.
+    fn ingest(&mut self) {
+        let mut late = 0u64;
+        for i in 0..self.drained.len() {
+            let s = self.drained[i];
+            match self.frontier {
+                Some(f) if s.window < f => {
+                    late += 1;
+                    continue;
+                }
+                Some(f) if s.window > f => {
+                    self.promote_below(s.window);
+                    self.frontier = Some(s.window);
+                }
+                None => self.frontier = Some(s.window),
+                _ => {}
+            }
+            self.assembling.entry(s.window).or_default().push(s);
+        }
+        if late > 0 {
+            self.shared.late_samples.fetch_add(late, Relaxed);
+        }
+        self.pending.sort_by_key(|(w, _)| *w);
+    }
+
+    /// Moves every assembling window below `limit` into `pending`.
+    fn promote_below(&mut self, limit: u32) {
+        let ready: Vec<u32> = self
+            .assembling
+            .keys()
+            .copied()
+            .filter(|&w| w < limit)
+            .collect();
+        for w in ready {
+            if let Some(samples) = self.assembling.remove(&w) {
+                self.pending.push((w, samples));
+            }
+        }
+    }
+
+    fn correct_full_chunks(&mut self, corrector: &mut Corrector<'_>) {
+        let k = self.config.model.slices.max(1);
+        while self.pending.len() >= k {
+            let chunk: Vec<(u32, Vec<Sample>)> = self.pending.drain(..k).collect();
+            let refs: Vec<&[Sample]> = chunk.iter().map(|(_, s)| s.as_slice()).collect();
+            let stats = match corrector.try_push_chunk(&refs) {
+                Ok(stats) => stats,
+                // A mismatched chunk cannot occur (we sized it above);
+                // drop it rather than poison the service.
+                Err(_) => continue,
+            };
+            let windows: Vec<u32> = chunk.iter().map(|(w, _)| *w).collect();
+            self.publish(&windows, stats, |t, e| corrector.posterior(t, e));
+        }
+    }
+
+    /// Corrects the stream's ragged tail: everything still assembling is
+    /// completed, remaining full chunks run, and the final partial chunk
+    /// is corrected via the corrector's one-shot tail path.
+    fn flush(&mut self, corrector: &mut Corrector<'_>) {
+        self.drain_and_correct(corrector);
+        self.promote_below(u32::MAX);
+        self.pending.sort_by_key(|(w, _)| *w);
+        let highest = self.pending.last().map(|(w, _)| *w);
+        self.correct_full_chunks(corrector);
+        if !self.pending.is_empty() {
+            let tail: Vec<(u32, Vec<Sample>)> = self.pending.drain(..).collect();
+            let refs: Vec<&[Sample]> = tail.iter().map(|(_, s)| s.as_slice()).collect();
+            if let Ok((post, stats)) = corrector.push_tail(&refs) {
+                let windows: Vec<u32> = tail.iter().map(|(w, _)| *w).collect();
+                self.publish(&windows, stats, |t, e| post.posterior(t, e));
+            }
+        }
+        // Anything arriving for flushed windows from here on is late.
+        if let Some(h) = highest {
+            let next = h.saturating_add(1);
+            if self.frontier.is_none_or(|f| f < next) {
+                self.frontier = Some(next);
+            }
+        }
+    }
+
+    /// Publishes one corrected chunk: a per-window [`PosteriorUpdate`] to
+    /// every subscriber and a fresh read snapshot of the final window.
+    fn publish(
+        &mut self,
+        windows: &[u32],
+        stats: EpRunStats,
+        posterior: impl Fn(usize, EventId) -> Gaussian,
+    ) {
+        let chunk = self.shared.chunks_run.fetch_add(1, Relaxed) + 1;
+        self.shared
+            .windows_published
+            .fetch_add(windows.len() as u64, Relaxed);
+
+        // Materialize each window's catalog-indexed posteriors once;
+        // per-subscriber work inside the lock is then a cheap filtered
+        // copy instead of S×k engine walks.
+        let mut per_window: Vec<Vec<Gaussian>> = (0..windows.len())
+            .map(|t| self.catalog.iter().map(|e| posterior(t, e.id)).collect())
+            .collect();
+
+        let mut subscribers = self
+            .shared
+            .subscribers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        for (t, &w) in windows.iter().enumerate() {
+            let full = &per_window[t];
+            subscribers.retain(|sub| {
+                let posteriors: Vec<(EventId, Gaussian)> = sub
+                    .selection
+                    .iter(&self.catalog)
+                    .map(|e| (e, full[e.index()]))
+                    .collect();
+                match sub.tx.try_send(PosteriorUpdate {
+                    window: w,
+                    chunk,
+                    stats,
+                    posteriors,
+                }) {
+                    Ok(()) => true,
+                    // Bounded backpressure: a lagging consumer loses this
+                    // update (gap visible via window indices); the
+                    // service never blocks on a subscriber.
+                    Err(TrySendError::Full(_)) => true,
+                    Err(TrySendError::Disconnected(_)) => false,
+                }
+            });
+        }
+        drop(subscribers);
+
+        self.writer.publish(PosteriorSnapshot {
+            window: *windows.last().expect("publish never gets an empty chunk"),
+            chunk,
+            stats,
+            posteriors: per_window.pop().expect("one vec per window"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesperf_events::{Arch, Semantic};
+    use bayesperf_simcpu::{pack_round_robin, MultiplexRun, Pmu, PmuConfig};
+    use bayesperf_workloads::kmeans;
+
+    fn recorded_run(cat: &Catalog, n_windows: usize) -> MultiplexRun {
+        let mut truth = kmeans().instantiate(cat, 0);
+        let pmu = Pmu::new(cat, PmuConfig::for_catalog(cat));
+        let events = vec![
+            cat.require(Semantic::L1dMisses),
+            cat.require(Semantic::LlcHits),
+            cat.require(Semantic::LlcMisses),
+        ];
+        let schedule = pack_round_robin(cat, &events).expect("schedule fits");
+        pmu.run_multiplexed(&mut truth, &schedule, n_windows)
+    }
+
+    fn feed(monitor: &Monitor, run: &MultiplexRun) {
+        for w in &run.windows {
+            for s in &w.samples {
+                let _ = monitor.push_sample(*s);
+            }
+        }
+    }
+
+    #[test]
+    fn session_handles_are_send_sync_and_clone() {
+        fn assert_traits<T: Send + Sync + Clone>() {}
+        assert_traits::<Session>();
+    }
+
+    #[test]
+    fn read_before_any_chunk_is_no_posterior_yet() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 8);
+        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let session = monitor.session().open().expect("open");
+        let ev = cat.require(Semantic::L1dMisses);
+        assert_eq!(session.read(ev), Err(ShimError::NoPosteriorYet));
+        assert!(matches!(
+            session.read_group(),
+            Err(ShimError::NoPosteriorYet)
+        ));
+    }
+
+    #[test]
+    fn unknown_and_unselected_events_are_typed_errors() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 8);
+        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let l1d = cat.require(Semantic::L1dMisses);
+        let llc = cat.require(Semantic::LlcMisses);
+        let session = monitor.session().event(l1d).open().expect("open");
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        assert!(session.read(l1d).is_ok());
+        assert_eq!(session.read(llc), Err(ShimError::UnknownEvent(llc)));
+        let bogus = EventId::from_raw(u16::MAX);
+        assert_eq!(session.read(bogus), Err(ShimError::UnknownEvent(bogus)));
+        assert!(matches!(
+            monitor.session().event(bogus).open(),
+            Err(ShimError::UnknownEvent(_))
+        ));
+        assert!(matches!(
+            monitor.session().derived("no-such-metric").open(),
+            Err(ShimError::UnknownDerived(_))
+        ));
+    }
+
+    #[test]
+    fn reads_after_close_are_session_closed() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 8);
+        let mut monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let session = monitor.session().open().expect("open");
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        let ev = cat.require(Semantic::L1dMisses);
+        assert!(session.read(ev).is_ok());
+        monitor.close();
+        assert_eq!(session.read(ev), Err(ShimError::SessionClosed));
+        assert_eq!(
+            monitor.push_sample(run.windows[0].samples[0]),
+            Err(ShimError::SessionClosed)
+        );
+        assert!(matches!(
+            monitor.session().open(),
+            Err(ShimError::SessionClosed)
+        ));
+    }
+
+    #[test]
+    fn read_group_is_internally_consistent() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 8);
+        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let session = monitor.session().open().expect("open");
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        let group = session.read_group().expect("group");
+        assert_eq!(group.readings.len(), cat.len());
+        assert!(group.stats.sweeps_run > 0);
+        let ev = cat.require(Semantic::L1dMisses);
+        let single = session.read(ev).expect("read");
+        let in_group = group
+            .readings
+            .iter()
+            .find(|(e, _)| *e == ev)
+            .map(|(_, r)| *r)
+            .expect("selected");
+        assert_eq!(single, in_group, "same snapshot serves both paths");
+    }
+
+    #[test]
+    fn derived_event_reads_propagate_uncertainty() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 8);
+        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let name = cat.derived_events()[0].name.clone();
+        let session = monitor.session().derived(&name).open().expect("open");
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        let r = session.read_derived(&name).expect("derived read");
+        assert!(r.value.is_finite());
+        assert!(r.std_dev > 0.0, "uncertainty propagates through the metric");
+        assert_eq!(
+            session.read_derived("missing"),
+            Err(ShimError::UnknownDerived("missing".into()))
+        );
+        // Selection is an access contract: a session that did not select
+        // the metric's components cannot read it through the back door.
+        let narrow = monitor
+            .session()
+            .event(cat.require(Semantic::L1dMisses))
+            .open()
+            .expect("open");
+        assert!(matches!(
+            narrow.read_derived(&name),
+            Err(ShimError::UnknownEvent(_))
+        ));
+    }
+
+    #[test]
+    fn sync_refuses_while_paused_instead_of_acking_a_noop() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 8);
+        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14);
+        monitor.pause().expect("pause");
+        feed(&monitor, &run);
+        // Paused: the sync barrier cannot guarantee processing, so it
+        // must say so rather than return Ok with nothing corrected.
+        assert_eq!(monitor.sync(), Err(ShimError::ServicePaused));
+        monitor.resume().expect("resume");
+        monitor.sync().expect("sync after resume");
+        assert!(monitor.chunks_run() > 0, "backlog processed on resume");
+    }
+
+    #[test]
+    fn late_samples_are_dropped_and_counted() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 8);
+        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        assert_eq!(monitor.late_samples(), 0);
+        // A straggler for window 0 arrives long after window 0 completed.
+        let mut late = run.windows[0].samples[0];
+        late.window = 0;
+        monitor.push_sample(late).expect("ring has room");
+        monitor.sync().expect("sync");
+        assert_eq!(monitor.late_samples(), 1, "late sample dropped + counted");
+        // It must not re-open window 0: a flush finds nothing stuck.
+        monitor.flush().expect("flush");
+        assert_eq!(monitor.late_samples(), 1);
+    }
+
+    #[test]
+    fn flush_corrects_the_partial_final_chunk() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        // 9 windows, chunk size 6: one full chunk + a 3-window tail that
+        // the pre-redesign shim silently dropped.
+        let run = recorded_run(&cat, 9);
+        let cfg = CorrectorConfig::for_run(&run);
+        let k = cfg.model.slices;
+        assert!(
+            !run.windows.len().is_multiple_of(k),
+            "fixture must have a ragged tail"
+        );
+        let monitor = Monitor::new(&cat, cfg, 1 << 14);
+        let session = monitor.session().open().expect("open");
+        let mut updates = session.subscribe();
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        assert_eq!(monitor.windows_published(), k as u64, "tail not yet run");
+        monitor.flush().expect("flush");
+        assert_eq!(
+            monitor.windows_published(),
+            run.windows.len() as u64,
+            "flush corrected the tail windows"
+        );
+        let ev = cat.require(Semantic::L1dMisses);
+        let r = session.read(ev).expect("tail posterior served");
+        assert!(r.value.is_finite() && r.std_dev > 0.0);
+        // The flush ack guarantees all updates are already queued.
+        let mut windows = Vec::new();
+        while let Ok(Some(u)) = updates.try_next() {
+            windows.push(u.window);
+        }
+        assert_eq!(
+            windows,
+            (0..run.windows.len() as u32).collect::<Vec<_>>(),
+            "every window published exactly once, in order"
+        );
+    }
+
+    #[test]
+    fn reconfigured_chunking_applies_to_the_service() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 9);
+        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14);
+        let session = monitor
+            .session()
+            .chunk_windows(4)
+            .threads(1)
+            .open()
+            .expect("open");
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        // 9 windows, window 8 still assembling: 8 complete -> two chunks
+        // of 4.
+        assert_eq!(monitor.chunks_run(), 2, "service re-chunked to 4");
+        assert_eq!(monitor.windows_published(), 8);
+        let ev = cat.require(Semantic::L1dMisses);
+        assert!(session.read(ev).is_ok());
+    }
+
+    #[test]
+    fn rechunking_corrects_the_existing_backlog_without_new_samples() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        // 5 windows never fill a default chunk of 6: everything sits
+        // pending/assembling.
+        let run = recorded_run(&cat, 5);
+        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14);
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        assert_eq!(monitor.chunks_run(), 0, "k=6 backlog incomplete");
+        // Shrinking the chunk size must correct the windows already
+        // buffered (4 complete -> two 2-window chunks), not stall until
+        // the next sample happens to arrive.
+        let session = monitor.session().chunk_windows(2).open().expect("open");
+        assert_eq!(monitor.chunks_run(), 2, "backlog corrected on rechunk");
+        assert!(session.read(cat.require(Semantic::L1dMisses)).is_ok());
+    }
+}

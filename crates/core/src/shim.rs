@@ -1,25 +1,43 @@
-//! The BayesPerf shim: a perf-compatible userspace reader API.
+//! The BayesPerf shim: perf-compatible readers over asynchronous inference.
 //!
-//! §5 of the paper: monitoring applications talk to a userspace "shim"
-//! whose API is identical to the Linux perf subsystem; the kernel enqueues
-//! samples into a shared ring buffer; inference runs asynchronously (on the
-//! accelerator in hardware, in the background here) and the monitoring
-//! application's *reads are served from already-computed posteriors in host
-//! memory* — which is how the accelerator masks inference latency (Fig. 3).
+//! §5 / Fig. 3 of the paper: monitoring applications talk to a userspace
+//! "shim" whose API mirrors the Linux perf subsystem; the kernel enqueues
+//! samples into a shared ring buffer; inference runs **asynchronously**
+//! (on the accelerator in hardware, on the background service thread
+//! here), and the monitoring application's *reads are served from
+//! already-computed posteriors in host memory*. A read therefore costs a
+//! lock-free snapshot acquisition — never an EP sweep — which is how the
+//! accelerator masks inference latency behind the read path.
 //!
-//! Two readers share the [`HpcReader`] trait so any monitoring tool can
-//! switch transparently:
+//! The full session API lives in [`crate::service`]: a shared
+//! [`Monitor`] owns the ring and the inference
+//! thread, and hands out `Clone + Send` [`Session`]
+//! handles with typed errors, consistent group reads and a streaming
+//! [`Session::subscribe`] feed.
 //!
-//! * [`LinuxReader`] — models `read()` on a perf fd: latest sample, scaled
-//!   by enabled/running time;
-//! * [`BayesPerfShim`] — consumes the ring buffer, runs chunked EP, and
-//!   serves full posteriors.
+//! This module keeps the original single-client reader surface on top of
+//! it:
+//!
+//! * [`HpcReader`] — the perf-like trait any monitoring loop can be
+//!   written against;
+//! * [`LinuxReader`] — models `read()` on a perf fd: latest sample, point
+//!   value, no uncertainty;
+//! * [`BayesPerfShim`] — a compat adapter over a single-session
+//!   [`Monitor`]: `push_sample` feeds the
+//!   service's ring, `read` synchronizes with the service (so results are
+//!   deterministic for recorded runs) and serves the posterior snapshot.
+//!
+//! Migrating off the adapter: replace `BayesPerfShim::new` with
+//! [`Monitor::new`] +
+//! [`Monitor::session`], push samples
+//! through the monitor, and poll sessions from as many threads as needed
+//! — see the README's "Shim API" section for the lifecycle.
 
-use crate::corrector::{Corrector, CorrectorConfig};
+use crate::corrector::CorrectorConfig;
+use crate::service::{Monitor, Session};
 use bayesperf_events::{Catalog, EventId};
 use bayesperf_inference::Gaussian;
-use bayesperf_simcpu::{RingBuffer, Sample};
-use parking_lot::Mutex;
+use bayesperf_simcpu::Sample;
 use std::collections::HashMap;
 
 /// The value returned by a reader: an estimate with quantified uncertainty.
@@ -38,7 +56,7 @@ pub struct Reading {
 }
 
 impl Reading {
-    fn point(value: f64) -> Self {
+    pub(crate) fn point(value: f64) -> Self {
         Reading {
             value,
             std_dev: 0.0,
@@ -46,7 +64,7 @@ impl Reading {
         }
     }
 
-    fn from_gaussian(g: &Gaussian) -> Self {
+    pub(crate) fn from_gaussian(g: &Gaussian) -> Self {
         Reading {
             value: g.mean,
             std_dev: g.std_dev(),
@@ -92,113 +110,95 @@ impl HpcReader for LinuxReader {
     }
 }
 
-/// The BayesPerf shim: ring-buffered ingestion, chunked EP inference,
-/// posterior cache.
-pub struct BayesPerfShim<'a> {
-    catalog: &'a Catalog,
-    corrector: Corrector<'a>,
-    ring: Mutex<RingBuffer<Sample>>,
-    /// Windows being assembled from ring samples, keyed by window index.
-    assembling: HashMap<u32, Vec<Sample>>,
-    /// Complete windows awaiting a full chunk.
-    pending: Vec<(u32, Vec<Sample>)>,
-    /// Highest window index seen (windows below it are complete).
-    frontier: Option<u32>,
-    /// Latest posterior per event (count units).
-    cache: HashMap<EventId, Gaussian>,
-    /// Normalized posterior of the last inferred slice (chunk chaining).
-    chunks_run: usize,
+/// Single-client compat adapter over the session service: the original
+/// `BayesPerfShim` surface, now backed by a dedicated
+/// [`Monitor`] (background inference thread,
+/// lock-free snapshot reads).
+///
+/// `read` synchronizes with the service before serving, so a recorded run
+/// pushed through the adapter yields the same posteriors as the batch
+/// [`Corrector`](crate::corrector::Corrector) — at the cost of a blocking
+/// barrier per call. Multi-threaded monitors should open
+/// [`Session`]s directly and poll without
+/// syncing.
+pub struct BayesPerfShim {
+    monitor: Monitor,
+    session: Session,
 }
 
-impl std::fmt::Debug for BayesPerfShim<'_> {
+impl std::fmt::Debug for BayesPerfShim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BayesPerfShim")
-            .field("pending_windows", &self.pending.len())
-            .field("chunks_run", &self.chunks_run)
+            .field("chunks_run", &self.monitor.chunks_run())
             .finish()
     }
 }
 
-impl<'a> BayesPerfShim<'a> {
+impl BayesPerfShim {
     /// Creates a shim with the given corrector configuration and ring
-    /// capacity.
-    pub fn new(catalog: &'a Catalog, config: CorrectorConfig, ring_capacity: usize) -> Self {
-        BayesPerfShim {
-            catalog,
-            corrector: Corrector::new(catalog, config),
-            ring: Mutex::new(RingBuffer::new(ring_capacity)),
-            assembling: HashMap::new(),
-            pending: Vec::new(),
-            frontier: None,
-            cache: HashMap::new(),
-            chunks_run: 0,
-        }
+    /// capacity (spawns the monitor's inference thread).
+    pub fn new(catalog: &Catalog, config: CorrectorConfig, ring_capacity: usize) -> Self {
+        let monitor = Monitor::new(catalog, config, ring_capacity);
+        let session = monitor
+            .session()
+            .open()
+            .expect("monitor opened this instant");
+        BayesPerfShim { monitor, session }
     }
 
-    /// Number of inference chunks executed so far.
+    /// The underlying monitor service (to open further read sessions,
+    /// flush, or inspect stats). Sample pushes must stay window-ordered —
+    /// see [`Monitor::push_sample`].
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// A read session on the monitor (cloneable, sendable).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Number of inference chunks executed so far (a cheap counter read;
+    /// call [`BayesPerfShim::process`] first for an up-to-the-push value).
     pub fn chunks_run(&self) -> usize {
-        self.chunks_run
+        self.monitor.chunks_run() as usize
     }
 
     /// Samples dropped at the ring buffer (backpressure).
     pub fn dropped(&self) -> u64 {
-        self.ring.lock().dropped()
+        self.monitor.dropped()
     }
 
-    /// Drains the ring buffer, assembles windows, and runs inference when a
-    /// full chunk of windows is available. Called from `read`, but exposed
-    /// so background processing (the accelerator model) can drive it too.
-    pub fn process(&mut self) {
-        let drained: Vec<Sample> = self.ring.lock().drain();
-        for s in drained {
-            // A sample for window w means all windows < w are complete.
-            if self.frontier.is_none_or(|f| s.window > f) {
-                let newly_complete: Vec<u32> = self
-                    .assembling
-                    .keys()
-                    .copied()
-                    .filter(|&w| w < s.window)
-                    .collect();
-                for w in newly_complete {
-                    if let Some(samples) = self.assembling.remove(&w) {
-                        self.pending.push((w, samples));
-                    }
-                }
-                self.frontier = Some(s.window);
-            }
-            self.assembling.entry(s.window).or_default().push(s);
-        }
-        self.pending.sort_by_key(|(w, _)| *w);
+    /// Samples dropped for arriving after their window completed.
+    pub fn late_samples(&self) -> u64 {
+        self.monitor.late_samples()
+    }
 
-        let k = self.corrector.config().model.slices.max(1);
-        while self.pending.len() >= k {
-            let chunk: Vec<Vec<Sample>> = self
-                .pending
-                .drain(..k)
-                .map(|(_, samples)| samples)
-                .collect();
-            let refs: Vec<&[Sample]> = chunk.iter().map(Vec::as_slice).collect();
-            // Streaming correction: chains and warm-starts across chunks,
-            // so steady-state shim inference pays the incremental (1–2
-            // sweep, floor-budget) cost instead of a cold EP run.
-            self.corrector.push_chunk(&refs);
-            for e in self.catalog.iter() {
-                self.cache
-                    .insert(e.id, self.corrector.posterior(k - 1, e.id));
-            }
-            self.chunks_run += 1;
-        }
+    /// Blocks until everything pushed so far has been ingested and every
+    /// complete chunk corrected (kept for compatibility with the old
+    /// inline-inference `process`; the service normally runs by itself).
+    pub fn process(&mut self) {
+        let _ = self.monitor.sync();
+    }
+
+    /// Corrects the stream's partial final chunk (windows that never
+    /// filled a complete chunk) and publishes the result. Also runs
+    /// automatically when the shim is dropped.
+    pub fn flush(&mut self) {
+        let _ = self.monitor.flush();
     }
 }
 
-impl HpcReader for BayesPerfShim<'_> {
+impl HpcReader for BayesPerfShim {
     fn push_sample(&mut self, sample: Sample) {
-        self.ring.lock().push(sample);
+        // Overflow is counted by the service and surfaced via `dropped()`;
+        // the trait's enqueue path is fire-and-forget like the kernel's.
+        let _ = self.monitor.push_sample(sample);
     }
 
     fn read(&mut self, event: EventId) -> Option<Reading> {
-        self.process();
-        self.cache.get(&event).map(Reading::from_gaussian)
+        self.monitor.sync().ok()?;
+        self.session.read(event).ok()
     }
 }
 
@@ -260,7 +260,7 @@ mod tests {
                 shim.push_sample(*s);
             }
         }
-        let r = shim.read(ev).expect("posterior after two chunks");
+        let r = shim.read(ev).expect("posterior after a chunk");
         assert!(r.value > 0.0);
         assert!(r.std_dev > 0.0, "BayesPerf quantifies uncertainty");
         assert!(r.interval95.0 < r.value && r.value < r.interval95.1);
@@ -296,12 +296,37 @@ mod tests {
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat);
         let cfg = CorrectorConfig::for_run(&run);
-        let mut shim = BayesPerfShim::new(&cat, cfg, 2);
+        let shim = BayesPerfShim::new(&cat, cfg, 2);
+        // Pause the service so the tiny ring deterministically overflows.
+        shim.monitor().pause().expect("pause");
         for w in run.windows.iter().take(2) {
+            for s in &w.samples {
+                let _ = shim.monitor().push_sample(*s);
+            }
+        }
+        assert!(shim.dropped() > 0);
+        shim.monitor().resume().expect("resume");
+    }
+
+    #[test]
+    fn flush_serves_tail_windows_through_the_compat_adapter() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat);
+        let cfg = CorrectorConfig::for_run(&run);
+        let k = cfg.model.slices;
+        let mut shim = BayesPerfShim::new(&cat, cfg, 4096);
+        for w in &run.windows {
             for s in &w.samples {
                 shim.push_sample(*s);
             }
         }
-        assert!(shim.dropped() > 0);
+        let before = shim.chunks_run();
+        shim.flush();
+        assert!(
+            shim.monitor().windows_published() as usize == run.windows.len(),
+            "flush corrected the {} tail windows",
+            run.windows.len() % k
+        );
+        assert!(shim.chunks_run() > before, "tail ran as an extra chunk");
     }
 }

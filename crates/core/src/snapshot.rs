@@ -1,0 +1,278 @@
+//! A lock-free single-writer / multi-reader publication cell.
+//!
+//! The inference service publishes immutable posterior snapshots through
+//! this cell; monitoring threads read them without ever blocking on the
+//! inference thread (the paper's §5 requirement that counter reads are
+//! served from already-computed posteriors in host memory). The design is
+//! a double-buffered atomic pointer with per-slot reader counts — the
+//! "left-right" publication pattern:
+//!
+//! * Two slots hold the current and the previous snapshot. An atomic index
+//!   names the slot readers may enter.
+//! * A reader registers on the current slot (one atomic increment),
+//!   re-checks that the slot is still current, and then dereferences the
+//!   value through a guard. The re-check makes registration race-free: if
+//!   the writer moved on mid-registration, the reader backs off and
+//!   retries on the new current slot (at most once per concurrent
+//!   publication — reads are lock-free and never wait on the writer).
+//! * The writer always writes the *non-current* slot: it spins until the
+//!   stragglers that registered while that slot was current have dropped
+//!   their guards (new readers cannot enter it), writes the value, and
+//!   flips the index. The writer is the only party that ever waits, and
+//!   only on readers of the *previous* snapshot — never the other way
+//!   around.
+//!
+//! All counters use sequentially-consistent orderings: the
+//! increment-then-recheck on the read side and the check-then-write on the
+//! write side are a classic store→load publication handshake, and the cell
+//! is far from any hot loop that would justify weaker orderings.
+
+use std::cell::UnsafeCell;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Sentinel for "nothing published yet".
+const EMPTY: usize = usize::MAX;
+
+struct Slot<T> {
+    /// Readers currently holding a guard into this slot.
+    readers: AtomicUsize,
+    value: UnsafeCell<Option<T>>,
+}
+
+struct Cell<T> {
+    slots: [Slot<T>; 2],
+    /// Index of the slot readers may enter, or [`EMPTY`].
+    current: AtomicUsize,
+}
+
+// SAFETY: the reader/writer protocol (see module docs) guarantees the
+// writer has exclusive access to a slot's `UnsafeCell` while writing and
+// readers only ever dereference a slot they are registered on while it is
+// current; `T: Send + Sync` makes sharing the values themselves sound.
+unsafe impl<T: Send + Sync> Sync for Cell<T> {}
+unsafe impl<T: Send> Send for Cell<T> {}
+
+/// Creates a publication cell, returning the unique writer and a cloneable
+/// reader handle.
+pub fn snapshot_cell<T: Send + Sync>() -> (SnapshotWriter<T>, SnapshotReader<T>) {
+    let cell = Arc::new(Cell {
+        slots: [
+            Slot {
+                readers: AtomicUsize::new(0),
+                value: UnsafeCell::new(None),
+            },
+            Slot {
+                readers: AtomicUsize::new(0),
+                value: UnsafeCell::new(None),
+            },
+        ],
+        current: AtomicUsize::new(EMPTY),
+    });
+    (
+        SnapshotWriter {
+            cell: cell.clone(),
+            next: 0,
+        },
+        SnapshotReader { cell },
+    )
+}
+
+/// The unique publishing handle (not `Clone`: single-writer by
+/// construction).
+pub struct SnapshotWriter<T> {
+    cell: Arc<Cell<T>>,
+    /// The slot the next publication writes (always the non-current one).
+    next: usize,
+}
+
+impl<T: Send + Sync> SnapshotWriter<T> {
+    /// Publishes `value` as the new current snapshot. May spin briefly
+    /// waiting for readers still holding guards on the *previous*
+    /// snapshot; a reader that holds a guard indefinitely stalls
+    /// publication (guards are meant to be short-lived — copy out and
+    /// drop).
+    pub fn publish(&mut self, value: T) {
+        let slot = &self.cell.slots[self.next];
+        // New readers cannot register on `next` (current points elsewhere
+        // or is EMPTY); wait for stragglers of the previous generation.
+        while slot.readers.load(SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        // SAFETY: single writer (unique, `&mut self`), zero registered
+        // readers, and no new reader can enter this slot until `current`
+        // is flipped below.
+        unsafe {
+            *slot.value.get() = Some(value);
+        }
+        self.cell.current.store(self.next, SeqCst);
+        self.next = 1 - self.next;
+    }
+}
+
+impl<T> std::fmt::Debug for SnapshotWriter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotWriter")
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+/// A read handle: cheap to clone, sharable across threads.
+pub struct SnapshotReader<T> {
+    cell: Arc<Cell<T>>,
+}
+
+impl<T> Clone for SnapshotReader<T> {
+    fn clone(&self) -> Self {
+        SnapshotReader {
+            cell: self.cell.clone(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SnapshotReader<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotReader").finish()
+    }
+}
+
+impl<T: Send + Sync> SnapshotReader<T> {
+    /// Returns a guard on the current snapshot, or `None` if nothing has
+    /// been published yet. Never blocks on the writer: at worst it retries
+    /// registration once per concurrent publication.
+    pub fn read(&self) -> Option<SnapshotGuard<'_, T>> {
+        loop {
+            let i = self.cell.current.load(SeqCst);
+            if i == EMPTY {
+                return None;
+            }
+            let slot = &self.cell.slots[i];
+            slot.readers.fetch_add(1, SeqCst);
+            if self.cell.current.load(SeqCst) == i {
+                // SAFETY: registered on `i` while it is current. The
+                // writer only mutates a slot after `current` has moved
+                // away from it *and* its reader count has drained to zero;
+                // our registration holds the count above zero until the
+                // guard drops, so the value is immutable for the guard's
+                // lifetime. The re-check's SeqCst load synchronizes with
+                // the writer's publishing store, making the write visible.
+                let value = unsafe { (*slot.value.get()).as_ref().expect("published slot") };
+                return Some(SnapshotGuard { slot, value });
+            }
+            // The writer flipped mid-registration; back off and retry on
+            // the new current slot.
+            slot.readers.fetch_sub(1, SeqCst);
+        }
+    }
+}
+
+/// A borrow of the current snapshot; holding it pins that snapshot's slot
+/// (the writer cannot recycle it). Copy what you need and drop promptly.
+pub struct SnapshotGuard<'a, T> {
+    slot: &'a Slot<T>,
+    value: &'a T,
+}
+
+impl<T> Deref for SnapshotGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T> Drop for SnapshotGuard<'_, T> {
+    fn drop(&mut self) {
+        self.slot.readers.fetch_sub(1, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn empty_until_first_publish() {
+        let (mut w, r) = snapshot_cell::<u64>();
+        assert!(r.read().is_none());
+        w.publish(7);
+        assert_eq!(*r.read().unwrap(), 7);
+    }
+
+    #[test]
+    fn publications_supersede_each_other() {
+        let (mut w, r) = snapshot_cell::<u64>();
+        for i in 0..10 {
+            w.publish(i);
+            assert_eq!(*r.read().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn guard_pins_its_generation_across_one_publish() {
+        let (mut w, r) = snapshot_cell::<u64>();
+        w.publish(1);
+        let g = r.read().unwrap();
+        // The writer targets the other slot, so one publication proceeds
+        // without waiting on this guard, and the guard keeps observing its
+        // own generation.
+        w.publish(2);
+        assert_eq!(*g, 1);
+        drop(g);
+        assert_eq!(*r.read().unwrap(), 2);
+    }
+
+    #[test]
+    fn readers_see_fresh_values_after_writer_cycles_both_slots() {
+        let (mut w, r) = snapshot_cell::<u64>();
+        w.publish(1);
+        w.publish(2);
+        w.publish(3);
+        assert_eq!(*r.read().unwrap(), 3);
+    }
+
+    /// Torn-read detector: every published snapshot is a vector whose
+    /// elements all equal the publication index; concurrent readers must
+    /// never observe a mixed vector.
+    #[test]
+    fn concurrent_readers_never_observe_torn_snapshots() {
+        let (mut w, r) = snapshot_cell::<Vec<u64>>();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    // Run until the writer is done AND at least one
+                    // snapshot was observed (on a single CPU a reader may
+                    // only get scheduled after the writer finishes).
+                    let mut seen = 0u64;
+                    let mut last = 0u64;
+                    loop {
+                        if let Some(g) = r.read() {
+                            let first = g[0];
+                            assert!(
+                                g.iter().all(|&v| v == first),
+                                "torn snapshot: {:?}",
+                                &g[..4]
+                            );
+                            assert!(first >= last, "went backwards: {first} < {last}");
+                            last = first;
+                            seen += 1;
+                        }
+                        if stop.load(SeqCst) && seen > 0 {
+                            break;
+                        }
+                    }
+                });
+            }
+            for i in 0..20_000u64 {
+                w.publish(vec![i; 64]);
+            }
+            stop.store(true, SeqCst);
+        });
+    }
+}

@@ -1,0 +1,226 @@
+//! Service-level shim tests: concurrent sessions against the background
+//! inference thread, determinism vs the single-threaded corrector, and
+//! ring backpressure.
+
+use bayesperf_core::corrector::{Corrector, CorrectorConfig};
+use bayesperf_core::service::Monitor;
+use bayesperf_core::ShimError;
+use bayesperf_events::{Arch, Catalog, Semantic};
+use bayesperf_simcpu::{pack_round_robin, MultiplexRun, Sample};
+use bayesperf_workloads::kmeans;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+
+fn recorded_run(cat: &Catalog, n_windows: usize, seed: u64) -> MultiplexRun {
+    use bayesperf_simcpu::{NoiseModel, Pmu, PmuConfig};
+    let mut truth = kmeans().instantiate(cat, 0);
+    let pmu = Pmu::new(
+        cat,
+        PmuConfig {
+            noise: NoiseModel::default(),
+            seed,
+            ..PmuConfig::for_catalog(cat)
+        },
+    );
+    let events = vec![
+        cat.require(Semantic::L1dMisses),
+        cat.require(Semantic::LlcHits),
+        cat.require(Semantic::LlcMisses),
+    ];
+    let schedule = pack_round_robin(cat, &events).expect("schedule fits");
+    pmu.run_multiplexed(&mut truth, &schedule, n_windows)
+}
+
+/// ≥4 concurrent sessions poll while the inference thread corrects a
+/// live stream: every read returns (non-blocking), every group read is
+/// internally consistent (one snapshot: chunk-boundary window, finite
+/// values, windows monotone per reader), and the final posteriors are
+/// bit-identical to a single-threaded [`Corrector`] fed the same sample
+/// stream.
+#[test]
+fn concurrent_sessions_read_consistent_snapshots_matching_the_corrector() {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let n_windows = 24;
+    let run = recorded_run(&cat, n_windows, 11);
+    let cfg = CorrectorConfig::for_run(&run);
+    let k = cfg.model.slices;
+    assert_eq!(n_windows % k, 0, "fixture chunk-aligned");
+
+    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 16);
+    let session = monitor.session().open().expect("open");
+    let stop = AtomicBool::new(false);
+    let reads_during_run = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // 4 concurrent readers polling while inference is mid-chunk.
+        for _ in 0..4 {
+            let session = session.clone();
+            let stop = &stop;
+            let reads = &reads_during_run;
+            let cat = &cat;
+            s.spawn(move || {
+                let ev = cat.require(Semantic::L1dMisses);
+                let mut last_window = 0u32;
+                loop {
+                    match session.read(ev) {
+                        Ok(r) => assert!(r.value.is_finite() && r.std_dev >= 0.0),
+                        Err(ShimError::NoPosteriorYet) => {}
+                        Err(e) => panic!("unexpected read error: {e}"),
+                    }
+                    if let Ok(group) = session.read_group() {
+                        // Snapshot consistency: the window is a chunk
+                        // boundary, never moves backwards for one reader,
+                        // and every reading in the group is finite.
+                        assert_eq!(
+                            (group.window as usize + 1) % k,
+                            0,
+                            "snapshot window {} is a chunk boundary",
+                            group.window
+                        );
+                        assert!(group.window >= last_window, "snapshots never regress");
+                        last_window = group.window;
+                        assert_eq!(group.readings.len(), cat.len());
+                        assert!(group
+                            .readings
+                            .iter()
+                            .all(|(_, r)| r.value.is_finite() && r.std_dev.is_finite()));
+                        reads.fetch_add(1, SeqCst);
+                    }
+                    if stop.load(SeqCst) {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // Producer: streams the whole recorded run into the ring.
+        for w in &run.windows {
+            for s in &w.samples {
+                monitor.push_sample(*s).expect("ring sized for the run");
+            }
+        }
+        monitor.sync().expect("sync");
+        monitor.flush().expect("flush");
+        stop.store(true, SeqCst);
+    });
+
+    assert!(
+        reads_during_run.load(SeqCst) > 0,
+        "readers made progress concurrently with inference"
+    );
+    assert_eq!(monitor.windows_published(), n_windows as u64);
+    assert_eq!(monitor.late_samples(), 0);
+
+    // Reference: the same stream through a single-threaded corrector,
+    // chunk by chunk (the service's exact ingestion order).
+    let mut reference = Corrector::new(&cat, cfg);
+    let windows: Vec<&[Sample]> = run.windows.iter().map(|w| w.samples.as_slice()).collect();
+    for chunk in windows.chunks(k) {
+        reference.push_chunk(chunk);
+    }
+    let group = session.read_group().expect("final snapshot");
+    assert_eq!(group.window as usize, n_windows - 1);
+    for (ev, reading) in &group.readings {
+        let expect = reference.posterior(k - 1, *ev);
+        assert_eq!(
+            reading.value, expect.mean,
+            "bit-identical posterior mean for {ev}"
+        );
+        assert_eq!(
+            reading.std_dev,
+            expect.std_dev(),
+            "bit-identical posterior sd for {ev}"
+        );
+    }
+}
+
+/// The flushed ragged tail matches the batch corrector's ragged-tail path
+/// bit for bit: streaming `Monitor` + `flush` == `Corrector::correct_run`.
+#[test]
+fn streamed_run_with_flush_matches_batch_correction_including_tail() {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    // 21 windows with k = 6: three full chunks + a 3-window tail.
+    let n_windows = 21;
+    let run = recorded_run(&cat, n_windows, 5);
+    let cfg = CorrectorConfig::for_run(&run);
+    let k = cfg.model.slices;
+    assert!(!n_windows.is_multiple_of(k), "fixture needs a ragged tail");
+
+    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 16);
+    let session = monitor.session().open().expect("open");
+    let mut updates = session.subscribe();
+    for w in &run.windows {
+        for s in &w.samples {
+            monitor.push_sample(*s).expect("ring sized for the run");
+        }
+    }
+    monitor.flush().expect("flush");
+    assert_eq!(monitor.windows_published(), n_windows as u64);
+
+    let series = Corrector::new(&cat, cfg).correct_run(&run);
+    let ev = cat.require(Semantic::L1dMisses);
+    let mut streamed = Vec::new();
+    while let Ok(Some(u)) = updates.try_next() {
+        streamed.push((u.window, u.gaussian(ev).expect("selected")));
+    }
+    assert_eq!(streamed.len(), n_windows);
+    for (w, g) in streamed {
+        let expect = series.posterior(w as usize, ev);
+        assert_eq!(g.mean, expect.mean, "window {w}: bit-identical mean");
+        assert_eq!(g.var, expect.var, "window {w}: bit-identical variance");
+    }
+}
+
+/// Backpressure: with the service paused, an overflowing producer gets
+/// typed `RingOverflow` errors whose counts agree with `dropped()`; after
+/// resuming, posteriors still publish, stay finite, and window indices
+/// stay monotone.
+#[test]
+fn ring_backpressure_surfaces_typed_errors_and_keeps_posteriors_sane() {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let run = recorded_run(&cat, 12, 7);
+    let cfg = CorrectorConfig::for_run(&run);
+    let capacity = 32;
+    let monitor = Monitor::new(&cat, cfg, capacity);
+    let session = monitor.session().open().expect("open");
+    let mut updates = session.subscribe();
+
+    monitor.pause().expect("pause");
+    let mut overflows = 0u64;
+    let mut last_reported = 0u64;
+    for w in &run.windows {
+        for s in &w.samples {
+            match monitor.push_sample(*s) {
+                Ok(()) => {}
+                Err(ShimError::RingOverflow { dropped }) => {
+                    overflows += 1;
+                    assert!(dropped > last_reported, "drop count grows");
+                    last_reported = dropped;
+                }
+                Err(e) => panic!("unexpected push error: {e}"),
+            }
+        }
+    }
+    assert!(overflows > 0, "tiny ring must overflow while paused");
+    assert_eq!(monitor.dropped(), overflows);
+
+    monitor.resume().expect("resume");
+    monitor.flush().expect("flush");
+    // Only `capacity` samples survived, but inference over sparse windows
+    // must still publish finite posteriors in window order.
+    assert!(monitor.windows_published() > 0, "survivors were corrected");
+    let mut last_window = None;
+    let mut seen = 0;
+    while let Ok(Some(u)) = updates.try_next() {
+        if let Some(prev) = last_window {
+            assert!(u.window > prev, "windows monotone after drops");
+        }
+        last_window = Some(u.window);
+        for (_, g) in &u.posteriors {
+            assert!(g.mean.is_finite() && g.var.is_finite() && g.var >= 0.0);
+        }
+        seen += 1;
+    }
+    assert!(seen > 0);
+    let group = session.read_group().expect("snapshot after drops");
+    assert!(group.readings.iter().all(|(_, r)| r.value.is_finite()));
+}

@@ -48,6 +48,14 @@ impl<T> RingBuffer<T> {
         self.buf.drain(..).collect()
     }
 
+    /// Drains all queued records into `out` (appending, FIFO order) —
+    /// the allocation-free handoff the shim's inference service uses to
+    /// move samples out of the producer-locked ring as quickly as
+    /// possible.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) {
+        out.extend(self.buf.drain(..));
+    }
+
     /// Number of queued records.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -84,6 +92,18 @@ mod tests {
         assert_eq!(rb.pop(), Some(1));
         assert!(rb.push(9));
         assert_eq!(rb.drain(), vec![2, 3, 9]);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn drain_into_appends_in_fifo_order() {
+        let mut rb = RingBuffer::new(4);
+        for i in 0..3 {
+            rb.push(i);
+        }
+        let mut out = vec![99];
+        rb.drain_into(&mut out);
+        assert_eq!(out, vec![99, 0, 1, 2]);
         assert!(rb.is_empty());
     }
 

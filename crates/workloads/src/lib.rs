@@ -4,7 +4,7 @@
 //! suite — microbenchmarks, machine learning, SQL, web search, graph
 //! analytics, and streaming — on a two-node Spark cluster. This crate
 //! provides 29 synthetic equivalents: each workload is a [`PhaseProgram`], a
-//! looping sequence of phases whose free parameters ([`FreeParams`]) are
+//! looping sequence of phases whose free parameters ([`bayesperf_events::FreeParams`]) are
 //! synthesized into full, invariant-consistent event-rate vectors by
 //! [`bayesperf_events::synthesize`].
 //!

@@ -1,31 +1,17 @@
 //! Measuring derived events (the §2 motivation): a metric like
 //! `Memory_Bound` combines several HPCs, so its error compounds. This
 //! example measures all ten derived metrics of the catalog through the
-//! BayesPerf shim and prints values with credible intervals.
+//! BayesPerf session API and prints values with propagated uncertainty.
 //!
 //! Run with: `cargo run --release --example derived_events`
 
 use bayesperf::core::corrector::CorrectorConfig;
 use bayesperf::core::scheduler::ScheduleTransformer;
-use bayesperf::core::shim::{BayesPerfShim, HpcReader};
-use bayesperf::events::{Arch, Catalog, EventEnv, EventId};
+use bayesperf::events::{Arch, Catalog, EventId};
 use bayesperf::simcpu::{Pmu, PmuConfig};
 use bayesperf::workloads::by_name;
+use bayesperf::Monitor;
 use std::collections::BTreeSet;
-
-struct ShimEnv<'a, 'b> {
-    shim: std::cell::RefCell<&'a mut BayesPerfShim<'b>>,
-}
-
-impl EventEnv for ShimEnv<'_, '_> {
-    fn value(&self, id: EventId) -> f64 {
-        self.shim
-            .borrow_mut()
-            .read(id)
-            .map(|r| r.value)
-            .unwrap_or(0.0)
-    }
-}
 
 fn main() {
     let catalog = Catalog::new(Arch::Ppc64Power9);
@@ -53,28 +39,30 @@ fn main() {
     let pmu = Pmu::new(&catalog, PmuConfig::for_catalog(&catalog));
     let run = pmu.run_multiplexed(&mut truth, &schedule.configs, 12);
 
-    // Feed the kernel samples through the shim, then evaluate the derived
-    // expressions on the posterior means.
-    let mut shim = BayesPerfShim::new(&catalog, CorrectorConfig::for_run(&run), 1 << 14);
+    // Feed the kernel samples through the monitor service; the inference
+    // thread corrects chunks in the background while we push.
+    let monitor = Monitor::new(&catalog, CorrectorConfig::for_run(&run), 1 << 14);
+    let session = monitor.session().open().expect("fresh monitor");
     for w in &run.windows {
         for s in &w.samples {
-            shim.push_sample(*s);
+            let _ = monitor.push_sample(*s);
         }
     }
-    shim.process();
+    // Correct the stream's ragged tail, then read each derived metric off
+    // the final posterior snapshot — reads never run inference.
+    monitor.flush().expect("service alive");
 
     let last_truth = &run.windows.last().expect("windows").truth;
     println!(
-        "\n{:<24} {:>12} {:>12}",
-        "derived event", "bayesperf", "truth"
+        "\n{:<24} {:>12} {:>12} {:>12}",
+        "derived event", "bayesperf", "(+- sd)", "truth"
     );
-    let derived = catalog.derived_events().to_vec();
-    let env = ShimEnv {
-        shim: std::cell::RefCell::new(&mut shim),
-    };
-    for d in &derived {
-        let estimated = d.eval(&env);
+    for d in catalog.derived_events() {
+        let r = session.read_derived(&d.name).expect("posterior published");
         let true_val = d.eval(&last_truth[..]);
-        println!("{:<24} {:>12.4} {:>12.4}", d.name, estimated, true_val);
+        println!(
+            "{:<24} {:>12.4} {:>12.4} {:>12.4}",
+            d.name, r.value, r.std_dev, true_val
+        );
     }
 }

@@ -17,6 +17,12 @@
 //! * [`accel`] — the accelerator discrete-event simulation + area/power model
 //! * [`mlsched`] — PCIe contention sim + ML scheduler case study
 
+// The session API's front door, re-exported at the crate root so
+// monitoring applications can `use bayesperf::{Monitor, Session}`.
+pub use bayesperf_core::{
+    GroupReading, HpcReader, Monitor, PosteriorUpdate, Reading, Session, SessionBuilder, ShimError,
+};
+
 pub use bayesperf_accel as accel;
 pub use bayesperf_baselines as baselines;
 pub use bayesperf_core as core;
