@@ -26,7 +26,11 @@
 //!             "jump_site_resets": 0 },
 //!   "speedup": { "mean": 0.0, "ci95_lo": 0.0, "ci95_hi": 0.0 },
 //!   "shim_read": { "reads": 0, "p50_ns": 0.0, "p99_ns": 0.0,
-//!                  "warm_push_chunk_ns": 0.0, "push_over_p99_read": 0.0 }
+//!                  "warm_push_chunk_ns": 0.0, "push_over_p99_read": 0.0 },
+//!   "fleet_read": { "shards": 8, "reads": 0, "p50_ns": 0.0, "p99_ns": 0.0,
+//!                   "vs_shim_p99": 0.0 },
+//!   "fleet_scrape": { "shards": 8, "passes": 0, "ns_per_pass": 0.0,
+//!                     "ns_per_shard": 0.0, "bytes_per_pass": 0 }
 //! }
 //! ```
 //!
@@ -34,12 +38,21 @@
 //! read path: lock-free snapshot, zero inference); with `BENCH_GATE=1` the
 //! p99 read must be at least 10x cheaper than one warm `push_chunk`.
 //!
+//! `fleet_read` measures `FleetSession::read` against a live 8-shard
+//! fleet: a fused read is one acquisition of the fleet's snapshot cell,
+//! so it must stay within 5x of the single-session p99 (the `BENCH_GATE`
+//! assertion — shard count must not leak into the read path).
+//! `fleet_scrape` measures one full scrape-over-the-wire pass: snapshot,
+//! varint encode, decode, and precision-weighted fusion across all 8
+//! shards.
+//!
 //! `BENCH_QUICK=1` shrinks the pair and read counts for CI smoke runs;
 //! `BENCH_JSON_PATH` overrides the output path.
 
 use bayesperf_bench::fig6_fixture;
 use bayesperf_core::corrector::{CorrectionStats, Corrector, CorrectorConfig};
-use bayesperf_core::Monitor;
+use bayesperf_core::{Monitor, SnapshotView};
+use bayesperf_fleet::{wire, Aggregator, Fleet, FleetConfig, ShardLabel};
 use bayesperf_simcpu::Sample;
 use std::time::Instant;
 
@@ -146,6 +159,81 @@ fn main() {
         );
     }
 
+    // Fleet read latency at 8 shards: a fused read is one lock-free
+    // acquisition of the fleet snapshot cell — shard count must not leak
+    // into the read path, so p99 must stay within 5x of the
+    // single-session p99 measured above (the fleet BENCH_GATE).
+    let n_shards = 8u32;
+    let mut fleet = Fleet::new(&cat, FleetConfig::new(CorrectorConfig::for_run(&run)));
+    let shard_ids: Vec<_> = (0..n_shards)
+        .map(|i| fleet.add_shard(ShardLabel::new(format!("m{i}"), 0)))
+        .collect();
+    for &id in &shard_ids {
+        for w in &run.windows {
+            for s in &w.samples {
+                let _ = fleet.push_sample(id, *s);
+            }
+        }
+    }
+    fleet.flush().expect("fleet alive");
+    let fleet_session = fleet.session().open().expect("fresh fleet");
+    let mut fleet_ns: Vec<f64> = (0..reads)
+        .map(|_| {
+            let t = Instant::now();
+            let r = std::hint::black_box(fleet_session.read(ev));
+            let ns = t.elapsed().as_nanos() as f64;
+            assert!(r.is_ok(), "fused posterior published after flush");
+            ns
+        })
+        .collect();
+    fleet_ns.sort_by(|a, b| a.total_cmp(b));
+    let fleet_p50 = fleet_ns[reads / 2];
+    let fleet_p99 = fleet_ns[reads * 99 / 100];
+    let fleet_vs_shim = fleet_p99 / read_p99.max(1.0);
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            fleet_vs_shim <= 5.0,
+            "p99 fleet read {fleet_p99:.0} ns must stay within 5x of the p99 \
+             single-session read ({read_p99:.0} ns) at {n_shards} shards, got \
+             {fleet_vs_shim:.1}x"
+        );
+    }
+
+    // Fleet scrape throughput: one pass = snapshot + wire encode + wire
+    // decode + precision-weighted fusion for all shards (the collector's
+    // steady-state loop).
+    let passes = if std::env::var_os("BENCH_QUICK").is_some() {
+        100
+    } else {
+        1_000
+    };
+    let labels = fleet.shards();
+    let sessions: Vec<_> = shard_ids
+        .iter()
+        .map(|&id| fleet.shard_session(id).expect("member"))
+        .collect();
+    let mut agg = Aggregator::new(cat.len());
+    let mut view = SnapshotView::default();
+    let mut buf = Vec::new();
+    let mut scrape_bytes = 0usize;
+    let t = Instant::now();
+    for pass in 0..passes {
+        agg.begin();
+        buf.clear();
+        for ((id, label), session) in labels.iter().zip(&sessions) {
+            session.snapshot_into(&mut view).expect("published");
+            let record = wire::ShardSnapshot::from_view(*id, label.clone(), &view);
+            let start = buf.len();
+            wire::encode_shard(&record, &mut buf);
+            let (decoded, _) = wire::decode_shard(&buf[start..]).expect("own encoding");
+            agg.absorb(decoded.status(), &decoded.posteriors)
+                .expect("catalog-sized");
+        }
+        scrape_bytes = buf.len();
+        std::hint::black_box(agg.fuse(pass as u64 + 1).expect("shards absorbed"));
+    }
+    let scrape_ns_per_pass = t.elapsed().as_nanos() as f64 / passes as f64;
+
     let json = format!(
         r#"{{
   "bench": "inference_warm_vs_cold",
@@ -160,7 +248,12 @@ fn main() {
             "jump_site_resets": {} }},
   "speedup": {{ "mean": {:.3}, "ci95_lo": {:.3}, "ci95_hi": {:.3} }},
   "shim_read": {{ "reads": {reads}, "p50_ns": {:.0}, "p99_ns": {:.0},
-                 "warm_push_chunk_ns": {:.0}, "push_over_p99_read": {:.1} }}
+                 "warm_push_chunk_ns": {:.0}, "push_over_p99_read": {:.1} }},
+  "fleet_read": {{ "shards": {n_shards}, "reads": {reads}, "p50_ns": {:.0},
+                  "p99_ns": {:.0}, "vs_shim_p99": {:.2} }},
+  "fleet_scrape": {{ "shards": {n_shards}, "passes": {passes},
+                    "ns_per_pass": {:.0}, "ns_per_shard": {:.0},
+                    "bytes_per_pass": {scrape_bytes} }}
 }}
 "#,
         ns_per_window(cold_ns),
@@ -179,6 +272,11 @@ fn main() {
         read_p99,
         warm_chunk_ns,
         read_vs_push,
+        fleet_p50,
+        fleet_p99,
+        fleet_vs_shim,
+        scrape_ns_per_pass,
+        scrape_ns_per_pass / f64::from(n_shards),
     );
 
     let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_inference.json".into());

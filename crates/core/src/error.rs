@@ -9,8 +9,14 @@
 use bayesperf_events::EventId;
 use std::fmt;
 
-/// Everything that can go wrong on the shim's session API.
+/// Everything that can go wrong on the shim's session API (and the fleet
+/// layer built on top of it).
+///
+/// Marked `#[non_exhaustive]`: downstream binaries composing these errors
+/// with `?` keep compiling when a future layer (like `fleet::wire`) adds
+/// variants — match with a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ShimError {
     /// The event is not in the catalog or was not selected by this session.
     UnknownEvent(EventId),
@@ -48,6 +54,43 @@ pub enum ShimError {
     },
     /// An empty window chunk was handed to the corrector.
     EmptyChunk,
+    /// A fleet operation named a shard that is not (or no longer) a
+    /// member of the fleet.
+    UnknownShard {
+        /// The shard id that failed to resolve.
+        shard: u32,
+    },
+    /// A fleet-level read or fusion was attempted with no shard having
+    /// published a posterior snapshot yet.
+    NoShards,
+    /// A scraped snapshot's posterior vector was not sized for the
+    /// aggregating catalog (a scrape from a foreign catalog/arch).
+    CatalogMismatch {
+        /// Events in the aggregator's catalog.
+        expected: usize,
+        /// Events the snapshot actually carried.
+        got: usize,
+    },
+    /// A wire-codec buffer ended before the layout said it would
+    /// (truncated scrape, short read).
+    WireTruncated {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// A wire-codec buffer carried an unsupported format version or a
+    /// wrong magic/kind tag.
+    WireVersion {
+        /// Version byte found in the buffer.
+        got: u8,
+        /// Highest version this build decodes.
+        supported: u8,
+    },
+    /// A wire-codec buffer was structurally well-formed but carried an
+    /// invalid value (e.g. a non-positive variance or an absurd length).
+    WireMalformed {
+        /// What was wrong, for the log line.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ShimError {
@@ -68,6 +111,24 @@ impl fmt::Display for ShimError {
                 write!(f, "slice {slice} out of range (chunk has {slices})")
             }
             ShimError::EmptyChunk => write!(f, "chunk must contain at least one window"),
+            ShimError::UnknownShard { shard } => write!(f, "unknown fleet shard {shard}"),
+            ShimError::NoShards => write!(f, "no shard has published a posterior yet"),
+            ShimError::CatalogMismatch { expected, got } => {
+                write!(
+                    f,
+                    "snapshot of {got} events, aggregator catalog has {expected}"
+                )
+            }
+            ShimError::WireTruncated { offset } => {
+                write!(f, "wire buffer truncated at byte {offset}")
+            }
+            ShimError::WireVersion { got, supported } => {
+                write!(
+                    f,
+                    "wire version {got} unsupported (this build reads <= {supported})"
+                )
+            }
+            ShimError::WireMalformed { what } => write!(f, "malformed wire buffer: {what}"),
         }
     }
 }
@@ -89,5 +150,27 @@ mod tests {
             got: 4,
         };
         assert!(e.to_string().contains('6') && e.to_string().contains('4'));
+        let e = ShimError::WireTruncated { offset: 17 };
+        assert!(e.to_string().contains("17"));
+        let e = ShimError::WireVersion {
+            got: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('1'));
+        let e = ShimError::UnknownShard { shard: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn composes_with_question_mark_as_a_boxed_error() {
+        // The satellite requirement: fleet/wire errors must flow through
+        // `?` in downstream binaries returning `Box<dyn Error>`.
+        fn downstream() -> Result<(), Box<dyn std::error::Error>> {
+            Err(ShimError::WireMalformed {
+                what: "non-positive variance",
+            })?
+        }
+        let err = downstream().unwrap_err();
+        assert!(err.to_string().contains("non-positive variance"));
     }
 }

@@ -45,6 +45,9 @@ pub use error_model::observation;
 pub use metrics::{adjusted_error, dtw_align, dtw_relative_error};
 pub use model::{build_chunk_model, ChunkEngine, ChunkModel, ChunkPosterior, ModelConfig};
 pub use scheduler::{Schedule, ScheduleTransformer};
-pub use service::{GroupReading, Monitor, PosteriorUpdate, Session, SessionBuilder, Updates};
+pub use service::{
+    derived_reading, GroupReading, Monitor, PosteriorUpdate, Selection, Session, SessionBuilder,
+    SnapshotView, Updates,
+};
 pub use shim::{BayesPerfShim, HpcReader, LinuxReader, Reading};
 pub use snapshot::{snapshot_cell, SnapshotGuard, SnapshotReader, SnapshotWriter};

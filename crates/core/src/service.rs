@@ -33,7 +33,7 @@ use crate::corrector::{Corrector, CorrectorConfig};
 use crate::error::ShimError;
 use crate::shim::Reading;
 use crate::snapshot::{snapshot_cell, SnapshotReader, SnapshotWriter};
-use bayesperf_events::{Catalog, EventEnv, EventId};
+use bayesperf_events::{Catalog, DerivedEvent, EventEnv, EventId};
 use bayesperf_inference::{EpRunStats, Gaussian};
 use bayesperf_simcpu::{RingBuffer, Sample};
 use std::collections::{HashMap, VecDeque};
@@ -56,11 +56,34 @@ struct PosteriorSnapshot {
     posteriors: Vec<Gaussian>,
 }
 
+/// A copied-out view of the latest published posterior snapshot: the raw
+/// `(window, event → Gaussian)` state the read paths serve from, exposed
+/// for the fleet layer's scraping, fusion and wire encoding
+/// (`bayesperf_fleet`). Unlike [`GroupReading`] it carries the posteriors
+/// themselves, not derived [`Reading`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotView {
+    /// Global index of the most recent corrected window.
+    pub window: u32,
+    /// 1-based count of inference runs published so far.
+    pub chunk: u64,
+    /// Run statistics of the EP run that produced this snapshot.
+    pub stats: EpRunStats,
+    /// Catalog-indexed posteriors (count units).
+    pub posteriors: Vec<Gaussian>,
+}
+
 /// One per-window posterior update streamed to [`Session::subscribe`]rs.
 #[derive(Debug, Clone)]
 pub struct PosteriorUpdate {
     /// Global index of the corrected window.
     pub window: u32,
+    /// Windows this subscriber *lost* immediately before this update: a
+    /// lagging consumer whose bounded queue overflowed sees the skip
+    /// explicitly here instead of having to infer it from non-consecutive
+    /// `window` indices (the ring's `PERF_RECORD_LOST` analogue). `0`
+    /// when no update was dropped since the previous delivered one.
+    pub gap: u64,
     /// 1-based index of the inference run that corrected it.
     pub chunk: u64,
     /// Run statistics of that inference run (shared by the chunk's
@@ -100,14 +123,29 @@ pub struct GroupReading {
     pub readings: Vec<(EventId, Reading)>,
 }
 
-/// Which catalog events a session reads; `None` means all.
+/// Which catalog events a session reads; `None` means all. Shared by the
+/// per-machine [`Session`] and the fleet layer's sessions, so selection
+/// semantics cannot diverge between the two read surfaces.
 #[derive(Debug)]
-struct Selection {
+pub struct Selection {
     events: Option<Vec<EventId>>,
 }
 
 impl Selection {
-    fn contains(&self, event: EventId) -> bool {
+    /// Builds a selection; `None` means the whole catalog. An explicit
+    /// list is sorted and deduplicated here — the invariant
+    /// [`Selection::contains`]'s binary search relies on.
+    pub fn new(events: Option<Vec<EventId>>) -> Selection {
+        let events = events.map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        });
+        Selection { events }
+    }
+
+    /// Whether `event` is selected.
+    pub fn contains(&self, event: EventId) -> bool {
         match &self.events {
             None => true,
             Some(list) => list.binary_search(&event).is_ok(),
@@ -115,7 +153,7 @@ impl Selection {
     }
 
     /// Selected events in catalog order.
-    fn iter<'a>(&'a self, catalog: &'a Catalog) -> Box<dyn Iterator<Item = EventId> + 'a> {
+    pub fn iter<'a>(&'a self, catalog: &'a Catalog) -> Box<dyn Iterator<Item = EventId> + 'a> {
         match &self.events {
             None => Box::new(catalog.iter().map(|e| e.id)),
             Some(list) => Box::new(list.iter().copied()),
@@ -133,6 +171,9 @@ const UPDATE_QUEUE_CAP: usize = 1024;
 struct Subscriber {
     tx: SyncSender<PosteriorUpdate>,
     selection: Arc<Selection>,
+    /// Window index of the last update this subscriber's queue accepted;
+    /// the source of [`PosteriorUpdate::gap`] after a lossy stretch.
+    last_enqueued: Option<u32>,
 }
 
 /// Control messages to the inference thread. Every variant carries an ack
@@ -494,14 +535,9 @@ impl SessionBuilder<'_> {
                     ack,
                 })?;
         }
-        let events = self.events.map(|mut v| {
-            v.sort_unstable();
-            v.dedup();
-            v
-        });
         Ok(Session {
             shared: self.monitor.shared.clone(),
-            selection: Arc::new(Selection { events }),
+            selection: Arc::new(Selection::new(self.events)),
         })
     }
 }
@@ -606,54 +642,48 @@ impl Session {
             .snapshot
             .read()
             .ok_or(ShimError::NoPosteriorYet)?;
+        Ok(derived_reading(derived, &snap.posteriors))
+    }
 
-        struct MeanEnv<'a> {
-            posteriors: &'a [Gaussian],
-            bump: Option<(usize, f64)>,
-        }
-        impl EventEnv for MeanEnv<'_> {
-            fn value(&self, id: EventId) -> f64 {
-                let mean = self.posteriors[id.index()].mean;
-                match self.bump {
-                    Some((i, delta)) if i == id.index() => mean + delta,
-                    _ => mean,
-                }
-            }
-        }
+    /// Copies out the latest published posterior snapshot — the raw
+    /// material for fleet-level fusion and wire scraping. Same cost as
+    /// [`Session::read_group`] (one lock-free acquisition plus one copy);
+    /// see [`Session::snapshot_into`] for the allocation-reusing variant.
+    pub fn snapshot(&self) -> Result<SnapshotView, ShimError> {
+        let mut view = SnapshotView::default();
+        self.snapshot_into(&mut view)?;
+        Ok(view)
+    }
 
-        let posteriors = snap.posteriors.as_slice();
-        let value = derived.eval(&MeanEnv {
-            posteriors,
-            bump: None,
-        });
-        let mut var = 0.0;
-        for e in derived.events() {
-            let sd = posteriors[e.index()].std_dev();
-            if sd == 0.0 {
-                continue;
-            }
-            let hi = derived.eval(&MeanEnv {
-                posteriors,
-                bump: Some((e.index(), sd)),
-            });
-            let lo = derived.eval(&MeanEnv {
-                posteriors,
-                bump: Some((e.index(), -sd)),
-            });
-            let half = (hi - lo) / 2.0;
-            var += half * half;
-        }
-        // Build the reading directly: a metric with a division can go
-        // non-finite while a denominator's posterior is still vague
-        // (early run), and a flat metric has zero spread — both are
-        // legitimate readings here, not the strictly-positive-finite
-        // variance `Gaussian::new` asserts. Reads must never panic.
-        let std_dev = var.max(0.0).sqrt();
-        Ok(Reading {
-            value,
-            std_dev,
-            interval95: (value - 1.96 * std_dev, value + 1.96 * std_dev),
-        })
+    /// The `(window, chunk)` stamp of the latest published snapshot,
+    /// without copying its posteriors — the cheap change detector a
+    /// scrape loop polls before paying for [`Session::snapshot_into`].
+    pub fn snapshot_stamp(&self) -> Result<(u32, u64), ShimError> {
+        self.ensure_open()?;
+        let snap = self
+            .shared
+            .snapshot
+            .read()
+            .ok_or(ShimError::NoPosteriorYet)?;
+        Ok((snap.window, snap.chunk))
+    }
+
+    /// Fills `view` with the latest published posterior snapshot, reusing
+    /// its `posteriors` allocation — the scrape-loop path: a fleet
+    /// aggregator polling many shards re-reads into the same buffers.
+    pub fn snapshot_into(&self, view: &mut SnapshotView) -> Result<(), ShimError> {
+        self.ensure_open()?;
+        let snap = self
+            .shared
+            .snapshot
+            .read()
+            .ok_or(ShimError::NoPosteriorYet)?;
+        view.window = snap.window;
+        view.chunk = snap.chunk;
+        view.stats = snap.stats;
+        view.posteriors.clear();
+        view.posteriors.extend_from_slice(&snap.posteriors);
+        Ok(())
     }
 
     /// Subscribes to the per-window posterior stream: the returned
@@ -665,7 +695,16 @@ impl Session {
     /// `UPDATE_QUEUE_CAP` updates behind loses the overflow (never the
     /// service's progress) — skipped `window` indices mark the gap.
     pub fn subscribe(&self) -> Updates {
-        let (tx, rx) = sync_channel(UPDATE_QUEUE_CAP);
+        self.subscribe_with_capacity(UPDATE_QUEUE_CAP)
+    }
+
+    /// [`Session::subscribe`] with an explicit queue bound: a consumer
+    /// that falls more than `capacity` updates behind loses the overflow,
+    /// and the next delivered update carries the skip in
+    /// [`PosteriorUpdate::gap`]. Useful for consumers with a known polling
+    /// cadence (and for deterministically testing the lossy path).
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> Updates {
+        let (tx, rx) = sync_channel(capacity.max(1));
         {
             // Check `closed` under the subscribers lock: the exiting
             // service thread sets the flag before clearing this list
@@ -680,6 +719,7 @@ impl Session {
                 subs.push(Subscriber {
                     tx,
                     selection: self.selection.clone(),
+                    last_enqueued: None,
                 });
             }
         }
@@ -710,6 +750,62 @@ impl Session {
     /// Windows whose posteriors have been published.
     pub fn windows_published(&self) -> u64 {
         self.shared.windows_published.load(Relaxed)
+    }
+}
+
+/// Evaluates a derived event over catalog-indexed `posteriors`: the value
+/// is the metric at the posterior means, the spread a central-difference
+/// first-order propagation of each component's posterior standard
+/// deviation through the metric. Shared by [`Session::read_derived`] and
+/// the fleet layer's fused reads, so per-machine and fleet-level derived
+/// metrics agree by construction.
+///
+/// The reading is built directly rather than through `Gaussian::new`: a
+/// metric with a division can go non-finite while a denominator's
+/// posterior is still vague (early run), and a flat metric has zero
+/// spread — both are legitimate readings, not the strictly-positive
+/// variance a distribution requires. Reads must never panic.
+pub fn derived_reading(derived: &DerivedEvent, posteriors: &[Gaussian]) -> Reading {
+    struct MeanEnv<'a> {
+        posteriors: &'a [Gaussian],
+        bump: Option<(usize, f64)>,
+    }
+    impl EventEnv for MeanEnv<'_> {
+        fn value(&self, id: EventId) -> f64 {
+            let mean = self.posteriors[id.index()].mean;
+            match self.bump {
+                Some((i, delta)) if i == id.index() => mean + delta,
+                _ => mean,
+            }
+        }
+    }
+
+    let value = derived.eval(&MeanEnv {
+        posteriors,
+        bump: None,
+    });
+    let mut var = 0.0;
+    for e in derived.events() {
+        let sd = posteriors[e.index()].std_dev();
+        if sd == 0.0 {
+            continue;
+        }
+        let hi = derived.eval(&MeanEnv {
+            posteriors,
+            bump: Some((e.index(), sd)),
+        });
+        let lo = derived.eval(&MeanEnv {
+            posteriors,
+            bump: Some((e.index(), -sd)),
+        });
+        let half = (hi - lo) / 2.0;
+        var += half * half;
+    }
+    let std_dev = var.max(0.0).sqrt();
+    Reading {
+        value,
+        std_dev,
+        interval95: (value - 1.96 * std_dev, value + 1.96 * std_dev),
     }
 }
 
@@ -1011,22 +1107,31 @@ impl InferenceService {
             .unwrap_or_else(|e| e.into_inner());
         for (t, &w) in windows.iter().enumerate() {
             let full = &per_window[t];
-            subscribers.retain(|sub| {
+            subscribers.retain_mut(|sub| {
                 let posteriors: Vec<(EventId, Gaussian)> = sub
                     .selection
                     .iter(&self.catalog)
                     .map(|e| (e, full[e.index()]))
                     .collect();
+                // Windows lost to this subscriber's bounded queue since
+                // the last update it accepted.
+                let gap = sub
+                    .last_enqueued
+                    .map_or(0, |last| u64::from(w.saturating_sub(last + 1)));
                 match sub.tx.try_send(PosteriorUpdate {
                     window: w,
+                    gap,
                     chunk,
                     stats,
                     posteriors,
                 }) {
-                    Ok(()) => true,
+                    Ok(()) => {
+                        sub.last_enqueued = Some(w);
+                        true
+                    }
                     // Bounded backpressure: a lagging consumer loses this
-                    // update (gap visible via window indices); the
-                    // service never blocks on a subscriber.
+                    // update (the next delivered one carries the skip in
+                    // `gap`); the service never blocks on a subscriber.
                     Err(TrySendError::Full(_)) => true,
                     Err(TrySendError::Disconnected(_)) => false,
                 }

@@ -64,7 +64,9 @@ impl Reading {
         }
     }
 
-    pub(crate) fn from_gaussian(g: &Gaussian) -> Self {
+    /// The reading of a Gaussian posterior: mean, spread, 95% credible
+    /// interval (used by both the per-machine and the fleet read paths).
+    pub fn from_gaussian(g: &Gaussian) -> Self {
         Reading {
             value: g.mean,
             std_dev: g.std_dev(),

@@ -224,3 +224,60 @@ fn ring_backpressure_surfaces_typed_errors_and_keeps_posteriors_sane() {
     let group = session.read_group().expect("snapshot after drops");
     assert!(group.readings.iter().all(|(_, r)| r.value.is_finite()));
 }
+
+/// Regression for the lossy-subscriber path: a consumer whose bounded
+/// queue overflows must see the skipped windows **explicitly** via
+/// `PosteriorUpdate::gap` on the next delivered update — not just
+/// implicitly as non-consecutive `window` indices.
+#[test]
+fn lossy_subscriber_gets_explicit_gap_counts() {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let run = recorded_run(&cat, 24, 13);
+    let cfg = CorrectorConfig::for_run(&run);
+    let k = cfg.model.slices;
+    assert_eq!(k, 6, "fixture assumes the default chunk size");
+
+    let monitor = Monitor::new(&cat, cfg, 1 << 16);
+    let session = monitor.session().open().expect("open");
+    // Queue of 2: everything beyond two updates between drains is lost.
+    let mut updates = session.subscribe_with_capacity(2);
+
+    let feed_windows = |range: std::ops::Range<usize>| {
+        for w in &run.windows[range] {
+            for s in &w.samples {
+                monitor.push_sample(*s).expect("room");
+            }
+        }
+    };
+
+    // First half: windows 0..12 publish while the consumer sleeps; only
+    // w0 and w1 fit, w2..=w11 overflow.
+    feed_windows(0..12);
+    monitor.flush().expect("flush");
+    let mut got = Vec::new();
+    while let Ok(Some(u)) = updates.try_next() {
+        got.push((u.window, u.gap));
+    }
+    assert_eq!(got, vec![(0, 0), (1, 0)], "no gap before the overflow");
+
+    // Second half: windows 12..24 publish; the first delivered one must
+    // carry the ten windows (w2..=w11) this subscriber lost.
+    feed_windows(12..24);
+    monitor.flush().expect("flush");
+    let mut got = Vec::new();
+    while let Ok(Some(u)) = updates.try_next() {
+        got.push((u.window, u.gap));
+    }
+    assert_eq!(
+        got,
+        vec![(12, 10), (13, 0)],
+        "gap = windows skipped since the last enqueued update"
+    );
+
+    // A keeping-up subscriber never sees a gap: `window` deltas and `gap`
+    // agree (both zero-loss) across a fresh subscription.
+    let mut fresh = session.subscribe();
+    feed_windows(0..0); // nothing new; flush republishes nothing
+    monitor.flush().expect("flush");
+    assert!(matches!(fresh.try_next(), Ok(None)), "nothing republished");
+}

@@ -1,0 +1,765 @@
+//! The fleet service: sharded monitors, a lock-free ingest router, a
+//! background fusion aggregator, and fleet-scoped read sessions.
+//!
+//! ```text
+//!  producers                    Fleet                        readers
+//!  ─────────                    ─────                        ───────
+//!  push_sample(shard, s) ─▶ router (membership      FleetSession::read
+//!                           snapshot cell, no        FleetSession::read_group
+//!                           cross-shard locks)       FleetSession::read_derived
+//!                              │                     FleetSession::subscribe
+//!                              ▼                            ▲
+//!                    shard 0 │ shard 1 │ … │ shard N        │ lock-free
+//!                    Monitor │ Monitor │   │ Monitor        │ fused cell
+//!                       │        │            │             │
+//!                       ▼        ▼            ▼             │
+//!                    aggregator thread: scrape snapshots ───┘
+//!                    → precision-weighted fusion → publish
+//! ```
+//!
+//! Each shard is a full [`Monitor`] (its own sample ring and inference
+//! thread), so ingest fans out with **no cross-shard locking**: the
+//! router resolves `ShardId → Monitor` through a read of the membership
+//! snapshot cell (lock-free, wait-free for readers) and then touches only
+//! that shard's ring. Shard churn republishes membership through the same
+//! cell, so adding or draining machines never stalls producers on other
+//! shards.
+//!
+//! The aggregator thread periodically scrapes every live shard's
+//! posterior snapshot ([`Session::snapshot_into`]), fuses them with the
+//! precision-weighted product ([`crate::fuse`]) and publishes a
+//! [`FleetSnapshot`] through a second snapshot cell — fleet-level reads
+//! are therefore exactly as wait-free as single-session reads, no matter
+//! how many shards contribute.
+
+use crate::fuse::{Aggregator, FleetSnapshot, ShardStatus};
+use crate::topology::{ShardId, ShardLabel};
+use bayesperf_core::corrector::CorrectorConfig;
+use bayesperf_core::snapshot::{snapshot_cell, SnapshotReader, SnapshotWriter};
+use bayesperf_core::{
+    derived_reading, Monitor, Reading, Selection, Session, ShimError, SnapshotView,
+};
+use bayesperf_events::{Catalog, EventId};
+use bayesperf_inference::Gaussian;
+use bayesperf_simcpu::Sample;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
+    TrySendError,
+};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Fleet construction parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Corrector configuration every shard's monitor runs with.
+    pub corrector: CorrectorConfig,
+    /// Per-shard kernel↔shim ring capacity.
+    pub ring_capacity: usize,
+    /// How often the aggregator re-scrapes shard snapshots when idle
+    /// (scrapes also happen on every [`Fleet::sync`]/[`Fleet::flush`]).
+    pub scrape_interval: Duration,
+}
+
+impl FleetConfig {
+    /// Defaults: 16Ki-sample rings, 200µs scrape cadence.
+    pub fn new(corrector: CorrectorConfig) -> FleetConfig {
+        FleetConfig {
+            corrector,
+            ring_capacity: 1 << 14,
+            scrape_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One live shard: a monitor plus the always-all-events session the
+/// aggregator scrapes through.
+struct ShardMember {
+    id: ShardId,
+    label: ShardLabel,
+    monitor: Monitor,
+    session: Session,
+}
+
+/// The membership view the router and aggregator read: shards in
+/// insertion order. Published through a snapshot cell so lookups are
+/// lock-free and churn never blocks producers.
+type Membership = Vec<Arc<ShardMember>>;
+
+/// Per-generation update streamed to [`FleetSession::subscribe`]rs.
+#[derive(Debug, Clone)]
+pub struct FleetUpdate {
+    /// Aggregation pass that produced this update.
+    pub generation: u64,
+    /// Generations this subscriber lost immediately before this update
+    /// (bounded-queue overflow), `0` when none.
+    pub gap: u64,
+    /// The fleet frontier: most advanced corrected window of any shard.
+    pub max_window: u32,
+    /// Contributing shards.
+    pub shards: usize,
+    /// Fused posteriors of the subscribing session's selected events.
+    pub posteriors: Vec<(EventId, Gaussian)>,
+}
+
+/// A consistent fleet-level multi-event read (all readings from one fused
+/// snapshot).
+#[derive(Debug, Clone)]
+pub struct FleetGroupReading {
+    /// Aggregation pass of the snapshot.
+    pub generation: u64,
+    /// Most advanced corrected window of any contributing shard.
+    pub max_window: u32,
+    /// Contributing shards.
+    pub shards: usize,
+    /// Fused readings of the selected events, in catalog order.
+    pub readings: Vec<(EventId, Reading)>,
+}
+
+/// Per-subscriber queue bound (same rationale as the per-monitor
+/// subscriber bound: lossy beyond this backlog, gap reported).
+const FLEET_QUEUE_CAP: usize = 1024;
+
+struct FleetSubscriber {
+    tx: SyncSender<FleetUpdate>,
+    selection: Arc<Selection>,
+    last_enqueued: Option<u64>,
+}
+
+/// State shared between the [`Fleet`], its sessions/routers and the
+/// aggregator thread.
+struct FleetShared {
+    catalog: Arc<Catalog>,
+    members: SnapshotReader<Membership>,
+    fused: SnapshotReader<FleetSnapshot>,
+    subscribers: Mutex<Vec<FleetSubscriber>>,
+    closed: AtomicBool,
+}
+
+impl FleetShared {
+    /// Resolves a shard id through the membership cell (lock-free).
+    fn member(&self, shard: ShardId) -> Result<Arc<ShardMember>, ShimError> {
+        if self.closed.load(Relaxed) {
+            return Err(ShimError::SessionClosed);
+        }
+        let guard = self.members.read().ok_or(ShimError::SessionClosed)?;
+        guard
+            .iter()
+            .find(|m| m.id == shard)
+            .cloned()
+            .ok_or(ShimError::UnknownShard { shard: shard.raw() })
+    }
+}
+
+/// Control messages to the aggregator thread.
+enum AggControl {
+    /// Scrape + fuse + publish now, then ack (the deterministic barrier
+    /// behind [`Fleet::sync`]/[`Fleet::flush`]).
+    Refresh(Sender<()>),
+    /// Exit the aggregator loop.
+    Shutdown,
+}
+
+/// A fleet of sharded BayesPerf monitors with fused fleet-level reads.
+///
+/// One [`Monitor`] per shard (simulated machine/socket), a lock-free
+/// sample router, and a background aggregator fusing per-shard posteriors
+/// into a fleet posterior — see the module docs for the data flow.
+/// Dropping (or [`Fleet::close`]-ing) the fleet drains every shard and
+/// stops the aggregator.
+pub struct Fleet {
+    shared: Arc<FleetShared>,
+    members_writer: SnapshotWriter<Membership>,
+    /// Writer-side copy of the membership (the cell holds clones).
+    live: Vec<Arc<ShardMember>>,
+    next_id: u32,
+    config: FleetConfig,
+    control: Sender<AggControl>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("shards", &self.live.len())
+            .field("closed", &self.shared.closed.load(Relaxed))
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Creates an empty fleet over `catalog` and starts the aggregator
+    /// thread. Add machines with [`Fleet::add_shard`].
+    pub fn new(catalog: &Catalog, config: FleetConfig) -> Fleet {
+        let catalog = Arc::new(catalog.clone());
+        let (mut members_writer, members_reader) = snapshot_cell::<Membership>();
+        members_writer.publish(Vec::new());
+        let (fused_writer, fused_reader) = snapshot_cell::<FleetSnapshot>();
+        let (control, control_rx) = channel();
+        let shared = Arc::new(FleetShared {
+            catalog: catalog.clone(),
+            members: members_reader,
+            fused: fused_reader,
+            subscribers: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+        });
+        let handle = {
+            let shared = shared.clone();
+            let interval = config.scrape_interval;
+            std::thread::Builder::new()
+                .name("bayesperf-fleet-agg".into())
+                .spawn(move || {
+                    AggregatorService::new(shared, fused_writer, interval).run(control_rx)
+                })
+                .expect("spawn fleet aggregator thread")
+        };
+        Fleet {
+            shared,
+            members_writer,
+            live: Vec::new(),
+            next_id: 0,
+            config,
+            control,
+            handle: Some(handle),
+        }
+    }
+
+    /// The monitored catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.shared.catalog
+    }
+
+    /// Adds a shard: spawns a dedicated [`Monitor`] (ring + inference
+    /// thread) for the labelled machine/socket and publishes the new
+    /// membership. Ids are never reused across churn.
+    pub fn add_shard(&mut self, label: ShardLabel) -> ShardId {
+        let id = ShardId::from_raw(self.next_id);
+        self.next_id += 1;
+        let monitor = Monitor::new(
+            &self.shared.catalog,
+            self.config.corrector.clone(),
+            self.config.ring_capacity,
+        );
+        let session = monitor.session().open().expect("fresh monitor");
+        self.live.push(Arc::new(ShardMember {
+            id,
+            label,
+            monitor,
+            session,
+        }));
+        self.members_writer.publish(self.live.clone());
+        id
+    }
+
+    /// Removes a shard: unpublishes it from the membership (in-flight
+    /// routed pushes finish against the old view) and closes its monitor.
+    /// Its contribution disappears from the next fused snapshot.
+    pub fn remove_shard(&mut self, shard: ShardId) -> Result<(), ShimError> {
+        let i = self
+            .live
+            .iter()
+            .position(|m| m.id == shard)
+            .ok_or(ShimError::UnknownShard { shard: shard.raw() })?;
+        self.live.remove(i);
+        // Publish twice: the cell double-buffers, so the first publish
+        // leaves the previous membership (holding the removed shard's
+        // Arc) in the spare slot; the second overwrites it, making the
+        // monitor shutdown deterministic rather than deferred to the
+        // next churn event.
+        self.members_writer.publish(self.live.clone());
+        self.members_writer.publish(self.live.clone());
+        Ok(())
+    }
+
+    /// Current shards, in insertion order.
+    pub fn shards(&self) -> Vec<(ShardId, ShardLabel)> {
+        self.live.iter().map(|m| (m.id, m.label.clone())).collect()
+    }
+
+    /// A cloneable, `Send + Sync` ingest handle for producer threads.
+    pub fn router(&self) -> FleetRouter {
+        FleetRouter {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Routes one kernel sample to its shard's ring. Lock-free resolve
+    /// (membership snapshot cell), per-shard ring push — producers on
+    /// different shards never contend. Samples must stay window-ordered
+    /// *per shard* (see [`Monitor::push_sample`]).
+    pub fn push_sample(&self, shard: ShardId, sample: Sample) -> Result<(), ShimError> {
+        self.shared.member(shard)?.monitor.push_sample(sample)
+    }
+
+    /// A direct read session on one shard (per-machine drill-down).
+    pub fn shard_session(&self, shard: ShardId) -> Result<Session, ShimError> {
+        Ok(self.shared.member(shard)?.session.clone())
+    }
+
+    /// Blocks until every shard has ingested and corrected everything
+    /// pushed before this call, then re-fuses and publishes the fleet
+    /// snapshot — the deterministic fleet-wide barrier.
+    pub fn sync(&self) -> Result<(), ShimError> {
+        for m in &self.live {
+            m.monitor.sync()?;
+        }
+        self.refresh()
+    }
+
+    /// Flushes every shard's ragged tail (partial final chunk), then
+    /// re-fuses and publishes.
+    pub fn flush(&self) -> Result<(), ShimError> {
+        for m in &self.live {
+            m.monitor.flush()?;
+        }
+        self.refresh()
+    }
+
+    /// Forces an aggregation pass now and blocks until it is published.
+    pub fn refresh(&self) -> Result<(), ShimError> {
+        let (tx, rx) = channel();
+        self.control
+            .send(AggControl::Refresh(tx))
+            .map_err(|_| ShimError::SessionClosed)?;
+        rx.recv().map_err(|_| ShimError::SessionClosed)
+    }
+
+    /// Starts building a fleet-scoped read session.
+    pub fn session(&self) -> FleetSessionBuilder<'_> {
+        FleetSessionBuilder {
+            fleet: self,
+            events: None,
+            err: None,
+        }
+    }
+
+    /// The latest fused snapshot (with per-shard posteriors for
+    /// percentile/straggler views).
+    pub fn snapshot(&self) -> Result<FleetSnapshot, ShimError> {
+        read_snapshot(&self.shared)
+    }
+
+    /// Drains every shard, stops their monitors and the aggregator.
+    /// Subsequent fleet reads and pushes return
+    /// [`ShimError::SessionClosed`]. Idempotent; also runs on drop.
+    pub fn close(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        // Dropping the members closes each monitor (flushing its tail).
+        self.live.clear();
+        self.members_writer.publish(Vec::new());
+        self.members_writer.publish(Vec::new());
+        let _ = self.control.send(AggControl::Shutdown);
+        let _ = handle.join();
+        self.shared.closed.store(true, Relaxed);
+        // Dropping the senders ends subscriber iterators; `subscribe`
+        // re-checks `closed` under this lock, so no late registration
+        // survives the clear.
+        self.shared
+            .subscribers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Cloneable producer handle: routes samples to shards through the
+/// membership cell without holding any fleet-wide lock.
+#[derive(Clone)]
+pub struct FleetRouter {
+    shared: Arc<FleetShared>,
+}
+
+impl std::fmt::Debug for FleetRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRouter").finish()
+    }
+}
+
+impl FleetRouter {
+    /// See [`Fleet::push_sample`].
+    pub fn push_sample(&self, shard: ShardId, sample: Sample) -> Result<(), ShimError> {
+        self.shared.member(shard)?.monitor.push_sample(sample)
+    }
+}
+
+fn read_snapshot(shared: &FleetShared) -> Result<FleetSnapshot, ShimError> {
+    if shared.closed.load(Relaxed) {
+        return Err(ShimError::SessionClosed);
+    }
+    let guard = shared.fused.read().ok_or(ShimError::NoShards)?;
+    Ok(guard.clone())
+}
+
+/// Configures and opens a [`FleetSession`]. Event selection defaults to
+/// the whole catalog, mirroring [`Monitor::session`].
+#[derive(Debug)]
+pub struct FleetSessionBuilder<'f> {
+    fleet: &'f Fleet,
+    events: Option<Vec<EventId>>,
+    err: Option<ShimError>,
+}
+
+impl FleetSessionBuilder<'_> {
+    /// Restricts the session to `events` (adds to any previous selection).
+    pub fn events(mut self, events: &[EventId]) -> Self {
+        for &e in events {
+            self = self.event(e);
+        }
+        self
+    }
+
+    /// Adds one event to the selection.
+    pub fn event(mut self, event: EventId) -> Self {
+        if event.index() >= self.fleet.catalog().len() {
+            self.err.get_or_insert(ShimError::UnknownEvent(event));
+            return self;
+        }
+        self.events.get_or_insert_with(Vec::new).push(event);
+        self
+    }
+
+    /// Adds a derived event by name: its components join the selection so
+    /// [`FleetSession::read_derived`] can evaluate it.
+    pub fn derived(mut self, name: &str) -> Self {
+        let components = self
+            .fleet
+            .catalog()
+            .derived_events()
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.events());
+        match components {
+            Some(events) => self.events(&events),
+            None => {
+                self.err
+                    .get_or_insert(ShimError::UnknownDerived(name.to_string()));
+                self
+            }
+        }
+    }
+
+    /// Opens the session.
+    pub fn open(self) -> Result<FleetSession, ShimError> {
+        if let Some(err) = self.err {
+            return Err(err);
+        }
+        if self.fleet.shared.closed.load(Relaxed) {
+            return Err(ShimError::SessionClosed);
+        }
+        Ok(FleetSession {
+            shared: self.fleet.shared.clone(),
+            selection: Arc::new(Selection::new(self.events)),
+        })
+    }
+}
+
+/// A fleet-scoped read handle mirroring [`Session`]: cheap to clone,
+/// sendable, and wait-free — every read is served from the latest fused
+/// snapshot, never from the shards themselves.
+#[derive(Clone)]
+pub struct FleetSession {
+    shared: Arc<FleetShared>,
+    selection: Arc<Selection>,
+}
+
+impl std::fmt::Debug for FleetSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSession")
+            .field("selection", &self.selection)
+            .finish()
+    }
+}
+
+impl FleetSession {
+    fn ensure_open(&self) -> Result<(), ShimError> {
+        if self.shared.closed.load(Relaxed) {
+            Err(ShimError::SessionClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_event(&self, event: EventId) -> Result<(), ShimError> {
+        if event.index() >= self.shared.catalog.len() || !self.selection.contains(event) {
+            return Err(ShimError::UnknownEvent(event));
+        }
+        Ok(())
+    }
+
+    /// The monitored catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.shared.catalog
+    }
+
+    /// Reads the fleet-fused posterior of `event` (one lock-free
+    /// acquisition of the fused cell, independent of shard count).
+    pub fn read(&self, event: EventId) -> Result<Reading, ShimError> {
+        self.ensure_open()?;
+        self.check_event(event)?;
+        let guard = self.shared.fused.read().ok_or(ShimError::NoShards)?;
+        Ok(Reading::from_gaussian(&guard.fused[event.index()]))
+    }
+
+    /// Reads all selected events from **one** fused snapshot.
+    pub fn read_group(&self) -> Result<FleetGroupReading, ShimError> {
+        self.ensure_open()?;
+        let guard = self.shared.fused.read().ok_or(ShimError::NoShards)?;
+        let readings = self
+            .selection
+            .iter(&self.shared.catalog)
+            .map(|e| (e, Reading::from_gaussian(&guard.fused[e.index()])))
+            .collect();
+        Ok(FleetGroupReading {
+            generation: guard.generation,
+            max_window: guard.max_window(),
+            shards: guard.shards.len(),
+            readings,
+        })
+    }
+
+    /// Evaluates a derived event on the fused posteriors — the same
+    /// central-difference propagation as
+    /// [`Session::read_derived`], so per-machine and
+    /// fleet-level metrics agree by construction. The session must have
+    /// selected the metric's components
+    /// ([`FleetSessionBuilder::derived`] does exactly that).
+    pub fn read_derived(&self, name: &str) -> Result<Reading, ShimError> {
+        self.ensure_open()?;
+        let derived = self
+            .shared
+            .catalog
+            .derived_events()
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| ShimError::UnknownDerived(name.to_string()))?;
+        for e in derived.events() {
+            self.check_event(e)?;
+        }
+        let guard = self.shared.fused.read().ok_or(ShimError::NoShards)?;
+        Ok(derived_reading(derived, &guard.fused))
+    }
+
+    /// Every contributing shard's own posterior of `event`, sorted by
+    /// shard id — the drill-down behind the fused number.
+    pub fn shard_readings(&self, event: EventId) -> Result<Vec<(ShardId, Reading)>, ShimError> {
+        self.ensure_open()?;
+        self.check_event(event)?;
+        let guard = self.shared.fused.read().ok_or(ShimError::NoShards)?;
+        Ok(guard
+            .shards
+            .iter()
+            .zip(&guard.per_shard)
+            .map(|(s, p)| (s.shard, Reading::from_gaussian(&p[event.index()])))
+            .collect())
+    }
+
+    /// The latest fused snapshot (percentile/straggler views included).
+    pub fn snapshot(&self) -> Result<FleetSnapshot, ShimError> {
+        read_snapshot(&self.shared)
+    }
+
+    /// Subscribes to the per-generation fused update stream (bounded
+    /// queue; a lagging consumer loses updates and the next delivered one
+    /// carries the skip in [`FleetUpdate::gap`]).
+    pub fn subscribe(&self) -> FleetUpdates {
+        self.subscribe_with_capacity(FLEET_QUEUE_CAP)
+    }
+
+    /// [`FleetSession::subscribe`] with an explicit queue bound.
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> FleetUpdates {
+        let (tx, rx) = sync_channel(capacity.max(1));
+        {
+            let mut subs = self
+                .shared
+                .subscribers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if !self.shared.closed.load(Relaxed) {
+                subs.push(FleetSubscriber {
+                    tx,
+                    selection: self.selection.clone(),
+                    last_enqueued: None,
+                });
+            }
+        }
+        FleetUpdates { rx }
+    }
+}
+
+/// Blocking iterator over a fleet session's [`FleetUpdate`] stream.
+#[derive(Debug)]
+pub struct FleetUpdates {
+    rx: Receiver<FleetUpdate>,
+}
+
+impl FleetUpdates {
+    /// Non-blocking poll: `Ok(Some(update))`, `Ok(None)` when open but
+    /// empty, `Err(SessionClosed)` once the fleet closed and the queue
+    /// drained.
+    pub fn try_next(&mut self) -> Result<Option<FleetUpdate>, ShimError> {
+        match self.rx.try_recv() {
+            Ok(u) => Ok(Some(u)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ShimError::SessionClosed),
+        }
+    }
+}
+
+impl Iterator for FleetUpdates {
+    type Item = FleetUpdate;
+
+    fn next(&mut self) -> Option<FleetUpdate> {
+        self.rx.recv().ok()
+    }
+}
+
+/// The background aggregator: scrapes shard snapshots, fuses, publishes.
+struct AggregatorService {
+    shared: Arc<FleetShared>,
+    writer: SnapshotWriter<FleetSnapshot>,
+    interval: Duration,
+    agg: Aggregator,
+    scratch: SnapshotView,
+    /// `(shard, chunk, window)` triples of the last fused pass — the
+    /// change detector that keeps idle scrapes from republishing.
+    last_key: Vec<(ShardId, u64, u32)>,
+    key: Vec<(ShardId, u64, u32)>,
+    generation: u64,
+}
+
+impl AggregatorService {
+    fn new(
+        shared: Arc<FleetShared>,
+        writer: SnapshotWriter<FleetSnapshot>,
+        interval: Duration,
+    ) -> AggregatorService {
+        let n_events = shared.catalog.len();
+        AggregatorService {
+            shared,
+            writer,
+            interval,
+            agg: Aggregator::new(n_events),
+            scratch: SnapshotView::default(),
+            last_key: Vec::new(),
+            key: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    fn run(mut self, control: Receiver<AggControl>) {
+        loop {
+            match control.recv_timeout(self.interval) {
+                Ok(AggControl::Refresh(ack)) => {
+                    self.scrape();
+                    let _ = ack.send(());
+                }
+                Ok(AggControl::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => self.scrape(),
+            }
+        }
+    }
+
+    /// One aggregation pass: scrape every live shard's snapshot, fuse,
+    /// and publish — but only when some shard actually progressed (or
+    /// membership changed), so idle fleets don't spin generations.
+    fn scrape(&mut self) {
+        let members: Membership = match self.shared.members.read() {
+            // Copy the Arcs out and drop the guard before touching any
+            // shard: scraping must never pin the membership slot.
+            Some(guard) => guard.clone(),
+            None => return,
+        };
+        // Cheap pre-pass: `(shard, chunk, window)` stamps only, no
+        // posterior copies or label clones. The idle steady state (no
+        // shard progressed between scrapes) exits here.
+        self.key.clear();
+        for m in &members {
+            if let Ok((window, chunk)) = m.session.snapshot_stamp() {
+                self.key.push((m.id, chunk, window));
+            }
+        }
+        self.key.sort_unstable();
+        if self.key == self.last_key {
+            return;
+        }
+        // Something moved: pay for the full scrape. A shard may have
+        // advanced again since its stamp was read — absorbing the newer
+        // snapshot is fine, the next pre-pass simply fires once more.
+        self.agg.begin();
+        self.key.clear();
+        for m in &members {
+            // A shard that has not published yet (or is mid-shutdown)
+            // simply doesn't contribute this pass.
+            if m.session.snapshot_into(&mut self.scratch).is_ok() {
+                let status = ShardStatus {
+                    shard: m.id,
+                    label: m.label.clone(),
+                    window: self.scratch.window,
+                    chunk: self.scratch.chunk,
+                };
+                if self.agg.absorb(status, &self.scratch.posteriors).is_ok() {
+                    self.key
+                        .push((m.id, self.scratch.chunk, self.scratch.window));
+                }
+            }
+        }
+        self.key.sort_unstable();
+        if self.agg.absorbed() == 0 {
+            // Membership changed but nobody has posteriors: the previous
+            // fused snapshot stays published (stale-but-consistent, like
+            // the per-monitor cell after its last chunk).
+            std::mem::swap(&mut self.last_key, &mut self.key);
+            return;
+        }
+        self.generation += 1;
+        let snap = match self.agg.fuse(self.generation) {
+            Ok(snap) => snap,
+            Err(_) => return,
+        };
+        self.notify_subscribers(&snap);
+        self.writer.publish(snap);
+        std::mem::swap(&mut self.last_key, &mut self.key);
+    }
+
+    fn notify_subscribers(&self, snap: &FleetSnapshot) {
+        let mut subs = self
+            .shared
+            .subscribers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let max_window = snap.max_window();
+        subs.retain_mut(|sub| {
+            let posteriors: Vec<(EventId, Gaussian)> = sub
+                .selection
+                .iter(&self.shared.catalog)
+                .map(|e| (e, snap.fused[e.index()]))
+                .collect();
+            let gap = sub
+                .last_enqueued
+                .map_or(0, |last| snap.generation.saturating_sub(last + 1));
+            match sub.tx.try_send(FleetUpdate {
+                generation: snap.generation,
+                gap,
+                max_window,
+                shards: snap.shards.len(),
+                posteriors,
+            }) {
+                Ok(()) => {
+                    sub.last_enqueued = Some(snap.generation);
+                    true
+                }
+                Err(TrySendError::Full(_)) => true,
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        });
+    }
+}

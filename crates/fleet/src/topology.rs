@@ -1,0 +1,66 @@
+//! Shard identity and fleet topology labels.
+
+use std::fmt;
+
+/// Identifies one shard (one monitored machine/socket) within a fleet.
+///
+/// Ids are allocated by [`crate::Fleet::add_shard`] and never reused, so a
+/// scraped snapshot's origin stays unambiguous across shard churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(u32);
+
+impl ShardId {
+    /// Builds an id from its raw value (wire decoding and tests; within a
+    /// process, get ids from [`crate::Fleet::add_shard`]).
+    pub fn from_raw(raw: u32) -> ShardId {
+        ShardId(raw)
+    }
+
+    /// The raw id value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// Where a shard sits in the fleet: a machine name plus a socket index
+/// (one `Monitor` watches one socket's PMU).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShardLabel {
+    /// Machine (host) name.
+    pub machine: String,
+    /// Socket index on that machine.
+    pub socket: u32,
+}
+
+impl ShardLabel {
+    /// Creates a label.
+    pub fn new(machine: impl Into<String>, socket: u32) -> ShardLabel {
+        ShardLabel {
+            machine: machine.into(),
+            socket,
+        }
+    }
+}
+
+impl fmt::Display for ShardLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/s{}", self.machine, self.socket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ShardId::from_raw(3).to_string(), "shard3");
+        assert_eq!(ShardLabel::new("db-7", 1).to_string(), "db-7/s1");
+    }
+}

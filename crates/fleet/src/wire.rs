@@ -1,0 +1,534 @@
+//! The versioned binary snapshot wire codec.
+//!
+//! Shards and aggregators usually live in different processes (or
+//! machines): a scraper pulls each shard's latest posterior snapshot over
+//! a byte boundary, fuses, and republishes a fleet summary. This module
+//! defines that byte layout — hand-rolled, allocation-light, and free of
+//! any serde machinery on the hot path:
+//!
+//! * **Header** — 4-byte magic `"BPWF"`, a format version byte, and a
+//!   record-kind byte ([`KIND_SHARD`] / [`KIND_SUMMARY`]). Unknown
+//!   versions and kinds are typed errors, so old scrapers fail loud, not
+//!   garbled.
+//! * **Integers** (ids, windows, chunk counters, lengths) — LEB128
+//!   varints: small values (the common case) cost one byte.
+//! * **Moments** (mean, variance) — fixed-width 64-bit IEEE-754 bits,
+//!   little-endian. A quantized fixed-point layout was considered and
+//!   rejected: fusion weights are *reciprocals of variances*, so
+//!   quantization error is amplified precision-side, and the fleet's
+//!   degenerate-case guarantee (one shard ⇒ bit-identical posteriors)
+//!   requires the codec to be lossless. Encode→decode is an exact
+//!   identity for every finite moment.
+//!
+//! Encoders append to a caller-owned `Vec<u8>` (reuse it across scrape
+//! passes); decoders validate everything — truncation, versions, lengths,
+//! UTF-8, non-finite means, non-positive variances — and return
+//! [`ShimError`]s. **Decoding never panics**, whatever the bytes.
+//!
+//! ```text
+//! shard record:    BPWF v k | shard window chunk | label_len label socket | n | (mean var)×n
+//! summary record:  BPWF v k | generation | n_shards | (shard window chunk label socket)×n
+//!                  | n_events | (mean var)×n_events
+//! ```
+
+use crate::fuse::{FleetSnapshot, ShardStatus};
+use crate::topology::{ShardId, ShardLabel};
+use bayesperf_core::{ShimError, SnapshotView};
+use bayesperf_inference::Gaussian;
+
+/// Leading magic of every record.
+pub const MAGIC: [u8; 4] = *b"BPWF";
+/// Highest (and only) format version this build reads and writes.
+pub const VERSION: u8 = 1;
+/// Record kind: one shard's posterior snapshot.
+pub const KIND_SHARD: u8 = 1;
+/// Record kind: a fused fleet summary.
+pub const KIND_SUMMARY: u8 = 2;
+
+/// Decoded length guard: no sane catalog or fleet has a million entries,
+/// so a length above this is a corrupt buffer, not a big fleet — reject
+/// it before attempting the allocation.
+const MAX_LEN: u64 = 1 << 20;
+
+/// One shard's scraped posterior state, as carried on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Which shard this snapshot came from.
+    pub shard: ShardId,
+    /// Its topology label.
+    pub label: ShardLabel,
+    /// Most recent corrected window.
+    pub window: u32,
+    /// 1-based inference-run counter.
+    pub chunk: u64,
+    /// Catalog-indexed posteriors.
+    pub posteriors: Vec<Gaussian>,
+}
+
+impl ShardSnapshot {
+    /// Builds the wire form of a shard's in-process
+    /// [`SnapshotView`] (see
+    /// [`Session::snapshot`](bayesperf_core::Session::snapshot)).
+    pub fn from_view(shard: ShardId, label: ShardLabel, view: &SnapshotView) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            label,
+            window: view.window,
+            chunk: view.chunk,
+            posteriors: view.posteriors.clone(),
+        }
+    }
+
+    /// The [`ShardStatus`] row this snapshot contributes to a fused view.
+    pub fn status(&self) -> ShardStatus {
+        ShardStatus {
+            shard: self.shard,
+            label: self.label.clone(),
+            window: self.window,
+            chunk: self.chunk,
+        }
+    }
+}
+
+/// A fused fleet summary, as carried on the wire (the fused posteriors
+/// plus per-shard progress — without the per-shard posterior payloads,
+/// which stay scraper-side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Aggregation pass that produced the summary.
+    pub generation: u64,
+    /// Contributing shards.
+    pub shards: Vec<ShardStatus>,
+    /// Catalog-indexed fused posteriors.
+    pub fused: Vec<Gaussian>,
+}
+
+impl FleetSummary {
+    /// The summary view of a fused snapshot.
+    pub fn of(snapshot: &FleetSnapshot) -> FleetSummary {
+        FleetSummary {
+            generation: snapshot.generation,
+            shards: snapshot.shards.clone(),
+            fused: snapshot.fused.clone(),
+        }
+    }
+}
+
+// ---- primitive layer -------------------------------------------------
+
+fn put_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_f64(v: f64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Cursor over an input buffer; every read is bounds-checked and reports
+/// the offset it needed.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn byte(&mut self) -> Result<u8, ShimError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(ShimError::WireTruncated { offset: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, ShimError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                // The 10th byte may only carry the top bit of a u64.
+                if shift == 63 && b > 1 {
+                    return Err(ShimError::WireMalformed {
+                        what: "varint overflows 64 bits",
+                    });
+                }
+                return Ok(v);
+            }
+        }
+        Err(ShimError::WireMalformed {
+            what: "varint longer than 10 bytes",
+        })
+    }
+
+    fn len(&mut self) -> Result<usize, ShimError> {
+        let n = self.varint()?;
+        if n > MAX_LEN {
+            return Err(ShimError::WireMalformed {
+                what: "length field exceeds sanity bound",
+            });
+        }
+        Ok(n as usize)
+    }
+
+    /// A varint that must fit a 32-bit field (shard ids, windows,
+    /// sockets): silently truncating would mis-attribute a corrupted
+    /// snapshot instead of rejecting it.
+    fn varint_u32(&mut self) -> Result<u32, ShimError> {
+        u32::try_from(self.varint()?).map_err(|_| ShimError::WireMalformed {
+            what: "32-bit field exceeds u32::MAX",
+        })
+    }
+
+    fn f64(&mut self) -> Result<f64, ShimError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ShimError::WireTruncated { offset: self.pos })?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ShimError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ShimError::WireTruncated { offset: self.pos })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn header(&mut self, kind: u8) -> Result<(), ShimError> {
+        let magic = self.bytes(4)?;
+        if magic != MAGIC {
+            return Err(ShimError::WireMalformed {
+                what: "bad magic (not a BayesPerf wire record)",
+            });
+        }
+        let version = self.byte()?;
+        if version != VERSION {
+            return Err(ShimError::WireVersion {
+                got: version,
+                supported: VERSION,
+            });
+        }
+        let got_kind = self.byte()?;
+        if got_kind != kind {
+            return Err(ShimError::WireMalformed {
+                what: "record kind mismatch",
+            });
+        }
+        Ok(())
+    }
+
+    fn gaussian(&mut self) -> Result<Gaussian, ShimError> {
+        let mean = self.f64()?;
+        let var = self.f64()?;
+        if !mean.is_finite() {
+            return Err(ShimError::WireMalformed {
+                what: "non-finite posterior mean",
+            });
+        }
+        if !var.is_finite() || var <= 0.0 {
+            return Err(ShimError::WireMalformed {
+                what: "non-positive posterior variance",
+            });
+        }
+        // Validated above, so the distribution constructor cannot panic.
+        Ok(Gaussian::new(mean, var))
+    }
+
+    fn label(&mut self) -> Result<ShardLabel, ShimError> {
+        let n = self.len()?;
+        let raw = self.bytes(n)?;
+        let machine = std::str::from_utf8(raw)
+            .map_err(|_| ShimError::WireMalformed {
+                what: "machine label is not UTF-8",
+            })?
+            .to_string();
+        let socket = self.varint_u32()?;
+        Ok(ShardLabel { machine, socket })
+    }
+}
+
+fn put_label(label: &ShardLabel, out: &mut Vec<u8>) {
+    put_varint(label.machine.len() as u64, out);
+    out.extend_from_slice(label.machine.as_bytes());
+    put_varint(u64::from(label.socket), out);
+}
+
+fn put_header(kind: u8, out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+}
+
+// ---- records ---------------------------------------------------------
+
+/// Appends the wire form of a shard snapshot to `out`.
+pub fn encode_shard(snapshot: &ShardSnapshot, out: &mut Vec<u8>) {
+    put_header(KIND_SHARD, out);
+    put_varint(u64::from(snapshot.shard.raw()), out);
+    put_varint(u64::from(snapshot.window), out);
+    put_varint(snapshot.chunk, out);
+    put_label(&snapshot.label, out);
+    put_varint(snapshot.posteriors.len() as u64, out);
+    for g in &snapshot.posteriors {
+        put_f64(g.mean, out);
+        put_f64(g.var, out);
+    }
+}
+
+/// Decodes one shard record from the front of `buf`, returning the
+/// snapshot and the bytes consumed (records may be concatenated).
+pub fn decode_shard(buf: &[u8]) -> Result<(ShardSnapshot, usize), ShimError> {
+    let mut r = Reader::new(buf);
+    r.header(KIND_SHARD)?;
+    let shard = ShardId::from_raw(r.varint_u32()?);
+    let window = r.varint_u32()?;
+    let chunk = r.varint()?;
+    let label = r.label()?;
+    let n = r.len()?;
+    let mut posteriors = Vec::with_capacity(n);
+    for _ in 0..n {
+        posteriors.push(r.gaussian()?);
+    }
+    Ok((
+        ShardSnapshot {
+            shard,
+            label,
+            window,
+            chunk,
+            posteriors,
+        },
+        r.pos,
+    ))
+}
+
+/// Appends the wire form of a fleet summary to `out`.
+pub fn encode_summary(summary: &FleetSummary, out: &mut Vec<u8>) {
+    put_header(KIND_SUMMARY, out);
+    put_varint(summary.generation, out);
+    put_varint(summary.shards.len() as u64, out);
+    for s in &summary.shards {
+        put_varint(u64::from(s.shard.raw()), out);
+        put_varint(u64::from(s.window), out);
+        put_varint(s.chunk, out);
+        put_label(&s.label, out);
+    }
+    put_varint(summary.fused.len() as u64, out);
+    for g in &summary.fused {
+        put_f64(g.mean, out);
+        put_f64(g.var, out);
+    }
+}
+
+/// Decodes one fleet-summary record from the front of `buf`, returning
+/// the summary and the bytes consumed.
+pub fn decode_summary(buf: &[u8]) -> Result<(FleetSummary, usize), ShimError> {
+    let mut r = Reader::new(buf);
+    r.header(KIND_SUMMARY)?;
+    let generation = r.varint()?;
+    let n_shards = r.len()?;
+    let mut shards = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let shard = ShardId::from_raw(r.varint_u32()?);
+        let window = r.varint_u32()?;
+        let chunk = r.varint()?;
+        let label = r.label()?;
+        shards.push(ShardStatus {
+            shard,
+            label,
+            window,
+            chunk,
+        });
+    }
+    let n_events = r.len()?;
+    let mut fused = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        fused.push(r.gaussian()?);
+    }
+    Ok((
+        FleetSummary {
+            generation,
+            shards,
+            fused,
+        },
+        r.pos,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> ShardSnapshot {
+        ShardSnapshot {
+            shard: ShardId::from_raw(300),
+            label: ShardLabel::new("rack1-node07", 1),
+            window: 41,
+            chunk: 7,
+            posteriors: vec![
+                Gaussian::new(123.456, 0.3),
+                Gaussian::new(-5.0e9, 1.0e12),
+                Gaussian::new(0.0, f64::MIN_POSITIVE),
+            ],
+        }
+    }
+
+    #[test]
+    fn shard_roundtrip_is_identity_and_reports_length() {
+        let snap = snapshot();
+        let mut buf = Vec::new();
+        encode_shard(&snap, &mut buf);
+        // Concatenate a second record: decode must stop at the boundary.
+        let mut double = buf.clone();
+        encode_shard(&snap, &mut double);
+        let (back, used) = decode_shard(&double).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(used, buf.len());
+        let (second, used2) = decode_shard(&double[used..]).unwrap();
+        assert_eq!(second, snap);
+        assert_eq!(used + used2, double.len());
+    }
+
+    #[test]
+    fn varints_keep_small_records_small() {
+        let mut snap = snapshot();
+        snap.posteriors.truncate(1);
+        let mut buf = Vec::new();
+        encode_shard(&snap, &mut buf);
+        // header 6 + shard 2 + window 1 + chunk 1 + label (1+12+1) + n 1
+        // + one gaussian 16 = 41 bytes.
+        assert_eq!(buf.len(), 41);
+    }
+
+    #[test]
+    fn summary_roundtrip_is_identity() {
+        let snap = snapshot();
+        let summary = FleetSummary {
+            generation: u64::MAX,
+            shards: vec![snap.status()],
+            fused: snap.posteriors.clone(),
+        };
+        let mut buf = Vec::new();
+        encode_summary(&summary, &mut buf);
+        let (back, used) = decode_summary(&buf).unwrap();
+        assert_eq!(back, summary);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let mut buf = Vec::new();
+        encode_shard(&snapshot(), &mut buf);
+        for cut in 0..buf.len() {
+            match decode_shard(&buf[..cut]) {
+                Err(ShimError::WireTruncated { .. }) => {}
+                other => panic!("cut at {cut}: expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_kind_are_rejected() {
+        let mut buf = Vec::new();
+        encode_shard(&snapshot(), &mut buf);
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_shard(&bad),
+            Err(ShimError::WireMalformed { .. })
+        ));
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert_eq!(
+            decode_shard(&bad),
+            Err(ShimError::WireVersion {
+                got: 9,
+                supported: VERSION
+            })
+        );
+        // A summary decoder fed a shard record must refuse.
+        assert!(matches!(
+            decode_summary(&buf),
+            Err(ShimError::WireMalformed {
+                what: "record kind mismatch"
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_moments_are_rejected_not_panicked() {
+        let mut snap = snapshot();
+        snap.posteriors = vec![Gaussian::new(1.0, 1.0)];
+        let mut buf = Vec::new();
+        encode_shard(&snap, &mut buf);
+        let var_off = buf.len() - 8;
+        // Variance := -1.0.
+        buf[var_off..].copy_from_slice(&(-1.0f64).to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_shard(&buf),
+            Err(ShimError::WireMalformed {
+                what: "non-positive posterior variance"
+            })
+        ));
+        // Mean := NaN.
+        let mean_off = buf.len() - 16;
+        buf[mean_off..mean_off + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_shard(&buf),
+            Err(ShimError::WireMalformed {
+                what: "non-finite posterior mean"
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_32bit_fields_are_rejected_not_truncated() {
+        // A window of 2^33 + 5 must not silently decode as window 5.
+        let mut buf = Vec::new();
+        put_header(KIND_SHARD, &mut buf);
+        put_varint(1, &mut buf); // shard
+        put_varint((1u64 << 33) + 5, &mut buf); // window: exceeds u32
+        assert!(matches!(
+            decode_shard(&buf),
+            Err(ShimError::WireMalformed {
+                what: "32-bit field exceeds u32::MAX"
+            })
+        ));
+    }
+
+    #[test]
+    fn absurd_length_fields_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_header(KIND_SHARD, &mut buf);
+        put_varint(1, &mut buf); // shard
+        put_varint(0, &mut buf); // window
+        put_varint(1, &mut buf); // chunk
+        put_varint(u64::MAX, &mut buf); // label length: absurd
+        assert!(matches!(
+            decode_shard(&buf),
+            Err(ShimError::WireMalformed {
+                what: "length field exceeds sanity bound"
+            })
+        ));
+    }
+}

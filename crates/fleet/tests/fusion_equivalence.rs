@@ -1,0 +1,193 @@
+//! Fusion correctness against the closed form and against a single
+//! monitor: the acceptance bars of the fleet subsystem.
+//!
+//! * Fusing N shards' Gaussians must match the precision-weighted
+//!   product `N(η/λ, 1/λ)` to 1e-9.
+//! * A one-shard fleet (fusion degenerates to identity) must reproduce
+//!   the single-`Monitor` posterior **bit for bit**.
+//! * An 8-shard fleet over identical sample streams must give identical
+//!   per-shard posteriors and the closed-form `var/8` fused contraction.
+
+use bayesperf_core::corrector::CorrectorConfig;
+use bayesperf_core::Monitor;
+use bayesperf_events::{Arch, Catalog, Semantic};
+use bayesperf_fleet::{fuse_gaussians, Fleet, FleetConfig, ShardLabel};
+use bayesperf_inference::Gaussian;
+use bayesperf_simcpu::{pack_round_robin, MultiplexRun, Pmu, PmuConfig};
+use bayesperf_workloads::kmeans;
+
+fn recorded_run(cat: &Catalog, n_windows: usize) -> MultiplexRun {
+    let mut truth = kmeans().instantiate(cat, 0);
+    let pmu = Pmu::new(cat, PmuConfig::for_catalog(cat));
+    let events = vec![
+        cat.require(Semantic::L1dMisses),
+        cat.require(Semantic::LlcHits),
+        cat.require(Semantic::LlcMisses),
+    ];
+    let schedule = pack_round_robin(cat, &events).expect("schedule fits");
+    pmu.run_multiplexed(&mut truth, &schedule, n_windows)
+}
+
+fn feed(fleet: &Fleet, shard: bayesperf_fleet::ShardId, run: &MultiplexRun) {
+    for w in &run.windows {
+        for s in &w.samples {
+            fleet.push_sample(shard, *s).expect("ring has room");
+        }
+    }
+}
+
+#[test]
+fn fusing_matches_the_closed_form_to_1e9() {
+    // A spread of magnitudes, like real posteriors: confident observed
+    // events, vague invariant-linked ones.
+    let shards = [
+        Gaussian::new(1.0e6, 2.5e3),
+        Gaussian::new(1.1e6, 9.0e2),
+        Gaussian::new(0.8e6, 4.0e7),
+        Gaussian::new(1.05e6, 1.0),
+    ];
+    let fused = fuse_gaussians(&shards).unwrap();
+    let lambda: f64 = shards.iter().map(|g| 1.0 / g.var).sum();
+    let eta: f64 = shards.iter().map(|g| g.mean / g.var).sum();
+    assert!(
+        ((fused.mean - eta / lambda) / (eta / lambda)).abs() < 1e-9,
+        "mean {} vs {}",
+        fused.mean,
+        eta / lambda
+    );
+    assert!(
+        ((fused.var - 1.0 / lambda) / (1.0 / lambda)).abs() < 1e-9,
+        "var {} vs {}",
+        fused.var,
+        1.0 / lambda
+    );
+}
+
+#[test]
+fn one_shard_fleet_reproduces_the_monitor_bit_for_bit() {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let run = recorded_run(&cat, 9);
+    let cfg = CorrectorConfig::for_run(&run);
+
+    // Reference: a bare monitor over the same stream.
+    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 14);
+    for w in &run.windows {
+        for s in &w.samples {
+            monitor.push_sample(*s).expect("room");
+        }
+    }
+    monitor.flush().expect("alive");
+    let reference = monitor
+        .session()
+        .open()
+        .expect("open")
+        .snapshot()
+        .expect("published");
+
+    // A fleet whose fusion degenerates to one contributing shard.
+    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg));
+    let shard = fleet.add_shard(ShardLabel::new("only-machine", 0));
+    feed(&fleet, shard, &run);
+    fleet.flush().expect("alive");
+    let fused = fleet.snapshot().expect("published");
+
+    assert_eq!(fused.shards.len(), 1);
+    assert_eq!(fused.shards[0].window, reference.window);
+    assert_eq!(fused.fused.len(), reference.posteriors.len());
+    for (f, r) in fused.fused.iter().zip(&reference.posteriors) {
+        assert_eq!(f.mean.to_bits(), r.mean.to_bits(), "mean drifted");
+        assert_eq!(f.var.to_bits(), r.var.to_bits(), "variance drifted");
+    }
+
+    // The fleet session's read surface serves the same bits.
+    let session = fleet.session().open().expect("open");
+    let ev = cat.require(Semantic::L1dMisses);
+    let fleet_read = session.read(ev).expect("read");
+    let mono_read = bayesperf_core::Reading::from_gaussian(&reference.posteriors[ev.index()]);
+    assert_eq!(fleet_read, mono_read);
+}
+
+#[test]
+fn eight_identical_shards_contract_variance_by_the_closed_form() {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let run = recorded_run(&cat, 6);
+    let cfg = CorrectorConfig::for_run(&run);
+    let n_shards = 8u32;
+
+    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg));
+    let ids: Vec<_> = (0..n_shards)
+        .map(|i| fleet.add_shard(ShardLabel::new(format!("m{i}"), 0)))
+        .collect();
+    for &id in &ids {
+        feed(&fleet, id, &run);
+    }
+    fleet.flush().expect("alive");
+    let snap = fleet.snapshot().expect("published");
+    assert_eq!(snap.shards.len(), n_shards as usize);
+
+    // Identical streams + deterministic inference: every shard's
+    // posterior is bit-identical.
+    for shard in &snap.per_shard[1..] {
+        for (g, g0) in shard.iter().zip(&snap.per_shard[0]) {
+            assert_eq!(g.mean.to_bits(), g0.mean.to_bits());
+            assert_eq!(g.var.to_bits(), g0.var.to_bits());
+        }
+    }
+
+    // Fusing N identical N(μ, σ²) gives N(μ, σ²/N) in closed form.
+    for (e, fused) in snap.fused.iter().enumerate() {
+        let one = snap.per_shard[0][e];
+        let rel_mean = ((fused.mean - one.mean) / one.mean).abs();
+        let rel_var = ((fused.var - one.var / f64::from(n_shards)) / (one.var / 8.0)).abs();
+        assert!(rel_mean < 1e-9, "event {e}: fused mean off by {rel_mean}");
+        assert!(rel_var < 1e-9, "event {e}: fused var off by {rel_var}");
+    }
+
+    // No shard lags: identical streams means no stragglers at lag 0.
+    assert!(snap.stragglers(0).is_empty());
+    // The cross-shard percentile view collapses onto the common mean.
+    let ev = cat.require(Semantic::L1dMisses).index();
+    assert_eq!(
+        snap.percentile_mean(ev, 0.99),
+        Some(snap.per_shard[0][ev].mean)
+    );
+}
+
+#[test]
+fn fleet_and_monitor_derived_metrics_agree() {
+    let cat = Catalog::new(Arch::X86SkyLake);
+    let run = recorded_run(&cat, 6);
+    let cfg = CorrectorConfig::for_run(&run);
+    let name = cat.derived_events()[0].name.clone();
+
+    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 14);
+    for w in &run.windows {
+        for s in &w.samples {
+            monitor.push_sample(*s).expect("room");
+        }
+    }
+    monitor.flush().expect("alive");
+    let mono = monitor
+        .session()
+        .derived(&name)
+        .open()
+        .expect("open")
+        .read_derived(&name)
+        .expect("derived");
+
+    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg));
+    let shard = fleet.add_shard(ShardLabel::new("m0", 0));
+    feed(&fleet, shard, &run);
+    fleet.flush().expect("alive");
+    let fused = fleet
+        .session()
+        .derived(&name)
+        .open()
+        .expect("open")
+        .read_derived(&name)
+        .expect("derived");
+
+    // One shard: the shared propagation helper must give identical
+    // readings on identical posteriors.
+    assert_eq!(mono, fused);
+}

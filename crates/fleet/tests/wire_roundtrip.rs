@@ -1,0 +1,132 @@
+//! Property tests for the wire codec: encode→decode is identity for
+//! arbitrary snapshots, and decoding truncated/corrupted buffers returns
+//! typed errors — never panics.
+
+use bayesperf_core::ShimError;
+use bayesperf_fleet::wire::{
+    decode_shard, decode_summary, encode_shard, encode_summary, FleetSummary, ShardSnapshot,
+};
+use bayesperf_fleet::{ShardId, ShardLabel, ShardStatus};
+use bayesperf_inference::Gaussian;
+use proptest::prelude::*;
+use proptest::TestRng;
+use rand::Rng;
+
+/// Draws an arbitrary-but-valid shard snapshot: means across sign and
+/// magnitude, variances across 24 orders of magnitude, ids/windows over
+/// their full ranges, labels of mixed length (including empty).
+fn arbitrary_snapshot(rng: &mut TestRng) -> ShardSnapshot {
+    let n = rng.gen_range(0usize..48);
+    let posteriors = (0..n)
+        .map(|_| {
+            let mean = rng.gen_range(-1.0e12..1.0e12);
+            let var = 10f64.powf(rng.gen_range(-12.0..12.0));
+            Gaussian::new(mean, var)
+        })
+        .collect();
+    let label_len = rng.gen_range(0usize..24);
+    let machine: String = (0..label_len)
+        .map(|_| char::from(rng.gen_range(b'a'..b'z' + 1)))
+        .collect();
+    ShardSnapshot {
+        shard: ShardId::from_raw(rng.gen::<u32>()),
+        label: ShardLabel::new(machine, rng.gen::<u32>()),
+        window: rng.gen::<u32>(),
+        chunk: rng.gen::<u64>(),
+        posteriors,
+    }
+}
+
+fn bits_equal(a: &Gaussian, b: &Gaussian) -> bool {
+    a.mean.to_bits() == b.mean.to_bits() && a.var.to_bits() == b.var.to_bits()
+}
+
+#[test]
+fn shard_roundtrip_is_identity_for_arbitrary_snapshots() {
+    proptest::run_cases("shard_roundtrip", |rng| {
+        let snap = arbitrary_snapshot(rng);
+        let mut buf = Vec::new();
+        encode_shard(&snap, &mut buf);
+        let (back, used) = decode_shard(&buf).expect("decode own encoding");
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(&back.shard, &snap.shard);
+        prop_assert_eq!(&back.label, &snap.label);
+        prop_assert_eq!(back.window, snap.window);
+        prop_assert_eq!(back.chunk, snap.chunk);
+        prop_assert_eq!(back.posteriors.len(), snap.posteriors.len());
+        for (a, b) in back.posteriors.iter().zip(&snap.posteriors) {
+            prop_assert!(bits_equal(a, b), "moments must round-trip bit-exact");
+        }
+    });
+}
+
+#[test]
+fn summary_roundtrip_is_identity_for_arbitrary_summaries() {
+    proptest::run_cases("summary_roundtrip", |rng| {
+        let n_shards = rng.gen_range(1usize..9);
+        let shards: Vec<ShardStatus> = (0..n_shards)
+            .map(|_| arbitrary_snapshot(rng).status())
+            .collect();
+        let fused = arbitrary_snapshot(rng).posteriors;
+        let summary = FleetSummary {
+            generation: rng.gen::<u64>(),
+            shards,
+            fused,
+        };
+        let mut buf = Vec::new();
+        encode_summary(&summary, &mut buf);
+        let (back, used) = decode_summary(&buf).expect("decode own encoding");
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(back.generation, summary.generation);
+        prop_assert_eq!(&back.shards, &summary.shards);
+        for (a, b) in back.fused.iter().zip(&summary.fused) {
+            prop_assert!(bits_equal(a, b));
+        }
+    });
+}
+
+#[test]
+fn truncated_buffers_return_typed_errors_never_panic() {
+    proptest::run_cases("truncation", |rng| {
+        let snap = arbitrary_snapshot(rng);
+        let mut buf = Vec::new();
+        encode_shard(&snap, &mut buf);
+        // Every strict prefix must fail with a typed error (truncation,
+        // by construction — nothing semantic can fail on a valid prefix).
+        let cut = rng.gen_range(0usize..buf.len());
+        match decode_shard(&buf[..cut]) {
+            Err(ShimError::WireTruncated { offset }) => prop_assert!(offset <= cut),
+            other => panic!("prefix of {cut} bytes: expected truncation, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn corrupted_buffers_never_panic() {
+    proptest::run_cases("corruption", |rng| {
+        let snap = arbitrary_snapshot(rng);
+        let mut buf = Vec::new();
+        encode_shard(&snap, &mut buf);
+        // Flip 1..8 random bytes anywhere (header, varints, moments):
+        // the decoder may accept a different-but-valid record or reject
+        // with any typed error, but must never panic or loop.
+        for _ in 0..rng.gen_range(1usize..8) {
+            let i = rng.gen_range(0usize..buf.len());
+            buf[i] ^= rng.gen::<u8>();
+        }
+        match decode_shard(&buf) {
+            Ok((back, used)) => {
+                prop_assert!(used <= buf.len());
+                for g in &back.posteriors {
+                    prop_assert!(g.var > 0.0 && g.var.is_finite() && g.mean.is_finite());
+                }
+            }
+            Err(
+                ShimError::WireTruncated { .. }
+                | ShimError::WireVersion { .. }
+                | ShimError::WireMalformed { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    });
+}

@@ -15,7 +15,11 @@
 //!   error model;
 //! * a seeded **noise model** for OS nondeterminism: per-read measurement
 //!   noise, interrupt spikes, and smearing at configuration switches;
-//! * the kernel↔userspace [`RingBuffer`] with backpressure drop counting.
+//! * the kernel↔userspace [`RingBuffer`] with backpressure drop counting;
+//! * deterministic **multi-machine heterogeneity** for fleet simulations:
+//!   [`ShardProfile`] derives per-machine rate/phase/noise perturbations
+//!   and [`CorrelatedTruth`] turns one reference workload into the
+//!   distinct-but-correlated stream each machine of a fleet actually runs.
 //!
 //! Because the simulator also records per-window ground truth (which real
 //! hardware cannot provide), evaluation code can compute exact error — the
@@ -23,6 +27,7 @@
 //! [`Pmu::run_polling`] models as well.
 
 mod config;
+mod machine;
 mod noise;
 mod pmu;
 mod ring;
@@ -30,6 +35,7 @@ mod sample;
 mod truth;
 
 pub use config::{pack_round_robin, Configuration, ScheduleError};
+pub use machine::{CorrelatedTruth, ShardProfile};
 pub use noise::NoiseModel;
 pub use pmu::{MultiplexRun, Pmu, PmuConfig, Window};
 pub use ring::RingBuffer;

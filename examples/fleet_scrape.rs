@@ -1,0 +1,154 @@
+//! The fleet layer end to end: eight sharded monitors (4 machines × 2
+//! sockets) over heterogeneous-but-correlated workloads, scraped through
+//! the binary wire codec, fused into fleet-level posteriors by
+//! precision weighting, and read through a `FleetSession`.
+//!
+//! Run with: `cargo run --release --example fleet_scrape`
+
+use bayesperf::core::corrector::CorrectorConfig;
+use bayesperf::events::{Arch, Catalog, Semantic};
+use bayesperf::fleet::{wire, Aggregator, FleetConfig, ShardId};
+use bayesperf::simcpu::{pack_round_robin, CorrelatedTruth, Pmu, PmuConfig, ShardProfile};
+use bayesperf::workloads::by_name;
+use bayesperf::{Fleet, ShardLabel, ShimError};
+
+const WINDOWS: usize = 12;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::new(Arch::X86SkyLake);
+    let events: Vec<_> = [
+        Semantic::L1dMisses,
+        Semantic::LlcHits,
+        Semantic::LlcMisses,
+        Semantic::BrMisp,
+    ]
+    .iter()
+    .map(|&s| catalog.require(s))
+    .collect();
+    let schedule = pack_round_robin(&catalog, &events)?;
+
+    // One reference workload; each shard runs a distinct-but-correlated
+    // variant of it (per-machine rate scale, phase offset, noise scale —
+    // all derived deterministically from the shard index).
+    let base_cfg = PmuConfig::for_catalog(&catalog);
+    let mut runs = Vec::new();
+    for shard in 0..8u32 {
+        let profile = ShardProfile::derive(0xF1EE7, shard);
+        let mut truth = CorrelatedTruth::new(
+            by_name("TeraSort")
+                .expect("in suite")
+                .instantiate(&catalog, 0),
+            profile,
+        );
+        let pmu = Pmu::new(&catalog, profile.pmu_config(&base_cfg));
+        runs.push(pmu.run_multiplexed(&mut truth, &schedule, WINDOWS));
+    }
+
+    // The fleet: one Monitor (ring + inference thread) per socket.
+    let corrector = CorrectorConfig::for_run(&runs[0]);
+    let mut fleet = Fleet::new(&catalog, FleetConfig::new(corrector));
+    let shards: Vec<ShardId> = (0..8)
+        .map(|i| fleet.add_shard(ShardLabel::new(format!("node{:02}", i / 2), i % 2)))
+        .collect();
+
+    // Ingest: the router fans each machine's kernel stream to its shard
+    // without any cross-shard locking.
+    let router = fleet.router();
+    for (id, run) in shards.iter().zip(&runs) {
+        for w in &run.windows {
+            for s in &w.samples {
+                if let Err(ShimError::RingOverflow { dropped }) = router.push_sample(*id, *s) {
+                    eprintln!("{id}: backpressure, {dropped} dropped");
+                }
+            }
+        }
+    }
+    fleet.flush()?; // correct every shard's tail + publish the fused view
+
+    // --- Scrape over a byte boundary -----------------------------------
+    // Each shard's posterior snapshot → versioned varint wire record →
+    // decode on the "collector" side → analytic fusion. In production
+    // the encode and decode halves live in different processes; the
+    // bytes are the contract.
+    let mut aggregator = Aggregator::new(catalog.len());
+    aggregator.begin();
+    let mut buf = Vec::new();
+    let mut total_bytes = 0;
+    for (id, (shard_id, label)) in shards.iter().zip(fleet.shards()) {
+        let view = fleet.shard_session(*id)?.snapshot()?;
+        let record = wire::ShardSnapshot::from_view(shard_id, label, &view);
+        buf.clear();
+        wire::encode_shard(&record, &mut buf);
+        total_bytes += buf.len();
+        let (decoded, _) = wire::decode_shard(&buf)?; // typed errors, never panics
+        aggregator.absorb(decoded.status(), &decoded.posteriors)?;
+    }
+    let fused = aggregator.fuse(1)?;
+    println!(
+        "scraped {} shards over the wire: {} bytes total ({} events each)",
+        fused.shards.len(),
+        total_bytes,
+        catalog.len()
+    );
+
+    // A fused fleet summary is itself wire-encodable for re-publication.
+    let summary = wire::FleetSummary::of(&fused);
+    buf.clear();
+    wire::encode_summary(&summary, &mut buf);
+    println!("fleet summary record: {} bytes\n", buf.len());
+
+    // --- Fleet-level reads ----------------------------------------------
+    let session = fleet.session().events(&events).open()?;
+    let group = session.read_group()?;
+    // (The aggregation-pass counter `group.generation` is timing-dependent
+    // — idle scrapes publish while samples stream — so the walkthrough
+    // prints only the deterministic parts of the reading.)
+    println!(
+        "fleet posterior (frontier window {}, {} shards):",
+        group.max_window, group.shards
+    );
+    println!(
+        "{:<18} {:>14} {:>12}   {:>14} {:>14}",
+        "event", "fused mean", "± sd", "p50 shard", "p99 shard"
+    );
+    let snap = session.snapshot()?;
+    for (e, r) in &group.readings {
+        let name = &catalog.event(*e).name;
+        let p50 = snap.percentile_mean(e.index(), 0.50).unwrap_or(f64::NAN);
+        let p99 = snap.percentile_mean(e.index(), 0.99).unwrap_or(f64::NAN);
+        println!(
+            "{:<18} {:>14.0} {:>12.0}   {:>14.0} {:>14.0}",
+            name, r.value, r.std_dev, p50, p99
+        );
+    }
+
+    // Per-shard drill-down behind one fused number.
+    let llc = catalog.require(Semantic::LlcMisses);
+    println!("\nllc-misses per shard (fused above weighs the confident ones):");
+    for (shard, r) in session.shard_readings(llc)? {
+        println!("  {shard}: {:>12.0} ± {:>10.0}", r.value, r.std_dev);
+    }
+    let stragglers = snap.stragglers(1);
+    println!(
+        "\nstragglers (> 1 window behind frontier): {}",
+        if stragglers.is_empty() {
+            "none".to_string()
+        } else {
+            format!("{stragglers:?}")
+        }
+    );
+
+    // Derived metrics work at fleet scope with the same propagation as
+    // per-machine sessions.
+    let derived = &catalog.derived_events()[0].name.clone();
+    let fleet_metric = fleet
+        .session()
+        .derived(derived)
+        .open()?
+        .read_derived(derived)?;
+    println!(
+        "\nfleet {derived}: {:.4} ± {:.4}",
+        fleet_metric.value, fleet_metric.std_dev
+    );
+    Ok(())
+}

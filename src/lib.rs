@@ -13,6 +13,8 @@
 //! * [`graph`] — factor graphs and Markov blankets
 //! * [`inference`] — distributions, MCMC, Expectation Propagation
 //! * [`core`] — scheduling, model building, the corrector, the perf-like shim
+//! * [`fleet`] — sharded monitors, precision-weighted posterior fusion,
+//!   the snapshot wire codec
 //! * [`baselines`] — Linux scaling, CounterMiner, WM+Pin
 //! * [`accel`] — the accelerator discrete-event simulation + area/power model
 //! * [`mlsched`] — PCIe contention sim + ML scheduler case study
@@ -22,11 +24,14 @@
 pub use bayesperf_core::{
     GroupReading, HpcReader, Monitor, PosteriorUpdate, Reading, Session, SessionBuilder, ShimError,
 };
+// The fleet layer's front door: sharded monitors with fused reads.
+pub use bayesperf_fleet::{Fleet, FleetConfig, FleetSession, ShardId, ShardLabel};
 
 pub use bayesperf_accel as accel;
 pub use bayesperf_baselines as baselines;
 pub use bayesperf_core as core;
 pub use bayesperf_events as events;
+pub use bayesperf_fleet as fleet;
 pub use bayesperf_graph as graph;
 pub use bayesperf_inference as inference;
 pub use bayesperf_mlsched as mlsched;
