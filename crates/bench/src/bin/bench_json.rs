@@ -30,7 +30,11 @@
 //!   "fleet_read": { "shards": 8, "reads": 0, "p50_ns": 0.0, "p99_ns": 0.0,
 //!                   "vs_shim_p99": 0.0 },
 //!   "fleet_scrape": { "shards": 8, "passes": 0, "ns_per_pass": 0.0,
-//!                     "ns_per_shard": 0.0, "bytes_per_pass": 0 }
+//!                     "ns_per_shard": 0.0, "bytes_per_pass": 0 },
+//!   "mux_schedule": { "groups": 3, "bound": 6, "windows": 0, "decisions": 0,
+//!                     "decide_p50_ns": 0.0, "decide_p99_ns": 0.0,
+//!                     "rr_mean_rel_var": 0.0, "ud_mean_rel_var": 0.0,
+//!                     "variance_ratio": 0.0 }
 //! }
 //! ```
 //!
@@ -46,6 +50,14 @@
 //! varint encode, decode, and precision-weighted fusion across all 8
 //! shards.
 //!
+//! `mux_schedule` runs the closed multiplexing loop (simulated PMU →
+//! streaming corrector → scheduler) on heterogeneous groups at an equal
+//! sample budget and reports the scheduler's per-quantum decision cost
+//! p50/p99 plus the mean-posterior-variance ratio of the
+//! uncertainty-driven policy vs blind round-robin; with `BENCH_GATE=1`
+//! the ratio must be ≤ 1 (the posterior-driven schedule never measures
+//! worse than the rotation it replaces).
+//!
 //! `BENCH_QUICK=1` shrinks the pair and read counts for CI smoke runs;
 //! `BENCH_JSON_PATH` overrides the output path.
 
@@ -53,7 +65,11 @@ use bayesperf_bench::fig6_fixture;
 use bayesperf_core::corrector::{CorrectionStats, Corrector, CorrectorConfig};
 use bayesperf_core::{Monitor, SnapshotView};
 use bayesperf_fleet::{wire, Aggregator, Fleet, FleetConfig, ShardLabel};
-use bayesperf_simcpu::Sample;
+use bayesperf_mlsched::mux::{
+    hetero_demo_events, run_closed_loop, GroupSchedule, MuxPolicy, MuxScheduler, RoundRobin,
+    UncertaintyDriven, VarianceEstimates,
+};
+use bayesperf_simcpu::{PmuConfig, Sample};
 use std::time::Instant;
 
 const N_WINDOWS: usize = 96;
@@ -234,6 +250,67 @@ fn main() {
     }
     let scrape_ns_per_pass = t.elapsed().as_nanos() as f64 / passes as f64;
 
+    // Multiplexing scheduler: decision cost plus the equal-budget claim —
+    // on the kmeans workload over heterogeneous groups, the
+    // uncertainty-driven policy must reach mean posterior variance no
+    // worse than blind round-robin (the BENCH_GATE below; the closed-loop
+    // test asserts the strict version).
+    let mux_windows = if std::env::var_os("BENCH_QUICK").is_some() {
+        24
+    } else {
+        48
+    };
+    let mux_bound = 6usize;
+    let mux_schedule = GroupSchedule::from_events(&cat, &hetero_demo_events(&cat), mux_bound)
+        .expect("groups fit the PMU");
+    let mux_groups = mux_schedule.len();
+    let closed = |policy: Box<dyn MuxPolicy>| {
+        let mut truth = bayesperf_workloads::kmeans().instantiate(&cat, 0);
+        run_closed_loop(
+            &cat,
+            &mut truth,
+            PmuConfig::for_catalog(&cat),
+            mux_schedule.clone(),
+            policy,
+            CorrectorConfig::for_run(&run),
+            mux_windows,
+        )
+    };
+    let rr = closed(Box::new(RoundRobin));
+    let ud = closed(Box::<UncertaintyDriven>::default());
+    let variance_ratio = ud.mean_rel_var / rr.mean_rel_var;
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            variance_ratio <= 1.0,
+            "uncertainty-driven mean posterior variance ({:.5}) must not exceed \
+             round-robin ({:.5}) at an equal {mux_windows}-window budget, got {variance_ratio:.3}x",
+            ud.mean_rel_var,
+            rr.mean_rel_var
+        );
+    }
+
+    // Scheduler decision cost: one `MuxScheduler::next` against realistic
+    // variances scraped from the live monitor's published snapshot — this
+    // is the per-quantum cost the sampling loop pays, so it must stay in
+    // nanoseconds, far under any real multiplexing quantum.
+    let mut estimates = VarianceEstimates::new(cat.len());
+    assert!(
+        estimates.refresh(&session),
+        "monitor flushed above, snapshot published"
+    );
+    let mut decider =
+        MuxScheduler::new(mux_schedule.clone(), Box::new(UncertaintyDriven::default()));
+    let mut decide_ns: Vec<f64> = (0..reads)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(decider.next(Some(&estimates)));
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    decide_ns.sort_by(|a, b| a.total_cmp(b));
+    let decide_p50 = decide_ns[reads / 2];
+    let decide_p99 = decide_ns[reads * 99 / 100];
+
     let json = format!(
         r#"{{
   "bench": "inference_warm_vs_cold",
@@ -253,7 +330,12 @@ fn main() {
                   "p99_ns": {:.0}, "vs_shim_p99": {:.2} }},
   "fleet_scrape": {{ "shards": {n_shards}, "passes": {passes},
                     "ns_per_pass": {:.0}, "ns_per_shard": {:.0},
-                    "bytes_per_pass": {scrape_bytes} }}
+                    "bytes_per_pass": {scrape_bytes} }},
+  "mux_schedule": {{ "groups": {mux_groups}, "bound": {mux_bound},
+                    "windows": {mux_windows}, "decisions": {reads},
+                    "decide_p50_ns": {:.0}, "decide_p99_ns": {:.0},
+                    "rr_mean_rel_var": {:.5}, "ud_mean_rel_var": {:.5},
+                    "variance_ratio": {:.3} }}
 }}
 "#,
         ns_per_window(cold_ns),
@@ -277,6 +359,11 @@ fn main() {
         fleet_vs_shim,
         scrape_ns_per_pass,
         scrape_ns_per_pass / f64::from(n_shards),
+        decide_p50,
+        decide_p99,
+        rr.mean_rel_var,
+        ud.mean_rel_var,
+        variance_ratio,
     );
 
     let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_inference.json".into());

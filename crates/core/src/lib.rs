@@ -41,13 +41,13 @@ pub mod snapshot;
 
 pub use corrector::{CorrectionStats, Corrector, CorrectorConfig, PosteriorSeries};
 pub use error::ShimError;
-pub use error_model::observation;
+pub use error_model::{extrapolated_observation, observation};
 pub use metrics::{adjusted_error, dtw_align, dtw_relative_error};
 pub use model::{build_chunk_model, ChunkEngine, ChunkModel, ChunkPosterior, ModelConfig};
 pub use scheduler::{Schedule, ScheduleTransformer};
 pub use service::{
-    derived_reading, GroupReading, Monitor, PosteriorUpdate, Selection, Session, SessionBuilder,
-    SnapshotView, Updates,
+    derived_reading, GroupReading, Monitor, PosteriorUpdate, ScheduleHook, Selection, Session,
+    SessionBuilder, SnapshotView, Updates,
 };
 pub use shim::{BayesPerfShim, HpcReader, LinuxReader, Reading};
 pub use snapshot::{snapshot_cell, SnapshotGuard, SnapshotReader, SnapshotWriter};

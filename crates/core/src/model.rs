@@ -29,7 +29,7 @@
 //! independent-chunks path). [`build_chunk_model`] wraps a single-shot
 //! cold engine for the legacy build-per-chunk API.
 
-use crate::error_model::observation;
+use crate::error_model::{extrapolated_observation, observation};
 use bayesperf_events::{Catalog, EventEnv, EventId, Expr};
 use bayesperf_graph::CsrAdjacency;
 use bayesperf_inference::{
@@ -51,6 +51,13 @@ pub struct ModelConfig {
     pub temporal_tau: f64,
     /// Relative noise floor of observation factors.
     pub obs_sigma_floor: f64,
+    /// Relative scale of observation factors built from *extrapolated*
+    /// samples (`sub_n == 0`): an unscheduled slice's carry-forward
+    /// estimate enters the model with this much noise instead of
+    /// masquerading as a real read. The engine floors it at
+    /// `obs_sigma_floor` — a carry-forward can never claim to be tighter
+    /// than a real read, whatever this field is set to.
+    pub extrap_sigma: f64,
     /// Noise floor of invariant factors (on the relative residual).
     pub inv_sigma_floor: f64,
     /// Core cycles per multiplexing window (for count scaling).
@@ -66,6 +73,7 @@ impl ModelConfig {
             prior_sd: 3.0,
             temporal_tau: 0.35,
             obs_sigma_floor: 0.02,
+            extrap_sigma: 0.5,
             inv_sigma_floor: 0.02,
             cycles_per_window: run.cycles_per_window,
         }
@@ -181,13 +189,19 @@ impl SliceSite {
     /// Swaps this slice's observations to `window` (allocation-free): all
     /// slots and hints reset, then sampled events re-filled.
     ///
+    /// A real read ([`observation`]) and a scheduler extrapolation
+    /// ([`extrapolated_observation`], `sub_n == 0`) land in the same slot
+    /// but with very different widths: the extrapolated factor carries
+    /// `extrap_sigma` relative noise and minimal degrees of freedom, so an
+    /// unscheduled slice is anchored without being mistaken for data.
+    ///
     /// One observation slot per event: a window is expected to carry at
     /// most one sample per event (the PMU delivers one merged reading per
     /// window — `Sample` already aggregates the PMI sub-samples). If a
     /// caller passes duplicates anyway, the last one wins; callers that
     /// need multiple readings per event per window should merge them into
     /// one `Sample` (sub-sample statistics combined) first.
-    fn set_window(&mut self, window: &[Sample], sigma_floor: f64) {
+    fn set_window(&mut self, window: &[Sample], sigma_floor: f64, extrap_sigma: f64) {
         for o in &mut self.obs {
             *o = None;
         }
@@ -199,7 +213,11 @@ impl SliceSite {
         }
         for s in window {
             let local = s.event.index();
-            let dist = observation(s, self.scales[local], sigma_floor);
+            let dist = if s.is_extrapolated() {
+                extrapolated_observation(s, self.scales[local], extrap_sigma)
+            } else {
+                observation(s, self.scales[local], sigma_floor)
+            };
             self.hints[local] = Some(dist.loc);
             self.scale_hints[local] = Some(dist.scale * 3.0);
             self.obs[local] = Some(dist);
@@ -257,6 +275,7 @@ pub struct ChunkEngine {
     base_prior: Gaussian,
     drift: f64,
     obs_sigma_floor: f64,
+    extrap_sigma: f64,
     /// Last observed (normalized) value per event across all loads
     /// (`NAN` = never observed) — the change-point detector's history.
     last_obs: Vec<f64>,
@@ -390,6 +409,7 @@ impl ChunkEngine {
             base_prior,
             drift: cfg.temporal_tau * cfg.temporal_tau,
             obs_sigma_floor: cfg.obs_sigma_floor,
+            extrap_sigma: cfg.extrap_sigma,
         }
     }
 
@@ -461,8 +481,17 @@ impl ChunkEngine {
             windows.len()
         );
         let floor = self.obs_sigma_floor;
+        // The documented invariant, enforced rather than trusted: an
+        // extrapolation is never tighter than a real read's noise floor.
+        let extrap = self.extrap_sigma.max(self.obs_sigma_floor);
         for (t, w) in windows.iter().enumerate() {
             for s in w.as_ref() {
+                // Extrapolations are estimates, not reads: they must not
+                // enter the change-point history, or a carry-forward of a
+                // stale level would mask the very jump it smeared over.
+                if s.is_extrapolated() {
+                    continue;
+                }
                 let e = s.event.index();
                 self.last_obs[e] = (s.value / self.scales[e]).max(1e-9);
             }
@@ -470,7 +499,7 @@ impl ChunkEngine {
                 .ep
                 .site_mut::<SliceSite>(t)
                 .expect("slice sites are SliceSite");
-            site.set_window(w.as_ref(), floor);
+            site.set_window(w.as_ref(), floor, extrap);
         }
     }
 
@@ -522,6 +551,9 @@ impl ChunkEngine {
             let mut total = 0u32;
             let mut jumped = 0u32;
             for s in w.as_ref() {
+                if s.is_extrapolated() {
+                    continue; // carry-forwards say nothing about jumps
+                }
                 let e = s.event.index();
                 let loc = (s.value / self.scales[e]).max(1e-9);
                 let prev = self.score_buf[e];
@@ -865,6 +897,83 @@ mod tests {
     }
 
     #[test]
+    fn extrapolated_slices_keep_inflated_uncertainty() {
+        // A driven run where group 0 runs only in window 0 and its events
+        // are carry-forward extrapolations afterwards. Treating those
+        // carry-forwards as real reads would collapse the posterior around
+        // a value that is not a measurement; the extrapolated observation
+        // model must keep the uncertainty inflated instead.
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let rates = bayesperf_events::synthesize(&cat, &bayesperf_events::FreeParams::default());
+        let mut truth = ConstantTruth::new(rates.clone());
+        let pmu = Pmu::new(
+            &cat,
+            PmuConfig {
+                noise: NoiseModel {
+                    measurement_sigma: 0.02,
+                    ..NoiseModel::none()
+                },
+                ..PmuConfig::for_catalog(&cat)
+            },
+        );
+        // DtlbMisses has no invariant path to the always-measured fixed
+        // counters (see posterior_uncertainty_larger_for_unobserved), so
+        // its unscheduled-slice posterior is governed by the observation
+        // model under test, not by invariant coupling.
+        let ev = cat.require(Semantic::DtlbMisses);
+        let schedule = vec![
+            bayesperf_simcpu::Configuration::new_unchecked(vec![ev]),
+            bayesperf_simcpu::Configuration::new_unchecked(vec![
+                cat.require(Semantic::BrInst),
+                cat.require(Semantic::BrMisp),
+                cat.require(Semantic::UopsIssued),
+                cat.require(Semantic::UopsRetired),
+            ]),
+        ];
+        let run = pmu.run_driven(
+            &mut truth,
+            &schedule,
+            4,
+            bayesperf_simcpu::Extrapolate::LinuxScaled,
+            |w, _| usize::from(w > 0),
+        );
+        assert!(run.windows[2].sample_for(ev).unwrap().is_extrapolated());
+
+        let cfg = ModelConfig::for_run(&run);
+        let windows: Vec<Vec<Sample>> = run.windows.iter().map(|w| w.samples.clone()).collect();
+        let posterior = |wins: &[Vec<Sample>]| {
+            let model = build_chunk_model(&cat, wins, &cfg, None, cfg.fast_ep());
+            let mut rng = StdRng::seed_from_u64(21);
+            model.run(&mut rng)
+        };
+        let honest = posterior(&windows);
+
+        // The regression this feature prevents: relabel the carry-forwards
+        // as 4-sub-sample reads and the posterior snaps shut around them.
+        let mut lying = windows.clone();
+        for w in &mut lying {
+            for s in w {
+                if s.is_extrapolated() {
+                    s.sub_n = 4;
+                }
+            }
+        }
+        let fooled = posterior(&lying);
+
+        let sd_measured = honest.posterior(0, ev).std_dev();
+        let sd_extrap = honest.posterior(2, ev).std_dev();
+        let sd_fooled = fooled.posterior(2, ev).std_dev();
+        assert!(
+            sd_extrap > 1.5 * sd_measured,
+            "extrapolated slice sd {sd_extrap} must stay well above measured {sd_measured}"
+        );
+        assert!(
+            sd_extrap > 1.5 * sd_fooled,
+            "honest extrapolation sd {sd_extrap} vs read-masquerade {sd_fooled}"
+        );
+    }
+
+    #[test]
     fn prior_chaining_carries_information() {
         let (cat, run) = run_fixture();
         let cfg = ModelConfig::for_run(&run);
@@ -973,6 +1082,7 @@ mod tests {
             prior_sd: 3.0,
             temporal_tau: 0.3,
             obs_sigma_floor: 0.02,
+            extrap_sigma: 0.5,
             inv_sigma_floor: 0.02,
             cycles_per_window: 1e7,
         };

@@ -176,6 +176,24 @@ struct Subscriber {
     last_enqueued: Option<u32>,
 }
 
+/// The feedback hook the inference service calls after publishing each
+/// chunk's posterior snapshot — the multiplexing-scheduler integration
+/// point: a hook steers *which event group gets measured next* from the
+/// very posteriors this service computes (closing the paper's loop between
+/// inference and data collection; see `bayesperf_mlsched::mux`).
+///
+/// The hook runs on the **inference thread**, immediately after the
+/// snapshot is published, so it sees every chunk exactly once and in
+/// order; producers read whatever state the hook maintains (e.g. a shared
+/// scheduler) without ever touching this thread. Keep implementations
+/// cheap — a scheduler update, not more inference.
+pub trait ScheduleHook: Send {
+    /// Called once per inference run with the final corrected window's
+    /// index, the 1-based inference-run counter, and the catalog-indexed
+    /// posteriors of that window (count units).
+    fn on_publish(&mut self, window: u32, chunk: u64, posteriors: &[Gaussian]);
+}
+
 /// Control messages to the inference thread. Every variant carries an ack
 /// channel so callers can block until the service has acted.
 enum Control {
@@ -193,6 +211,11 @@ enum Control {
     Reconfigure {
         chunk_windows: Option<usize>,
         threads: Option<usize>,
+        ack: Sender<()>,
+    },
+    /// Install (or, with `None`, remove) the schedule feedback hook.
+    SetHook {
+        hook: Option<Box<dyn ScheduleHook>>,
         ack: Sender<()>,
     },
 }
@@ -356,6 +379,7 @@ impl Monitor {
             events: None,
             chunk_windows: None,
             threads: None,
+            hook: None,
             err: None,
         }
     }
@@ -392,6 +416,25 @@ impl Monitor {
     /// backlog before acking.
     pub fn resume(&self) -> Result<(), ShimError> {
         self.shared.control_roundtrip(Control::Resume)
+    }
+
+    /// Installs `hook` as the service's schedule feedback hook: from the
+    /// next publish on, the inference thread hands it every chunk's final
+    /// posteriors — the loop that lets the posterior drive what the PMU
+    /// measures next. Replaces any previous hook; blocks until the service
+    /// has installed it ([`Monitor::clear_schedule_hook`] removes it).
+    pub fn set_schedule_hook(&self, hook: Box<dyn ScheduleHook>) -> Result<(), ShimError> {
+        self.shared.control_roundtrip(|ack| Control::SetHook {
+            hook: Some(hook),
+            ack,
+        })
+    }
+
+    /// Removes the schedule feedback hook installed by
+    /// [`Monitor::set_schedule_hook`] (a no-op when none is installed).
+    pub fn clear_schedule_hook(&self) -> Result<(), ShimError> {
+        self.shared
+            .control_roundtrip(|ack| Control::SetHook { hook: None, ack })
     }
 
     /// Samples dropped at the ring (backpressure) — the ring's own
@@ -448,14 +491,28 @@ impl Drop for Monitor {
 /// Configures and opens a [`Session`]. Event selection defaults to the
 /// whole catalog; [`SessionBuilder::chunk_windows`] and
 /// [`SessionBuilder::threads`] retune the shared inference service (they
-/// apply at the next chunk boundary and affect every session).
-#[derive(Debug)]
+/// apply at the next chunk boundary and affect every session), and
+/// [`SessionBuilder::schedule_hook`] installs the service's schedule
+/// feedback hook.
 pub struct SessionBuilder<'m> {
     monitor: &'m Monitor,
     events: Option<Vec<EventId>>,
     chunk_windows: Option<usize>,
     threads: Option<usize>,
+    hook: Option<Box<dyn ScheduleHook>>,
     err: Option<ShimError>,
+}
+
+impl std::fmt::Debug for SessionBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("events", &self.events)
+            .field("chunk_windows", &self.chunk_windows)
+            .field("threads", &self.threads)
+            .field("hook", &self.hook.is_some())
+            .field("err", &self.err)
+            .finish()
+    }
 }
 
 impl SessionBuilder<'_> {
@@ -518,6 +575,17 @@ impl SessionBuilder<'_> {
         self
     }
 
+    /// Installs `hook` as the monitor's schedule feedback hook when the
+    /// session opens — the builder-flow equivalent of
+    /// [`Monitor::set_schedule_hook`] for sessions that exist to drive a
+    /// multiplexing schedule from the service's own posteriors. Like the
+    /// retuning knobs, the hook is service-level state: it replaces any
+    /// previously installed hook.
+    pub fn schedule_hook(mut self, hook: Box<dyn ScheduleHook>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
     /// Opens the session, applying any service retuning first.
     pub fn open(self) -> Result<Session, ShimError> {
         if let Some(err) = self.err {
@@ -534,6 +602,9 @@ impl SessionBuilder<'_> {
                     threads: self.threads,
                     ack,
                 })?;
+        }
+        if let Some(hook) = self.hook {
+            self.monitor.set_schedule_hook(hook)?;
         }
         Ok(Session {
             shared: self.monitor.shared.clone(),
@@ -854,6 +925,8 @@ struct InferenceService {
     /// Reused ring-drain buffer.
     drained: Vec<Sample>,
     paused: bool,
+    /// The schedule feedback hook, fed after every publish.
+    hook: Option<Box<dyn ScheduleHook>>,
 }
 
 impl InferenceService {
@@ -873,6 +946,7 @@ impl InferenceService {
             frontier: None,
             drained: Vec::new(),
             paused: false,
+            hook: None,
         }
     }
 
@@ -959,6 +1033,10 @@ impl InferenceService {
                                 }
                             }
                         }
+                        let _ = ack.send(());
+                    }
+                    Control::SetHook { hook, ack } => {
+                        self.hook = hook;
                         let _ = ack.send(());
                     }
                 }
@@ -1139,8 +1217,15 @@ impl InferenceService {
         }
         drop(subscribers);
 
+        let last_window = *windows.last().expect("publish never gets an empty chunk");
+        // Feed the schedule hook *before* the buffer moves into the
+        // snapshot: the scheduler sees exactly what readers are about to.
+        if let Some(hook) = self.hook.as_mut() {
+            let last = per_window.last().expect("one vec per window");
+            hook.on_publish(last_window, chunk, last);
+        }
         self.writer.publish(PosteriorSnapshot {
-            window: *windows.last().expect("publish never gets an empty chunk"),
+            window: last_window,
             chunk,
             stats,
             posteriors: per_window.pop().expect("one vec per window"),
@@ -1384,6 +1469,54 @@ mod tests {
         assert_eq!(monitor.windows_published(), 8);
         let ev = cat.require(Semantic::L1dMisses);
         assert!(session.read(ev).is_ok());
+    }
+
+    #[test]
+    fn schedule_hook_sees_every_publish_in_order() {
+        struct Recorder(Arc<Mutex<Vec<(u32, u64, usize)>>>);
+        impl ScheduleHook for Recorder {
+            fn on_publish(&mut self, window: u32, chunk: u64, posteriors: &[Gaussian]) {
+                assert!(posteriors.iter().all(|g| g.mean.is_finite() && g.var > 0.0));
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((window, chunk, posteriors.len()));
+            }
+        }
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 12);
+        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // The builder flow installs the hook on the service.
+        let _session = monitor
+            .session()
+            .schedule_hook(Box::new(Recorder(log.clone())))
+            .open()
+            .expect("open");
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        monitor.flush().expect("flush");
+        let seen = log.lock().unwrap().clone();
+        assert_eq!(
+            seen.len() as u64,
+            monitor.chunks_run(),
+            "one hook call per inference run"
+        );
+        // Final windows strictly increase, chunk counter is 1-based and
+        // consecutive, and every call carried a full catalog of posteriors.
+        for (i, &(w, c, n)) in seen.iter().enumerate() {
+            assert_eq!(c, i as u64 + 1);
+            assert_eq!(n, cat.len());
+            if i > 0 {
+                assert!(w > seen[i - 1].0);
+            }
+        }
+        assert_eq!(seen.last().unwrap().0, 11, "flush published the tail");
+        // Clearing the hook stops the calls.
+        monitor.clear_schedule_hook().expect("clear");
+        feed(&monitor, &run); // late samples only; no new chunks anyway
+        monitor.sync().expect("sync");
+        assert_eq!(log.lock().unwrap().len(), seen.len());
     }
 
     #[test]

@@ -1,8 +1,16 @@
-//! The §6.3 case study: BayesPerf in a feedback loop.
+//! Schedulers: BayesPerf in feedback loops.
 //!
-//! The paper demonstrates downstream value by feeding (corrected) HPC
-//! measurements into ML-based schedulers that pick which NIC a Spark
-//! shuffle should use while GPUs contend for PCIe bandwidth:
+//! Two loops live here. [`mux`] closes the loop *inside* the measurement
+//! stack: an event-multiplexing scheduler that lets the BayesPerf
+//! posterior decide which PMU event group to measure next
+//! ([`GroupSchedule`], [`RoundRobin`] vs [`UncertaintyDriven`], the
+//! starvation-bounded [`MuxScheduler`], and the service integration via
+//! [`bayesperf_core::ScheduleHook`]).
+//!
+//! The rest is the §6.3 case study — the loop *outside*: the paper
+//! demonstrates downstream value by feeding (corrected) HPC measurements
+//! into ML-based schedulers that pick which NIC a Spark shuffle should
+//! use while GPUs contend for PCIe bandwidth:
 //!
 //! * [`pcie`] — the PCIe fabric of Fig. 9: a two-socket topology with
 //!   switches, NICs and GPUs, max-min fair bandwidth sharing, and an
@@ -19,11 +27,17 @@
 //!   at the paper's 75% optimal sparsity.
 
 pub mod cf;
+pub mod mux;
 pub mod nn;
 pub mod pcie;
 pub mod rl;
 
 pub use cf::CollabFilter;
+pub use mux::{
+    hetero_demo_events, relative_variance, run_closed_loop, ClosedLoopReport, GroupSchedule,
+    MuxError, MuxPolicy, MuxScheduler, MuxStats, RoundRobin, ServiceFeed, ServiceScheduler,
+    UncertaintyDriven, VarianceEstimates,
+};
 pub use nn::Mlp;
 pub use pcie::{Fabric, Flow, Node};
 pub use rl::{CorrectionQuality, SchedulerEnv, TrainResult, Trainer};

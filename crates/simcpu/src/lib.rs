@@ -9,7 +9,12 @@
 //! * timer-driven **multiplexing**: counter configurations rotate every
 //!   scheduler quantum, so each programmable event is only *running* for a
 //!   fraction of the time it is *enabled* — exactly the
-//!   `time_enabled`/`time_running` bookkeeping Linux perf exposes;
+//!   `time_enabled`/`time_running` bookkeeping Linux perf exposes. The
+//!   rotation is pluggable: [`Pmu::run_driven`] asks a caller-supplied
+//!   driver which configuration to run each quantum (the feedback-loop
+//!   entry point for posterior-driven scheduling), and with
+//!   [`Extrapolate::LinuxScaled`] unscheduled events emit carry-forward
+//!   samples (`sub_n == 0`) that make the §2 scaling error explicit;
 //! * **PMI-based sampling** within a quantum, yielding per-event sub-sample
 //!   statistics (mean/deviation/count) that feed the paper's §4.2 Student-t
 //!   error model;
@@ -25,6 +30,8 @@
 //! hardware cannot provide), evaluation code can compute exact error — the
 //! paper has to approximate ground truth with a separate polling run, which
 //! [`Pmu::run_polling`] models as well.
+//!
+//! [`Extrapolate::LinuxScaled`]: crate::Extrapolate::LinuxScaled
 
 mod config;
 mod machine;
@@ -37,7 +44,7 @@ mod truth;
 pub use config::{pack_round_robin, Configuration, ScheduleError};
 pub use machine::{CorrelatedTruth, ShardProfile};
 pub use noise::NoiseModel;
-pub use pmu::{MultiplexRun, Pmu, PmuConfig, Window};
+pub use pmu::{Extrapolate, MultiplexRun, Pmu, PmuConfig, Window};
 pub use ring::RingBuffer;
 pub use sample::Sample;
 pub use truth::{ConstantTruth, GroundTruth};

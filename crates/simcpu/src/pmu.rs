@@ -72,14 +72,36 @@ impl MultiplexRun {
         self.windows.iter().map(|w| w.truth[id.index()]).collect()
     }
 
-    /// The windows in which `id` was actually measured.
+    /// The windows in which `id` was actually measured (extrapolated
+    /// carry-forward samples do not count as measurements).
     pub fn measured_windows(&self, id: EventId) -> Vec<u32> {
         self.windows
             .iter()
-            .filter(|w| w.sample_for(id).is_some())
+            .filter(|w| w.sample_for(id).is_some_and(|s| !s.is_extrapolated()))
             .map(|w| w.index)
             .collect()
     }
+}
+
+/// How a driven run represents events whose group is *not* scheduled in a
+/// window.
+///
+/// Real perf tooling reports a count for every requested event every time
+/// it is read, scheduled or not: unscheduled stretches are filled with the
+/// `time_enabled / time_running` extrapolation — the zero-order hold over
+/// the run-average rate that is precisely the §2 scaling error BayesPerf
+/// exists to correct (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extrapolate {
+    /// Unscheduled events emit nothing; their windows simply have no
+    /// sample (the historical [`Pmu::run_multiplexed`] behaviour).
+    Off,
+    /// Every unscheduled multiplexed event that has run at least once
+    /// emits a synthetic carry-forward sample per window: the Linux-scaled
+    /// run-average count. `sub_n == 0` marks the sample as extrapolated —
+    /// it is an *estimate*, not a hardware read, and downstream observation
+    /// models must widen its noise accordingly.
+    LinuxScaled,
 }
 
 /// The simulated performance monitoring unit.
@@ -118,6 +140,38 @@ impl<'a> Pmu<'a> {
         schedule: &[Configuration],
         n_windows: usize,
     ) -> MultiplexRun {
+        self.run_driven(truth, schedule, n_windows, Extrapolate::Off, |w, _| {
+            w as usize % schedule.len()
+        })
+    }
+
+    /// Runs `n_windows` of multiplexed sampling with an external schedule
+    /// driver: before each window `w`, `pick(w, prev)` chooses which of
+    /// `schedule`'s configurations runs next, where `prev` is the
+    /// just-completed previous window (`None` for window 0). This is the
+    /// feedback-loop entry point: a driver can deliver `prev`'s samples to
+    /// an inference service and let the *posterior* decide what to measure
+    /// next (the uncertainty-driven multiplexing scheduler).
+    ///
+    /// With [`Extrapolate::LinuxScaled`], every multiplexed event whose
+    /// group is unscheduled in a window (and that has run at least once)
+    /// additionally emits a carry-forward sample — the run-average count a
+    /// `time_enabled/time_running` scaling read would report, marked
+    /// `sub_n == 0`. Those windows thereby carry the paper's scaling error
+    /// explicitly instead of silently going missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` is empty or `pick` returns an out-of-range
+    /// configuration index.
+    pub fn run_driven(
+        &self,
+        truth: &mut dyn GroundTruth,
+        schedule: &[Configuration],
+        n_windows: usize,
+        extrapolate: Extrapolate,
+        mut pick: impl FnMut(u64, Option<&Window>) -> usize,
+    ) -> MultiplexRun {
         assert!(!schedule.is_empty(), "schedule must not be empty");
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let n_events = self.catalog.len();
@@ -127,14 +181,28 @@ impl<'a> Pmu<'a> {
             .filter(|e| e.domain == Domain::Fixed)
             .map(|e| e.id)
             .collect();
+        // The multiplexed pool: every event any configuration measures, in
+        // catalog order — the set a LinuxScaled run extrapolates over.
+        let mut pool: Vec<EventId> = schedule
+            .iter()
+            .flat_map(|c| c.events().iter().copied())
+            .collect();
+        pool.sort_unstable();
+        pool.dedup();
 
         let mut time_running = vec![0u64; n_events];
+        let mut cum_raw = vec![0.0f64; n_events];
         let mut rates = vec![0.0; n_events];
-        let mut windows = Vec::with_capacity(n_windows);
+        let mut windows: Vec<Window> = Vec::with_capacity(n_windows);
         let mut prev_events: Vec<EventId> = Vec::new();
 
         for w in 0..n_windows {
-            let config_index = w % schedule.len();
+            let config_index = pick(w as u64, windows.last());
+            assert!(
+                config_index < schedule.len(),
+                "driver picked configuration {config_index} of {}",
+                schedule.len()
+            );
             let cfg = &schedule[config_index];
             let mut measured: Vec<EventId> = fixed.clone();
             measured.extend_from_slice(cfg.events());
@@ -161,7 +229,7 @@ impl<'a> Pmu<'a> {
                 time_running[ev.index()] += self.config.quantum_ticks;
             }
 
-            let samples = measured
+            let mut samples: Vec<Sample> = measured
                 .iter()
                 .enumerate()
                 .map(|(mi, &ev)| {
@@ -171,9 +239,36 @@ impl<'a> Pmu<'a> {
                     } else {
                         time_running[ev.index()]
                     };
-                    make_sample(ev, w as u32, &subs[mi], enabled, running)
+                    let s = make_sample(ev, w as u32, &subs[mi], enabled, running);
+                    if !is_fixed {
+                        cum_raw[ev.index()] += s.value;
+                    }
+                    s
                 })
                 .collect();
+
+            if extrapolate == Extrapolate::LinuxScaled {
+                for &ev in &pool {
+                    let running = time_running[ev.index()];
+                    if cfg.contains(ev) || running == 0 {
+                        continue;
+                    }
+                    // Zero-order hold over the run-average rate: what a
+                    // perf read's enabled/running scaling attributes to
+                    // this window (§2's smearing error, made explicit).
+                    let rate = cum_raw[ev.index()] / running as f64;
+                    samples.push(Sample {
+                        event: ev,
+                        window: w as u32,
+                        value: rate * self.config.quantum_ticks as f64,
+                        sub_mean: rate,
+                        sub_sd: 0.0,
+                        sub_n: 0,
+                        time_enabled: enabled,
+                        time_running: running,
+                    });
+                }
+            }
 
             windows.push(Window {
                 index: w as u32,
@@ -391,6 +486,159 @@ mod tests {
         assert_eq!(s.sub_n as u64, pmu.config().quantum_ticks);
         // Constant truth + no noise -> zero sub-sample deviation.
         assert!(s.sub_sd < 1e-9);
+    }
+
+    #[test]
+    fn driven_run_follows_the_driver_and_matches_round_robin() {
+        let (cat, rates) = setup();
+        let mut cfg = PmuConfig::for_catalog(&cat);
+        cfg.seed = 9;
+        let pmu = Pmu::new(&cat, cfg);
+        let events: Vec<EventId> = [
+            Semantic::UopsIssued,
+            Semantic::UopsRetired,
+            Semantic::BrInst,
+            Semantic::BrMisp,
+            Semantic::L1dMisses,
+            Semantic::L2References,
+        ]
+        .iter()
+        .map(|&s| cat.require(s))
+        .collect();
+        let schedule = pack_round_robin(&cat, &events).unwrap();
+        assert!(schedule.len() >= 2);
+        // A driver that happens to pick round-robin reproduces
+        // run_multiplexed bit for bit (same RNG consumption order).
+        let mut truth = ConstantTruth::new(rates.clone());
+        let rr = pmu.run_multiplexed(&mut truth, &schedule, 8);
+        let mut truth = ConstantTruth::new(rates.clone());
+        let mut picks = Vec::new();
+        let driven = pmu.run_driven(&mut truth, &schedule, 8, Extrapolate::Off, |w, prev| {
+            assert_eq!(prev.map(|p| p.index), (w > 0).then(|| w as u32 - 1));
+            let c = w as usize % schedule.len();
+            picks.push(c);
+            c
+        });
+        for (a, b) in rr.windows.iter().zip(&driven.windows) {
+            assert_eq!(a.config_index, b.config_index);
+            assert_eq!(a.samples, b.samples);
+        }
+        // An arbitrary (non-rotating) driver is honoured verbatim.
+        let order = [1usize, 1, 0, 1, 0, 0, 1, 0];
+        let mut truth = ConstantTruth::new(rates);
+        let run = pmu.run_driven(&mut truth, &schedule, 8, Extrapolate::Off, |w, _| {
+            order[w as usize]
+        });
+        let got: Vec<usize> = run.windows.iter().map(|w| w.config_index).collect();
+        assert_eq!(got, order);
+    }
+
+    #[test]
+    fn extrapolated_samples_fill_unscheduled_windows_with_scaling_error() {
+        let (cat, rates) = setup();
+        let pmu = Pmu::new(&cat, noiseless(&cat));
+        let mut truth = ConstantTruth::new(rates.clone());
+        let events: Vec<EventId> = [
+            Semantic::UopsIssued,
+            Semantic::UopsRetired,
+            Semantic::UopsBadSpec,
+            Semantic::IdqMiteUops,
+            Semantic::BrInst,
+            Semantic::BrMisp,
+            Semantic::L1dMisses,
+            Semantic::L2References,
+        ]
+        .iter()
+        .map(|&s| cat.require(s))
+        .collect();
+        let schedule = pack_round_robin(&cat, &events).unwrap();
+        assert_eq!(schedule.len(), 2);
+        let run = pmu.run_driven(
+            &mut truth,
+            &schedule,
+            6,
+            Extrapolate::LinuxScaled,
+            |w, _| w as usize % 2,
+        );
+        // Window 0: group 1's events have never run -> no carry-forward.
+        assert!(run.windows[0].sample_for(events[4]).is_none());
+        // Window 1: group 0 is off the counters but ran in window 0 ->
+        // every group-0 event carries an extrapolated sample.
+        let s = run.windows[1].sample_for(events[0]).expect("extrapolated");
+        assert!(s.is_extrapolated());
+        assert_eq!(s.sub_n, 0);
+        // Constant truth + no noise: the run-average equals the truth, so
+        // the carry-forward is exact here.
+        let expected = run.windows[1].truth[events[0].index()];
+        assert!(
+            (s.value - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            s.value
+        );
+        // Extrapolations never count as measurements.
+        assert_eq!(run.measured_windows(events[0]), vec![0, 2, 4]);
+        // The real sample in window 2 is a hardware read again.
+        assert!(!run.windows[2]
+            .sample_for(events[0])
+            .unwrap()
+            .is_extrapolated());
+    }
+
+    #[test]
+    fn extrapolation_carries_stale_counts_across_phase_changes() {
+        // The point of marking extrapolations: under a rate change, the
+        // carry-forward is *wrong* by construction (it reports the
+        // run-average, not the current phase) — the Fig. 2 scaling error.
+        let (cat, rates) = setup();
+        let pmu = Pmu::new(&cat, noiseless(&cat));
+        let ev = cat.require(Semantic::L1dMisses);
+        struct StepTruth {
+            rates: Vec<f64>,
+            idx: usize,
+        }
+        impl GroundTruth for StepTruth {
+            fn rates_at(&mut self, tick: u64, out: &mut [f64]) {
+                out.copy_from_slice(&self.rates);
+                if tick >= 8 {
+                    out[self.idx] *= 5.0; // phase change mid-run
+                }
+            }
+        }
+        let mut truth = StepTruth {
+            rates,
+            idx: ev.index(),
+        };
+        let others: Vec<EventId> = [
+            Semantic::UopsIssued,
+            Semantic::UopsRetired,
+            Semantic::BrInst,
+            Semantic::BrMisp,
+        ]
+        .iter()
+        .map(|&s| cat.require(s))
+        .collect();
+        let mut all = vec![ev];
+        all.extend(&others);
+        let schedule = pack_round_robin(&cat, &all).unwrap();
+        assert_eq!(schedule.len(), 2);
+        // ev runs only in window 0 (group 0), then stays unscheduled while
+        // the rate quintuples at tick 8 (window 2).
+        let run = pmu.run_driven(
+            &mut truth,
+            &schedule,
+            6,
+            Extrapolate::LinuxScaled,
+            |w, _| usize::from(w > 0),
+        );
+        let w4 = &run.windows[4];
+        let s = w4.sample_for(ev).expect("carry-forward");
+        assert!(s.is_extrapolated());
+        let truth_now = w4.truth[ev.index()];
+        assert!(
+            s.value < 0.5 * truth_now,
+            "stale carry-forward {} must badly undershoot the new phase {truth_now}",
+            s.value
+        );
     }
 
     #[test]

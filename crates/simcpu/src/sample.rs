@@ -24,7 +24,12 @@ pub struct Sample {
     pub sub_mean: f64,
     /// Standard deviation of the PMI sub-samples.
     pub sub_sd: f64,
-    /// Number of PMI sub-samples.
+    /// Number of PMI sub-samples. `0` is reserved as the in-band marker
+    /// for scheduler *extrapolations* ([`Sample::is_extrapolated`]):
+    /// producers adapting real counter reads must report at least one
+    /// sub-sample (a plain unscaled read is `sub_n = 1` with zero
+    /// deviation), or the observation model will treat the value as a
+    /// carry-forward estimate with deliberately inflated noise.
     pub sub_n: u32,
     /// Ticks this event has been enabled (requested), cumulatively.
     pub time_enabled: u64,
@@ -33,6 +38,15 @@ pub struct Sample {
 }
 
 impl Sample {
+    /// True if this sample is a scheduler *extrapolation* (zero PMI
+    /// sub-samples): the event's group was not on the counters during this
+    /// window and the value is a `time_enabled/time_running`-style
+    /// carry-forward estimate, not a hardware read. Observation models
+    /// must treat it with inflated noise.
+    pub fn is_extrapolated(&self) -> bool {
+        self.sub_n == 0
+    }
+
     /// Linux's built-in undercount correction: scale the raw value by
     /// enabled/running time (§4). Returns the raw value when the event
     /// never ran (avoids division by zero; perf reports 0 in that case).
