@@ -31,6 +31,11 @@
 //!                   "vs_shim_p99": 0.0 },
 //!   "fleet_scrape": { "shards": 8, "passes": 0, "ns_per_pass": 0.0,
 //!                     "ns_per_shard": 0.0, "bytes_per_pass": 0 },
+//!   "fleet_scrape_net": { "shards": 32, "rounds": 0,
+//!                         "active_ns_per_round": 0.0, "idle_ns_per_round": 0.0,
+//!                         "active_bytes": 0, "idle_bytes": 0,
+//!                         "delta_byte_ratio": 0.0, "lossy_drop_prob": 0.1,
+//!                         "staleness_p99_rounds": 0 },
 //!   "mux_schedule": { "groups": 3, "bound": 6, "windows": 0, "decisions": 0,
 //!                     "decide_p50_ns": 0.0, "decide_p99_ns": 0.0,
 //!                     "rr_mean_rel_var": 0.0, "ud_mean_rel_var": 0.0,
@@ -50,6 +55,14 @@
 //! varint encode, decode, and precision-weighted fusion across all 8
 //! shards.
 //!
+//! `fleet_scrape_net` measures the networked scrape plane (`fleet::net`):
+//! a `FleetScraper` polling 32 `SimTransport` shards over virtual-clock
+//! links. Active rounds (every shard advanced) pay full snapshots; idle
+//! rounds collapse to `Unchanged` acks — with `BENCH_GATE=1` the
+//! idle/active byte ratio must stay ≤ 0.2 (the delta-scrape payoff), and
+//! a 10%-drop lossy pass must hold contributor staleness p99 ≤ 5 rounds
+//! (retries + backoff recover faster than the fleet decays).
+//!
 //! `mux_schedule` runs the closed multiplexing loop (simulated PMU →
 //! streaming corrector → scheduler) on heterogeneous groups at an equal
 //! sample budget and reports the scheduler's per-quantum decision cost
@@ -63,16 +76,102 @@
 
 use bayesperf_bench::fig6_fixture;
 use bayesperf_core::corrector::{CorrectionStats, Corrector, CorrectorConfig};
-use bayesperf_core::{Monitor, SnapshotView};
-use bayesperf_fleet::{wire, Aggregator, Fleet, FleetConfig, ShardLabel};
+use bayesperf_core::{Monitor, ShimError, SnapshotView};
+use bayesperf_fleet::{
+    wire, Aggregator, Fleet, FleetConfig, FleetScraper, HealthState, ScrapeConfig, ScrapeResponder,
+    ShardId, ShardLabel, SimTransport, SnapshotSource,
+};
+use bayesperf_inference::{EpRunStats, Gaussian};
 use bayesperf_mlsched::mux::{
     hetero_demo_events, run_closed_loop, GroupSchedule, MuxPolicy, MuxScheduler, RoundRobin,
     UncertaintyDriven, VarianceEstimates,
 };
-use bayesperf_simcpu::{PmuConfig, Sample};
-use std::time::Instant;
+use bayesperf_simcpu::{LinkProfile, LinkState, PmuConfig, Sample};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const N_WINDOWS: usize = 96;
+
+/// A shard stand-in for the networked-scrape bench: its snapshot is a
+/// pure function of a version counter, so "the shard corrected another
+/// chunk" is one atomic bump — no Monitor machinery in the timed loop.
+struct NetSource {
+    shard: u32,
+    version: AtomicU64,
+    events: usize,
+}
+
+impl NetSource {
+    fn bump(&self) {
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl SnapshotSource for NetSource {
+    fn source_stamp(&self) -> Result<(u32, u64), ShimError> {
+        let v = self.version.load(Ordering::Relaxed);
+        Ok((v as u32 * 6, v))
+    }
+
+    fn source_view(&self) -> Result<SnapshotView, ShimError> {
+        let v = self.version.load(Ordering::Relaxed);
+        Ok(SnapshotView {
+            window: v as u32 * 6,
+            chunk: v,
+            stats: EpRunStats::default(),
+            posteriors: (0..self.events)
+                .map(|e| {
+                    Gaussian::new(
+                        50.0 + f64::from(self.shard) * 0.1 + e as f64 + v as f64 * 0.01,
+                        0.5 + (f64::from(self.shard) % 7.0) * 0.3 + e as f64 * 0.2,
+                    )
+                })
+                .collect(),
+        })
+    }
+}
+
+/// Builds a SimTransport fleet of `shards` synthetic sources behind
+/// per-shard derived link profiles, returning the scraper plus the bump
+/// handles.
+fn net_fleet(
+    events: usize,
+    shards: u32,
+    template: &LinkProfile,
+) -> (FleetScraper, Vec<Arc<NetSource>>) {
+    let mut scraper = FleetScraper::new(
+        events,
+        ScrapeConfig {
+            deadline: Duration::from_millis(5),
+            ..ScrapeConfig::default()
+        },
+    );
+    let mut sources = Vec::new();
+    for shard in 0..shards {
+        let source = Arc::new(NetSource {
+            shard,
+            version: AtomicU64::new(1),
+            events,
+        });
+        let label = ShardLabel::new(format!("m{shard}"), shard % 2);
+        let responder = Arc::new(ScrapeResponder::new(
+            ShardId::from_raw(shard),
+            label.clone(),
+            Arc::clone(&source),
+        ));
+        scraper.add_endpoint(
+            ShardId::from_raw(shard),
+            label,
+            Box::new(SimTransport::new(
+                responder,
+                LinkState::new(template.derive(shard)),
+            )),
+        );
+        sources.push(source);
+    }
+    (scraper, sources)
+}
 
 fn main() {
     let pairs = if std::env::var_os("BENCH_QUICK").is_some() {
@@ -250,6 +349,84 @@ fn main() {
     }
     let scrape_ns_per_pass = t.elapsed().as_nanos() as f64 / passes as f64;
 
+    // Networked scrape plane: a FleetScraper polling SimTransport shards
+    // (virtual-clock links, so the protocol — not sleeps — is what's
+    // timed). Active rounds bump every source first (full snapshots);
+    // idle rounds leave the sources alone (tiny Unchanged acks). The
+    // idle/active byte ratio is the delta-scrape payoff, gated under
+    // BENCH_GATE; a lossy pass then measures contributor staleness p99.
+    let net_shards = 32u32;
+    let net_rounds = if std::env::var_os("BENCH_QUICK").is_some() {
+        50
+    } else {
+        300
+    };
+    let clean = LinkProfile::clean(0xBE7C4);
+    let (mut net_scraper, net_sources) = net_fleet(cat.len(), net_shards, &clean);
+    net_scraper.poll_round(); // prime caches outside the timed region
+    let mut active_bytes = 0u64;
+    let t = Instant::now();
+    for _ in 0..net_rounds {
+        for s in &net_sources {
+            s.bump();
+        }
+        active_bytes += net_scraper.poll_round().bytes_received;
+    }
+    let net_active_ns = t.elapsed().as_nanos() as f64 / f64::from(net_rounds);
+    let mut idle_bytes = 0u64;
+    let t = Instant::now();
+    for _ in 0..net_rounds {
+        idle_bytes += net_scraper.poll_round().bytes_received;
+    }
+    let net_idle_ns = t.elapsed().as_nanos() as f64 / f64::from(net_rounds);
+    let delta_byte_ratio = idle_bytes as f64 / (active_bytes as f64).max(1.0);
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            delta_byte_ratio <= 0.2,
+            "idle scrape rounds must cost <= 0.2x the bytes of active rounds \
+             (delta acks vs full snapshots), got {delta_byte_ratio:.3} \
+             ({idle_bytes} vs {active_bytes} bytes over {net_rounds} rounds)"
+        );
+    }
+
+    // Lossy pass: 10% drop with lag that can blow the 5 ms deadline.
+    // Contributor staleness (health age of every non-Dead endpoint, per
+    // round) must stay bounded — retries + backoff recover faster than
+    // the fleet decays.
+    let net_drop = 0.10;
+    let lossy = LinkProfile {
+        latency_us: 1_000.0,
+        latency_jitter_us: 3_000.0,
+        ..LinkProfile::lossy(0x10_55, net_drop)
+    };
+    let (mut lossy_scraper, lossy_sources) = net_fleet(cat.len(), net_shards, &lossy);
+    let lossy_reader = lossy_scraper.reader();
+    let mut ages: Vec<u32> = Vec::new();
+    for _ in 0..net_rounds {
+        for s in &lossy_sources {
+            s.bump();
+        }
+        lossy_scraper.poll_round();
+        let snap = lossy_reader.read().expect("lossy fleet keeps publishing");
+        ages.extend(
+            snap.health
+                .iter()
+                .filter(|h| h.state != HealthState::Dead)
+                .map(|h| h.age),
+        );
+        drop(snap); // release the snapshot slot before the next publish
+    }
+    ages.sort_unstable();
+    let staleness_p99 = ages[ages.len() * 99 / 100];
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            staleness_p99 <= 5,
+            "contributor staleness p99 must stay <= 5 rounds at {net_drop} drop \
+             probability, got {staleness_p99} (over {} age samples)",
+            ages.len()
+        );
+    }
+
     // Multiplexing scheduler: decision cost plus the equal-budget claim —
     // on the kmeans workload over heterogeneous groups, the
     // uncertainty-driven policy must reach mean posterior variance no
@@ -331,6 +508,11 @@ fn main() {
   "fleet_scrape": {{ "shards": {n_shards}, "passes": {passes},
                     "ns_per_pass": {:.0}, "ns_per_shard": {:.0},
                     "bytes_per_pass": {scrape_bytes} }},
+  "fleet_scrape_net": {{ "shards": {net_shards}, "rounds": {net_rounds},
+                        "active_ns_per_round": {:.0}, "idle_ns_per_round": {:.0},
+                        "active_bytes": {active_bytes}, "idle_bytes": {idle_bytes},
+                        "delta_byte_ratio": {:.4}, "lossy_drop_prob": {net_drop},
+                        "staleness_p99_rounds": {staleness_p99} }},
   "mux_schedule": {{ "groups": {mux_groups}, "bound": {mux_bound},
                     "windows": {mux_windows}, "decisions": {reads},
                     "decide_p50_ns": {:.0}, "decide_p99_ns": {:.0},
@@ -359,6 +541,9 @@ fn main() {
         fleet_vs_shim,
         scrape_ns_per_pass,
         scrape_ns_per_pass / f64::from(n_shards),
+        net_active_ns,
+        net_idle_ns,
+        delta_byte_ratio,
         decide_p50,
         decide_p99,
         rr.mean_rel_var,

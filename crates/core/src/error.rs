@@ -91,6 +91,17 @@ pub enum ShimError {
         /// What was wrong, for the log line.
         what: &'static str,
     },
+    /// A scrape request/response exchange missed its per-request deadline
+    /// (the frame may have been dropped, delayed, or the peer is slow —
+    /// the caller cannot tell, which is exactly why health accounting
+    /// treats timeouts as soft evidence, not proof of death).
+    ScrapeTimeout,
+    /// A scrape link failed below the wire layer: connect refused, reset,
+    /// short write, or a partition.
+    LinkDown {
+        /// What failed, for the log line.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ShimError {
@@ -129,6 +140,8 @@ impl fmt::Display for ShimError {
                 )
             }
             ShimError::WireMalformed { what } => write!(f, "malformed wire buffer: {what}"),
+            ShimError::ScrapeTimeout => write!(f, "scrape exchange missed its deadline"),
+            ShimError::LinkDown { what } => write!(f, "scrape link failed: {what}"),
         }
     }
 }
@@ -159,6 +172,12 @@ mod tests {
         assert!(e.to_string().contains('9') && e.to_string().contains('1'));
         let e = ShimError::UnknownShard { shard: 3 };
         assert!(e.to_string().contains('3'));
+        let e = ShimError::ScrapeTimeout;
+        assert!(e.to_string().contains("deadline"));
+        let e = ShimError::LinkDown {
+            what: "connect refused",
+        };
+        assert!(e.to_string().contains("connect refused"));
     }
 
     #[test]

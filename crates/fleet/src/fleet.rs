@@ -157,6 +157,10 @@ enum AggControl {
     /// Scrape + fuse + publish now, then ack (the deterministic barrier
     /// behind [`Fleet::sync`]/[`Fleet::flush`]).
     Refresh(Sender<()>),
+    /// Membership churned: wake immediately and drop any idle backoff
+    /// (the next scrape must observe the new membership promptly even if
+    /// the fleet was quiescent).
+    Poke,
     /// Exit the aggregator loop.
     Shutdown,
 }
@@ -249,6 +253,9 @@ impl Fleet {
             session,
         }));
         self.members_writer.publish(self.live.clone());
+        // Wake the aggregator out of any idle backoff: the new shard
+        // must appear in the next fused snapshot promptly.
+        let _ = self.control.send(AggControl::Poke);
         id
     }
 
@@ -269,6 +276,9 @@ impl Fleet {
         // next churn event.
         self.members_writer.publish(self.live.clone());
         self.members_writer.publish(self.live.clone());
+        // Wake the aggregator: the removed shard's contribution must
+        // leave the fused snapshot without waiting out an idle backoff.
+        let _ = self.control.send(AggControl::Poke);
         Ok(())
     }
 
@@ -622,6 +632,21 @@ impl Iterator for FleetUpdates {
     }
 }
 
+/// Widest idle multiplier: an idle fleet's aggregator decays to polling
+/// at `interval × 2⁶ = 64×` — slow enough to stop burning a core on
+/// stamp pre-checks, bounded so a fleet that resumes without churn is
+/// still noticed promptly. Churn wakes it immediately via
+/// [`AggControl::Poke`].
+const IDLE_BACKOFF_MAX_SHIFT: u32 = 6;
+
+/// The aggregator's wait before its next unsolicited scrape, after
+/// `idle_streak` consecutive passes in which no shard stamp moved:
+/// `interval × 2^min(streak, 6)`. Pure, so the schedule is testable
+/// without a thread.
+fn idle_backoff_interval(interval: Duration, idle_streak: u32) -> Duration {
+    interval.saturating_mul(1 << idle_streak.min(IDLE_BACKOFF_MAX_SHIFT))
+}
+
 /// The background aggregator: scrapes shard snapshots, fuses, publishes.
 struct AggregatorService {
     shared: Arc<FleetShared>,
@@ -656,14 +681,31 @@ impl AggregatorService {
     }
 
     fn run(mut self, control: Receiver<AggControl>) {
+        // Consecutive idle passes (no shard stamp moved). The wait grows
+        // exponentially with the streak — an idle fleet parks instead of
+        // busy-spinning stamp pre-checks at full scrape rate — and any
+        // control message (refresh, membership poke) resets it.
+        let mut idle_streak = 0u32;
         loop {
-            match control.recv_timeout(self.interval) {
+            let wait = idle_backoff_interval(self.interval, idle_streak);
+            match control.recv_timeout(wait) {
                 Ok(AggControl::Refresh(ack)) => {
                     self.scrape();
+                    idle_streak = 0;
                     let _ = ack.send(());
                 }
+                Ok(AggControl::Poke) => {
+                    self.scrape();
+                    idle_streak = 0;
+                }
                 Ok(AggControl::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
-                Err(RecvTimeoutError::Timeout) => self.scrape(),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.scrape() {
+                        idle_streak = 0;
+                    } else {
+                        idle_streak = idle_streak.saturating_add(1);
+                    }
+                }
             }
         }
     }
@@ -671,12 +713,14 @@ impl AggregatorService {
     /// One aggregation pass: scrape every live shard's snapshot, fuse,
     /// and publish — but only when some shard actually progressed (or
     /// membership changed), so idle fleets don't spin generations.
-    fn scrape(&mut self) {
+    /// Returns whether anything moved (`false` = idle pass, eligible for
+    /// backoff).
+    fn scrape(&mut self) -> bool {
         let members: Membership = match self.shared.members.read() {
             // Copy the Arcs out and drop the guard before touching any
             // shard: scraping must never pin the membership slot.
             Some(guard) => guard.clone(),
-            None => return,
+            None => return false,
         };
         // Cheap pre-pass: `(shard, chunk, window)` stamps only, no
         // posterior copies or label clones. The idle steady state (no
@@ -689,7 +733,7 @@ impl AggregatorService {
         }
         self.key.sort_unstable();
         if self.key == self.last_key {
-            return;
+            return false;
         }
         // Something moved: pay for the full scrape. A shard may have
         // advanced again since its stamp was read — absorbing the newer
@@ -718,16 +762,17 @@ impl AggregatorService {
             // fused snapshot stays published (stale-but-consistent, like
             // the per-monitor cell after its last chunk).
             std::mem::swap(&mut self.last_key, &mut self.key);
-            return;
+            return true;
         }
         self.generation += 1;
         let snap = match self.agg.fuse(self.generation) {
             Ok(snap) => snap,
-            Err(_) => return,
+            Err(_) => return true,
         };
         self.notify_subscribers(&snap);
         self.writer.publish(snap);
         std::mem::swap(&mut self.last_key, &mut self.key);
+        true
     }
 
     fn notify_subscribers(&self, snap: &FleetSnapshot) {
@@ -761,5 +806,26 @@ impl AggregatorService {
                 Err(TrySendError::Disconnected(_)) => false,
             }
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_backoff_doubles_then_caps() {
+        let base = Duration::from_micros(200);
+        assert_eq!(idle_backoff_interval(base, 0), base);
+        assert_eq!(idle_backoff_interval(base, 1), base * 2);
+        assert_eq!(idle_backoff_interval(base, 3), base * 8);
+        assert_eq!(idle_backoff_interval(base, 6), base * 64);
+        // The cap holds for arbitrarily long idle streaks — no overflow,
+        // no unbounded sleep.
+        assert_eq!(idle_backoff_interval(base, 7), base * 64);
+        assert_eq!(idle_backoff_interval(base, u32::MAX), base * 64);
+        // Saturates instead of panicking for huge base intervals.
+        let huge = Duration::from_secs(u64::MAX / 2);
+        assert_eq!(idle_backoff_interval(huge, 32), Duration::MAX);
     }
 }

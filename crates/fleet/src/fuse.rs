@@ -21,6 +21,7 @@
 //! `1/(1/σ²)` round trip), so a degenerate one-shard fleet reproduces the
 //! single-monitor posterior bit for bit.
 
+use crate::health::ShardHealthView;
 use crate::topology::{ShardId, ShardLabel};
 use bayesperf_core::ShimError;
 use bayesperf_inference::Gaussian;
@@ -88,6 +89,10 @@ pub struct FleetSnapshot {
     /// Catalog-indexed posteriors per contributing shard, parallel to
     /// `shards` — the raw material for percentile and straggler views.
     pub per_shard: Vec<Vec<Gaussian>>,
+    /// Health of *every* registered endpoint this round, sorted by shard
+    /// id — including Dead or never-heard-from shards absent from
+    /// `shards`, so degradation is observable rather than silent.
+    pub health: Vec<ShardHealthView>,
 }
 
 impl FleetSnapshot {
@@ -111,6 +116,11 @@ impl FleetSnapshot {
     pub fn shard_posterior(&self, shard: ShardId, event_index: usize) -> Option<Gaussian> {
         let i = self.shards.iter().position(|s| s.shard == shard)?;
         self.per_shard[i].get(event_index).copied()
+    }
+
+    /// This shard's health row, if the shard is registered.
+    pub fn shard_health(&self, shard: ShardId) -> Option<&ShardHealthView> {
+        self.health.iter().find(|h| h.shard == shard)
     }
 
     /// The `q`-quantile (nearest-rank, `q` in `[0, 1]`) of the shards'
@@ -142,10 +152,14 @@ impl FleetSnapshot {
 #[derive(Debug)]
 pub struct Aggregator {
     n_events: usize,
-    entries: Vec<(ShardStatus, Vec<Gaussian>)>,
+    entries: Vec<(ShardStatus, ShardHealthView, Vec<Gaussian>)>,
     /// Entries in use this pass; the tail of `entries` is kept as an
     /// allocation pool.
     used: usize,
+    /// Health rows of shards with *no* fusable contribution this pass
+    /// (Dead, or never heard from) — published in the snapshot so they
+    /// stay observable.
+    noted: Vec<ShardHealthView>,
 }
 
 impl Aggregator {
@@ -155,15 +169,20 @@ impl Aggregator {
             n_events,
             entries: Vec::new(),
             used: 0,
+            noted: Vec::new(),
         }
     }
 
     /// Starts a new scrape pass, recycling the previous pass's buffers.
     pub fn begin(&mut self) {
         self.used = 0;
+        self.noted.clear();
     }
 
-    /// Adds one shard's posteriors to the current pass.
+    /// Adds one shard's posteriors to the current pass as a current
+    /// (Healthy) contribution — the in-process scrape path, where the
+    /// aggregator reads the shard's snapshot cell directly and staleness
+    /// cannot arise.
     ///
     /// Fails with [`ShimError::CatalogMismatch`] when the posterior
     /// vector is not catalog-sized (a scrape from a foreign catalog).
@@ -172,55 +191,105 @@ impl Aggregator {
         status: ShardStatus,
         posteriors: &[Gaussian],
     ) -> Result<(), ShimError> {
+        let health = ShardHealthView::healthy(status.shard);
+        self.absorb_shard(status, health, posteriors)
+    }
+
+    /// Adds one shard's posteriors with explicit health — the networked
+    /// scrape path, where the contribution may be a cached copy whose
+    /// variance must be inflated by `health.inflation` before fusion. A
+    /// [`Dead`](crate::HealthState::Dead) contribution is recorded in the
+    /// health rows but excluded from fusion.
+    pub fn absorb_shard(
+        &mut self,
+        status: ShardStatus,
+        health: ShardHealthView,
+        posteriors: &[Gaussian],
+    ) -> Result<(), ShimError> {
         if posteriors.len() != self.n_events {
             return Err(ShimError::CatalogMismatch {
                 expected: self.n_events,
                 got: posteriors.len(),
             });
         }
+        if !health.state.contributes() {
+            self.noted.push(health);
+            return Ok(());
+        }
         if self.used == self.entries.len() {
-            self.entries.push((status, posteriors.to_vec()));
+            self.entries.push((status, health, posteriors.to_vec()));
         } else {
             let slot = &mut self.entries[self.used];
             slot.0 = status;
-            slot.1.clear();
-            slot.1.extend_from_slice(posteriors);
+            slot.1 = health;
+            slot.2.clear();
+            slot.2.extend_from_slice(posteriors);
         }
         self.used += 1;
         Ok(())
     }
 
-    /// Shards absorbed in the current pass.
+    /// Records the health of a shard with nothing to fuse this pass
+    /// (Dead, or no snapshot ever received), so the published snapshot
+    /// still carries its row.
+    pub fn note_health(&mut self, health: ShardHealthView) {
+        self.noted.push(health);
+    }
+
+    /// Shards absorbed as fusion contributors in the current pass.
     pub fn absorbed(&self) -> usize {
         self.used
     }
 
     /// Fuses the absorbed shards into a fleet snapshot (sorted by shard
     /// id, so fusion order — and thus floating-point rounding — is
-    /// deterministic regardless of scrape order).
+    /// deterministic regardless of scrape order). Stale contributions are
+    /// fused with variance `σ²·inflation` (inflation ≥ 1, so the fused
+    /// posterior can only widen relative to fusing them fresh); a Healthy
+    /// contribution's inflation is exactly 1 and is fused bit-verbatim,
+    /// preserving the one-shard identity guarantee.
     ///
     /// Fails with [`ShimError::NoShards`] when nothing was absorbed.
     pub fn fuse(&mut self, generation: u64) -> Result<FleetSnapshot, ShimError> {
         if self.used == 0 {
             return Err(ShimError::NoShards);
         }
-        self.entries[..self.used].sort_by_key(|(s, _)| s.shard);
+        self.entries[..self.used].sort_by_key(|(s, _, _)| s.shard);
         let live = &self.entries[..self.used];
         let mut scratch = Vec::with_capacity(self.used);
         let fused = (0..self.n_events)
             .map(|e| {
                 scratch.clear();
-                scratch.extend(live.iter().map(|(_, p)| p[e]));
+                scratch.extend(live.iter().map(|(_, h, p)| inflate(p[e], h.inflation)));
                 fuse_gaussians(&scratch).expect("at least one shard absorbed")
             })
             .collect();
+        let mut health: Vec<ShardHealthView> = live
+            .iter()
+            .map(|(_, h, _)| h.clone())
+            .chain(self.noted.iter().cloned())
+            .collect();
+        health.sort_by_key(|h| h.shard);
         Ok(FleetSnapshot {
             generation,
-            shards: live.iter().map(|(s, _)| s.clone()).collect(),
+            shards: live.iter().map(|(s, _, _)| s.clone()).collect(),
             fused,
-            per_shard: live.iter().map(|(_, p)| p.clone()).collect(),
+            per_shard: live.iter().map(|(_, _, p)| p.clone()).collect(),
+            health,
         })
     }
+}
+
+/// Widens `g` by the staleness `inflation` factor. `inflation == 1.0`
+/// returns `g` bit-verbatim (the Healthy path must not perturb the
+/// single-shard identity guarantee); an overflowing product clamps to
+/// `f64::MAX` — still a valid, maximally vague Gaussian.
+fn inflate(g: Gaussian, inflation: f64) -> Gaussian {
+    if inflation == 1.0 {
+        return g;
+    }
+    let var = g.var * inflation.max(1.0);
+    Gaussian::new(g.mean, if var.is_finite() { var } else { f64::MAX })
 }
 
 #[cfg(test)]
@@ -327,6 +396,101 @@ mod tests {
                 got: 1
             })
         );
+    }
+
+    #[test]
+    fn stale_contributions_widen_never_sharpen_the_fused_posterior() {
+        use crate::health::{HealthPolicy, ShardHealth, ShardHealthView};
+        let a = [Gaussian::new(10.0, 2.0)];
+        let b = [Gaussian::new(14.0, 3.0)];
+        let mut agg = Aggregator::new(1);
+        // All-healthy baseline.
+        agg.begin();
+        agg.absorb(status(0, 5), &a).unwrap();
+        agg.absorb(status(1, 5), &b).unwrap();
+        let fresh = agg.fuse(1).unwrap();
+        // Same inputs, shard 1 stale at age 5 under the default policy.
+        let policy = HealthPolicy::default();
+        let stale = ShardHealthView::observe(
+            ShardId::from_raw(1),
+            &ShardHealth {
+                age: 5,
+                ..ShardHealth::default()
+            },
+            &policy,
+        );
+        assert!(stale.inflation > 1.0);
+        agg.begin();
+        agg.absorb(status(0, 5), &a).unwrap();
+        agg.absorb_shard(status(1, 5), stale.clone(), &b).unwrap();
+        let degraded = agg.fuse(2).unwrap();
+        assert!(
+            degraded.fused[0].var > fresh.fused[0].var,
+            "stale evidence must widen: {} vs {}",
+            degraded.fused[0].var,
+            fresh.fused[0].var
+        );
+        // The published health rows carry the inflation that was used.
+        assert_eq!(degraded.health.len(), 2);
+        assert_eq!(
+            degraded
+                .shard_health(ShardId::from_raw(1))
+                .unwrap()
+                .inflation,
+            stale.inflation
+        );
+        // per_shard keeps the *uninflated* posteriors (drill-down shows
+        // what the shard said, not what fusion weighed it as).
+        assert_eq!(degraded.per_shard[1][0].var.to_bits(), b[0].var.to_bits());
+        // Inflation overflow clamps instead of panicking.
+        let wide = inflate(Gaussian::new(1.0, f64::MAX / 2.0), 64.0);
+        assert!(wide.var.is_finite());
+    }
+
+    #[test]
+    fn dead_shards_are_recorded_but_excluded_from_fusion() {
+        use crate::health::{HealthPolicy, HealthState, ShardHealth, ShardHealthView};
+        let policy = HealthPolicy::default();
+        let dead = ShardHealthView::observe(
+            ShardId::from_raw(3),
+            &ShardHealth {
+                age: policy.dead_after,
+                timeouts: 11,
+                ..ShardHealth::default()
+            },
+            &policy,
+        );
+        assert_eq!(dead.state, HealthState::Dead);
+        let mut agg = Aggregator::new(1);
+        agg.begin();
+        let a = [Gaussian::new(10.0, 2.0)];
+        agg.absorb(status(0, 5), &a).unwrap();
+        agg.absorb_shard(status(3, 9), dead, &[Gaussian::new(99.0, 1e-9)])
+            .unwrap();
+        agg.note_health(ShardHealthView::observe(
+            ShardId::from_raw(8),
+            &ShardHealth {
+                age: 30,
+                ..ShardHealth::default()
+            },
+            &policy,
+        ));
+        assert_eq!(agg.absorbed(), 1);
+        let snap = agg.fuse(1).unwrap();
+        // Fusion saw only shard 0 — bit-identical single contributor.
+        assert_eq!(snap.shards.len(), 1);
+        assert_eq!(snap.fused[0].var.to_bits(), a[0].var.to_bits());
+        // But all three endpoints are observable, sorted by id.
+        let ids: Vec<u32> = snap.health.iter().map(|h| h.shard.raw()).collect();
+        assert_eq!(ids, vec![0, 3, 8]);
+        assert_eq!(snap.health[1].state, HealthState::Dead);
+        assert_eq!(snap.health[1].timeouts, 11);
+        assert!(snap.shard_health(ShardId::from_raw(4)).is_none());
+        // A pass of only-dead shards has nothing to fuse.
+        agg.begin();
+        let dead2 = snap.health[1].clone();
+        agg.absorb_shard(status(3, 9), dead2, &a).unwrap();
+        assert_eq!(agg.fuse(2), Err(ShimError::NoShards));
     }
 
     #[test]

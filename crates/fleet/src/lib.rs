@@ -40,11 +40,23 @@
 //! * [`wire`] — the versioned varint binary codec carrying shard
 //!   snapshots and fleet summaries across byte boundaries (multi-process
 //!   scrape topologies), with typed, panic-free decoding.
+//! * [`net`] + [`health`] — the networked scrape plane: per-shard
+//!   scrape servers (TCP / Unix-domain, length-framed wire messages),
+//!   a concurrent aggregator-side [`FleetScraper`] with deadlines,
+//!   retries and per-endpoint backoff, delta scrapes keyed on snapshot
+//!   stamps, and a per-shard Healthy → Degraded → Stale → Dead state
+//!   machine whose staleness inflates cached contributions' variance
+//!   before fusion — a degraded fleet's posterior only ever widens.
+//!   [`SimTransport`] wraps the same protocol in seeded
+//!   [`LinkState`](bayesperf_simcpu::LinkState) fault models for
+//!   deterministic 100+ shard lossy-fleet simulation.
 //!
 //! [`Monitor`]: bayesperf_core::Monitor
 
 mod fleet;
 pub mod fuse;
+pub mod health;
+pub mod net;
 mod topology;
 pub mod wire;
 
@@ -53,4 +65,9 @@ pub use fleet::{
     FleetUpdate, FleetUpdates,
 };
 pub use fuse::{fuse_gaussians, Aggregator, FleetSnapshot, ShardStatus};
+pub use health::{FailureKind, HealthPolicy, HealthState, ShardHealth, ShardHealthView};
+pub use net::{
+    FleetScraper, RoundReport, ScrapeConfig, ScrapeResponder, ScrapeServer, ShardTransport,
+    SimTransport, SnapshotSource, TcpTransport, UnixTransport,
+};
 pub use topology::{ShardId, ShardLabel};

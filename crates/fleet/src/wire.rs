@@ -29,7 +29,21 @@
 //! shard record:    BPWF v k | shard window chunk | label_len label socket | n | (mean var)×n
 //! summary record:  BPWF v k | generation | n_shards | (shard window chunk label socket)×n
 //!                  | n_events | (mean var)×n_events
+//! scrape request:  BPWF v k | last_window last_chunk
+//! unchanged ack:   BPWF v k | window chunk
 //! ```
+//!
+//! The scrape request/unchanged pair is the **delta protocol**
+//! (`fleet::net`): a scraper sends the `(window, chunk)` stamp of the
+//! snapshot it already holds; the shard answers with a tiny unchanged ack
+//! when nothing moved, or a full shard record when it did — so
+//! steady-state scrape bytes scale with *change rate*, not catalog size.
+//!
+//! For byte streams (sockets), records travel inside length frames:
+//! a 4-byte little-endian length prefix followed by that many payload
+//! bytes. [`frame_len`] rejects any prefix above [`MAX_FRAME_LEN`]
+//! *before* anything is allocated, so a hostile peer cannot make a reader
+//! reserve unbounded memory by lying about a length.
 
 use crate::fuse::{FleetSnapshot, ShardStatus};
 use crate::topology::{ShardId, ShardLabel};
@@ -44,11 +58,28 @@ pub const VERSION: u8 = 1;
 pub const KIND_SHARD: u8 = 1;
 /// Record kind: a fused fleet summary.
 pub const KIND_SUMMARY: u8 = 2;
+/// Record kind: a scrape request carrying the client's last-seen stamp.
+pub const KIND_SCRAPE_REQ: u8 = 3;
+/// Record kind: "nothing newer than your stamp" delta ack.
+pub const KIND_UNCHANGED: u8 = 4;
 
 /// Decoded length guard: no sane catalog or fleet has a million entries,
 /// so a length above this is a corrupt buffer, not a big fleet — reject
 /// it before attempting the allocation.
 const MAX_LEN: u64 = 1 << 20;
+
+/// Hard upper bound on one length-framed message's payload (32 MiB).
+///
+/// Chosen so that any record the codec itself can produce fits (a
+/// `MAX_LEN`-entry posterior vector is ~16 MiB of moments), while a
+/// corrupt or hostile length prefix is rejected by [`frame_len`] *before*
+/// a reader allocates its receive buffer. Both sides of the scrape plane
+/// enforce it: writers refuse to emit oversized frames, readers refuse to
+/// ingest them.
+pub const MAX_FRAME_LEN: usize = 1 << 25;
+
+/// Bytes of the length prefix in front of every framed message.
+pub const FRAME_PREFIX_LEN: usize = 4;
 
 /// One shard's scraped posterior state, as carried on the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -215,7 +246,8 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn header(&mut self, kind: u8) -> Result<(), ShimError> {
+    /// Validates magic + version and returns the record kind byte.
+    fn header_any(&mut self) -> Result<u8, ShimError> {
         let magic = self.bytes(4)?;
         if magic != MAGIC {
             return Err(ShimError::WireMalformed {
@@ -229,8 +261,11 @@ impl<'a> Reader<'a> {
                 supported: VERSION,
             });
         }
-        let got_kind = self.byte()?;
-        if got_kind != kind {
+        self.byte()
+    }
+
+    fn header(&mut self, kind: u8) -> Result<(), ShimError> {
+        if self.header_any()? != kind {
             return Err(ShimError::WireMalformed {
                 what: "record kind mismatch",
             });
@@ -296,11 +331,29 @@ pub fn encode_shard(snapshot: &ShardSnapshot, out: &mut Vec<u8>) {
     }
 }
 
-/// Decodes one shard record from the front of `buf`, returning the
-/// snapshot and the bytes consumed (records may be concatenated).
-pub fn decode_shard(buf: &[u8]) -> Result<(ShardSnapshot, usize), ShimError> {
-    let mut r = Reader::new(buf);
-    r.header(KIND_SHARD)?;
+/// Appends a shard record straight from an in-process [`SnapshotView`],
+/// skipping the posterior clone a [`ShardSnapshot::from_view`] round trip
+/// would pay — the scrape server's per-request encode path.
+pub fn encode_shard_view(
+    shard: ShardId,
+    label: &ShardLabel,
+    view: &SnapshotView,
+    out: &mut Vec<u8>,
+) {
+    put_header(KIND_SHARD, out);
+    put_varint(u64::from(shard.raw()), out);
+    put_varint(u64::from(view.window), out);
+    put_varint(view.chunk, out);
+    put_label(label, out);
+    put_varint(view.posteriors.len() as u64, out);
+    for g in &view.posteriors {
+        put_f64(g.mean, out);
+        put_f64(g.var, out);
+    }
+}
+
+/// Parses a shard record's body (everything after the header).
+fn shard_body(r: &mut Reader<'_>) -> Result<ShardSnapshot, ShimError> {
     let shard = ShardId::from_raw(r.varint_u32()?);
     let window = r.varint_u32()?;
     let chunk = r.varint()?;
@@ -310,16 +363,22 @@ pub fn decode_shard(buf: &[u8]) -> Result<(ShardSnapshot, usize), ShimError> {
     for _ in 0..n {
         posteriors.push(r.gaussian()?);
     }
-    Ok((
-        ShardSnapshot {
-            shard,
-            label,
-            window,
-            chunk,
-            posteriors,
-        },
-        r.pos,
-    ))
+    Ok(ShardSnapshot {
+        shard,
+        label,
+        window,
+        chunk,
+        posteriors,
+    })
+}
+
+/// Decodes one shard record from the front of `buf`, returning the
+/// snapshot and the bytes consumed (records may be concatenated).
+pub fn decode_shard(buf: &[u8]) -> Result<(ShardSnapshot, usize), ShimError> {
+    let mut r = Reader::new(buf);
+    r.header(KIND_SHARD)?;
+    let snap = shard_body(&mut r)?;
+    Ok((snap, r.pos))
 }
 
 /// Appends the wire form of a fleet summary to `out`.
@@ -373,6 +432,131 @@ pub fn decode_summary(buf: &[u8]) -> Result<(FleetSummary, usize), ShimError> {
         },
         r.pos,
     ))
+}
+
+// ---- the delta scrape protocol ---------------------------------------
+
+/// A scraper's pull request: the `(window, chunk)` stamp of the snapshot
+/// it already holds. `last_chunk == 0` means "I have nothing — send a
+/// full snapshot" (published chunks are 1-based, so 0 never collides with
+/// a real stamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrapeRequest {
+    /// Most recent corrected window the scraper holds.
+    pub last_window: u32,
+    /// Inference-run counter of the snapshot the scraper holds.
+    pub last_chunk: u64,
+}
+
+/// Appends the wire form of a scrape request to `out`.
+pub fn encode_request(req: &ScrapeRequest, out: &mut Vec<u8>) {
+    put_header(KIND_SCRAPE_REQ, out);
+    put_varint(u64::from(req.last_window), out);
+    put_varint(req.last_chunk, out);
+}
+
+/// Decodes one scrape request from the front of `buf`.
+pub fn decode_request(buf: &[u8]) -> Result<(ScrapeRequest, usize), ShimError> {
+    let mut r = Reader::new(buf);
+    r.header(KIND_SCRAPE_REQ)?;
+    let last_window = r.varint_u32()?;
+    let last_chunk = r.varint()?;
+    Ok((
+        ScrapeRequest {
+            last_window,
+            last_chunk,
+        },
+        r.pos,
+    ))
+}
+
+/// Appends an unchanged ack (the shard's current stamp) to `out`.
+pub fn encode_unchanged(window: u32, chunk: u64, out: &mut Vec<u8>) {
+    put_header(KIND_UNCHANGED, out);
+    put_varint(u64::from(window), out);
+    put_varint(chunk, out);
+}
+
+/// What a shard answered a scrape request with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScrapeResponse {
+    /// The scraper's snapshot is current (or, with `chunk == 0`, the
+    /// shard has not published anything yet). Carries the shard's stamp.
+    Unchanged {
+        /// The shard's current window (0 when nothing is published).
+        window: u32,
+        /// The shard's current chunk counter (0 when nothing published).
+        chunk: u64,
+    },
+    /// The shard moved past the scraper's stamp: a full snapshot.
+    Snapshot(ShardSnapshot),
+}
+
+/// Decodes a scrape response — either record kind — from the front of
+/// `buf`, returning it and the bytes consumed.
+pub fn decode_response(buf: &[u8]) -> Result<(ScrapeResponse, usize), ShimError> {
+    let mut r = Reader::new(buf);
+    match r.header_any()? {
+        KIND_UNCHANGED => {
+            let window = r.varint_u32()?;
+            let chunk = r.varint()?;
+            Ok((ScrapeResponse::Unchanged { window, chunk }, r.pos))
+        }
+        KIND_SHARD => {
+            let snap = shard_body(&mut r)?;
+            Ok((ScrapeResponse::Snapshot(snap), r.pos))
+        }
+        _ => Err(ShimError::WireMalformed {
+            what: "record kind is not a scrape response",
+        }),
+    }
+}
+
+// ---- length framing --------------------------------------------------
+
+/// Validates a frame's 4-byte little-endian length prefix and returns the
+/// payload length. Any length above [`MAX_FRAME_LEN`] is rejected here —
+/// **before** a reader sizes its receive buffer — so a hostile or corrupt
+/// prefix can never drive an unbounded allocation.
+pub fn frame_len(prefix: [u8; FRAME_PREFIX_LEN]) -> Result<usize, ShimError> {
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ShimError::WireMalformed {
+            what: "frame length exceeds MAX_FRAME_LEN",
+        });
+    }
+    Ok(len)
+}
+
+/// Appends `payload` as one length-framed message (prefix + bytes).
+/// Refuses payloads above [`MAX_FRAME_LEN`] — the bound is symmetric, so
+/// a compliant writer never produces a frame a compliant reader rejects.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) -> Result<(), ShimError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(ShimError::WireMalformed {
+            what: "frame payload exceeds MAX_FRAME_LEN",
+        });
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Splits one frame off the front of `buf`, returning the payload slice
+/// and the total bytes consumed (prefix + payload). Never allocates;
+/// never panics.
+pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), ShimError> {
+    if buf.len() < FRAME_PREFIX_LEN {
+        return Err(ShimError::WireTruncated { offset: buf.len() });
+    }
+    let mut prefix = [0u8; FRAME_PREFIX_LEN];
+    prefix.copy_from_slice(&buf[..FRAME_PREFIX_LEN]);
+    let len = frame_len(prefix)?;
+    let end = FRAME_PREFIX_LEN
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or(ShimError::WireTruncated { offset: buf.len() })?;
+    Ok((&buf[FRAME_PREFIX_LEN..end], end))
 }
 
 #[cfg(test)]
@@ -514,6 +698,126 @@ mod tests {
                 what: "32-bit field exceeds u32::MAX"
             })
         ));
+    }
+
+    #[test]
+    fn scrape_request_and_unchanged_roundtrip() {
+        let req = ScrapeRequest {
+            last_window: 41,
+            last_chunk: 7,
+        };
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let (back, used) = decode_request(&buf).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(used, buf.len());
+        // A fresh scraper's request stays tiny (header + two varints).
+        let mut empty = Vec::new();
+        encode_request(&ScrapeRequest::default(), &mut empty);
+        assert_eq!(empty.len(), 8);
+
+        let mut ack = Vec::new();
+        encode_unchanged(41, 7, &mut ack);
+        match decode_response(&ack).unwrap() {
+            (
+                ScrapeResponse::Unchanged {
+                    window: 41,
+                    chunk: 7,
+                },
+                used,
+            ) => {
+                assert_eq!(used, ack.len());
+            }
+            other => panic!("bad ack decode: {other:?}"),
+        }
+        assert!(
+            ack.len() < 12,
+            "unchanged ack must stay tiny: {}",
+            ack.len()
+        );
+    }
+
+    #[test]
+    fn response_decoder_dispatches_on_kind() {
+        let snap = snapshot();
+        let mut buf = Vec::new();
+        encode_shard(&snap, &mut buf);
+        match decode_response(&buf).unwrap() {
+            (ScrapeResponse::Snapshot(back), used) => {
+                assert_eq!(back, snap);
+                assert_eq!(used, buf.len());
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        // A summary record is not a scrape response.
+        let mut buf = Vec::new();
+        encode_summary(
+            &FleetSummary {
+                generation: 1,
+                shards: vec![],
+                fused: vec![],
+            },
+            &mut buf,
+        );
+        assert!(matches!(
+            decode_response(&buf),
+            Err(ShimError::WireMalformed {
+                what: "record kind is not a scrape response"
+            })
+        ));
+    }
+
+    #[test]
+    fn encode_shard_view_matches_from_view_roundtrip() {
+        let snap = snapshot();
+        let view = SnapshotView {
+            window: snap.window,
+            chunk: snap.chunk,
+            posteriors: snap.posteriors.clone(),
+            ..SnapshotView::default()
+        };
+        let mut direct = Vec::new();
+        encode_shard_view(snap.shard, &snap.label, &view, &mut direct);
+        let mut cloned = Vec::new();
+        encode_shard(&snap, &mut cloned);
+        assert_eq!(direct, cloned, "both encode paths emit identical bytes");
+    }
+
+    #[test]
+    fn frames_roundtrip_and_hostile_prefixes_are_rejected_unallocated() {
+        let payload = b"BayesPerf frame payload";
+        let mut out = Vec::new();
+        encode_frame(payload, &mut out).unwrap();
+        let (back, used) = decode_frame(&out).unwrap();
+        assert_eq!(back, payload.as_slice());
+        assert_eq!(used, out.len());
+        // Hostile prefix: length u32::MAX must be a typed error from the
+        // prefix alone — no payload needed, nothing allocated.
+        let hostile = u32::MAX.to_le_bytes();
+        assert!(matches!(
+            frame_len(hostile),
+            Err(ShimError::WireMalformed {
+                what: "frame length exceeds MAX_FRAME_LEN"
+            })
+        ));
+        assert!(matches!(
+            decode_frame(&hostile),
+            Err(ShimError::WireMalformed { .. })
+        ));
+        // Exactly MAX_FRAME_LEN is allowed; one past is not.
+        assert_eq!(
+            frame_len((MAX_FRAME_LEN as u32).to_le_bytes()).unwrap(),
+            MAX_FRAME_LEN
+        );
+        assert!(frame_len((MAX_FRAME_LEN as u32 + 1).to_le_bytes()).is_err());
+        // Truncated payloads are truncation errors, not panics.
+        assert!(matches!(
+            decode_frame(&out[..out.len() - 1]),
+            Err(ShimError::WireTruncated { .. })
+        ));
+        // Writers refuse oversized payloads symmetrically.
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(encode_frame(&huge, &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -130,3 +130,72 @@ fn corrupted_buffers_never_panic() {
         }
     });
 }
+
+#[test]
+fn adversarial_frame_prefixes_never_allocate_unboundedly_or_panic() {
+    use bayesperf_fleet::wire::{decode_frame, encode_frame, frame_len, MAX_FRAME_LEN};
+    proptest::run_cases("hostile_frames", |rng| {
+        // Arbitrary 32-bit length prefixes, biased toward the hostile
+        // range: anything above MAX_FRAME_LEN must be rejected from the
+        // 4 prefix bytes alone — before any payload allocation.
+        let claimed: u32 = if rng.gen_bool(0.5) {
+            rng.gen_range(MAX_FRAME_LEN as u32 + 1..u32::MAX)
+        } else {
+            rng.gen::<u32>()
+        };
+        let prefix = claimed.to_le_bytes();
+        match frame_len(prefix) {
+            Ok(len) => prop_assert!(len <= MAX_FRAME_LEN, "bound enforced: {len}"),
+            Err(ShimError::WireMalformed { .. }) => {
+                prop_assert!(claimed as usize > MAX_FRAME_LEN)
+            }
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+        // A framed buffer whose prefix lies about a huge payload: the
+        // decoder rejects (oversized) or reports truncation (undersized
+        // actual bytes) — it never tries to read `claimed` bytes.
+        let garbage_len = rng.gen_range(0usize..64);
+        let mut framed = prefix.to_vec();
+        framed.extend((0..garbage_len).map(|_| rng.gen::<u8>()));
+        match decode_frame(&framed) {
+            Ok((payload, used)) => {
+                prop_assert!(payload.len() as u32 == claimed);
+                prop_assert!(used <= framed.len());
+            }
+            Err(ShimError::WireMalformed { .. }) => {
+                prop_assert!(claimed as usize > MAX_FRAME_LEN)
+            }
+            Err(ShimError::WireTruncated { .. }) => {
+                prop_assert!((claimed as usize) > garbage_len)
+            }
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+        // Symmetry: the encoder refuses payloads it could never frame.
+        // (Allocating MAX_FRAME_LEN+1 bytes once per case would dominate
+        // the test; an empty slice with a forged length is impossible
+        // through the public API, so just pin the boundary.)
+        let mut out = Vec::new();
+        prop_assert!(encode_frame(&[], &mut out).is_ok());
+    });
+}
+
+#[test]
+fn scrape_request_roundtrip_and_truncation() {
+    use bayesperf_fleet::wire::{decode_request, encode_request, ScrapeRequest};
+    proptest::run_cases("scrape_request", |rng| {
+        let req = ScrapeRequest {
+            last_window: rng.gen::<u32>(),
+            last_chunk: rng.gen::<u64>(),
+        };
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let (back, used) = decode_request(&buf).expect("decode own encoding");
+        prop_assert_eq!(back, req);
+        prop_assert_eq!(used, buf.len());
+        let cut = rng.gen_range(0usize..buf.len());
+        prop_assert!(matches!(
+            decode_request(&buf[..cut]),
+            Err(ShimError::WireTruncated { .. })
+        ));
+    });
+}

@@ -24,7 +24,11 @@
 //! * deterministic **multi-machine heterogeneity** for fleet simulations:
 //!   [`ShardProfile`] derives per-machine rate/phase/noise perturbations
 //!   and [`CorrelatedTruth`] turns one reference workload into the
-//!   distinct-but-correlated stream each machine of a fleet actually runs.
+//!   distinct-but-correlated stream each machine of a fleet actually runs;
+//! * seeded **link fault models** for distributed scrape planes:
+//!   [`LinkProfile`]/[`LinkState`] decide drops, latency (against virtual
+//!   deadlines — no sleeping), byte corruption, and recurring partitions
+//!   per request exchange, deterministically per seed.
 //!
 //! Because the simulator also records per-window ground truth (which real
 //! hardware cannot provide), evaluation code can compute exact error — the
@@ -34,6 +38,7 @@
 //! [`Extrapolate::LinuxScaled`]: crate::Extrapolate::LinuxScaled
 
 mod config;
+mod link;
 mod machine;
 mod noise;
 mod pmu;
@@ -42,6 +47,7 @@ mod sample;
 mod truth;
 
 pub use config::{pack_round_robin, Configuration, ScheduleError};
+pub use link::{LinkFate, LinkProfile, LinkState};
 pub use machine::{CorrelatedTruth, ShardProfile};
 pub use noise::NoiseModel;
 pub use pmu::{Extrapolate, MultiplexRun, Pmu, PmuConfig, Window};
