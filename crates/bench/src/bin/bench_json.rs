@@ -39,7 +39,11 @@
 //!   "mux_schedule": { "groups": 3, "bound": 6, "windows": 0, "decisions": 0,
 //!                     "decide_p50_ns": 0.0, "decide_p99_ns": 0.0,
 //!                     "rr_mean_rel_var": 0.0, "ud_mean_rel_var": 0.0,
-//!                     "variance_ratio": 0.0 }
+//!                     "variance_ratio": 0.0 },
+//!   "supervised_recovery": { "cycles": 30, "restart_p50_ns": 0.0,
+//!                            "restart_p99_ns": 0.0, "reads_during_recovery": 0,
+//!                            "read_failures": 0, "guard_ns_per_window": 0.0,
+//!                            "guard_over_warm": 0.0 }
 //! }
 //! ```
 //!
@@ -71,12 +75,23 @@
 //! the ratio must be ≤ 1 (the posterior-driven schedule never measures
 //! worse than the rotation it replaces).
 //!
+//! `supervised_recovery` measures the crash-containment plane: the
+//! wall-clock from an injected service panic to the supervisor having the
+//! service `Running` again (constant 1 ms restart backoff, so the number
+//! is detection + recovery machinery, not policy), with concurrent reads
+//! verifying the last-good snapshot stays served throughout; and the
+//! steady-state cost of the divergence guards (the ingest finite checks
+//! per sample plus the publish-boundary sweep per window) relative to the
+//! warm per-window inference time. With `BENCH_GATE=1` the restart p99
+//! must stay under 100 ms, no read may fail mid-recovery, and the guard
+//! overhead must stay ≤ 2% of warm per-window time.
+//!
 //! `BENCH_QUICK=1` shrinks the pair and read counts for CI smoke runs;
 //! `BENCH_JSON_PATH` overrides the output path.
 
 use bayesperf_bench::fig6_fixture;
 use bayesperf_core::corrector::{CorrectionStats, Corrector, CorrectorConfig};
-use bayesperf_core::{Monitor, ShimError, SnapshotView};
+use bayesperf_core::{Monitor, ServiceState, ShimError, SnapshotView, SupervisorPolicy};
 use bayesperf_fleet::{
     wire, Aggregator, Fleet, FleetConfig, FleetScraper, HealthState, ScrapeConfig, ScrapeResponder,
     ShardId, ShardLabel, SimTransport, SnapshotSource,
@@ -241,7 +256,8 @@ fn main() {
     } else {
         20_000
     };
-    let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 16);
+    let monitor =
+        Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 16).expect("spawn monitor");
     let session = monitor.session().open().expect("fresh monitor");
     for w in &run.windows {
         for s in &w.samples {
@@ -279,9 +295,14 @@ fn main() {
     // into the read path, so p99 must stay within 5x of the
     // single-session p99 measured above (the fleet BENCH_GATE).
     let n_shards = 8u32;
-    let mut fleet = Fleet::new(&cat, FleetConfig::new(CorrectorConfig::for_run(&run)));
+    let mut fleet =
+        Fleet::new(&cat, FleetConfig::new(CorrectorConfig::for_run(&run))).expect("spawn fleet");
     let shard_ids: Vec<_> = (0..n_shards)
-        .map(|i| fleet.add_shard(ShardLabel::new(format!("m{i}"), 0)))
+        .map(|i| {
+            fleet
+                .add_shard(ShardLabel::new(format!("m{i}"), 0))
+                .expect("spawn shard")
+        })
         .collect();
     for &id in &shard_ids {
         for w in &run.windows {
@@ -488,6 +509,114 @@ fn main() {
     let decide_p50 = decide_ns[reads / 2];
     let decide_p99 = decide_ns[reads * 99 / 100];
 
+    // Supervised recovery: crash the service repeatedly and time each
+    // inject-panic → Running round trip. The policy pins the backoff at
+    // 1 ms so the measurement is the supervisor machinery (detect the
+    // unwind, reclaim the snapshot writer, respawn warm), not the
+    // default exponential policy. A reader polls throughout: the
+    // availability contract says every read mid-recovery serves the
+    // last good snapshot.
+    let rec_cycles: usize = if std::env::var_os("BENCH_QUICK").is_some() {
+        10
+    } else {
+        30
+    };
+    let rec_monitor = Monitor::with_policy(
+        &cat,
+        CorrectorConfig::for_run(&run),
+        1 << 16,
+        SupervisorPolicy {
+            max_consecutive_restarts: rec_cycles as u32 + 8,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(1),
+        },
+    )
+    .expect("spawn recovery monitor");
+    let rec_session = rec_monitor.session().open().expect("fresh monitor");
+    for w in &run.windows {
+        for s in &w.samples {
+            let _ = rec_monitor.push_sample(*s);
+        }
+    }
+    rec_monitor.flush().expect("service alive");
+    let mut restart_ns: Vec<f64> = Vec::with_capacity(rec_cycles);
+    let mut reads_during_recovery = 0u64;
+    let mut read_failures = 0u64;
+    for cycle in 0..rec_cycles {
+        let t = Instant::now();
+        rec_monitor.inject_panic().expect("service alive");
+        let target = cycle as u64 + 1;
+        while rec_monitor.restarts() < target
+            || rec_monitor.service_state() != ServiceState::Running
+        {
+            reads_during_recovery += 1;
+            if rec_session.read(ev).is_err() {
+                read_failures += 1;
+            }
+            std::thread::yield_now();
+        }
+        restart_ns.push(t.elapsed().as_nanos() as f64);
+    }
+    restart_ns.sort_by(|a, b| a.total_cmp(b));
+    let restart_p50 = restart_ns[rec_cycles / 2];
+    let restart_p99 = restart_ns[rec_cycles * 99 / 100];
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            restart_p99 <= 100e6,
+            "p99 crash-to-Running recovery must stay under 100 ms at a 1 ms \
+             backoff, got {:.1} ms over {rec_cycles} cycles",
+            restart_p99 / 1e6
+        );
+        assert_eq!(
+            read_failures, 0,
+            "every read during recovery must serve the last good snapshot \
+             ({reads_during_recovery} reads)"
+        );
+    }
+
+    // Steady-state guard overhead: the exact finite checks the service
+    // runs per sample at ingest and per posterior at the publish
+    // boundary, timed over the same run the warm arm corrected, and
+    // expressed relative to warm per-window inference time. The gate is
+    // the tentpole's ≤ 2% budget; in practice the ratio is orders of
+    // magnitude smaller, which is the point — containment is not a tax.
+    let guard_iters = 200usize;
+    let published = rec_session.snapshot().expect("flushed above");
+    let t = Instant::now();
+    for _ in 0..guard_iters {
+        let mut rejected = 0u64;
+        for w in &run.windows {
+            for s in &w.samples {
+                if !s.value.is_finite()
+                    || !s.sub_mean.is_finite()
+                    || !s.sub_sd.is_finite()
+                    || s.sub_sd < 0.0
+                {
+                    rejected += 1;
+                }
+            }
+        }
+        for _ in 0..N_WINDOWS {
+            for g in &published.posteriors {
+                if !(g.mean.is_finite() && g.var.is_finite() && g.var > 0.0) {
+                    rejected += 1;
+                }
+            }
+        }
+        std::hint::black_box(rejected);
+    }
+    let guard_ns_per_window = t.elapsed().as_nanos() as f64 / guard_iters as f64 / N_WINDOWS as f64;
+    let guard_over_warm = guard_ns_per_window / ns_per_window(warm_ns).max(1.0);
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            guard_over_warm <= 0.02,
+            "divergence guards must cost <= 2% of warm per-window time, got \
+             {:.3}% ({guard_ns_per_window:.0} ns/window vs {:.0} ns/window warm)",
+            guard_over_warm * 100.0,
+            ns_per_window(warm_ns)
+        );
+    }
+
     let json = format!(
         r#"{{
   "bench": "inference_warm_vs_cold",
@@ -517,7 +646,13 @@ fn main() {
                     "windows": {mux_windows}, "decisions": {reads},
                     "decide_p50_ns": {:.0}, "decide_p99_ns": {:.0},
                     "rr_mean_rel_var": {:.5}, "ud_mean_rel_var": {:.5},
-                    "variance_ratio": {:.3} }}
+                    "variance_ratio": {:.3} }},
+  "supervised_recovery": {{ "cycles": {rec_cycles}, "restart_p50_ns": {:.0},
+                           "restart_p99_ns": {:.0},
+                           "reads_during_recovery": {reads_during_recovery},
+                           "read_failures": {read_failures},
+                           "guard_ns_per_window": {:.1},
+                           "guard_over_warm": {:.6} }}
 }}
 "#,
         ns_per_window(cold_ns),
@@ -549,6 +684,10 @@ fn main() {
         rr.mean_rel_var,
         ud.mean_rel_var,
         variance_ratio,
+        restart_p50,
+        restart_p99,
+        guard_ns_per_window,
+        guard_over_warm,
     );
 
     let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_inference.json".into());

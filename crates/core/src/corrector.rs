@@ -240,6 +240,11 @@ pub struct Corrector<'a> {
     stream_count: u64,
     /// Sites reset by the last push's change-point detector.
     jump_resets: u64,
+    /// Whether a [`Corrector::resume_from`] prior is pending: the next
+    /// push solves cold (the poisoned chunk's messages are gone) but
+    /// composes the recovered chain prior — a *statistically* warm
+    /// restart.
+    resume_pending: bool,
 }
 
 impl<'a> Corrector<'a> {
@@ -252,7 +257,32 @@ impl<'a> Corrector<'a> {
             engine,
             stream_count: 0,
             jump_resets: 0,
+            resume_pending: false,
         }
+    }
+
+    /// Seeds a freshly built (or reset) corrector from **count-unit**
+    /// posterior marginals — the last published snapshot a supervisor
+    /// recovered after a crash. The next [`Corrector::push_chunk`] solves
+    /// cold (the crashed engine's in-flight messages are discarded — only
+    /// the poisoned chunk is lost) but chains off the recovered posterior,
+    /// so steady-state accuracy survives the restart. Non-finite entries
+    /// of `posteriors` fall back to the base prior; in unchained mode this
+    /// is a no-op (chunks are independent anyway). Returns how many events
+    /// were seeded.
+    pub fn resume_from(&mut self, posteriors: &[Gaussian]) -> Result<usize, ShimError> {
+        if posteriors.len() != self.engine.n_events() {
+            return Err(ShimError::CatalogMismatch {
+                expected: self.engine.n_events(),
+                got: posteriors.len(),
+            });
+        }
+        if !self.config.chain_chunks {
+            return Ok(0);
+        }
+        let seeded = self.engine.set_chain_prior_counts(posteriors);
+        self.resume_pending = true;
+        Ok(seeded)
     }
 
     /// The corrector's configuration.
@@ -305,9 +335,13 @@ impl<'a> Corrector<'a> {
         }
         let c = self.stream_count;
         let chained = self.config.chain_chunks;
-        if c == 0 || !chained {
+        // A pending resume prior survives the first-chunk clear: the push
+        // runs cold (no stale messages) but composes the recovered chain
+        // prior, making the restart warm in the statistical sense.
+        if (c == 0 && !self.resume_pending) || !chained {
             self.engine.clear_chain_prior();
         }
+        self.resume_pending = false;
         if c > 0 && chained && self.config.warm_start {
             // Warm load with selective change-point resets: slices whose
             // data jumped re-solve from vacuous messages, the rest stay
@@ -359,7 +393,7 @@ impl<'a> Corrector<'a> {
                 got: windows.len(),
             });
         }
-        let chained = self.config.chain_chunks && self.stream_count > 0;
+        let chained = self.config.chain_chunks && (self.stream_count > 0 || self.resume_pending);
         let prior = chained.then(|| self.engine.chain_prior().to_vec());
         let model = build_chunk_model(
             self.catalog,
@@ -414,9 +448,10 @@ impl<'a> Corrector<'a> {
     }
 
     /// Resets the streaming state: the next [`Corrector::push_chunk`] runs
-    /// cold from the base prior.
+    /// cold from the base prior (any pending resume prior is discarded).
     pub fn reset_stream(&mut self) {
         self.stream_count = 0;
+        self.resume_pending = false;
     }
 
     /// Corrects a recorded run into posterior series, borrowing the run's
@@ -774,6 +809,82 @@ mod tests {
         assert_eq!(a.mle_series(ev), b.mle_series(ev), "bit-identical MLE");
         assert_eq!(a.sd_series(ev), b.sd_series(ev), "bit-identical SD");
         assert_eq!(a.stats, b.stats, "identical work accounting");
+    }
+
+    #[test]
+    fn resume_from_seeds_the_chain_prior_across_a_restart() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        let prog = kmeans();
+        let mut truth = prog.instantiate(&cat, 0);
+        let pmu = Pmu::new(&cat, PmuConfig::for_catalog(&cat));
+        let events = vec![
+            cat.require(Semantic::L1dMisses),
+            cat.require(Semantic::LlcMisses),
+        ];
+        let schedule = pack_round_robin(&cat, &events).unwrap();
+        let run = pmu.run_multiplexed(&mut truth, &schedule, 18);
+        let cfg = CorrectorConfig::for_run(&run);
+        let k = cfg.model.slices;
+
+        // Stream two chunks, then "crash": capture the last snapshot the
+        // service would have published (count-unit last-slice posteriors).
+        let mut a = Corrector::new(&cat, cfg.clone());
+        for chunk in 0..2 {
+            let windows: Vec<&[Sample]> = run.windows[chunk * k..(chunk + 1) * k]
+                .iter()
+                .map(|w| w.samples.as_slice())
+                .collect();
+            a.push_chunk(&windows);
+        }
+        let published: Vec<Gaussian> = cat.iter().map(|d| a.posterior(k - 1, d.id)).collect();
+
+        let next: Vec<&[Sample]> = run.windows[2 * k..3 * k]
+            .iter()
+            .map(|w| w.samples.as_slice())
+            .collect();
+
+        // Restarted corrector seeded from the snapshot vs a cold one.
+        let mut resumed = Corrector::new(&cat, cfg.clone());
+        let seeded = resumed.resume_from(&published).unwrap();
+        assert_eq!(seeded, cat.len(), "every event seeds from the snapshot");
+        resumed.push_chunk(&next);
+        let mut cold = Corrector::new(&cat, cfg.clone());
+        cold.push_chunk(&next);
+
+        // The recovered chain prior is composed at slice 0, so the
+        // restarted corrector is strictly better informed there than the
+        // cold one (smaller mean posterior variance).
+        let mean_var = |c: &Corrector| -> f64 {
+            cat.iter().map(|d| c.posterior(0, d.id).var).sum::<f64>() / cat.len() as f64
+        };
+        assert!(
+            mean_var(&resumed) < mean_var(&cold),
+            "resumed {:.3e} must beat cold {:.3e} at slice 0",
+            mean_var(&resumed),
+            mean_var(&cold)
+        );
+
+        // Poisoned snapshot entries fall back to the base prior instead of
+        // re-ingesting the poison that may have caused the crash.
+        let mut poisoned = published.clone();
+        poisoned[0] = Gaussian::new(f64::NAN, 1.0);
+        let mut b = Corrector::new(&cat, cfg.clone());
+        assert_eq!(b.resume_from(&poisoned).unwrap(), cat.len() - 1);
+        b.push_chunk(&next);
+        for d in cat.iter() {
+            let g = b.posterior(0, d.id);
+            assert!(g.mean.is_finite() && g.var.is_finite() && g.var > 0.0);
+        }
+
+        // Wrong-length snapshots are a typed error; unchained correctors
+        // ignore the resume (chunks are independent anyway).
+        let mut c = Corrector::new(&cat, cfg.clone());
+        assert!(matches!(
+            c.resume_from(&published[..1]),
+            Err(ShimError::CatalogMismatch { .. })
+        ));
+        let mut ind = Corrector::new(&cat, cfg.independent_chunks());
+        assert_eq!(ind.resume_from(&published).unwrap(), 0);
     }
 
     #[test]

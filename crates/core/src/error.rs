@@ -102,6 +102,21 @@ pub enum ShimError {
         /// What failed, for the log line.
         what: &'static str,
     },
+    /// The background service thread is down — either mid-restart after a
+    /// crash or permanently failed (restart budget exhausted). Unlike
+    /// [`ShimError::SessionClosed`] this is not an orderly shutdown: the
+    /// last snapshot may be arbitrarily stale, so reads refuse to serve it.
+    ServiceDown {
+        /// Why the service went down (e.g. the panic payload).
+        cause: String,
+    },
+    /// The OS refused to spawn a background service thread (resource
+    /// exhaustion). Reported to the caller instead of panicking in the
+    /// constructor.
+    SpawnFailed {
+        /// Which thread failed to spawn, for the log line.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ShimError {
@@ -142,6 +157,12 @@ impl fmt::Display for ShimError {
             ShimError::WireMalformed { what } => write!(f, "malformed wire buffer: {what}"),
             ShimError::ScrapeTimeout => write!(f, "scrape exchange missed its deadline"),
             ShimError::LinkDown { what } => write!(f, "scrape link failed: {what}"),
+            ShimError::ServiceDown { cause } => {
+                write!(f, "monitor service is down: {cause}")
+            }
+            ShimError::SpawnFailed { what } => {
+                write!(f, "failed to spawn {what} thread")
+            }
         }
     }
 }
@@ -178,6 +199,14 @@ mod tests {
             what: "connect refused",
         };
         assert!(e.to_string().contains("connect refused"));
+        let e = ShimError::ServiceDown {
+            cause: "panicked: boom".into(),
+        };
+        assert!(e.to_string().contains("down") && e.to_string().contains("boom"));
+        let e = ShimError::SpawnFailed {
+            what: "inference service",
+        };
+        assert!(e.to_string().contains("inference service"));
     }
 
     #[test]

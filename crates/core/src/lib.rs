@@ -46,8 +46,8 @@ pub use metrics::{adjusted_error, dtw_align, dtw_relative_error};
 pub use model::{build_chunk_model, ChunkEngine, ChunkModel, ChunkPosterior, ModelConfig};
 pub use scheduler::{Schedule, ScheduleTransformer};
 pub use service::{
-    derived_reading, GroupReading, Monitor, PosteriorUpdate, ScheduleHook, Selection, Session,
-    SessionBuilder, SnapshotView, Updates,
+    derived_reading, GroupReading, Monitor, PosteriorUpdate, ScheduleHook, Selection, ServiceState,
+    Session, SessionBuilder, SnapshotView, SupervisorPolicy, Updates,
 };
 pub use shim::{BayesPerfShim, HpcReader, LinuxReader, Reading};
 pub use snapshot::{snapshot_cell, SnapshotGuard, SnapshotReader, SnapshotWriter};

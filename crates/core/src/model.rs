@@ -435,6 +435,35 @@ impl ChunkEngine {
         self.has_chain = true;
     }
 
+    /// Sets the chained slice-0 prior from **count-unit** marginals (the
+    /// denormalized form posterior snapshots publish) — the warm-restart
+    /// seeding path: a supervisor recovering a crashed corrector replays
+    /// the last published snapshot here. Entries with non-finite or
+    /// non-positive moments fall back to the base prior (a crash may have
+    /// been *caused* by poisoned state; recovery must not re-ingest it).
+    /// Returns how many events were actually seeded from `prior`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior.len() != n_events`.
+    pub fn set_chain_prior_counts(&mut self, prior: &[Gaussian]) -> usize {
+        assert_eq!(prior.len(), self.n_events, "chain prior length mismatch");
+        let mut seeded = 0;
+        for (e, g) in prior.iter().enumerate() {
+            let s = self.scales[e];
+            let mean = g.mean / s;
+            let var = g.var / (s * s);
+            self.chain_buf[e] = if mean.is_finite() && var.is_finite() && var > 0.0 {
+                seeded += 1;
+                Gaussian::new(mean, var)
+            } else {
+                self.base_prior
+            };
+        }
+        self.has_chain = true;
+        seeded
+    }
+
     /// Captures the current posterior of the final slice as the next
     /// load's chained slice-0 prior (allocation-free).
     pub fn capture_chain_prior(&mut self) {

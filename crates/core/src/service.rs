@@ -28,6 +28,24 @@
 //! Failures are typed ([`ShimError`]), not `None`: an unknown event is a
 //! programming error, "no posterior yet" means poll again, a ring overflow
 //! is backpressure, and a closed monitor is terminal.
+//!
+//! The inference thread itself runs **supervised**: the spawned thread is
+//! a small supervisor that runs the service body under `catch_unwind`,
+//! restarts it after a crash with capped-backoff restart budgets (warm: a
+//! restarted corrector chains off the last published snapshot, so only the
+//! poisoned in-flight chunk is lost), and publishes a typed
+//! [`ServiceState`] — `Running` / `Restarting` / `Failed` — through a
+//! lock-free cell. A permanently failed service (restart budget exhausted)
+//! surfaces as [`ShimError::ServiceDown`] on every read instead of a
+//! silently frozen posterior. Non-finite samples are dropped at ingest and
+//! non-finite posteriors are caught at the publish boundary (both counted
+//! by [`Monitor::divergences`]), and a heartbeat counter
+//! ([`Monitor::heartbeat`]) lets watchdogs distinguish a stalled service
+//! from an idle one.
+
+// The ISSUE-7 robustness audit: this file's non-test code must report
+// failures as typed errors, never panic on them.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::corrector::{Corrector, CorrectorConfig};
 use crate::error::ShimError;
@@ -37,11 +55,13 @@ use bayesperf_events::{Catalog, DerivedEvent, EventEnv, EventId};
 use bayesperf_inference::{EpRunStats, Gaussian};
 use bayesperf_simcpu::{RingBuffer, Sample};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
 };
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// The posterior state published by the inference thread after each chunk:
 /// every catalog event's posterior at the most recent corrected window.
@@ -218,26 +238,89 @@ enum Control {
         hook: Option<Box<dyn ScheduleHook>>,
         ack: Sender<()>,
     },
+    /// Fault-injection test hook: the service panics when it dequeues
+    /// this, exercising the supervisor's crash-containment path. Fire and
+    /// forget (no ack — the thread that would send it is unwinding);
+    /// callers observe recovery through [`Monitor::restarts`] or
+    /// [`Monitor::service_state`].
+    Panic,
 }
 
 /// Producer-facing state behind the service mutex. Held only long enough
 /// to enqueue a sample or hand the whole backlog to the service thread —
 /// never across inference.
-struct ServiceState {
+struct InboundState {
     ring: RingBuffer<Sample>,
     control: VecDeque<Control>,
     shutdown: bool,
+}
+
+/// The supervision state of the inference service, published by the
+/// supervisor through a lock-free snapshot cell and read by
+/// [`Monitor::service_state`] / [`Session::service_state`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceState {
+    /// The service loop is live (possibly idle, waiting for samples).
+    Running,
+    /// The service crashed and the supervisor is restarting it.
+    Restarting {
+        /// Total restarts performed so far (monotonic across the
+        /// monitor's lifetime, matching [`Monitor::restarts`]).
+        restarts: u64,
+        /// The panic message of the crash being recovered from.
+        cause: String,
+    },
+    /// The restart budget is exhausted; the service is permanently down
+    /// and every read surfaces [`ShimError::ServiceDown`].
+    Failed {
+        /// The panic message of the final, fatal crash.
+        cause: String,
+    },
+}
+
+/// Restart policy for the supervised inference service.
+///
+/// The budget counts **consecutive** failed incarnations: an incarnation
+/// that makes progress (publishes at least one chunk) resets the count,
+/// so a long-lived service survives unbounded *occasional* crashes while
+/// a crash-looping one (e.g. a deterministic poison sample replayed from
+/// the ring) fails fast with a typed cause instead of spinning forever.
+#[derive(Debug, Clone)]
+pub struct SupervisorPolicy {
+    /// Consecutive no-progress crashes tolerated before the service is
+    /// declared [`ServiceState::Failed`]. `0` fails on the first crash.
+    pub max_consecutive_restarts: u32,
+    /// Backoff before the first restart; doubles per consecutive crash.
+    pub backoff_base: Duration,
+    /// Upper bound on the per-restart backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_consecutive_restarts: 8,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(250),
+        }
+    }
 }
 
 /// State shared between the [`Monitor`], its [`Session`]s and the
 /// inference thread.
 struct Shared {
     catalog: Arc<Catalog>,
-    state: Mutex<ServiceState>,
+    state: Mutex<InboundState>,
     cv: Condvar,
     snapshot: SnapshotReader<PosteriorSnapshot>,
+    /// The supervisor's typed state (Running / Restarting / Failed),
+    /// published through the same lock-free cell machinery as posteriors
+    /// so reads never block on the supervisor.
+    service_state: SnapshotReader<ServiceState>,
     subscribers: Mutex<Vec<Subscriber>>,
-    /// Set once the service thread has exited (after the shutdown flush).
+    /// Set once the supervisor has exited (after the shutdown flush or a
+    /// terminal failure).
     closed: AtomicBool,
     /// Mirrors the service's pause state (the [`Monitor::pause`] test
     /// hook) so [`Monitor::sync`] can refuse instead of silently acking
@@ -246,6 +329,24 @@ struct Shared {
     late_samples: AtomicU64,
     chunks_run: AtomicU64,
     windows_published: AtomicU64,
+    /// Heartbeat: bumped by the service once per loop iteration and per
+    /// corrected chunk. A watchdog that sees `beats` frozen while `idle`
+    /// is false is looking at a stalled (hung) service, not an idle one.
+    beats: AtomicU64,
+    /// True while the service thread is parked waiting for work — an idle
+    /// thread's heartbeat is legitimately frozen.
+    idle: AtomicBool,
+    /// Crash restarts performed by the supervisor (monotonic).
+    restarts: AtomicU64,
+    /// Divergences contained: non-finite samples dropped at ingest,
+    /// non-finite posteriors caught at the publish boundary, and EP sites
+    /// quarantined back to their prior.
+    divergences: AtomicU64,
+    /// The schedule feedback hook lives here — not inside a service
+    /// incarnation — so an installed hook survives a crash restart. Locked
+    /// only by the inference thread (per publish) and by the control
+    /// handler that swaps it.
+    hook: Mutex<Option<Box<dyn ScheduleHook>>>,
 }
 
 impl Shared {
@@ -300,39 +401,64 @@ impl std::fmt::Debug for Monitor {
 }
 
 impl Monitor {
-    /// Starts a monitor service: clones the catalog, builds the ring, and
-    /// spawns the inference thread (which owns the streaming
-    /// [`Corrector`]).
-    pub fn new(catalog: &Catalog, config: CorrectorConfig, ring_capacity: usize) -> Monitor {
+    /// Starts a monitor service with the default [`SupervisorPolicy`]:
+    /// clones the catalog, builds the ring, and spawns the supervised
+    /// inference thread (which owns the streaming [`Corrector`]).
+    ///
+    /// Returns [`ShimError::SpawnFailed`] if the OS refuses the thread.
+    pub fn new(
+        catalog: &Catalog,
+        config: CorrectorConfig,
+        ring_capacity: usize,
+    ) -> Result<Monitor, ShimError> {
+        Monitor::with_policy(catalog, config, ring_capacity, SupervisorPolicy::default())
+    }
+
+    /// [`Monitor::new`] with an explicit crash-restart policy.
+    pub fn with_policy(
+        catalog: &Catalog,
+        config: CorrectorConfig,
+        ring_capacity: usize,
+        policy: SupervisorPolicy,
+    ) -> Result<Monitor, ShimError> {
         let catalog = Arc::new(catalog.clone());
         let (writer, reader) = snapshot_cell();
+        let (state_writer, state_reader) = snapshot_cell();
         let shared = Arc::new(Shared {
             catalog,
-            state: Mutex::new(ServiceState {
+            state: Mutex::new(InboundState {
                 ring: RingBuffer::new(ring_capacity.max(1)),
                 control: VecDeque::new(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
             snapshot: reader,
+            service_state: state_reader,
             subscribers: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
             paused: AtomicBool::new(false),
             late_samples: AtomicU64::new(0),
             chunks_run: AtomicU64::new(0),
             windows_published: AtomicU64::new(0),
+            beats: AtomicU64::new(0),
+            idle: AtomicBool::new(false),
+            restarts: AtomicU64::new(0),
+            divergences: AtomicU64::new(0),
+            hook: Mutex::new(None),
         });
         let handle = {
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name("bayesperf-inference".into())
-                .spawn(move || InferenceService::new(shared, writer, config).run())
-                .expect("spawn inference service thread")
+                .spawn(move || supervise(shared, writer, state_writer, config, policy))
+                .map_err(|_| ShimError::SpawnFailed {
+                    what: "inference service",
+                })?
         };
-        Monitor {
+        Ok(Monitor {
             shared,
             handle: Some(handle),
-        }
+        })
     }
 
     /// The monitored catalog.
@@ -462,6 +588,49 @@ impl Monitor {
     /// Windows whose posteriors have been published.
     pub fn windows_published(&self) -> u64 {
         self.shared.windows_published.load(Relaxed)
+    }
+
+    /// The supervisor's current view of the service: `Running`,
+    /// `Restarting` (crash being recovered), or `Failed` (restart budget
+    /// exhausted; reads return [`ShimError::ServiceDown`]).
+    pub fn service_state(&self) -> ServiceState {
+        service_state_of(&self.shared)
+    }
+
+    /// Crash restarts the supervisor has performed (monotonic). A soak
+    /// harness that injects a panic spins on this counter to observe the
+    /// recovery without racing the restart itself.
+    pub fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Relaxed)
+    }
+
+    /// Divergences contained so far: non-finite samples dropped at
+    /// ingest, non-finite posteriors replaced at the publish boundary,
+    /// and EP sites quarantined back to their prior.
+    pub fn divergences(&self) -> u64 {
+        self.shared.divergences.load(Relaxed)
+    }
+
+    /// Liveness probe: `(beats, idle)`. `beats` advances once per service
+    /// loop iteration and per corrected chunk; `idle` is true while the
+    /// thread is parked waiting for work. A watchdog sampling this twice
+    /// sees a *stalled* service as frozen `beats` with `idle == false` —
+    /// distinct from an idle one (`idle == true`) and from a crashed one
+    /// ([`Monitor::service_state`]).
+    pub fn heartbeat(&self) -> (u64, bool) {
+        (
+            self.shared.beats.load(Relaxed),
+            self.shared.idle.load(Relaxed),
+        )
+    }
+
+    /// Fault-injection test hook: makes the inference thread panic the
+    /// next time it processes controls, exercising the supervisor's
+    /// crash-containment path. Fire-and-forget — observe the recovery via
+    /// [`Monitor::restarts`] or [`Monitor::service_state`]. Returns
+    /// [`ShimError::SessionClosed`] after close.
+    pub fn inject_panic(&self) -> Result<(), ShimError> {
+        self.shared.enqueue_control(Control::Panic)
     }
 
     /// Flushes the stream (tail correction published to subscribers) and
@@ -630,13 +799,49 @@ impl std::fmt::Debug for Session {
     }
 }
 
+/// The supervisor's published state, defaulting to `Running` in the
+/// startup window before the first publication.
+fn service_state_of(shared: &Shared) -> ServiceState {
+    shared
+        .service_state
+        .read()
+        .map(|g| g.clone())
+        .unwrap_or(ServiceState::Running)
+}
+
+/// Distinguishes "down" from "closed" for read paths: `Some(cause)` when
+/// the service is terminally failed or its supervisor died without the
+/// shutdown handshake — cases where a read must *not* be answered from
+/// the (stale) last snapshot.
+fn down_cause(shared: &Shared) -> Option<String> {
+    if let ServiceState::Failed { cause } = service_state_of(shared) {
+        return Some(cause);
+    }
+    if !shared.closed.load(Relaxed) && !shared.service_state.writer_live() {
+        // The supervisor itself died (not via close/shutdown — `closed`
+        // is unset). Without this check a dead compute plane would serve
+        // frozen posteriors forever; this is the silent-freeze fix.
+        return Some("supervisor thread died without shutdown handshake".into());
+    }
+    None
+}
+
 impl Session {
     fn ensure_open(&self) -> Result<(), ShimError> {
+        if let Some(cause) = down_cause(&self.shared) {
+            return Err(ShimError::ServiceDown { cause });
+        }
         if self.shared.closed.load(Relaxed) {
             Err(ShimError::SessionClosed)
         } else {
             Ok(())
         }
+    }
+
+    /// The supervisor's current view of the backing service — see
+    /// [`Monitor::service_state`].
+    pub fn service_state(&self) -> ServiceState {
+        service_state_of(&self.shared)
     }
 
     fn check_event(&self, event: EventId) -> Result<(), ShimError> {
@@ -925,8 +1130,15 @@ struct InferenceService {
     /// Reused ring-drain buffer.
     drained: Vec<Sample>,
     paused: bool,
-    /// The schedule feedback hook, fed after every publish.
-    hook: Option<Box<dyn ScheduleHook>>,
+    /// Warm-restart seed: the last published snapshot's posteriors, set by
+    /// the supervisor when this incarnation replaces a crashed one. The
+    /// corrector chains its first chunk off these, so only the poisoned
+    /// in-flight chunk is cold-reset.
+    resume: Option<Vec<Gaussian>>,
+    /// The last finite posterior published per catalog event — the
+    /// substitute handed to readers when a diverged (non-finite) marginal
+    /// reaches the publish boundary despite the EP-level quarantine.
+    last_good: Vec<Gaussian>,
 }
 
 impl InferenceService {
@@ -934,8 +1146,16 @@ impl InferenceService {
         shared: Arc<Shared>,
         writer: SnapshotWriter<PosteriorSnapshot>,
         config: CorrectorConfig,
+        resume: Option<(u32, Vec<Gaussian>)>,
     ) -> Self {
         let catalog = shared.catalog.clone();
+        let (frontier, resume, last_good) = match resume {
+            // Windows at or below the last published one were already
+            // served; re-publishing them after a restart would hand
+            // subscribers duplicate (and possibly reordered) updates.
+            Some((w, post)) => (Some(w.saturating_add(1)), Some(post.clone()), post),
+            None => (None, None, Vec::new()),
+        };
         InferenceService {
             shared,
             catalog,
@@ -943,48 +1163,26 @@ impl InferenceService {
             writer,
             assembling: HashMap::new(),
             pending: Vec::new(),
-            frontier: None,
+            frontier,
             drained: Vec::new(),
             paused: false,
-            hook: None,
+            resume,
+            last_good,
         }
     }
 
     fn run(mut self) {
-        // The shutdown handshake must happen on EVERY exit path — a panic
-        // in EP/MCMC on pathological data included — or callers blocked
-        // in `control_roundtrip` / `Updates::next` would hang forever. A
-        // drop guard makes unwinding perform the same handshake as a
-        // clean exit:
-        // 1. mark closed and drop any controls that raced in, under the
-        //    state lock (dropping a control's ack sender errors its
-        //    caller's recv into SessionClosed; `enqueue_control` checks
-        //    `closed` under the same lock, so none slip in after);
-        // 2. disconnect subscribers so their iterators end (`subscribe`
-        //    re-checks `closed` under that lock, so no late registration
-        //    survives the clear).
-        // In-flight controls already dequeued by the loop unwind first
-        // (locals drop before the guard), erroring their acks too.
-        struct ShutdownGuard(Arc<Shared>);
-        impl Drop for ShutdownGuard {
-            fn drop(&mut self) {
-                {
-                    let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
-                    self.0.closed.store(true, Relaxed);
-                    st.control.clear();
-                }
-                self.0
-                    .subscribers
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .clear();
-            }
-        }
-        let _shutdown = ShutdownGuard(self.shared.clone());
         let catalog = self.catalog.clone();
         let mut corrector = Corrector::new(&catalog, self.config.clone());
+        if let Some(post) = self.resume.take() {
+            // Statistically warm restart: chain the first chunk off the
+            // last published posterior (non-finite entries fall back to
+            // the base prior inside `resume_from`).
+            let _ = corrector.resume_from(&post);
+        }
         loop {
             let (controls, shutdown) = self.wait_for_work();
+            self.shared.beats.fetch_add(1, Relaxed);
             if !self.paused {
                 self.drain_and_correct(&mut corrector);
             }
@@ -1036,8 +1234,11 @@ impl InferenceService {
                         let _ = ack.send(());
                     }
                     Control::SetHook { hook, ack } => {
-                        self.hook = hook;
+                        *self.shared.hook.lock().unwrap_or_else(|e| e.into_inner()) = hook;
                         let _ = ack.send(());
+                    }
+                    Control::Panic => {
+                        panic!("injected service panic (test hook)");
                     }
                 }
             }
@@ -1055,7 +1256,12 @@ impl InferenceService {
     fn wait_for_work(&mut self) -> (VecDeque<Control>, bool) {
         let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         while (self.paused || st.ring.is_empty()) && st.control.is_empty() && !st.shutdown {
+            // While parked here the heartbeat is legitimately frozen;
+            // `idle` tells watchdogs this is a sleeping service, not a
+            // stalled one.
+            self.shared.idle.store(true, Relaxed);
             st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            self.shared.idle.store(false, Relaxed);
         }
         (std::mem::take(&mut st.control), st.shutdown)
     }
@@ -1079,8 +1285,22 @@ impl InferenceService {
     /// `assembling` forever.
     fn ingest(&mut self) {
         let mut late = 0u64;
+        let mut diverged = 0u64;
         for i in 0..self.drained.len() {
             let s = self.drained[i];
+            // Divergence containment at the ingest boundary: a corrupted
+            // counter (NaN/Inf value or sub-sample moments, negative
+            // spread) would poison the likelihood model downstream — the
+            // sub-sample spread in particular is asserted non-negative at
+            // model build. Drop and count instead.
+            if !s.value.is_finite()
+                || !s.sub_mean.is_finite()
+                || !s.sub_sd.is_finite()
+                || s.sub_sd < 0.0
+            {
+                diverged += 1;
+                continue;
+            }
             match self.frontier {
                 Some(f) if s.window < f => {
                     late += 1;
@@ -1097,6 +1317,9 @@ impl InferenceService {
         }
         if late > 0 {
             self.shared.late_samples.fetch_add(late, Relaxed);
+        }
+        if diverged > 0 {
+            self.shared.divergences.fetch_add(diverged, Relaxed);
         }
         self.pending.sort_by_key(|(w, _)| *w);
     }
@@ -1129,6 +1352,9 @@ impl InferenceService {
             };
             let windows: Vec<u32> = chunk.iter().map(|(w, _)| *w).collect();
             self.publish(&windows, stats, |t, e| corrector.posterior(t, e));
+            // A long multi-chunk drain still beats once per chunk, so
+            // watchdogs don't mistake a busy service for a stalled one.
+            self.shared.beats.fetch_add(1, Relaxed);
         }
     }
 
@@ -1166,10 +1392,11 @@ impl InferenceService {
         stats: EpRunStats,
         posterior: impl Fn(usize, EventId) -> Gaussian,
     ) {
-        let chunk = self.shared.chunks_run.fetch_add(1, Relaxed) + 1;
-        self.shared
-            .windows_published
-            .fetch_add(windows.len() as u64, Relaxed);
+        let Some(&last_window) = windows.last() else {
+            // Publish is only called with non-empty chunks; an empty one
+            // has nothing to publish.
+            return;
+        };
 
         // Materialize each window's catalog-indexed posteriors once;
         // per-subscriber work inside the lock is then a cheap filtered
@@ -1177,6 +1404,42 @@ impl InferenceService {
         let mut per_window: Vec<Vec<Gaussian>> = (0..windows.len())
             .map(|t| self.catalog.iter().map(|e| posterior(t, e.id)).collect())
             .collect();
+
+        // Divergence containment at the publish boundary — the last line
+        // of defense behind the EP-level site quarantine. A non-finite or
+        // non-positive-variance marginal is replaced with the event's
+        // last finite published posterior; if the event has never had
+        // one, the whole publish is dropped rather than handing readers
+        // a poisoned snapshot.
+        let mut substituted = 0u64;
+        let mut unpublishable = false;
+        for wv in &mut per_window {
+            for (e, g) in wv.iter_mut().enumerate() {
+                if g.mean.is_finite() && g.var.is_finite() && g.var > 0.0 {
+                    continue;
+                }
+                substituted += 1;
+                match self.last_good.get(e).copied() {
+                    Some(lg) => *g = lg,
+                    None => unpublishable = true,
+                }
+            }
+        }
+        let diverged = substituted + stats.sites_quarantined;
+        if diverged > 0 {
+            self.shared.divergences.fetch_add(diverged, Relaxed);
+        }
+        if unpublishable {
+            return;
+        }
+        if let Some(last) = per_window.last() {
+            self.last_good.clone_from(last);
+        }
+
+        let chunk = self.shared.chunks_run.fetch_add(1, Relaxed) + 1;
+        self.shared
+            .windows_published
+            .fetch_add(windows.len() as u64, Relaxed);
 
         let mut subscribers = self
             .shared
@@ -1217,19 +1480,160 @@ impl InferenceService {
         }
         drop(subscribers);
 
-        let last_window = *windows.last().expect("publish never gets an empty chunk");
-        // Feed the schedule hook *before* the buffer moves into the
-        // snapshot: the scheduler sees exactly what readers are about to.
-        if let Some(hook) = self.hook.as_mut() {
-            let last = per_window.last().expect("one vec per window");
-            hook.on_publish(last_window, chunk, last);
+        let Some(final_posteriors) = per_window.pop() else {
+            return;
+        };
+        {
+            // Feed the schedule hook *before* the buffer moves into the
+            // snapshot: the scheduler sees exactly what readers are about
+            // to. The hook lives on `Shared` so it survives restarts.
+            let mut hook = self.shared.hook.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hook) = hook.as_mut() {
+                hook.on_publish(last_window, chunk, &final_posteriors);
+            }
         }
         self.writer.publish(PosteriorSnapshot {
             window: last_window,
             chunk,
             stats,
-            posteriors: per_window.pop().expect("one vec per window"),
+            posteriors: final_posteriors,
         });
+    }
+}
+
+/// Renders a `catch_unwind` payload as a human-readable crash cause.
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Waits out a restart backoff on the service condvar — so
+/// [`Monitor::close`] interrupts it — returning `true` when shutdown was
+/// requested during the wait.
+fn backoff_or_shutdown(shared: &Shared, backoff: Duration) -> bool {
+    let deadline = Instant::now() + backoff;
+    let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if st.shutdown {
+            return true;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        let (guard, _) = shared
+            .cv
+            .wait_timeout(st, deadline - now)
+            .unwrap_or_else(|e| e.into_inner());
+        st = guard;
+    }
+}
+
+/// The supervised service loop, run on the spawned `bayesperf-inference`
+/// thread. Each [`InferenceService`] incarnation runs under
+/// `catch_unwind`; a panic is contained here instead of poisoning the
+/// process:
+///
+/// 1. the crashed incarnation's snapshot writer (dropped mid-unwind) is
+///    reclaimed via [`SnapshotReader::recover_writer`] — readers kept
+///    serving the last published snapshot throughout;
+/// 2. the next incarnation warm-starts from that snapshot (only the
+///    poisoned in-flight chunk is cold-reset) and resumes the ring, the
+///    queued controls, and the installed schedule hook, all of which live
+///    on [`Shared`] rather than in the incarnation;
+/// 3. restarts are budgeted per [`SupervisorPolicy`]: capped exponential
+///    backoff between attempts, budget reset when an incarnation makes
+///    progress, and a typed [`ServiceState::Failed`] once exhausted.
+///
+/// The shutdown handshake (mark closed, error queued control acks,
+/// disconnect subscribers) runs on every *supervisor* exit — clean
+/// shutdown, terminal failure, even a supervisor bug unwinding — but NOT
+/// on a contained service crash, so sessions stay live across restarts.
+fn supervise(
+    shared: Arc<Shared>,
+    writer: SnapshotWriter<PosteriorSnapshot>,
+    mut state_writer: SnapshotWriter<ServiceState>,
+    config: CorrectorConfig,
+    policy: SupervisorPolicy,
+) {
+    // The handshake guard:
+    // 1. mark closed and drop any controls that raced in, under the
+    //    state lock (dropping a control's ack sender errors its caller's
+    //    recv into SessionClosed; `enqueue_control` checks `closed` under
+    //    the same lock, so none slip in after);
+    // 2. disconnect subscribers so their iterators end (`subscribe`
+    //    re-checks `closed` under that lock, so no late registration
+    //    survives the clear).
+    // In-flight controls already dequeued by a crashing service loop
+    // unwind before `catch_unwind` returns, erroring their acks too.
+    struct ShutdownGuard(Arc<Shared>);
+    impl Drop for ShutdownGuard {
+        fn drop(&mut self) {
+            {
+                let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+                self.0.closed.store(true, Relaxed);
+                st.control.clear();
+            }
+            self.0
+                .subscribers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+        }
+    }
+    let _shutdown = ShutdownGuard(shared.clone());
+
+    let mut writer = Some(writer);
+    let mut consecutive = 0u32;
+    state_writer.publish(ServiceState::Running);
+    loop {
+        let Some(w) = writer.take() else {
+            // Unreachable: the writer is only consumed by a crashed
+            // incarnation, and recovery failure breaks out below.
+            break;
+        };
+        let resume = shared
+            .snapshot
+            .read()
+            .map(|g| (g.window, g.posteriors.clone()));
+        let progress_before = shared.chunks_run.load(Relaxed);
+        let svc = InferenceService::new(shared.clone(), w, config.clone(), resume);
+        match catch_unwind(AssertUnwindSafe(move || svc.run())) {
+            // Orderly shutdown (close / drop): the guard handshakes.
+            Ok(()) => break,
+            Err(payload) => {
+                let cause = panic_cause(payload);
+                // Reclaim publication rights on the intact snapshot cell;
+                // the crashed incarnation's writer dropped mid-unwind.
+                writer = shared.snapshot.recover_writer();
+                if shared.chunks_run.load(Relaxed) > progress_before {
+                    // The incarnation published before dying — an
+                    // occasional crash, not a crash loop.
+                    consecutive = 0;
+                }
+                consecutive += 1;
+                if consecutive > policy.max_consecutive_restarts || writer.is_none() {
+                    state_writer.publish(ServiceState::Failed { cause });
+                    break;
+                }
+                let restarts = shared.restarts.fetch_add(1, Relaxed) + 1;
+                state_writer.publish(ServiceState::Restarting { restarts, cause });
+                let exp = (consecutive - 1).min(16);
+                let backoff = policy
+                    .backoff_base
+                    .saturating_mul(1u32 << exp)
+                    .min(policy.backoff_cap);
+                if backoff_or_shutdown(&shared, backoff) {
+                    break;
+                }
+                state_writer.publish(ServiceState::Running);
+            }
+        }
     }
 }
 
@@ -1270,7 +1674,8 @@ mod tests {
     fn read_before_any_chunk_is_no_posterior_yet() {
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat, 8);
-        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096).expect("spawn monitor");
         let session = monitor.session().open().expect("open");
         let ev = cat.require(Semantic::L1dMisses);
         assert_eq!(session.read(ev), Err(ShimError::NoPosteriorYet));
@@ -1284,7 +1689,8 @@ mod tests {
     fn unknown_and_unselected_events_are_typed_errors() {
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat, 8);
-        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096).expect("spawn monitor");
         let l1d = cat.require(Semantic::L1dMisses);
         let llc = cat.require(Semantic::LlcMisses);
         let session = monitor.session().event(l1d).open().expect("open");
@@ -1308,7 +1714,8 @@ mod tests {
     fn reads_after_close_are_session_closed() {
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat, 8);
-        let mut monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let mut monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096).expect("spawn monitor");
         let session = monitor.session().open().expect("open");
         feed(&monitor, &run);
         monitor.sync().expect("sync");
@@ -1330,7 +1737,8 @@ mod tests {
     fn read_group_is_internally_consistent() {
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat, 8);
-        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096).expect("spawn monitor");
         let session = monitor.session().open().expect("open");
         feed(&monitor, &run);
         monitor.sync().expect("sync");
@@ -1352,7 +1760,8 @@ mod tests {
     fn derived_event_reads_propagate_uncertainty() {
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat, 8);
-        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096).expect("spawn monitor");
         let name = cat.derived_events()[0].name.clone();
         let session = monitor.session().derived(&name).open().expect("open");
         feed(&monitor, &run);
@@ -1381,7 +1790,8 @@ mod tests {
     fn sync_refuses_while_paused_instead_of_acking_a_noop() {
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat, 8);
-        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14);
+        let monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14).expect("spawn monitor");
         monitor.pause().expect("pause");
         feed(&monitor, &run);
         // Paused: the sync barrier cannot guarantee processing, so it
@@ -1396,7 +1806,8 @@ mod tests {
     fn late_samples_are_dropped_and_counted() {
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat, 8);
-        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096);
+        let monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 4096).expect("spawn monitor");
         feed(&monitor, &run);
         monitor.sync().expect("sync");
         assert_eq!(monitor.late_samples(), 0);
@@ -1423,7 +1834,7 @@ mod tests {
             !run.windows.len().is_multiple_of(k),
             "fixture must have a ragged tail"
         );
-        let monitor = Monitor::new(&cat, cfg, 1 << 14);
+        let monitor = Monitor::new(&cat, cfg, 1 << 14).expect("spawn monitor");
         let session = monitor.session().open().expect("open");
         let mut updates = session.subscribe();
         feed(&monitor, &run);
@@ -1454,7 +1865,8 @@ mod tests {
     fn reconfigured_chunking_applies_to_the_service() {
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat, 9);
-        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14);
+        let monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14).expect("spawn monitor");
         let session = monitor
             .session()
             .chunk_windows(4)
@@ -1485,7 +1897,8 @@ mod tests {
         }
         let cat = Catalog::new(Arch::X86SkyLake);
         let run = recorded_run(&cat, 12);
-        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14);
+        let monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14).expect("spawn monitor");
         let log = Arc::new(Mutex::new(Vec::new()));
         // The builder flow installs the hook on the service.
         let _session = monitor
@@ -1525,7 +1938,8 @@ mod tests {
         // 5 windows never fill a default chunk of 6: everything sits
         // pending/assembling.
         let run = recorded_run(&cat, 5);
-        let monitor = Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14);
+        let monitor =
+            Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14).expect("spawn monitor");
         feed(&monitor, &run);
         monitor.sync().expect("sync");
         assert_eq!(monitor.chunks_run(), 0, "k=6 backlog incomplete");

@@ -34,6 +34,7 @@
 //! — see the README's "Shim API" section for the lifecycle.
 
 use crate::corrector::CorrectorConfig;
+use crate::error::ShimError;
 use crate::service::{Monitor, Session};
 use bayesperf_events::{Catalog, EventId};
 use bayesperf_inference::Gaussian;
@@ -139,13 +140,25 @@ impl std::fmt::Debug for BayesPerfShim {
 impl BayesPerfShim {
     /// Creates a shim with the given corrector configuration and ring
     /// capacity (spawns the monitor's inference thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses the inference thread; use
+    /// [`BayesPerfShim::try_new`] to handle that as a typed error.
     pub fn new(catalog: &Catalog, config: CorrectorConfig, ring_capacity: usize) -> Self {
-        let monitor = Monitor::new(catalog, config, ring_capacity);
-        let session = monitor
-            .session()
-            .open()
-            .expect("monitor opened this instant");
-        BayesPerfShim { monitor, session }
+        Self::try_new(catalog, config, ring_capacity).expect("spawn inference service thread")
+    }
+
+    /// Fallible [`BayesPerfShim::new`]: surfaces a thread-spawn failure
+    /// as [`ShimError::SpawnFailed`] instead of panicking.
+    pub fn try_new(
+        catalog: &Catalog,
+        config: CorrectorConfig,
+        ring_capacity: usize,
+    ) -> Result<Self, ShimError> {
+        let monitor = Monitor::new(catalog, config, ring_capacity)?;
+        let session = monitor.session().open()?;
+        Ok(BayesPerfShim { monitor, session })
     }
 
     /// The underlying monitor service (to open further read sessions,

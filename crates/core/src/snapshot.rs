@@ -29,7 +29,7 @@
 
 use std::cell::UnsafeCell;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 
 /// Sentinel for "nothing published yet".
@@ -45,6 +45,11 @@ struct Cell<T> {
     slots: [Slot<T>; 2],
     /// Index of the slot readers may enter, or [`EMPTY`].
     current: AtomicUsize,
+    /// Whether a [`SnapshotWriter`] for this cell is alive. Cleared by the
+    /// writer's `Drop` (which runs even during a panic unwind), so a
+    /// supervisor can detect a dead publisher and mint a replacement with
+    /// [`SnapshotReader::recover_writer`].
+    writer_live: AtomicBool,
 }
 
 // SAFETY: the reader/writer protocol (see module docs) guarantees the
@@ -69,6 +74,7 @@ pub fn snapshot_cell<T: Send + Sync>() -> (SnapshotWriter<T>, SnapshotReader<T>)
             },
         ],
         current: AtomicUsize::new(EMPTY),
+        writer_live: AtomicBool::new(true),
     });
     (
         SnapshotWriter {
@@ -108,6 +114,14 @@ impl<T: Send + Sync> SnapshotWriter<T> {
         }
         self.cell.current.store(self.next, SeqCst);
         self.next = 1 - self.next;
+    }
+}
+
+impl<T> Drop for SnapshotWriter<T> {
+    fn drop(&mut self) {
+        // Runs during panic unwinds too: a writer that dies mid-service
+        // leaves the cell marked writerless so a supervisor can recover it.
+        self.cell.writer_live.store(false, SeqCst);
     }
 }
 
@@ -165,6 +179,38 @@ impl<T: Send + Sync> SnapshotReader<T> {
             // the new current slot.
             slot.readers.fetch_sub(1, SeqCst);
         }
+    }
+
+    /// Whether the cell's writer is still alive (its `Drop` has not run).
+    pub fn writer_live(&self) -> bool {
+        self.cell.writer_live.load(SeqCst)
+    }
+
+    /// Mints a replacement writer for a cell whose original writer died
+    /// (e.g. its owning thread panicked and the unwind dropped it).
+    /// Returns `None` while the original writer is still alive — the
+    /// single-writer invariant is preserved by a CAS on the liveness flag,
+    /// so concurrent recovery attempts yield exactly one writer.
+    ///
+    /// The recovered writer targets the non-current slot, which is correct
+    /// whether the dead writer finished its last flip or died mid-publish:
+    /// either way `current` names the last fully published snapshot, and
+    /// readers keep serving it untorn until the new writer publishes.
+    pub fn recover_writer(&self) -> Option<SnapshotWriter<T>> {
+        if self
+            .cell
+            .writer_live
+            .compare_exchange(false, true, SeqCst, SeqCst)
+            .is_err()
+        {
+            return None;
+        }
+        let current = self.cell.current.load(SeqCst);
+        let next = if current == EMPTY { 0 } else { 1 - current };
+        Some(SnapshotWriter {
+            cell: self.cell.clone(),
+            next,
+        })
     }
 }
 
@@ -232,6 +278,61 @@ mod tests {
         w.publish(2);
         w.publish(3);
         assert_eq!(*r.read().unwrap(), 3);
+    }
+
+    #[test]
+    fn recover_writer_refused_while_writer_lives() {
+        let (mut w, r) = snapshot_cell::<u64>();
+        assert!(r.writer_live());
+        assert!(r.read().is_none());
+        w.publish(1);
+        assert!(r.recover_writer().is_none(), "writer is still alive");
+        assert!(r.writer_live());
+    }
+
+    #[test]
+    fn recover_writer_resumes_publication_after_drop() {
+        let (mut w, r) = snapshot_cell::<u64>();
+        w.publish(1);
+        w.publish(2);
+        drop(w);
+        assert!(!r.writer_live());
+        // The last published value survives the writer's death untorn.
+        assert_eq!(*r.read().unwrap(), 2);
+        let mut w2 = r.recover_writer().expect("writer is dead");
+        assert!(r.writer_live());
+        // Exactly one recovery wins.
+        assert!(r.recover_writer().is_none());
+        w2.publish(3);
+        assert_eq!(*r.read().unwrap(), 3);
+        w2.publish(4);
+        assert_eq!(*r.read().unwrap(), 4);
+    }
+
+    #[test]
+    fn recover_writer_on_an_empty_cell() {
+        let (w, r) = snapshot_cell::<u64>();
+        drop(w);
+        let mut w2 = r.recover_writer().expect("writer is dead");
+        assert!(r.read().is_none());
+        w2.publish(9);
+        assert_eq!(*r.read().unwrap(), 9);
+    }
+
+    #[test]
+    fn recovery_after_panic_unwind_keeps_last_snapshot() {
+        let (w, r) = snapshot_cell::<Vec<u64>>();
+        let handle = std::thread::spawn(move || {
+            let mut w = w;
+            w.publish(vec![5; 8]);
+            panic!("injected");
+        });
+        assert!(handle.join().is_err());
+        assert!(!r.writer_live());
+        assert_eq!(*r.read().unwrap(), vec![5; 8]);
+        let mut w2 = r.recover_writer().expect("unwind dropped the writer");
+        w2.publish(vec![6; 8]);
+        assert_eq!(*r.read().unwrap(), vec![6; 8]);
     }
 
     /// Torn-read detector: every published snapshot is a vector whose

@@ -45,7 +45,7 @@ fn concurrent_sessions_read_consistent_snapshots_matching_the_corrector() {
     let k = cfg.model.slices;
     assert_eq!(n_windows % k, 0, "fixture chunk-aligned");
 
-    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 16);
+    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 16).expect("spawn monitor");
     let session = monitor.session().open().expect("open");
     let stop = AtomicBool::new(false);
     let reads_during_run = AtomicU64::new(0);
@@ -145,7 +145,7 @@ fn streamed_run_with_flush_matches_batch_correction_including_tail() {
     let k = cfg.model.slices;
     assert!(!n_windows.is_multiple_of(k), "fixture needs a ragged tail");
 
-    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 16);
+    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 16).expect("spawn monitor");
     let session = monitor.session().open().expect("open");
     let mut updates = session.subscribe();
     for w in &run.windows {
@@ -180,7 +180,7 @@ fn ring_backpressure_surfaces_typed_errors_and_keeps_posteriors_sane() {
     let run = recorded_run(&cat, 12, 7);
     let cfg = CorrectorConfig::for_run(&run);
     let capacity = 32;
-    let monitor = Monitor::new(&cat, cfg, capacity);
+    let monitor = Monitor::new(&cat, cfg, capacity).expect("spawn monitor");
     let session = monitor.session().open().expect("open");
     let mut updates = session.subscribe();
 
@@ -237,7 +237,7 @@ fn lossy_subscriber_gets_explicit_gap_counts() {
     let k = cfg.model.slices;
     assert_eq!(k, 6, "fixture assumes the default chunk size");
 
-    let monitor = Monitor::new(&cat, cfg, 1 << 16);
+    let monitor = Monitor::new(&cat, cfg, 1 << 16).expect("spawn monitor");
     let session = monitor.session().open().expect("open");
     // Queue of 2: everything beyond two updates between drains is lost.
     let mut updates = session.subscribe_with_capacity(2);

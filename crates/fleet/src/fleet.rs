@@ -31,24 +31,52 @@
 //! [`FleetSnapshot`] through a second snapshot cell — fleet-level reads
 //! are therefore exactly as wait-free as single-session reads, no matter
 //! how many shards contribute.
+//!
+//! The aggregator thread is **supervised** the same way each shard's
+//! inference thread is: its loop runs under `catch_unwind`, a crash
+//! recovers the fused cell's writer and restarts the scrape loop (the
+//! generation counter continues from the last published snapshot), and a
+//! crash loop gives up after a bounded number of attempts. Local shard
+//! monitors are watched through the same Healthy → Degraded → Stale →
+//! Dead state machine ([`crate::health`]) a dead *remote* shard goes
+//! through: every scrape pass probes each monitor's heartbeat and
+//! [`ServiceState`], so a hung or crashed local inference thread ages
+//! out of fusion instead of pinning its last posterior in the fleet
+//! forever.
+
+// The ISSUE-7 robustness audit: this file's non-test code must report
+// failures as typed errors, never panic on them.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::fuse::{Aggregator, FleetSnapshot, ShardStatus};
+use crate::health::{FailureKind, HealthPolicy, ShardHealth, ShardHealthView};
 use crate::topology::{ShardId, ShardLabel};
 use bayesperf_core::corrector::CorrectorConfig;
 use bayesperf_core::snapshot::{snapshot_cell, SnapshotReader, SnapshotWriter};
 use bayesperf_core::{
-    derived_reading, Monitor, Reading, Selection, Session, ShimError, SnapshotView,
+    derived_reading, Monitor, Reading, Selection, ServiceState, Session, ShimError, SnapshotView,
 };
 use bayesperf_events::{Catalog, EventId};
 use bayesperf_inference::Gaussian;
 use bayesperf_simcpu::Sample;
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
     TrySendError,
 };
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Consecutive no-progress aggregator crashes tolerated before the
+/// scrape plane gives up (subsequent [`Fleet::refresh`] calls return
+/// [`ShimError::SessionClosed`]).
+const AGG_MAX_CONSECUTIVE_RESTARTS: u32 = 8;
+
+/// Backoff between aggregator restarts (flat — the aggregator holds no
+/// per-chunk state worth an exponential schedule).
+const AGG_RESTART_BACKOFF: Duration = Duration::from_millis(2);
 
 /// Fleet construction parameters.
 #[derive(Debug, Clone)]
@@ -60,15 +88,21 @@ pub struct FleetConfig {
     /// How often the aggregator re-scrapes shard snapshots when idle
     /// (scrapes also happen on every [`Fleet::sync`]/[`Fleet::flush`]).
     pub scrape_interval: Duration,
+    /// Staleness thresholds for the local liveness watchdog: a hung or
+    /// crashed shard monitor ages through this policy's Healthy →
+    /// Degraded → Stale → Dead machine, one round per aggregation pass.
+    pub health: HealthPolicy,
 }
 
 impl FleetConfig {
-    /// Defaults: 16Ki-sample rings, 200µs scrape cadence.
+    /// Defaults: 16Ki-sample rings, 200µs scrape cadence, default
+    /// [`HealthPolicy`] staleness thresholds.
     pub fn new(corrector: CorrectorConfig) -> FleetConfig {
         FleetConfig {
             corrector,
             ring_capacity: 1 << 14,
             scrape_interval: Duration::from_micros(200),
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -135,6 +169,8 @@ struct FleetShared {
     fused: SnapshotReader<FleetSnapshot>,
     subscribers: Mutex<Vec<FleetSubscriber>>,
     closed: AtomicBool,
+    /// Crash restarts of the aggregator thread (monotonic).
+    agg_restarts: AtomicU64,
 }
 
 impl FleetShared {
@@ -161,6 +197,9 @@ enum AggControl {
     /// (the next scrape must observe the new membership promptly even if
     /// the fleet was quiescent).
     Poke,
+    /// Fault-injection test hook: the aggregator panics when it dequeues
+    /// this, exercising the supervisor's crash-containment path.
+    Panic,
     /// Exit the aggregator loop.
     Shutdown,
 }
@@ -193,9 +232,11 @@ impl std::fmt::Debug for Fleet {
 }
 
 impl Fleet {
-    /// Creates an empty fleet over `catalog` and starts the aggregator
-    /// thread. Add machines with [`Fleet::add_shard`].
-    pub fn new(catalog: &Catalog, config: FleetConfig) -> Fleet {
+    /// Creates an empty fleet over `catalog` and starts the (supervised)
+    /// aggregator thread. Add machines with [`Fleet::add_shard`].
+    ///
+    /// Returns [`ShimError::SpawnFailed`] if the OS refuses the thread.
+    pub fn new(catalog: &Catalog, config: FleetConfig) -> Result<Fleet, ShimError> {
         let catalog = Arc::new(catalog.clone());
         let (mut members_writer, members_reader) = snapshot_cell::<Membership>();
         members_writer.publish(Vec::new());
@@ -207,18 +248,22 @@ impl Fleet {
             fused: fused_reader,
             subscribers: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
+            agg_restarts: AtomicU64::new(0),
         });
         let handle = {
             let shared = shared.clone();
             let interval = config.scrape_interval;
+            let health = config.health;
             std::thread::Builder::new()
                 .name("bayesperf-fleet-agg".into())
                 .spawn(move || {
-                    AggregatorService::new(shared, fused_writer, interval).run(control_rx)
+                    supervise_aggregator(shared, fused_writer, interval, health, control_rx)
                 })
-                .expect("spawn fleet aggregator thread")
+                .map_err(|_| ShimError::SpawnFailed {
+                    what: "fleet aggregator",
+                })?
         };
-        Fleet {
+        Ok(Fleet {
             shared,
             members_writer,
             live: Vec::new(),
@@ -226,7 +271,7 @@ impl Fleet {
             config,
             control,
             handle: Some(handle),
-        }
+        })
     }
 
     /// The monitored catalog.
@@ -234,18 +279,21 @@ impl Fleet {
         &self.shared.catalog
     }
 
-    /// Adds a shard: spawns a dedicated [`Monitor`] (ring + inference
-    /// thread) for the labelled machine/socket and publishes the new
-    /// membership. Ids are never reused across churn.
-    pub fn add_shard(&mut self, label: ShardLabel) -> ShardId {
+    /// Adds a shard: spawns a dedicated [`Monitor`] (ring + supervised
+    /// inference thread) for the labelled machine/socket and publishes
+    /// the new membership. Ids are never reused across churn.
+    ///
+    /// Returns [`ShimError::SpawnFailed`] if the OS refuses the shard's
+    /// inference thread (the fleet itself stays usable).
+    pub fn add_shard(&mut self, label: ShardLabel) -> Result<ShardId, ShimError> {
         let id = ShardId::from_raw(self.next_id);
         self.next_id += 1;
         let monitor = Monitor::new(
             &self.shared.catalog,
             self.config.corrector.clone(),
             self.config.ring_capacity,
-        );
-        let session = monitor.session().open().expect("fresh monitor");
+        )?;
+        let session = monitor.session().open()?;
         self.live.push(Arc::new(ShardMember {
             id,
             label,
@@ -256,7 +304,7 @@ impl Fleet {
         // Wake the aggregator out of any idle backoff: the new shard
         // must appear in the next fused snapshot promptly.
         let _ = self.control.send(AggControl::Poke);
-        id
+        Ok(id)
     }
 
     /// Removes a shard: unpublishes it from the membership (in-flight
@@ -307,6 +355,18 @@ impl Fleet {
         Ok(self.shared.member(shard)?.session.clone())
     }
 
+    /// Runs `f` against one shard's local [`Monitor`] — supervision
+    /// drill-down (restart counters, heartbeat, schedule hooks,
+    /// fault-injection) on a fleet member without exposing ownership of
+    /// the monitor itself.
+    pub fn with_shard_monitor<R>(
+        &self,
+        shard: ShardId,
+        f: impl FnOnce(&Monitor) -> R,
+    ) -> Result<R, ShimError> {
+        Ok(f(&self.shared.member(shard)?.monitor))
+    }
+
     /// Blocks until every shard has ingested and corrected everything
     /// pushed before this call, then re-fuses and publishes the fleet
     /// snapshot — the deterministic fleet-wide barrier.
@@ -348,6 +408,21 @@ impl Fleet {
     /// percentile/straggler views).
     pub fn snapshot(&self) -> Result<FleetSnapshot, ShimError> {
         read_snapshot(&self.shared)
+    }
+
+    /// Crash restarts the aggregator supervisor has performed.
+    pub fn agg_restarts(&self) -> u64 {
+        self.shared.agg_restarts.load(Relaxed)
+    }
+
+    /// Fault-injection test hook: makes the aggregator thread panic on
+    /// its next control dequeue, exercising the supervisor's
+    /// crash-containment path. Observe recovery via
+    /// [`Fleet::agg_restarts`].
+    pub fn inject_agg_panic(&self) -> Result<(), ShimError> {
+        self.control
+            .send(AggControl::Panic)
+            .map_err(|_| ShimError::SessionClosed)
     }
 
     /// Drains every shard, stops their monitors and the aggregator.
@@ -647,11 +722,25 @@ fn idle_backoff_interval(interval: Duration, idle_streak: u32) -> Duration {
     interval.saturating_mul(1 << idle_streak.min(IDLE_BACKOFF_MAX_SHIFT))
 }
 
+/// Per-shard liveness tracking the aggregator keeps for *local*
+/// monitors: the health counters plus the last heartbeat observed, so a
+/// frozen heartbeat on a non-idle service reads as a stall.
+#[derive(Default)]
+struct LocalProbe {
+    health: ShardHealth,
+    last_beats: u64,
+}
+
 /// The background aggregator: scrapes shard snapshots, fuses, publishes.
 struct AggregatorService {
     shared: Arc<FleetShared>,
     writer: SnapshotWriter<FleetSnapshot>,
     interval: Duration,
+    /// Staleness thresholds for the local liveness watchdog.
+    policy: HealthPolicy,
+    /// Liveness state per shard, aged one round per aggregation pass —
+    /// the same machine a dead remote shard goes through in `net`.
+    probes: HashMap<ShardId, LocalProbe>,
     agg: Aggregator,
     scratch: SnapshotView,
     /// `(shard, chunk, window)` triples of the last fused pass — the
@@ -666,21 +755,25 @@ impl AggregatorService {
         shared: Arc<FleetShared>,
         writer: SnapshotWriter<FleetSnapshot>,
         interval: Duration,
+        policy: HealthPolicy,
+        generation: u64,
     ) -> AggregatorService {
         let n_events = shared.catalog.len();
         AggregatorService {
             shared,
             writer,
             interval,
+            policy,
+            probes: HashMap::new(),
             agg: Aggregator::new(n_events),
             scratch: SnapshotView::default(),
             last_key: Vec::new(),
             key: Vec::new(),
-            generation: 0,
+            generation,
         }
     }
 
-    fn run(mut self, control: Receiver<AggControl>) {
+    fn run(mut self, control: &Receiver<AggControl>) {
         // Consecutive idle passes (no shard stamp moved). The wait grows
         // exponentially with the streak — an idle fleet parks instead of
         // busy-spinning stamp pre-checks at full scrape rate — and any
@@ -697,6 +790,9 @@ impl AggregatorService {
                 Ok(AggControl::Poke) => {
                     self.scrape();
                     idle_streak = 0;
+                }
+                Ok(AggControl::Panic) => {
+                    panic!("injected aggregator panic (test hook)");
                 }
                 Ok(AggControl::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
                 Err(RecvTimeoutError::Timeout) => {
@@ -722,9 +818,52 @@ impl AggregatorService {
             Some(guard) => guard.clone(),
             None => return false,
         };
+        // Liveness watchdog: before any snapshot reads, probe each local
+        // monitor's supervisor state and heartbeat, and age its health
+        // one round. A hung service (heartbeat frozen while not idle),
+        // one mid-restart, or one terminally failed goes through the
+        // identical Healthy → Degraded → Stale → Dead machine a dead
+        // remote shard does in the networked scrape plane.
+        let mut any_unhealthy = false;
+        self.probes
+            .retain(|id, _| members.iter().any(|m| m.id == *id));
+        for m in &members {
+            let probe = self.probes.entry(m.id).or_default();
+            let (beats, idle) = m.monitor.heartbeat();
+            let fate = match m.monitor.service_state() {
+                // A permanently down service cannot refresh its snapshot
+                // again; classify it like a dead link.
+                ServiceState::Failed { .. } => Some(FailureKind::Link),
+                // Mid-restart: this round's snapshot is a cached copy.
+                ServiceState::Restarting { .. } => Some(FailureKind::Timeout),
+                ServiceState::Running => {
+                    if idle || beats != probe.last_beats {
+                        None
+                    } else {
+                        // Not idle, yet the heartbeat has not advanced
+                        // since the previous pass: a stalled service.
+                        Some(FailureKind::Timeout)
+                    }
+                }
+                // `ServiceState` is non-exhaustive; treat future states
+                // conservatively as a missed round.
+                _ => Some(FailureKind::Timeout),
+            };
+            probe.last_beats = beats;
+            match fate {
+                None => probe.health.on_success(),
+                Some(kind) => probe.health.on_failure(kind),
+            }
+            if probe.health.age > 0 {
+                any_unhealthy = true;
+            }
+        }
         // Cheap pre-pass: `(shard, chunk, window)` stamps only, no
         // posterior copies or label clones. The idle steady state (no
-        // shard progressed between scrapes) exits here.
+        // shard progressed between scrapes, everybody healthy) exits
+        // here; any unhealthy shard forces full passes, because its
+        // inflation grows — and its fused weight shrinks — every round
+        // even while the stamps stand still.
         self.key.clear();
         for m in &members {
             if let Ok((window, chunk)) = m.session.snapshot_stamp() {
@@ -732,7 +871,7 @@ impl AggregatorService {
             }
         }
         self.key.sort_unstable();
-        if self.key == self.last_key {
+        if self.key == self.last_key && !any_unhealthy {
             return false;
         }
         // Something moved: pay for the full scrape. A shard may have
@@ -741,8 +880,13 @@ impl AggregatorService {
         self.agg.begin();
         self.key.clear();
         for m in &members {
+            let view = match self.probes.get(&m.id) {
+                Some(p) => ShardHealthView::observe(m.id, &p.health, &self.policy),
+                None => ShardHealthView::healthy(m.id),
+            };
             // A shard that has not published yet (or is mid-shutdown)
-            // simply doesn't contribute this pass.
+            // simply doesn't contribute this pass — but its health row
+            // still appears in the published snapshot.
             if m.session.snapshot_into(&mut self.scratch).is_ok() {
                 let status = ShardStatus {
                     shard: m.id,
@@ -750,10 +894,18 @@ impl AggregatorService {
                     window: self.scratch.window,
                     chunk: self.scratch.chunk,
                 };
-                if self.agg.absorb(status, &self.scratch.posteriors).is_ok() {
+                let contributed = view.state.contributes();
+                if self
+                    .agg
+                    .absorb_shard(status, view, &self.scratch.posteriors)
+                    .is_ok()
+                    && contributed
+                {
                     self.key
                         .push((m.id, self.scratch.chunk, self.scratch.window));
                 }
+            } else {
+                self.agg.note_health(view);
             }
         }
         self.key.sort_unstable();
@@ -807,6 +959,55 @@ impl AggregatorService {
             }
         });
     }
+}
+
+/// The supervised aggregator loop, run on the spawned
+/// `bayesperf-fleet-agg` thread: each [`AggregatorService`] incarnation
+/// runs under `catch_unwind`. A panic is contained — the fused cell's
+/// writer is reclaimed (readers kept serving the last fused snapshot
+/// throughout), the generation counter continues from that snapshot, and
+/// the scrape loop restarts after a short flat backoff. A crash loop
+/// (consecutive restarts without a newly published generation) gives up
+/// after [`AGG_MAX_CONSECUTIVE_RESTARTS`]; queued [`Fleet::refresh`]
+/// acks are dropped on supervisor exit, erroring their callers.
+fn supervise_aggregator(
+    shared: Arc<FleetShared>,
+    writer: SnapshotWriter<FleetSnapshot>,
+    interval: Duration,
+    policy: HealthPolicy,
+    control: Receiver<AggControl>,
+) {
+    let mut writer = Some(writer);
+    let mut consecutive = 0u32;
+    loop {
+        let Some(w) = writer.take() else {
+            break;
+        };
+        let gen_before = shared.fused.read().map(|g| g.generation).unwrap_or(0);
+        let svc = AggregatorService::new(shared.clone(), w, interval, policy, gen_before);
+        match catch_unwind(AssertUnwindSafe(|| svc.run(&control))) {
+            // Orderly shutdown (close / control channel dropped).
+            Ok(()) => break,
+            Err(_) => {
+                shared.agg_restarts.fetch_add(1, Relaxed);
+                // Reclaim publication rights on the intact fused cell;
+                // the crashed incarnation's writer dropped mid-unwind.
+                writer = shared.fused.recover_writer();
+                let progressed =
+                    shared.fused.read().map(|g| g.generation).unwrap_or(0) > gen_before;
+                if progressed {
+                    consecutive = 0;
+                }
+                consecutive += 1;
+                if consecutive > AGG_MAX_CONSECUTIVE_RESTARTS {
+                    break;
+                }
+                std::thread::sleep(AGG_RESTART_BACKOFF);
+            }
+        }
+    }
+    // Receiver drops here: queued Refresh acks error their callers and
+    // subsequent control sends fail with SessionClosed.
 }
 
 #[cfg(test)]

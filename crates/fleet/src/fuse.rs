@@ -21,6 +21,10 @@
 //! `1/(1/σ²)` round trip), so a degenerate one-shard fleet reproduces the
 //! single-monitor posterior bit for bit.
 
+// The ISSUE-7 robustness audit: this file's non-test code must report
+// failures as typed errors, never panic on them.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::health::ShardHealthView;
 use crate::topology::{ShardId, ShardLabel};
 use bayesperf_core::ShimError;
@@ -257,13 +261,15 @@ impl Aggregator {
         self.entries[..self.used].sort_by_key(|(s, _, _)| s.shard);
         let live = &self.entries[..self.used];
         let mut scratch = Vec::with_capacity(self.used);
-        let fused = (0..self.n_events)
-            .map(|e| {
-                scratch.clear();
-                scratch.extend(live.iter().map(|(_, h, p)| inflate(p[e], h.inflation)));
-                fuse_gaussians(&scratch).expect("at least one shard absorbed")
-            })
-            .collect();
+        let mut fused = Vec::with_capacity(self.n_events);
+        for e in 0..self.n_events {
+            scratch.clear();
+            scratch.extend(live.iter().map(|(_, h, p)| inflate(p[e], h.inflation)));
+            // `live` is non-empty here (`used > 0`), so the product
+            // always exists; the typed fallback keeps this path
+            // unwinding-free regardless.
+            fused.push(fuse_gaussians(&scratch).ok_or(ShimError::NoShards)?);
+        }
         let mut health: Vec<ShardHealthView> = live
             .iter()
             .map(|(_, h, _)| h.clone())

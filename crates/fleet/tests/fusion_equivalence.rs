@@ -70,7 +70,7 @@ fn one_shard_fleet_reproduces_the_monitor_bit_for_bit() {
     let cfg = CorrectorConfig::for_run(&run);
 
     // Reference: a bare monitor over the same stream.
-    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 14);
+    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 14).expect("spawn monitor");
     for w in &run.windows {
         for s in &w.samples {
             monitor.push_sample(*s).expect("room");
@@ -85,8 +85,10 @@ fn one_shard_fleet_reproduces_the_monitor_bit_for_bit() {
         .expect("published");
 
     // A fleet whose fusion degenerates to one contributing shard.
-    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg));
-    let shard = fleet.add_shard(ShardLabel::new("only-machine", 0));
+    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg)).expect("spawn fleet");
+    let shard = fleet
+        .add_shard(ShardLabel::new("only-machine", 0))
+        .expect("spawn shard");
     feed(&fleet, shard, &run);
     fleet.flush().expect("alive");
     let fused = fleet.snapshot().expect("published");
@@ -114,9 +116,13 @@ fn eight_identical_shards_contract_variance_by_the_closed_form() {
     let cfg = CorrectorConfig::for_run(&run);
     let n_shards = 8u32;
 
-    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg));
+    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg)).expect("spawn fleet");
     let ids: Vec<_> = (0..n_shards)
-        .map(|i| fleet.add_shard(ShardLabel::new(format!("m{i}"), 0)))
+        .map(|i| {
+            fleet
+                .add_shard(ShardLabel::new(format!("m{i}"), 0))
+                .expect("spawn shard")
+        })
         .collect();
     for &id in &ids {
         feed(&fleet, id, &run);
@@ -160,7 +166,7 @@ fn fleet_and_monitor_derived_metrics_agree() {
     let cfg = CorrectorConfig::for_run(&run);
     let name = cat.derived_events()[0].name.clone();
 
-    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 14);
+    let monitor = Monitor::new(&cat, cfg.clone(), 1 << 14).expect("spawn monitor");
     for w in &run.windows {
         for s in &w.samples {
             monitor.push_sample(*s).expect("room");
@@ -175,8 +181,10 @@ fn fleet_and_monitor_derived_metrics_agree() {
         .read_derived(&name)
         .expect("derived");
 
-    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg));
-    let shard = fleet.add_shard(ShardLabel::new("m0", 0));
+    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg)).expect("spawn fleet");
+    let shard = fleet
+        .add_shard(ShardLabel::new("m0", 0))
+        .expect("spawn shard");
     feed(&fleet, shard, &run);
     fleet.flush().expect("alive");
     let fused = fleet

@@ -34,8 +34,10 @@ fn shard_churn_under_concurrent_fleet_readers() {
     let run0 = recorded_run(&cat, 6, 0);
     let cfg = CorrectorConfig::for_run(&run0);
 
-    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg));
-    let first = fleet.add_shard(ShardLabel::new("m0", 0));
+    let mut fleet = Fleet::new(&cat, FleetConfig::new(cfg)).expect("spawn fleet");
+    let first = fleet
+        .add_shard(ShardLabel::new("m0", 0))
+        .expect("spawn shard");
     for w in &run0.windows {
         for s in &w.samples {
             fleet.push_sample(first, *s).expect("room");
@@ -96,7 +98,9 @@ fn shard_churn_under_concurrent_fleet_readers() {
         let mut oldest = first;
         for round in 1..5u64 {
             let run = recorded_run(&cat, 6, round);
-            let id = fleet.add_shard(ShardLabel::new(format!("m{round}"), 0));
+            let id = fleet
+                .add_shard(ShardLabel::new(format!("m{round}"), 0))
+                .expect("spawn shard");
             for w in &run.windows {
                 for sample in &w.samples {
                     fleet.push_sample(id, *sample).expect("room");

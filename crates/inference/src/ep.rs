@@ -352,6 +352,11 @@ pub struct EpRunStats {
     pub analytic_site_updates: u64,
     /// Total MCMC samples collected across all site updates of this run.
     pub mcmc_samples: u64,
+    /// Site updates whose tilted moments came back non-finite and were
+    /// quarantined back to the prior instead of merged (the typed
+    /// divergence counter — nonzero means an observation or chain
+    /// diverged and was contained, not propagated).
+    pub sites_quarantined: u64,
 }
 
 /// Result of running EP.
@@ -377,6 +382,8 @@ pub struct EpResult {
     pub analytic_site_updates: u64,
     /// Total MCMC samples collected across this run's site updates.
     pub mcmc_samples: u64,
+    /// Site updates quarantined back to the prior on non-finite moments.
+    pub sites_quarantined: u64,
 }
 
 impl EpResult {
@@ -390,6 +397,7 @@ impl EpResult {
             mcmc_site_updates: s.mcmc_site_updates,
             analytic_site_updates: s.analytic_site_updates,
             mcmc_samples: s.mcmc_samples,
+            sites_quarantined: s.sites_quarantined,
         }
     }
 }
@@ -411,10 +419,15 @@ struct RunAccum {
     mcmc_updates: u64,
     analytic_updates: u64,
     mcmc_samples: u64,
+    quarantined: u64,
 }
 
 impl RunAccum {
     fn absorb(&mut self, out: &SiteUpdate) {
+        if out.quarantined {
+            self.quarantined += 1;
+            return;
+        }
         if out.used_mcmc {
             self.mcmc_updates += 1;
             self.mcmc_samples += out.mcmc_samples as u64;
@@ -880,6 +893,9 @@ impl ExpectationPropagation {
     /// Merges one staged site update into the global approximation.
     /// Returns the largest normalized posterior-mean shift it caused.
     fn apply_site_update(&mut self, k: usize, out: &SiteUpdate) -> f64 {
+        if out.quarantined {
+            return self.quarantine_site(k, out);
+        }
         let mut max_shift = 0.0f64;
         for (j, &v) in out.scope.iter().enumerate() {
             if !out.accepted[j] {
@@ -901,6 +917,32 @@ impl ExpectationPropagation {
         max_shift
     }
 
+    /// Removes a diverged site's contribution from the global
+    /// approximation and resets its messages to vacuous — the factor-graph
+    /// equivalent of dropping the poisoned observation back to the prior.
+    /// Its cavity history clears too, so the site re-fits with the full
+    /// budget on its next (hopefully finite) update. Returns the shift the
+    /// stripping caused so convergence accounting stays honest.
+    fn quarantine_site(&mut self, k: usize, out: &SiteUpdate) -> f64 {
+        let mut max_shift = 0.0f64;
+        for (j, &v) in out.scope.iter().enumerate() {
+            let g_old = self.global[v].to_gaussian().unwrap_or(self.prior[v]);
+            let stripped = self.global[v].div(&self.site_approx[k][j]);
+            self.global[v] = if stripped.is_proper() {
+                stripped
+            } else {
+                GaussianMessage::from_gaussian(&self.prior[v])
+            };
+            if let Some(g_new) = self.global[v].to_gaussian() {
+                let shift = (g_new.mean - g_old.mean).abs() / g_old.std_dev().max(1e-12);
+                max_shift = max_shift.max(shift);
+            }
+            self.site_approx[k][j] = GaussianMessage::uniform();
+        }
+        self.site_prev_cavity[k].clear();
+        max_shift
+    }
+
     fn collect_marginals(&self) -> Vec<Gaussian> {
         (0..self.prior.len()).map(|v| self.marginal(v)).collect()
     }
@@ -914,6 +956,7 @@ impl ExpectationPropagation {
             mcmc_site_updates: accum.mcmc_updates,
             analytic_site_updates: accum.analytic_updates,
             mcmc_samples: accum.mcmc_samples,
+            sites_quarantined: accum.quarantined,
         }
     }
 }
@@ -1088,6 +1131,25 @@ fn compute_site_update<R: Rng + ?Sized>(
         (scratch.mean(), scratch.var())
     };
 
+    // Divergence guard: a poisoned observation or a diverged MCMC chain
+    // yields NaN/Inf tilted moments. `vars[j].max(min_var)` would silently
+    // floor a NaN variance (f64::max ignores NaN) and a NaN *mean* passes
+    // every variance check — either way the poison would enter the global
+    // approximation and spread through every overlapping site on the next
+    // sweep. Quarantine instead: stage no update and tell the driver to
+    // strip this site's existing contribution back to the prior.
+    if scope
+        .iter()
+        .enumerate()
+        .any(|(j, _)| !means[j].is_finite() || !vars[j].is_finite())
+    {
+        out.quarantined = true;
+        for a in out.accepted.iter_mut() {
+            *a = false;
+        }
+        return;
+    }
+
     // Lines 5–7: local moment match, damped site update, staged global
     // update.
     for (j, &v) in scope.iter().enumerate() {
@@ -1162,6 +1224,55 @@ mod tests {
             "var {}",
             r.marginals[0].var
         );
+    }
+
+    #[test]
+    fn non_finite_observation_is_quarantined_not_propagated() {
+        // A Gaussian-linear site whose observation is swapped to NaN (the
+        // poisoned-sample path): its analytic solve yields NaN moments.
+        // The guard must quarantine the site back to prior — every
+        // marginal stays finite and the divergence counter records it.
+        let prior = vec![Gaussian::new(2.0, 4.0), Gaussian::new(2.0, 4.0)];
+        let mut ep = ExpectationPropagation::new(prior, EpConfig::default());
+        let mut poisoned = FactorSite::builder(vec![0])
+            .gaussian_linear(&[0], &[1.0], 6.0, 1.0)
+            .build();
+        poisoned.set_linear_obs(0, f64::NAN);
+        ep.add_site(poisoned);
+        // A healthy coupled site that would inhale the poison through the
+        // shared variable if the quarantine failed.
+        ep.add_site(
+            FactorSite::builder(vec![0, 1])
+                .gaussian_linear(&[0, 1], &[1.0, 1.0], 8.0, 0.5)
+                .build(),
+        );
+        let r = ep.run_parallel(99, 2);
+        assert!(r.sites_quarantined > 0, "divergence counter must record");
+        for (v, g) in r.marginals.iter().enumerate() {
+            assert!(
+                g.mean.is_finite() && g.var.is_finite() && g.var > 0.0,
+                "marginal {v} poisoned: {g:?}"
+            );
+        }
+        // The healthy site's information still flowed: x0 + x1 ~ N(8, .5)
+        // on N(2,4) priors pulls both means toward 4.
+        assert!((r.marginals[1].mean - 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quarantined_site_recovers_on_sequential_path_too() {
+        let mut ep =
+            ExpectationPropagation::new(vec![Gaussian::new(0.0, 4.0)], EpConfig::default());
+        let mut poisoned = FactorSite::builder(vec![0])
+            .gaussian_linear(&[0], &[1.0], 6.0, 1.0)
+            .build();
+        poisoned.set_linear_obs(0, f64::INFINITY);
+        ep.add_site(poisoned);
+        let r = ep.run(&mut rng());
+        assert!(r.sites_quarantined > 0);
+        // With its only site quarantined, the posterior is the prior.
+        assert!((r.marginals[0].mean - 0.0).abs() < 1e-9);
+        assert!((r.marginals[0].var - 4.0).abs() < 1e-9);
     }
 
     #[test]

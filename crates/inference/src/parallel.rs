@@ -127,6 +127,10 @@ pub struct SiteUpdate {
     pub(crate) cavity: Vec<GaussianMessage>,
     /// Whether the tilted moments came from MCMC (false: analytic path).
     pub(crate) used_mcmc: bool,
+    /// Whether the update produced non-finite tilted moments (NaN/Inf mean
+    /// or variance — a diverged MCMC chain or a poisoned observation). The
+    /// driver quarantines the site back to its prior instead of merging.
+    pub(crate) quarantined: bool,
     /// Whether a warm adaptive-budget decision voted for the *full* MCMC
     /// budget (the site's cavity jumped) — the sweep-escalation signal.
     /// Always false for cold runs, analytic sites, or `adaptive: None`.
@@ -156,6 +160,7 @@ impl SiteUpdate {
         self.cavity.clear();
         self.cavity.resize(d, GaussianMessage::uniform());
         self.used_mcmc = false;
+        self.quarantined = false;
         self.full_budget_vote = false;
         self.mcmc_samples = 0;
         self.proposed = 0;

@@ -28,7 +28,11 @@
 //! * seeded **link fault models** for distributed scrape planes:
 //!   [`LinkProfile`]/[`LinkState`] decide drops, latency (against virtual
 //!   deadlines — no sleeping), byte corruption, and recurring partitions
-//!   per request exchange, deterministically per seed.
+//!   per request exchange, deterministically per seed;
+//! * seeded **compute-plane data faults** for robustness soaks:
+//!   [`DataFaultProfile`]/[`DataFaultState`] poison individual samples
+//!   (NaN/Inf reads, scaled corruption, stuck-at counters, broken PMI
+//!   sub-moments) at controlled rates, deterministically per seed.
 //!
 //! Because the simulator also records per-window ground truth (which real
 //! hardware cannot provide), evaluation code can compute exact error — the
@@ -38,6 +42,7 @@
 //! [`Extrapolate::LinuxScaled`]: crate::Extrapolate::LinuxScaled
 
 mod config;
+mod datafault;
 mod link;
 mod machine;
 mod noise;
@@ -47,6 +52,7 @@ mod sample;
 mod truth;
 
 pub use config::{pack_round_robin, Configuration, ScheduleError};
+pub use datafault::{DataFault, DataFaultProfile, DataFaultState};
 pub use link::{LinkFate, LinkProfile, LinkState};
 pub use machine::{CorrelatedTruth, ShardProfile};
 pub use noise::NoiseModel;

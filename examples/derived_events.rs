@@ -41,7 +41,8 @@ fn main() {
 
     // Feed the kernel samples through the monitor service; the inference
     // thread corrects chunks in the background while we push.
-    let monitor = Monitor::new(&catalog, CorrectorConfig::for_run(&run), 1 << 14);
+    let monitor =
+        Monitor::new(&catalog, CorrectorConfig::for_run(&run), 1 << 14).expect("spawn monitor");
     let session = monitor.session().open().expect("fresh monitor");
     for w in &run.windows {
         for s in &w.samples {

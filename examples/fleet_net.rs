@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = corrector
             .get_or_insert_with(|| CorrectorConfig::for_run(&run))
             .clone();
-        let monitor = Monitor::new(&catalog, cfg, 1 << 14);
+        let monitor = Monitor::new(&catalog, cfg, 1 << 14).expect("spawn monitor");
         for w in &run.windows {
             for s in &w.samples {
                 monitor.push_sample(*s)?;

@@ -46,9 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The fleet: one Monitor (ring + inference thread) per socket.
     let corrector = CorrectorConfig::for_run(&runs[0]);
-    let mut fleet = Fleet::new(&catalog, FleetConfig::new(corrector));
+    let mut fleet = Fleet::new(&catalog, FleetConfig::new(corrector)).expect("spawn fleet");
     let shards: Vec<ShardId> = (0..8)
-        .map(|i| fleet.add_shard(ShardLabel::new(format!("node{:02}", i / 2), i % 2)))
+        .map(|i| {
+            fleet
+                .add_shard(ShardLabel::new(format!("node{:02}", i / 2), i % 2))
+                .expect("spawn shard")
+        })
         .collect();
 
     // Ingest: the router fans each machine's kernel stream to its shard

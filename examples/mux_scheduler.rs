@@ -97,7 +97,7 @@ fn main() {
     // ── Part 2: the live service drives its own schedule ────────────────
     // The hook half rides the inference thread (fed after every publish);
     // the handle half is what the sampling loop asks for the next group.
-    let monitor = Monitor::new(&catalog, corrector_cfg(), 1 << 16);
+    let monitor = Monitor::new(&catalog, corrector_cfg(), 1 << 16).expect("spawn monitor");
     let scheduler = MuxScheduler::new(schedule.clone(), Box::new(UncertaintyDriven::default()));
     let (handle, hook) = ServiceScheduler::new(scheduler, catalog.len());
     let _session = monitor

@@ -34,7 +34,8 @@ fn main() {
     let run = pmu.run_multiplexed(&mut truth, &schedule.configs, 21);
 
     // One monitor service == one perf "fd". Sessions are cheap handles.
-    let monitor = Monitor::new(&catalog, CorrectorConfig::for_run(&run), 1 << 14);
+    let monitor =
+        Monitor::new(&catalog, CorrectorConfig::for_run(&run), 1 << 14).expect("spawn monitor");
     let poller = monitor
         .session()
         .events(&events)
