@@ -43,7 +43,12 @@
 //!   "supervised_recovery": { "cycles": 30, "restart_p50_ns": 0.0,
 //!                            "restart_p99_ns": 0.0, "reads_during_recovery": 0,
 //!                            "read_failures": 0, "guard_ns_per_window": 0.0,
-//!                            "guard_over_warm": 0.0 }
+//!                            "guard_over_warm": 0.0 },
+//!   "multi_source_fuse": { "windows": 18, "sources": 4,
+//!                          "pmu_only_ns_per_window": 0.0,
+//!                          "fused_ns_per_window": 0.0, "fuse_overhead": 0.0,
+//!                          "pmu_only_gauge_sd": 0.0, "fused_gauge_sd": 0.0,
+//!                          "rel_variance_ratio": 0.0 }
 //! }
 //! ```
 //!
@@ -85,6 +90,14 @@
 //! warm per-window inference time. With `BENCH_GATE=1` the restart p99
 //! must stay under 100 ms, no read may fail mid-recovery, and the guard
 //! overhead must stay ≤ 2% of warm per-window time.
+//!
+//! `multi_source_fuse` runs the observation-plane catalog end to end
+//! twice — a multiplexed PMU alone, then the PMU plus the three simulated
+//! gauge sources at 4×/8×/16× cadence — through one live monitor each,
+//! and reports wall-clock ns/window for both arms plus the mean
+//! gauge-event posterior spread ratio (fused / PMU-only). With
+//! `BENCH_GATE=1` the ratio must be ≤ 1.0: gauge evidence may only
+//! tighten the gauge posteriors, never widen them.
 //!
 //! `BENCH_QUICK=1` shrinks the pair and read counts for CI smoke runs;
 //! `BENCH_JSON_PATH` overrides the output path.
@@ -135,6 +148,7 @@ impl SnapshotSource for NetSource {
             window: v as u32 * 6,
             chunk: v,
             stats: EpRunStats::default(),
+            late_by_source: Vec::new(),
             posteriors: (0..self.events)
                 .map(|e| {
                     Gaussian::new(
@@ -617,6 +631,87 @@ fn main() {
         );
     }
 
+    // Multi-source fusion: the observation-plane catalog end to end —
+    // PMU-only vs PMU + the three simulated gauge sources at slower
+    // cadences, each through a live monitor. Wall-clock covers push +
+    // pump + flush (the whole ingest/inference pipeline), and the
+    // posterior comparison is the mean gauge-event spread: gauge
+    // evidence must tighten it (ratio ≤ 1 under BENCH_GATE), mirroring
+    // the acceptance test one layer down.
+    let ms_windows = 18usize;
+    let ms_seed = 3u64;
+    let ms_run = |with_gauges: bool| -> (f64, f64) {
+        use bayesperf_core::source::pump_sources;
+        use bayesperf_events::{Arch, Catalog, Semantic};
+        use bayesperf_simcpu::{pack_round_robin, GaugeProfile, Pmu, SampleSource, SimGauge};
+
+        let ms_cat = Catalog::with_observation_plane(Arch::X86SkyLake);
+        let mut truth = bayesperf_workloads::kmeans().instantiate(&ms_cat, ms_seed);
+        let events = vec![
+            ms_cat.require(Semantic::IioRdTotal),
+            ms_cat.require(Semantic::IioWrTotal),
+            ms_cat.require(Semantic::UopsIssued),
+            ms_cat.require(Semantic::L1dMisses),
+        ];
+        let schedule = pack_round_robin(&ms_cat, &events).expect("schedule fits");
+        let pmu_cfg = PmuConfig::for_catalog(&ms_cat);
+        let ms_run = Pmu::new(&ms_cat, pmu_cfg).run_multiplexed(&mut truth, &schedule, ms_windows);
+        let ms_monitor = Monitor::new(&ms_cat, CorrectorConfig::for_run(&ms_run), 1 << 14)
+            .expect("spawn monitor");
+        let ms_session = ms_monitor.session().open().expect("open session");
+        let mut sources: Vec<Box<dyn SampleSource + '_>> = if with_gauges {
+            ms_cat.sources()[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, desc)| {
+                    Box::new(
+                        SimGauge::new(
+                            &ms_cat,
+                            desc.id,
+                            GaugeProfile::for_source(desc, 11 + i as u64),
+                            &pmu_cfg,
+                            bayesperf_workloads::kmeans().instantiate(&ms_cat, ms_seed),
+                        )
+                        .expect("gauge source"),
+                    ) as Box<dyn SampleSource + '_>
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let t = Instant::now();
+        for (w, win) in ms_run.windows.iter().enumerate() {
+            for s in &win.samples {
+                let _ = ms_monitor.push_sample(*s);
+            }
+            pump_sources(&ms_monitor, &mut sources, w as u32).expect("pump");
+        }
+        ms_monitor.sync().expect("sync");
+        ms_monitor.flush().expect("flush");
+        let elapsed_ns = t.elapsed().as_nanos() as f64;
+        let mut gauge_sd = 0.0;
+        for &sem in Semantic::gauges() {
+            gauge_sd += ms_session
+                .read(ms_cat.require(sem))
+                .expect("gauge read")
+                .std_dev;
+        }
+        gauge_sd /= Semantic::gauges().len() as f64;
+        (elapsed_ns / ms_windows as f64, gauge_sd)
+    };
+    let ms_sources = 4usize;
+    let (ms_pmu_ns, ms_pmu_sd) = ms_run(false);
+    let (ms_fused_ns, ms_fused_sd) = ms_run(true);
+    let ms_overhead = ms_fused_ns / ms_pmu_ns.max(1.0);
+    let ms_ratio = ms_fused_sd / ms_pmu_sd.max(f64::MIN_POSITIVE);
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            ms_ratio <= 1.0,
+            "fusing gauge sources must tighten the mean gauge posterior \
+             (fused {ms_fused_sd:.1} vs PMU-only {ms_pmu_sd:.1}), got {ms_ratio:.3}x"
+        );
+    }
+
     let json = format!(
         r#"{{
   "bench": "inference_warm_vs_cold",
@@ -652,7 +747,12 @@ fn main() {
                            "reads_during_recovery": {reads_during_recovery},
                            "read_failures": {read_failures},
                            "guard_ns_per_window": {:.1},
-                           "guard_over_warm": {:.6} }}
+                           "guard_over_warm": {:.6} }},
+  "multi_source_fuse": {{ "windows": {ms_windows}, "sources": {ms_sources},
+                         "pmu_only_ns_per_window": {:.0},
+                         "fused_ns_per_window": {:.0}, "fuse_overhead": {:.3},
+                         "pmu_only_gauge_sd": {:.1}, "fused_gauge_sd": {:.1},
+                         "rel_variance_ratio": {:.4} }}
 }}
 "#,
         ns_per_window(cold_ns),
@@ -688,6 +788,12 @@ fn main() {
         restart_p99,
         guard_ns_per_window,
         guard_over_warm,
+        ms_pmu_ns,
+        ms_fused_ns,
+        ms_overhead,
+        ms_pmu_sd,
+        ms_fused_sd,
+        ms_ratio,
     );
 
     let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_inference.json".into());

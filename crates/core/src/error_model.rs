@@ -63,6 +63,39 @@ pub fn extrapolated_observation(sample: &Sample, scale: f64, extrap_sigma: f64) 
     StudentT::new(loc, t_scale, 2.5)
 }
 
+/// Builds the observation factor for a **soft gauge** reading
+/// ([`bayesperf_events::SourceNoise::Gaussian`]): a single value from a
+/// diskstats/RAPL-style source, with no PMI sub-sample statistics.
+///
+/// The source's advertised relative scale (`rel_scale`, per-read sigma and
+/// calibration drift already composed in quadrature) replaces the
+/// sub-sample deviation the PMU path gets for free: the factor's scale is
+/// `rel_scale` times the reading, floored at `sigma_floor` like a real
+/// read. High degrees of freedom (60) make the factor effectively
+/// Gaussian — gauge noise is well modelled, unlike the heavy-tailed OS
+/// nondeterminism of multiplexed reads — while staying in the same
+/// Student-t family the EP sites already handle.
+///
+/// `rel_scale` is floored at `1e-6` for the same reason as
+/// [`extrapolated_observation`]: this runs on the monitor's inference
+/// thread, where a panic closes the service.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+pub fn gauge_observation(
+    sample: &Sample,
+    scale: f64,
+    rel_scale: f64,
+    sigma_floor: f64,
+) -> StudentT {
+    assert!(scale > 0.0, "scale must be positive, got {scale}");
+    let loc = sample.value / scale;
+    let rel = rel_scale.max(1e-6).max(sigma_floor);
+    let t_scale = rel * loc.abs().max(1e-3);
+    StudentT::new(loc, t_scale, 60.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +111,7 @@ mod tests {
             sub_n,
             time_enabled: 4,
             time_running: 4,
+            source: bayesperf_events::SourceId::PMU,
         }
     }
 
@@ -141,6 +175,20 @@ mod tests {
             let t = extrapolated_observation(&s, 500.0, bad);
             assert!(t.scale > 0.0, "floored scale for extrap_sigma={bad}");
         }
+    }
+
+    #[test]
+    fn gauge_factor_uses_the_advertised_relative_scale() {
+        let s = sample(1000.0, 0.0, 1);
+        let t = gauge_observation(&s, 500.0, 0.05, 0.002);
+        assert!((t.loc - 2.0).abs() < 1e-12);
+        assert!((t.scale - 0.05 * 2.0).abs() < 1e-12);
+        assert!(t.dof > 30.0, "gauge factors are near-Gaussian");
+
+        // The PMU sigma floor still applies when the source advertises
+        // implausibly tight noise, and a zero rel_scale never panics.
+        let floored = gauge_observation(&s, 500.0, 0.0, 0.02);
+        assert!(floored.scale >= 0.02 * 2.0 - 1e-12);
     }
 
     #[test]

@@ -38,10 +38,11 @@ pub mod scheduler;
 pub mod service;
 pub mod shim;
 pub mod snapshot;
+pub mod source;
 
 pub use corrector::{CorrectionStats, Corrector, CorrectorConfig, PosteriorSeries};
 pub use error::ShimError;
-pub use error_model::{extrapolated_observation, observation};
+pub use error_model::{extrapolated_observation, gauge_observation, observation};
 pub use metrics::{adjusted_error, dtw_align, dtw_relative_error};
 pub use model::{build_chunk_model, ChunkEngine, ChunkModel, ChunkPosterior, ModelConfig};
 pub use scheduler::{Schedule, ScheduleTransformer};
@@ -51,3 +52,6 @@ pub use service::{
 };
 pub use shim::{BayesPerfShim, HpcReader, LinuxReader, Reading};
 pub use snapshot::{snapshot_cell, SnapshotGuard, SnapshotReader, SnapshotWriter};
+pub use source::pump_sources;
+#[cfg(feature = "proc-source")]
+pub use source::ProcSource;

@@ -29,8 +29,8 @@
 //! independent-chunks path). [`build_chunk_model`] wraps a single-shot
 //! cold engine for the legacy build-per-chunk API.
 
-use crate::error_model::{extrapolated_observation, observation};
-use bayesperf_events::{Catalog, EventEnv, EventId, Expr};
+use crate::error_model::{extrapolated_observation, gauge_observation, observation};
+use bayesperf_events::{Catalog, EventEnv, EventId, Expr, SourceNoise};
 use bayesperf_graph::CsrAdjacency;
 use bayesperf_inference::{
     AdaptiveBudget, EpConfig, EpRunStats, EpSite, ExpectationPropagation, Gaussian, McmcConfig,
@@ -152,6 +152,9 @@ struct SliceSite {
     scale_hints: Vec<Option<f64>>,
     /// Denormalization scales, catalog-indexed (local i ↔ catalog event i).
     scales: std::sync::Arc<Vec<f64>>,
+    /// Per-source error models, indexed by raw [`bayesperf_events::SourceId`]
+    /// (base catalogs: just the PMU's `StudentT`).
+    source_noise: std::sync::Arc<Vec<SourceNoise>>,
 }
 
 struct SliceEnv<'a> {
@@ -213,10 +216,30 @@ impl SliceSite {
         }
         for s in window {
             let local = s.event.index();
+            // Per-source dispatch: the sample's source tag picks the error
+            // model the factor is built from. Extrapolations always take
+            // the wide carry-forward factor, whatever the source; an
+            // unknown source id (newer producer than catalog) degrades to
+            // the PMU model rather than panicking the inference thread.
+            let noise = self
+                .source_noise
+                .get(s.source.index())
+                .copied()
+                .unwrap_or(SourceNoise::StudentT);
             let dist = if s.is_extrapolated() {
                 extrapolated_observation(s, self.scales[local], extrap_sigma)
             } else {
-                observation(s, self.scales[local], sigma_floor)
+                match noise {
+                    SourceNoise::StudentT => observation(s, self.scales[local], sigma_floor),
+                    SourceNoise::Gaussian { .. } => {
+                        gauge_observation(s, self.scales[local], noise.rel_scale(), sigma_floor)
+                    }
+                    SourceNoise::HeavyTail { rel_sigma } => {
+                        // Low-trust source: same wide heavy-tailed factor
+                        // an extrapolation gets, at the source's scale.
+                        extrapolated_observation(s, self.scales[local], rel_sigma)
+                    }
+                }
             };
             self.hints[local] = Some(dist.loc);
             self.scale_hints[local] = Some(dist.scale * 3.0);
@@ -319,6 +342,8 @@ impl ChunkEngine {
         assert!(slices > 0, "chunk must contain at least one window");
         let ne = catalog.len();
         let scales = std::sync::Arc::new(event_scales(catalog, cfg.cycles_per_window));
+        let source_noise: std::sync::Arc<Vec<SourceNoise>> =
+            std::sync::Arc::new(catalog.sources().iter().map(|s| s.noise).collect());
         let base_prior = Gaussian::new(cfg.prior_mean, cfg.prior_sd * cfg.prior_sd);
         let prior = vec![base_prior; slices * ne];
         let mut ep = ExpectationPropagation::new(prior.clone(), ep_config);
@@ -391,6 +416,7 @@ impl ChunkEngine {
                 hints: vec![None; nlocal],
                 scale_hints: vec![None; nlocal],
                 scales: scales.clone(),
+                source_noise: source_noise.clone(),
             });
         }
 

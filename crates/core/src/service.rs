@@ -91,6 +91,14 @@ pub struct SnapshotView {
     pub stats: EpRunStats,
     /// Catalog-indexed posteriors (count units).
     pub posteriors: Vec<Gaussian>,
+    /// Per-source dropped-late counts, indexed by raw [`SourceId`]
+    /// (see [`Monitor::late_samples_by_source`]): the observation-plane
+    /// health metadata a fleet aggregator ships alongside posteriors, so
+    /// a chronically late gauge is visible fleet-wide. Only extends as
+    /// far as the highest source that has dropped anything.
+    ///
+    /// [`SourceId`]: bayesperf_events::SourceId
+    pub late_by_source: Vec<u64>,
 }
 
 /// One per-window posterior update streamed to [`Session::subscribe`]rs.
@@ -327,6 +335,11 @@ struct Shared {
     /// without processing.
     paused: AtomicBool,
     late_samples: AtomicU64,
+    /// Per-source breakdown of `late_samples`, indexed by raw
+    /// [`bayesperf_events::SourceId`] and grown on demand (slow-cadence
+    /// gauge sources are the usual suspects; the multi-source health
+    /// surface reads this).
+    late_by_source: Mutex<Vec<u64>>,
     chunks_run: AtomicU64,
     windows_published: AtomicU64,
     /// Heartbeat: bumped by the service once per loop iteration and per
@@ -438,6 +451,7 @@ impl Monitor {
             closed: AtomicBool::new(false),
             paused: AtomicBool::new(false),
             late_samples: AtomicU64::new(0),
+            late_by_source: Mutex::new(Vec::new()),
             chunks_run: AtomicU64::new(0),
             windows_published: AtomicU64::new(0),
             beats: AtomicU64::new(0),
@@ -578,6 +592,18 @@ impl Monitor {
     /// window.
     pub fn late_samples(&self) -> u64 {
         self.shared.late_samples.load(Relaxed)
+    }
+
+    /// Per-source breakdown of [`Monitor::late_samples`], indexed by raw
+    /// [`bayesperf_events::SourceId`]. The vector only extends as far as
+    /// the highest source that has dropped a sample (empty while nothing
+    /// was late); missing entries are zero.
+    pub fn late_samples_by_source(&self) -> Vec<u64> {
+        self.shared
+            .late_by_source
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Inference runs executed (full chunks plus flushed tails).
@@ -959,6 +985,14 @@ impl Session {
         view.stats = snap.stats;
         view.posteriors.clear();
         view.posteriors.extend_from_slice(&snap.posteriors);
+        view.late_by_source.clear();
+        view.late_by_source.extend_from_slice(
+            &self
+                .shared
+                .late_by_source
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
         Ok(())
     }
 
@@ -1016,6 +1050,16 @@ impl Session {
     /// Samples dropped for arriving after their window completed.
     pub fn late_samples(&self) -> u64 {
         self.shared.late_samples.load(Relaxed)
+    }
+
+    /// Per-source breakdown of [`Session::late_samples`], indexed by raw
+    /// [`bayesperf_events::SourceId`]; missing entries are zero.
+    pub fn late_samples_by_source(&self) -> Vec<u64> {
+        self.shared
+            .late_by_source
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Inference runs executed so far.
@@ -1280,11 +1324,15 @@ impl InferenceService {
 
     /// Window assembly. A sample for window `w` means every window `< w`
     /// is complete (the PMU delivers window-ordered streams); a sample for
-    /// a window *below* the frontier arrived after its window completed —
-    /// it is dropped and counted as late instead of leaking into
-    /// `assembling` forever.
+    /// a window *below* the frontier arrived after its window completed.
+    /// If that window is still `pending` (complete, not yet corrected) the
+    /// straggler is **absorbed** — the normal fate of a slow-cadence gauge
+    /// source's reading landing just behind the PMU stream. Otherwise it
+    /// is dropped and counted as late, totalled and per source — never
+    /// re-opened into `assembling`.
     fn ingest(&mut self) {
         let mut late = 0u64;
+        let mut late_src: Vec<u64> = Vec::new();
         let mut diverged = 0u64;
         for i in 0..self.drained.len() {
             let s = self.drained[i];
@@ -1303,7 +1351,18 @@ impl InferenceService {
             }
             match self.frontier {
                 Some(f) if s.window < f => {
-                    late += 1;
+                    if let Some((_, samples)) =
+                        self.pending.iter_mut().find(|(w, _)| *w == s.window)
+                    {
+                        samples.push(s);
+                    } else {
+                        late += 1;
+                        let idx = s.source.index();
+                        if late_src.len() <= idx {
+                            late_src.resize(idx + 1, 0);
+                        }
+                        late_src[idx] += 1;
+                    }
                     continue;
                 }
                 Some(f) if s.window > f => {
@@ -1317,6 +1376,17 @@ impl InferenceService {
         }
         if late > 0 {
             self.shared.late_samples.fetch_add(late, Relaxed);
+            let mut by_source = self
+                .shared
+                .late_by_source
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if by_source.len() < late_src.len() {
+                by_source.resize(late_src.len(), 0);
+            }
+            for (total, n) in by_source.iter_mut().zip(&late_src) {
+                *total += n;
+            }
         }
         if diverged > 0 {
             self.shared.divergences.fetch_add(diverged, Relaxed);
@@ -1820,6 +1890,73 @@ mod tests {
         // It must not re-open window 0: a flush finds nothing stuck.
         monitor.flush().expect("flush");
         assert_eq!(monitor.late_samples(), 1);
+    }
+
+    /// Satellite regression: sources with cadences 16x apart (PMU at 1,
+    /// power gauge at 16). A slow-cadence reading landing after the PMU
+    /// stream completed its window is *absorbed* while the window is
+    /// still pending (complete, not yet corrected), and dropped-and-
+    /// counted **per source** once the window has been corrected — never
+    /// leaked back into `assembling`.
+    #[test]
+    fn slow_cadence_stragglers_absorb_or_drop_per_source() {
+        let cat = Catalog::with_observation_plane(Arch::X86SkyLake);
+        let run = recorded_run(&cat, 20);
+        let cfg = CorrectorConfig::for_run(&run);
+        let k = cfg.model.slices;
+        // 20 windows at k=6: windows 0..18 complete when window 19's
+        // samples arrive; 0..17 corrected; 18 stays pending.
+        assert_eq!(k, 6, "fixture assumes the default chunk size");
+        let monitor = Monitor::new(&cat, cfg, 1 << 14).expect("spawn monitor");
+        feed(&monitor, &run);
+        monitor.sync().expect("sync");
+        assert_eq!(monitor.late_samples(), 0);
+
+        let power = cat
+            .sources()
+            .iter()
+            .find(|s| s.cadence == 16)
+            .expect("a 16x-slower source");
+        let ev = cat.events_of_source(power.id)[0];
+        let gauge = |window: u32| Sample {
+            event: ev,
+            window,
+            value: 1.0,
+            sub_mean: 1.0,
+            sub_sd: 0.0,
+            sub_n: 1,
+            time_enabled: 1,
+            time_running: 1,
+            source: power.id,
+        };
+
+        // Straggler for the completed-but-uncorrected window: absorbed.
+        monitor.push_sample(gauge(18)).expect("ring has room");
+        monitor.sync().expect("sync");
+        assert_eq!(monitor.late_samples(), 0, "pending window absorbs it");
+        assert!(monitor.late_samples_by_source().is_empty());
+
+        // Straggler for an already-corrected window: dropped, and the
+        // drop is charged to the gauge source, not the PMU.
+        monitor.push_sample(gauge(16)).expect("ring has room");
+        monitor.sync().expect("sync");
+        assert_eq!(monitor.late_samples(), 1);
+        let by_source = monitor.late_samples_by_source();
+        assert_eq!(by_source[power.id.index()], 1);
+        assert!(
+            by_source[..power.id.index()].iter().all(|&c| c == 0),
+            "no other source charged"
+        );
+
+        // Nothing leaked into assembly: the flush finds nothing stuck and
+        // the absorbed reading went out with its window.
+        monitor.flush().expect("flush");
+        assert_eq!(monitor.late_samples(), 1);
+        assert_eq!(
+            monitor.windows_published(),
+            run.windows.len() as u64,
+            "every window (including the absorbing one) was corrected"
+        );
     }
 
     #[test]

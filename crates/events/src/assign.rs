@@ -47,6 +47,9 @@ pub enum AssignmentError {
     },
     /// A fixed event was passed; fixed counters are not configurable.
     FixedEventInConfiguration(EventId),
+    /// A gauge event was passed; gauges are sampled from OS interfaces at
+    /// their own cadence and never occupy a PMU register.
+    GaugeEventInConfiguration(EventId),
 }
 
 impl fmt::Display for AssignmentError {
@@ -65,6 +68,12 @@ impl fmt::Display for AssignmentError {
             } => write!(f, "{requested} offcore events but only {available} MSRs"),
             AssignmentError::FixedEventInConfiguration(id) => {
                 write!(f, "fixed event {id} cannot be placed in a configuration")
+            }
+            AssignmentError::GaugeEventInConfiguration(id) => {
+                write!(
+                    f,
+                    "gauge event {id} is not a PMU event and cannot be scheduled"
+                )
             }
         }
     }
@@ -99,6 +108,7 @@ pub fn try_assign(
             Domain::Fixed => return Err(AssignmentError::FixedEventInConfiguration(id)),
             Domain::Core => core.push(id),
             Domain::Uncore => uncore.push(id),
+            Domain::Gauge => return Err(AssignmentError::GaugeEventInConfiguration(id)),
         }
         if desc.needs_msr {
             msrs += 1;

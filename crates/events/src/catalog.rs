@@ -7,6 +7,7 @@ use crate::event::{Domain, EventDesc, Semantic};
 use crate::expr::Expr;
 use crate::id::EventId;
 use crate::invariant::Invariant;
+use crate::source::{SourceDesc, SourceId, SourceKind, SourceNoise};
 use crate::synth::{synthesize, FreeParams};
 use std::collections::HashMap;
 
@@ -27,11 +28,32 @@ pub struct Catalog {
     invariants: Vec<Invariant>,
     derived: Vec<DerivedEvent>,
     nominal: Vec<f64>,
+    sources: Vec<SourceDesc>,
+    source_of: Vec<SourceId>,
 }
 
 impl Catalog {
-    /// Builds the catalog for an architecture.
+    /// Builds the catalog for an architecture (PMU events only — the
+    /// implicit PMU source is the sole registered observation source).
     pub fn new(arch: Arch) -> Self {
+        Self::build(arch, false)
+    }
+
+    /// Builds the catalog extended with the heterogeneous observation
+    /// plane: the gauge events ([`Semantic::gauges`]) are appended after
+    /// the PMU events, gauge [`SourceDesc`]s (disk-ops, disk-bytes, power)
+    /// are registered at distinct cadences with their own noise models,
+    /// and the cross-source invariant and derived-event libraries couple
+    /// the planes in one factor graph.
+    ///
+    /// PMU event ids, invariants, and derived events are a strict prefix
+    /// of the base catalog's, so everything built against
+    /// [`Catalog::new`] works unchanged on an extended catalog.
+    pub fn with_observation_plane(arch: Arch) -> Self {
+        Self::build(arch, true)
+    }
+
+    fn build(arch: Arch, observation_plane: bool) -> Self {
         let params = ArchParams::for_arch(arch);
         let pmu = PmuSpec::for_arch(arch);
         let mut events = Vec::new();
@@ -57,6 +79,33 @@ impl Catalog {
             events.push(desc);
         }
 
+        let mut sources = vec![SourceDesc::pmu()];
+        let mut source_of = vec![SourceId::PMU; events.len()];
+        if observation_plane {
+            for &sem in Semantic::gauges() {
+                let id = EventId::from_raw(events.len() as u16);
+                let desc = EventDesc {
+                    id,
+                    name: event_name(arch, sem).to_owned(),
+                    semantic: sem,
+                    domain: Domain::Gauge,
+                    counter_mask: 0,
+                    needs_msr: false,
+                };
+                by_semantic.insert(sem, id);
+                by_name.insert(desc.name.clone(), id);
+                events.push(desc);
+            }
+            source_of.resize(events.len(), SourceId::PMU);
+            for (source, owned) in gauge_sources() {
+                let sid = SourceId::from_raw(sources.len() as u16);
+                sources.push(SourceDesc { id: sid, ..source });
+                for sem in owned {
+                    source_of[by_semantic[&sem].index()] = sid;
+                }
+            }
+        }
+
         let mut catalog = Catalog {
             arch,
             params,
@@ -67,9 +116,17 @@ impl Catalog {
             invariants: Vec::new(),
             derived: Vec::new(),
             nominal: Vec::new(),
+            sources,
+            source_of,
         };
         catalog.invariants = build_invariants(&catalog);
         catalog.derived = build_derived(&catalog);
+        if observation_plane {
+            catalog
+                .invariants
+                .extend(build_cross_source_invariants(&catalog));
+            catalog.derived.extend(build_cross_source_derived(&catalog));
+        }
         catalog.nominal = synthesize(&catalog, &FreeParams::default())
             .into_iter()
             .map(|v| v.max(1.0))
@@ -177,6 +234,92 @@ impl Catalog {
     pub fn ex(&self, sem: Semantic) -> Expr {
         Expr::event(self.require(sem))
     }
+
+    /// The registered observation sources, in [`SourceId`] order. A base
+    /// catalog has exactly one (the PMU); an extended catalog
+    /// ([`Catalog::with_observation_plane`]) adds the gauge sources.
+    pub fn sources(&self) -> &[SourceDesc] {
+        &self.sources
+    }
+
+    /// The descriptor of one source, or `None` for an unregistered id.
+    pub fn source(&self, id: SourceId) -> Option<&SourceDesc> {
+        self.sources.get(id.index())
+    }
+
+    /// Which source owns (produces) an event. PMU events always map to
+    /// [`SourceId::PMU`]; gauge events map to their registered source.
+    pub fn source_of(&self, id: EventId) -> SourceId {
+        self.source_of
+            .get(id.index())
+            .copied()
+            .unwrap_or(SourceId::PMU)
+    }
+
+    /// Events owned by `source`, in id order.
+    pub fn events_of_source(&self, source: SourceId) -> Vec<EventId> {
+        self.events
+            .iter()
+            .filter(|e| self.source_of(e.id) == source)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// True when the catalog was built with the multi-source observation
+    /// plane (gauge events + gauge sources registered).
+    pub fn has_observation_plane(&self) -> bool {
+        self.sources.len() > 1
+    }
+}
+
+/// The simulated gauge source roster of an extended catalog: descriptor
+/// template (id is assigned at registration) plus the semantics each
+/// source owns. Cadences are deliberately heterogeneous — disk-ops every
+/// 4 windows, disk-bytes every 8, power every 16 — so fusion always deals
+/// with rates the PMU never produces.
+fn gauge_sources() -> Vec<(SourceDesc, Vec<Semantic>)> {
+    use Semantic::*;
+    vec![
+        (
+            SourceDesc {
+                id: SourceId::PMU, // reassigned at registration
+                name: "disk-ops".to_string(),
+                kind: SourceKind::Gauge,
+                cadence: 4,
+                noise: SourceNoise::Gaussian {
+                    rel_sigma: 0.02,
+                    drift: 0.01,
+                },
+            },
+            vec![DiskReadOps, DiskWriteOps],
+        ),
+        (
+            SourceDesc {
+                id: SourceId::PMU,
+                name: "disk-bytes".to_string(),
+                kind: SourceKind::Gauge,
+                cadence: 8,
+                noise: SourceNoise::Gaussian {
+                    rel_sigma: 0.03,
+                    drift: 0.02,
+                },
+            },
+            vec![DiskReadBytes, DiskWriteBytes],
+        ),
+        (
+            SourceDesc {
+                id: SourceId::PMU,
+                name: "power".to_string(),
+                kind: SourceKind::Gauge,
+                cadence: 16,
+                noise: SourceNoise::Gaussian {
+                    rel_sigma: 0.05,
+                    drift: 0.03,
+                },
+            },
+            vec![PowerWatts],
+        ),
+    ]
 }
 
 /// Vendor-style event name per architecture and semantic.
@@ -229,6 +372,13 @@ fn event_name(arch: Arch, sem: Semantic) -> &'static str {
             IioRdPart => "UNC_IIO_DATA_REQ_OF_CPU.RD_PART",
             IioWrTotal => "UNC_IIO_DATA_REQ_OF_CPU.WR_TOTAL",
             IioRdTotal => "UNC_IIO_DATA_REQ_OF_CPU.RD_TOTAL",
+            // OS-level gauges are vendor-neutral; the names are shared
+            // across architectures.
+            DiskReadOps => "GAUGE_DISK.RD_OPS",
+            DiskWriteOps => "GAUGE_DISK.WR_OPS",
+            DiskReadBytes => "GAUGE_DISK.RD_BYTES",
+            DiskWriteBytes => "GAUGE_DISK.WR_BYTES",
+            PowerWatts => "GAUGE_POWER.PKG_WATTS",
         },
         Arch::Ppc64Power9 => match sem {
             Cycles => "PM_RUN_CYC",
@@ -276,6 +426,11 @@ fn event_name(arch: Arch, sem: Semantic) -> &'static str {
             IioRdPart => "PM_IO_RD_PART",
             IioWrTotal => "PM_IO_WR_TOTAL",
             IioRdTotal => "PM_IO_RD_TOTAL",
+            DiskReadOps => "GAUGE_DISK.RD_OPS",
+            DiskWriteOps => "GAUGE_DISK.WR_OPS",
+            DiskReadBytes => "GAUGE_DISK.RD_BYTES",
+            DiskWriteBytes => "GAUGE_DISK.WR_BYTES",
+            PowerWatts => "GAUGE_POWER.PKG_WATTS",
         },
     }
 }
@@ -291,6 +446,11 @@ fn placement(arch: Arch, sem: Semantic) -> (Domain, u8, bool) {
     let full = 0b1111u8;
     match sem {
         Cycles | RefCycles | Instructions => (Domain::Fixed, 0, false),
+        // Soft gauges never occupy a PMU register: the wildcard below
+        // must not silently turn them into core events.
+        DiskReadOps | DiskWriteOps | DiskReadBytes | DiskWriteBytes | PowerWatts => {
+            (Domain::Gauge, 0, false)
+        }
         DmaTransactions | ImcCasRd | ImcCasWr | IioWrAlloc | IioWrFull | IioWrPart
         | IioWrNonSnoop | IioRdCode | IioRdPart | IioWrTotal | IioRdTotal => {
             (Domain::Uncore, 0, false)
@@ -550,6 +710,64 @@ fn build_derived(c: &Catalog) -> Vec<DerivedEvent> {
     ]
 }
 
+/// Cross-source invariants of the extended observation plane: factors
+/// that couple gauge readings to PMU counters in the same graph, so a
+/// miscounting source is caught by the *other* plane (the Röhl-style
+/// validation argument). All expressions are homogeneous (degree-1, no
+/// additive constants), keeping them valid in both per-mega-cycle rate
+/// units and per-window count units.
+fn build_cross_source_invariants(c: &Catalog) -> Vec<Invariant> {
+    use Semantic::*;
+    let k = Expr::konst;
+    vec![
+        // Block-layer bytes are the device DMA traffic the uncore IIO
+        // counters see, cache-line sized (device reads ⇒ disk writes to
+        // memory and vice versa cancel out in the aggregate).
+        Invariant::new(
+            "disk_dma_bytes",
+            c.ex(DiskReadBytes) + c.ex(DiskWriteBytes),
+            k(c.params().cacheline_bytes) * (c.ex(IioRdTotal) + c.ex(IioWrTotal)),
+            0.01,
+        ),
+        // Bytes and completed operations agree at the nominal request
+        // size (one 4 KiB page per IOP).
+        Invariant::new(
+            "disk_io_size",
+            c.ex(DiskReadBytes) + c.ex(DiskWriteBytes),
+            k(crate::synth::DISK_IO_BYTES_PER_OP) * (c.ex(DiskReadOps) + c.ex(DiskWriteOps)),
+            0.01,
+        ),
+        // Package power tracks activity: a static leakage term per cycle
+        // plus a dynamic term per issued µop. Soft — the real coefficient
+        // is workload and DVFS dependent — but tight enough to catch a
+        // power gauge (or a cycle counter) reading nonsense.
+        Invariant::new(
+            "power_activity",
+            c.ex(PowerWatts),
+            k(crate::synth::POWER_STATIC_W_PER_CYCLE) * c.ex(Cycles)
+                + k(crate::synth::POWER_DYN_W_PER_UOP) * c.ex(UopsIssued),
+            0.05,
+        ),
+    ]
+}
+
+/// Cross-source derived events: metrics no single source can answer.
+fn build_cross_source_derived(c: &Catalog) -> Vec<DerivedEvent> {
+    use Semantic::*;
+    vec![
+        DerivedEvent::new(
+            "Bytes_per_IOP",
+            "mean I/O request size: disk bytes moved per completed operation",
+            (c.ex(DiskReadBytes) + c.ex(DiskWriteBytes)) / (c.ex(DiskReadOps) + c.ex(DiskWriteOps)),
+        ),
+        DerivedEvent::new(
+            "IPC_per_Watt",
+            "instructions per cycle per package watt (PMU ÷ power gauge)",
+            c.ex(Instructions) / c.ex(Cycles) / c.ex(PowerWatts),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,5 +869,100 @@ mod tests {
         for ev in cat.iter() {
             assert!(cat.nominal_scale(ev.id) >= 1.0, "{}", ev.name);
         }
+    }
+
+    #[test]
+    fn base_catalog_has_only_the_pmu_source() {
+        let cat = Catalog::new(Arch::X86SkyLake);
+        assert!(!cat.has_observation_plane());
+        assert_eq!(cat.sources().len(), 1);
+        assert_eq!(cat.sources()[0].id, crate::SourceId::PMU);
+        for ev in cat.iter() {
+            assert_eq!(cat.source_of(ev.id), crate::SourceId::PMU);
+        }
+    }
+
+    #[test]
+    fn observation_plane_extends_the_base_catalog_as_a_prefix() {
+        for arch in Arch::all() {
+            let base = Catalog::new(arch);
+            let ext = Catalog::with_observation_plane(arch);
+            assert!(ext.has_observation_plane());
+            assert_eq!(ext.len(), base.len() + Semantic::gauges().len());
+            // PMU events, invariants, and derived events are a strict
+            // prefix: ids and names are unchanged.
+            for ev in base.iter() {
+                let e = ext.event(ev.id);
+                assert_eq!(e.name, ev.name);
+                assert_eq!(e.semantic, ev.semantic);
+                assert_eq!(e.domain, ev.domain);
+            }
+            assert!(ext.invariants().len() > base.invariants().len());
+            assert_eq!(ext.derived_events().len(), base.derived_events().len() + 2);
+            // Gauge events carry the Gauge domain and never enter the
+            // programmable pool.
+            for &sem in Semantic::gauges() {
+                let id = ext.require(sem);
+                assert_eq!(ext.event(id).domain, Domain::Gauge);
+                assert!(!ext.programmable_events().contains(&id));
+                assert_ne!(ext.source_of(id), crate::SourceId::PMU);
+            }
+            // Dense ids survive the extension.
+            for (i, ev) in ext.iter().enumerate() {
+                assert_eq!(ev.id.index(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn gauge_sources_have_distinct_cadences_and_own_their_events() {
+        let ext = Catalog::with_observation_plane(Arch::X86SkyLake);
+        assert_eq!(ext.sources().len(), 4); // pmu + disk-ops + disk-bytes + power
+        let mut cadences = std::collections::BTreeSet::new();
+        for (i, s) in ext.sources().iter().enumerate() {
+            assert_eq!(s.id.index(), i, "source ids are dense");
+            cadences.insert(s.cadence);
+            for ev in ext.events_of_source(s.id) {
+                assert_eq!(ext.source_of(ev), s.id);
+            }
+        }
+        assert_eq!(cadences.len(), 4, "every source runs at its own cadence");
+        assert!(ext.source(crate::SourceId::from_raw(99)).is_none());
+        // Every gauge event belongs to exactly one registered source.
+        let owned: usize = ext
+            .sources()
+            .iter()
+            .skip(1)
+            .map(|s| ext.events_of_source(s.id).len())
+            .sum();
+        assert_eq!(owned, Semantic::gauges().len());
+    }
+
+    #[test]
+    fn cross_source_invariants_and_derived_are_registered() {
+        let ext = Catalog::with_observation_plane(Arch::X86SkyLake);
+        let names: Vec<_> = ext.invariants().iter().map(|i| i.name.as_str()).collect();
+        assert!(names.contains(&"disk_dma_bytes"));
+        assert!(names.contains(&"disk_io_size"));
+        assert!(names.contains(&"power_activity"));
+        let derived: Vec<_> = ext
+            .derived_events()
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect();
+        assert!(derived.contains(&"Bytes_per_IOP"));
+        assert!(derived.contains(&"IPC_per_Watt"));
+        // Cross-source invariants genuinely span sources.
+        let disk_dma = ext
+            .invariants()
+            .iter()
+            .find(|i| i.name == "disk_dma_bytes")
+            .unwrap();
+        let spanned: std::collections::BTreeSet<_> = disk_dma
+            .events()
+            .iter()
+            .map(|&e| ext.source_of(e))
+            .collect();
+        assert!(spanned.len() >= 2, "invariant must couple distinct sources");
     }
 }

@@ -117,6 +117,20 @@ pub enum Semantic {
     IioWrTotal,
     /// IIO: total device reads (sum of the read flavors).
     IioRdTotal,
+
+    // -- soft gauge sources (not PMU counters; see `Domain::Gauge`) --
+    /// Block-layer completed read operations (diskstats-style gauge).
+    DiskReadOps,
+    /// Block-layer completed write operations (diskstats-style gauge).
+    DiskWriteOps,
+    /// Block-layer bytes read (sectors × 512, diskstats-style gauge).
+    DiskReadBytes,
+    /// Block-layer bytes written (sectors × 512, diskstats-style gauge).
+    DiskWriteBytes,
+    /// Package power draw (RAPL/IPMI-style gauge), in watt-ticks — a
+    /// per-window energy proxy kept in the same per-mega-cycle rate units
+    /// as every other catalog event so invariants stay homogeneous.
+    PowerWatts,
 }
 
 impl Semantic {
@@ -171,6 +185,20 @@ impl Semantic {
             IioRdTotal,
         ]
     }
+
+    /// The soft gauge roles, in catalog order. Deliberately **not** part
+    /// of [`Semantic::all`]: base catalogs stay PMU-only, and only
+    /// [`crate::Catalog::with_observation_plane`] appends these.
+    pub fn gauges() -> &'static [Semantic] {
+        use Semantic::*;
+        &[
+            DiskReadOps,
+            DiskWriteOps,
+            DiskReadBytes,
+            DiskWriteBytes,
+            PowerWatts,
+        ]
+    }
 }
 
 impl fmt::Display for Semantic {
@@ -188,6 +216,11 @@ pub enum Domain {
     Core,
     /// Uncore counter (IMC / IIO), its own small register pool.
     Uncore,
+    /// Soft gauge: not a hardware counter at all. Gauge events are read
+    /// from OS interfaces (diskstats, RAPL, `/proc`) at their own
+    /// cadence; they never occupy a PMU register and are never
+    /// multiplexed, so they are excluded from configuration scheduling.
+    Gauge,
 }
 
 impl fmt::Display for Domain {
@@ -215,9 +248,11 @@ pub struct EventDesc {
 }
 
 impl EventDesc {
-    /// True if this event is subject to multiplexing (not a fixed counter).
+    /// True if this event is subject to multiplexing (occupies a
+    /// programmable PMU register). Fixed counters always count and gauge
+    /// events never touch a register, so neither is programmable.
     pub fn is_programmable(&self) -> bool {
-        self.domain != Domain::Fixed
+        matches!(self.domain, Domain::Core | Domain::Uncore)
     }
 
     /// Number of core counters this event may be scheduled on.
@@ -274,5 +309,29 @@ mod tests {
         };
         assert!(!fixed.is_programmable());
         assert_eq!(fixed.core_counter_choices(), 0);
+    }
+
+    #[test]
+    fn gauge_events_are_not_programmable() {
+        let gauge = EventDesc {
+            id: EventId::from_raw(0),
+            name: "GAUGE_POWER".into(),
+            semantic: Semantic::PowerWatts,
+            domain: Domain::Gauge,
+            counter_mask: 0,
+            needs_msr: false,
+        };
+        assert!(!gauge.is_programmable());
+        assert_eq!(gauge.core_counter_choices(), 0);
+    }
+
+    #[test]
+    fn gauge_semantics_are_disjoint_from_all() {
+        for g in Semantic::gauges() {
+            assert!(
+                !Semantic::all().contains(g),
+                "gauge {g} must not appear in the base catalog list"
+            );
+        }
     }
 }

@@ -41,6 +41,7 @@ mod event;
 mod expr;
 mod id;
 mod invariant;
+mod source;
 mod synth;
 
 pub use arch::{Arch, ArchParams, PmuSpec};
@@ -51,4 +52,5 @@ pub use event::{Domain, EventDesc, Semantic};
 pub use expr::{EventEnv, Expr};
 pub use id::{CounterId, EventId};
 pub use invariant::Invariant;
+pub use source::{SourceDesc, SourceId, SourceKind, SourceNoise};
 pub use synth::{synthesize, synthesize_into, FreeParams};

@@ -150,6 +150,16 @@ impl FreeParams {
 /// Cycles in one synthesis unit: all outputs are counts per mega-cycle.
 pub const MEGA: f64 = 1.0e6;
 
+/// Nominal I/O request size tying disk bytes to disk operations (one
+/// 4 KiB page per IOP) — the center of the `disk_io_size` invariant.
+pub(crate) const DISK_IO_BYTES_PER_OP: f64 = 4096.0;
+
+/// Static (leakage) package power per cycle — center of `power_activity`.
+pub(crate) const POWER_STATIC_W_PER_CYCLE: f64 = 4.0e-5;
+
+/// Dynamic package power per issued µop — center of `power_activity`.
+pub(crate) const POWER_DYN_W_PER_UOP: f64 = 2.0e-5;
+
 /// Synthesizes a complete per-mega-cycle event-count vector (indexed by
 /// [`crate::EventId`]) from free parameters, such that all exact catalog
 /// invariants hold.
@@ -293,6 +303,21 @@ pub fn synthesize_into(catalog: &Catalog, params: &FreeParams, out: &mut [f64]) 
     set(Semantic::IioRdPart, p.iio_rd_part_pmc);
     set(Semantic::IioWrTotal, iio_wr);
     set(Semantic::IioRdTotal, iio_rd);
+
+    // Soft gauge truths (no-ops on base catalogs: `set` guards on
+    // presence). Disk traffic is the device DMA stream the IIO counters
+    // see, cache-line sized; operations follow at the nominal request
+    // size; power is static-per-cycle plus dynamic-per-µop.
+    let disk_rd_bytes = a.cacheline_bytes * iio_rd;
+    let disk_wr_bytes = a.cacheline_bytes * iio_wr;
+    set(Semantic::DiskReadBytes, disk_rd_bytes);
+    set(Semantic::DiskWriteBytes, disk_wr_bytes);
+    set(Semantic::DiskReadOps, disk_rd_bytes / DISK_IO_BYTES_PER_OP);
+    set(Semantic::DiskWriteOps, disk_wr_bytes / DISK_IO_BYTES_PER_OP);
+    set(
+        Semantic::PowerWatts,
+        POWER_STATIC_W_PER_CYCLE * MEGA + POWER_DYN_W_PER_UOP * uops_issued,
+    );
 }
 
 #[cfg(test)]
@@ -343,6 +368,37 @@ mod tests {
         };
         for arch in Arch::all() {
             check_exact_invariants(arch, &p);
+        }
+    }
+
+    #[test]
+    fn observation_plane_truths_satisfy_cross_source_invariants() {
+        for arch in Arch::all() {
+            let cat = Catalog::with_observation_plane(arch);
+            let truth = synthesize(&cat, &FreeParams::default());
+            for inv in cat.invariants() {
+                let r = inv.relative_residual(&truth).abs();
+                let tol = if inv.is_exact() {
+                    1e-9
+                } else {
+                    inv.rel_noise + 1e-9
+                };
+                assert!(
+                    r <= tol,
+                    "{} on {}: residual {} > tolerance {}",
+                    inv.name,
+                    arch,
+                    r,
+                    tol
+                );
+            }
+            for g in Semantic::gauges() {
+                let id = cat.id(*g).expect("gauge present in extended catalog");
+                assert!(
+                    truth[id.index()] > 0.0,
+                    "gauge {g} truth must be positive at nominal"
+                );
+            }
         }
     }
 

@@ -723,12 +723,15 @@ fn idle_backoff_interval(interval: Duration, idle_streak: u32) -> Duration {
 }
 
 /// Per-shard liveness tracking the aggregator keeps for *local*
-/// monitors: the health counters plus the last heartbeat observed, so a
-/// frozen heartbeat on a non-idle service reads as a stall.
+/// monitors: the health counters plus the last heartbeat and snapshot
+/// stamp observed, so a frozen heartbeat on a non-idle service reads as
+/// a stall — unless its snapshot stamp moved, which is definitive proof
+/// the service published since the previous round.
 #[derive(Default)]
 struct LocalProbe {
     health: ShardHealth,
     last_beats: u64,
+    last_stamp: Option<(u32, u64)>,
 }
 
 /// The background aggregator: scrapes shard snapshots, fuses, publishes.
@@ -830,6 +833,16 @@ impl AggregatorService {
         for m in &members {
             let probe = self.probes.entry(m.id).or_default();
             let (beats, idle) = m.monitor.heartbeat();
+            let stamp = m.session.snapshot_stamp().ok();
+            // A snapshot stamp that moved since the previous round is
+            // definitive liveness proof: the service *published*. The
+            // heartbeat alone is racy here — a long tail correction
+            // holds `idle` false with `beats` frozen, and a refresh
+            // forced right after its flush ack can probe the thread in
+            // the gap before it parks, misreading a healthy monitor as
+            // stalled (and a Dead verdict would exclude its fresh
+            // snapshot from the very pass that was forced to fuse it).
+            let advanced = stamp.is_some() && stamp != probe.last_stamp;
             let fate = match m.monitor.service_state() {
                 // A permanently down service cannot refresh its snapshot
                 // again; classify it like a dead link.
@@ -837,11 +850,12 @@ impl AggregatorService {
                 // Mid-restart: this round's snapshot is a cached copy.
                 ServiceState::Restarting { .. } => Some(FailureKind::Timeout),
                 ServiceState::Running => {
-                    if idle || beats != probe.last_beats {
+                    if idle || beats != probe.last_beats || advanced {
                         None
                     } else {
-                        // Not idle, yet the heartbeat has not advanced
-                        // since the previous pass: a stalled service.
+                        // Not idle, yet neither the heartbeat nor the
+                        // snapshot advanced since the previous pass: a
+                        // stalled service.
                         Some(FailureKind::Timeout)
                     }
                 }
@@ -850,6 +864,9 @@ impl AggregatorService {
                 _ => Some(FailureKind::Timeout),
             };
             probe.last_beats = beats;
+            if stamp.is_some() {
+                probe.last_stamp = stamp;
+            }
             match fate {
                 None => probe.health.on_success(),
                 Some(kind) => probe.health.on_failure(kind),
@@ -893,6 +910,7 @@ impl AggregatorService {
                     label: m.label.clone(),
                     window: self.scratch.window,
                     chunk: self.scratch.chunk,
+                    late_by_source: self.scratch.late_by_source.clone(),
                 };
                 let contributed = view.state.contributes();
                 if self

@@ -76,6 +76,12 @@ pub struct ShardStatus {
     pub window: u32,
     /// Inference runs the shard has published.
     pub chunk: u64,
+    /// Per-source dropped-late sample counts, indexed by raw source id
+    /// (`SnapshotView::late_by_source` at scrape time): observation-plane
+    /// health, fused into the fleet summary so a chronically late gauge
+    /// on one shard is visible from the aggregator. Empty when no source
+    /// has dropped anything (and for pre-observation-plane shards).
+    pub late_by_source: Vec<u64>,
 }
 
 /// A fleet-level posterior snapshot: per-event fused posteriors plus the
@@ -308,6 +314,7 @@ mod tests {
             label: ShardLabel::new(format!("m{id}"), 0),
             window,
             chunk: u64::from(window / 6 + 1),
+            late_by_source: Vec::new(),
         }
     }
 

@@ -922,6 +922,7 @@ mod tests {
                 window: v as u32 * 6,
                 chunk: v,
                 stats: EpRunStats::default(),
+                late_by_source: Vec::new(),
                 posteriors: (0..self.events)
                     .map(|e| {
                         Gaussian::new(

@@ -26,12 +26,20 @@
 //! [`ShimError`]s. **Decoding never panics**, whatever the bytes.
 //!
 //! ```text
-//! shard record:    BPWF v k | shard window chunk | label_len label socket | n | (mean var)×n
-//! summary record:  BPWF v k | generation | n_shards | (shard window chunk label socket)×n
+//! shard record:    BPWF v k | shard window chunk | label_len label socket
+//!                  | n_src late×n_src | n | (mean var)×n
+//! summary record:  BPWF v k | generation | n_shards
+//!                  | (shard window chunk label socket n_src late×n_src)×n
 //!                  | n_events | (mean var)×n_events
 //! scrape request:  BPWF v k | last_window last_chunk
 //! unchanged ack:   BPWF v k | window chunk
 //! ```
+//!
+//! The `n_src late×n_src` run is the observation plane's health
+//! metadata: per-source dropped-late sample counts, indexed by raw
+//! source id. An all-healthy shard encodes it as a single `0` byte —
+//! the common case stays one byte, and varints keep the degraded case
+//! proportional to how many sources have actually dropped samples.
 //!
 //! The scrape request/unchanged pair is the **delta protocol**
 //! (`fleet::net`): a scraper sends the `(window, chunk)` stamp of the
@@ -53,7 +61,9 @@ use bayesperf_inference::Gaussian;
 /// Leading magic of every record.
 pub const MAGIC: [u8; 4] = *b"BPWF";
 /// Highest (and only) format version this build reads and writes.
-pub const VERSION: u8 = 1;
+/// Version 2 added the per-source late-drop run to shard and summary
+/// records; version-1 readers fail loud on it rather than mis-parse.
+pub const VERSION: u8 = 2;
 /// Record kind: one shard's posterior snapshot.
 pub const KIND_SHARD: u8 = 1;
 /// Record kind: a fused fleet summary.
@@ -92,6 +102,9 @@ pub struct ShardSnapshot {
     pub window: u32,
     /// 1-based inference-run counter.
     pub chunk: u64,
+    /// Per-source dropped-late sample counts, indexed by raw source id
+    /// (empty when every source has always landed in time).
+    pub late_by_source: Vec<u64>,
     /// Catalog-indexed posteriors.
     pub posteriors: Vec<Gaussian>,
 }
@@ -106,6 +119,7 @@ impl ShardSnapshot {
             label,
             window: view.window,
             chunk: view.chunk,
+            late_by_source: view.late_by_source.clone(),
             posteriors: view.posteriors.clone(),
         }
     }
@@ -117,6 +131,7 @@ impl ShardSnapshot {
             label: self.label.clone(),
             window: self.window,
             chunk: self.chunk,
+            late_by_source: self.late_by_source.clone(),
         }
     }
 }
@@ -290,6 +305,15 @@ impl<'a> Reader<'a> {
         Ok(Gaussian::new(mean, var))
     }
 
+    fn late(&mut self) -> Result<Vec<u64>, ShimError> {
+        let n = self.len()?;
+        let mut late = Vec::with_capacity(n);
+        for _ in 0..n {
+            late.push(self.varint()?);
+        }
+        Ok(late)
+    }
+
     fn label(&mut self) -> Result<ShardLabel, ShimError> {
         let n = self.len()?;
         let raw = self.bytes(n)?;
@@ -309,6 +333,13 @@ fn put_label(label: &ShardLabel, out: &mut Vec<u8>) {
     put_varint(u64::from(label.socket), out);
 }
 
+fn put_late(late_by_source: &[u64], out: &mut Vec<u8>) {
+    put_varint(late_by_source.len() as u64, out);
+    for &n in late_by_source {
+        put_varint(n, out);
+    }
+}
+
 fn put_header(kind: u8, out: &mut Vec<u8>) {
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
@@ -324,6 +355,7 @@ pub fn encode_shard(snapshot: &ShardSnapshot, out: &mut Vec<u8>) {
     put_varint(u64::from(snapshot.window), out);
     put_varint(snapshot.chunk, out);
     put_label(&snapshot.label, out);
+    put_late(&snapshot.late_by_source, out);
     put_varint(snapshot.posteriors.len() as u64, out);
     for g in &snapshot.posteriors {
         put_f64(g.mean, out);
@@ -345,6 +377,7 @@ pub fn encode_shard_view(
     put_varint(u64::from(view.window), out);
     put_varint(view.chunk, out);
     put_label(label, out);
+    put_late(&view.late_by_source, out);
     put_varint(view.posteriors.len() as u64, out);
     for g in &view.posteriors {
         put_f64(g.mean, out);
@@ -358,6 +391,7 @@ fn shard_body(r: &mut Reader<'_>) -> Result<ShardSnapshot, ShimError> {
     let window = r.varint_u32()?;
     let chunk = r.varint()?;
     let label = r.label()?;
+    let late_by_source = r.late()?;
     let n = r.len()?;
     let mut posteriors = Vec::with_capacity(n);
     for _ in 0..n {
@@ -368,6 +402,7 @@ fn shard_body(r: &mut Reader<'_>) -> Result<ShardSnapshot, ShimError> {
         label,
         window,
         chunk,
+        late_by_source,
         posteriors,
     })
 }
@@ -391,6 +426,7 @@ pub fn encode_summary(summary: &FleetSummary, out: &mut Vec<u8>) {
         put_varint(u64::from(s.window), out);
         put_varint(s.chunk, out);
         put_label(&s.label, out);
+        put_late(&s.late_by_source, out);
     }
     put_varint(summary.fused.len() as u64, out);
     for g in &summary.fused {
@@ -412,11 +448,13 @@ pub fn decode_summary(buf: &[u8]) -> Result<(FleetSummary, usize), ShimError> {
         let window = r.varint_u32()?;
         let chunk = r.varint()?;
         let label = r.label()?;
+        let late_by_source = r.late()?;
         shards.push(ShardStatus {
             shard,
             label,
             window,
             chunk,
+            late_by_source,
         });
     }
     let n_events = r.len()?;
@@ -569,6 +607,7 @@ mod tests {
             label: ShardLabel::new("rack1-node07", 1),
             window: 41,
             chunk: 7,
+            late_by_source: vec![0, 3],
             posteriors: vec![
                 Gaussian::new(123.456, 0.3),
                 Gaussian::new(-5.0e9, 1.0e12),
@@ -599,9 +638,14 @@ mod tests {
         snap.posteriors.truncate(1);
         let mut buf = Vec::new();
         encode_shard(&snap, &mut buf);
-        // header 6 + shard 2 + window 1 + chunk 1 + label (1+12+1) + n 1
-        // + one gaussian 16 = 41 bytes.
-        assert_eq!(buf.len(), 41);
+        // header 6 + shard 2 + window 1 + chunk 1 + label (1+12+1)
+        // + late (1+2) + n 1 + one gaussian 16 = 44 bytes.
+        assert_eq!(buf.len(), 44);
+        // An all-healthy observation plane costs exactly one byte.
+        snap.late_by_source.clear();
+        let mut healthy = Vec::new();
+        encode_shard(&snap, &mut healthy);
+        assert_eq!(healthy.len(), 42);
     }
 
     #[test]
@@ -773,6 +817,7 @@ mod tests {
         let view = SnapshotView {
             window: snap.window,
             chunk: snap.chunk,
+            late_by_source: snap.late_by_source.clone(),
             posteriors: snap.posteriors.clone(),
             ..SnapshotView::default()
         };

@@ -62,6 +62,7 @@ impl SnapshotSource for SynthSource {
             window: v as u32 * 6,
             chunk: v,
             stats: EpRunStats::default(),
+            late_by_source: Vec::new(),
             posteriors: self.posteriors(v),
         })
     }

@@ -28,11 +28,16 @@ fn arbitrary_snapshot(rng: &mut TestRng) -> ShardSnapshot {
     let machine: String = (0..label_len)
         .map(|_| char::from(rng.gen_range(b'a'..b'z' + 1)))
         .collect();
+    let n_src = rng.gen_range(0usize..6);
+    let late_by_source = (0..n_src)
+        .map(|_| rng.gen::<u64>() >> rng.gen_range(0..64))
+        .collect();
     ShardSnapshot {
         shard: ShardId::from_raw(rng.gen::<u32>()),
         label: ShardLabel::new(machine, rng.gen::<u32>()),
         window: rng.gen::<u32>(),
         chunk: rng.gen::<u64>(),
+        late_by_source,
         posteriors,
     }
 }

@@ -127,7 +127,7 @@ pub struct DataFaultState {
     injected: u64,
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -136,7 +136,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Maps a word to `[0, 1)`.
-fn unit(word: u64) -> f64 {
+pub(crate) fn unit(word: u64) -> f64 {
     (word >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -233,6 +233,7 @@ mod tests {
             sub_n: 4,
             time_enabled: 100,
             time_running: 100,
+            source: bayesperf_events::SourceId::PMU,
         }
     }
 

@@ -32,7 +32,13 @@
 //! * seeded **compute-plane data faults** for robustness soaks:
 //!   [`DataFaultProfile`]/[`DataFaultState`] poison individual samples
 //!   (NaN/Inf reads, scaled corruption, stuck-at counters, broken PMI
-//!   sub-moments) at controlled rates, deterministically per seed.
+//!   sub-moments) at controlled rates, deterministically per seed;
+//! * simulated **soft gauge sources** for the multi-source observation
+//!   plane: [`SimGauge`] implements [`SampleSource`], reading the same
+//!   ground truth as the PMU at its own cadence through a seeded
+//!   [`GaugeProfile`] noise channel (Gaussian read noise, random-walk
+//!   calibration drift, dropout), optionally faulted via the same
+//!   [`DataFaultProfile`] machinery with independent streams.
 //!
 //! Because the simulator also records per-window ground truth (which real
 //! hardware cannot provide), evaluation code can compute exact error — the
@@ -43,6 +49,7 @@
 
 mod config;
 mod datafault;
+mod gauge;
 mod link;
 mod machine;
 mod noise;
@@ -53,6 +60,7 @@ mod truth;
 
 pub use config::{pack_round_robin, Configuration, ScheduleError};
 pub use datafault::{DataFault, DataFaultProfile, DataFaultState};
+pub use gauge::{GaugeProfile, SampleSource, SimGauge};
 pub use link::{LinkFate, LinkProfile, LinkState};
 pub use machine::{CorrelatedTruth, ShardProfile};
 pub use noise::NoiseModel;

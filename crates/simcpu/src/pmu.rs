@@ -4,7 +4,7 @@ use crate::config::Configuration;
 use crate::noise::NoiseModel;
 use crate::sample::Sample;
 use crate::truth::GroundTruth;
-use bayesperf_events::{Catalog, Domain, EventId};
+use bayesperf_events::{Catalog, Domain, EventId, SourceId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -266,6 +266,7 @@ impl<'a> Pmu<'a> {
                         sub_n: 0,
                         time_enabled: enabled,
                         time_running: running,
+                        source: SourceId::PMU,
                     });
                 }
             }
@@ -350,6 +351,7 @@ fn make_sample(ev: EventId, window: u32, subs: &[f64], enabled: u64, running: u6
         sub_n: subs.len() as u32,
         time_enabled: enabled,
         time_running: running,
+        source: SourceId::PMU,
     }
 }
 

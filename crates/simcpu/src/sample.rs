@@ -1,6 +1,6 @@
 //! The sample record produced by the PMU, and its wire encoding.
 
-use bayesperf_events::EventId;
+use bayesperf_events::{EventId, SourceId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +35,10 @@ pub struct Sample {
     pub time_enabled: u64,
     /// Ticks this event has actually been running on a counter.
     pub time_running: u64,
+    /// The observation source that produced this sample
+    /// ([`SourceId::PMU`] for counter reads; gauge/`/proc` sources tag
+    /// their own id so inference picks the matching error model).
+    pub source: SourceId,
 }
 
 impl Sample {
@@ -58,7 +62,7 @@ impl Sample {
     }
 
     /// Serialized size in bytes (fixed-width encoding).
-    pub const WIRE_SIZE: usize = 2 + 4 + 8 * 3 + 4 + 8 * 2;
+    pub const WIRE_SIZE: usize = 2 + 4 + 8 * 3 + 4 + 8 * 2 + 2;
 
     /// Encodes the sample into `buf` (fixed-width little-endian layout, as a
     /// kernel ring buffer would carry).
@@ -71,6 +75,7 @@ impl Sample {
         buf.put_u32_le(self.sub_n);
         buf.put_u64_le(self.time_enabled);
         buf.put_u64_le(self.time_running);
+        buf.put_u16_le(self.source.index() as u16);
     }
 
     /// Decodes a sample previously written by [`Sample::encode`].
@@ -89,6 +94,7 @@ impl Sample {
             sub_n: buf.get_u32_le(),
             time_enabled: buf.get_u64_le(),
             time_running: buf.get_u64_le(),
+            source: SourceId::from_raw(buf.get_u16_le()),
         })
     }
 }
@@ -107,6 +113,7 @@ mod tests {
             sub_n: 4,
             time_enabled: 100,
             time_running: 25,
+            source: SourceId::PMU,
         }
     }
 
@@ -134,6 +141,16 @@ mod tests {
         let mut bytes = buf.freeze();
         let back = Sample::decode(&mut bytes).unwrap();
         assert_eq!(back, s);
+
+        // Non-PMU source tags survive the wire too.
+        let g = Sample {
+            source: SourceId::from_raw(3),
+            ..sample()
+        };
+        let mut buf = BytesMut::new();
+        g.encode(&mut buf);
+        let back = Sample::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(back.source, SourceId::from_raw(3));
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Multi-source observation plane: one factor graph fusing a multiplexed
+//! PMU with soft gauge sources (disk ops, disk bytes, package power) at
+//! 4×/8×/16× slower cadences.
+//!
+//! The example runs the same workload three ways — PMU only, PMU + all
+//! gauges, and PMU + gauges with one source pushed through a hot data
+//! fault layer — and prints the cross-source derived events
+//! (`Bytes_per_IOP`, `IPC_per_Watt`) plus the mean gauge-event posterior
+//! spread for each, showing the fusion contract in action: gauges
+//! tighten, faults widen but never corrupt.
+//!
+//! Run with: `cargo run --release --example multi_source`
+
+use bayesperf::core::corrector::CorrectorConfig;
+use bayesperf::core::service::Monitor;
+use bayesperf::core::source::pump_sources;
+use bayesperf::events::{Arch, Catalog, Semantic};
+use bayesperf::simcpu::{
+    pack_round_robin, DataFaultProfile, GaugeProfile, Pmu, PmuConfig, SampleSource, SimGauge,
+};
+use bayesperf::workloads::kmeans;
+
+const WINDOWS: usize = 18;
+const RUN_SEED: u64 = 3;
+
+struct RunResult {
+    bytes_per_iop: (f64, f64),
+    ipc_per_watt: (f64, f64),
+    gauge_sd: f64,
+    late: u64,
+}
+
+fn run(with_gauges: bool, faulted: Option<usize>) -> RunResult {
+    let cat = Catalog::with_observation_plane(Arch::X86SkyLake);
+    let mut truth = kmeans().instantiate(&cat, RUN_SEED);
+    let events = vec![
+        cat.require(Semantic::IioRdTotal),
+        cat.require(Semantic::IioWrTotal),
+        cat.require(Semantic::UopsIssued),
+        cat.require(Semantic::L1dMisses),
+    ];
+    let schedule = pack_round_robin(&cat, &events).expect("schedule fits");
+    let pmu_cfg = PmuConfig::for_catalog(&cat);
+    let pmu = Pmu::new(&cat, pmu_cfg);
+    let run = pmu.run_multiplexed(&mut truth, &schedule, WINDOWS);
+
+    let monitor =
+        Monitor::new(&cat, CorrectorConfig::for_run(&run), 1 << 14).expect("spawn monitor");
+    let session = monitor.session().open().expect("open session");
+
+    let mut sources: Vec<Box<dyn SampleSource + '_>> = if with_gauges {
+        cat.sources()[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, desc)| {
+                let gauge = SimGauge::new(
+                    &cat,
+                    desc.id,
+                    GaugeProfile::for_source(desc, 11 + i as u64),
+                    &pmu_cfg,
+                    kmeans().instantiate(&cat, RUN_SEED),
+                )
+                .expect("gauge source");
+                let gauge = if faulted == Some(i) {
+                    gauge.with_faults(DataFaultProfile {
+                        nan_prob: 0.10,
+                        inf_prob: 0.05,
+                        corrupt_prob: 0.35,
+                        corrupt_scale: 1.0e9,
+                        stuck_prob: 0.15,
+                        sub_nan_prob: 0.10,
+                        seed: 97,
+                    })
+                } else {
+                    gauge
+                };
+                Box::new(gauge) as Box<dyn SampleSource + '_>
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    for (w, win) in run.windows.iter().enumerate() {
+        for s in &win.samples {
+            monitor.push_sample(*s).expect("push");
+        }
+        pump_sources(&monitor, &mut sources, w as u32).expect("pump");
+    }
+    monitor.sync().expect("sync");
+    monitor.flush().expect("flush");
+
+    let read = |name: &str| {
+        let r = session.read_derived(name).expect("derived read");
+        (r.value, r.std_dev)
+    };
+    let mut gauge_sd = 0.0;
+    for &sem in Semantic::gauges() {
+        gauge_sd += session.read(cat.require(sem)).expect("gauge read").std_dev;
+    }
+    gauge_sd /= Semantic::gauges().len() as f64;
+
+    RunResult {
+        bytes_per_iop: read("Bytes_per_IOP"),
+        ipc_per_watt: read("IPC_per_Watt"),
+        gauge_sd,
+        late: monitor.late_samples(),
+    }
+}
+
+fn print_run(label: &str, r: &RunResult) {
+    println!("{label}:");
+    println!(
+        "  Bytes_per_IOP = {:>10.1} ± {:<10.1}  IPC_per_Watt = {:.4} ± {:.4}",
+        r.bytes_per_iop.0, r.bytes_per_iop.1, r.ipc_per_watt.0, r.ipc_per_watt.1
+    );
+    println!(
+        "  mean gauge posterior spread = {:.0}, late-dropped samples = {}",
+        r.gauge_sd, r.late
+    );
+}
+
+fn main() {
+    let cat = Catalog::with_observation_plane(Arch::X86SkyLake);
+    println!("observation plane: {} sources", cat.sources().len());
+    for d in cat.sources() {
+        println!(
+            "  #{} {:<12} kind={:?} cadence=every {} window(s) noise={:?}",
+            d.id.index(),
+            d.name,
+            d.kind,
+            d.cadence,
+            d.noise
+        );
+    }
+    println!();
+
+    let pmu_only = run(false, None);
+    print_run(
+        "PMU only (gauge events anchored by invariants alone)",
+        &pmu_only,
+    );
+
+    let fused = run(true, None);
+    print_run("PMU + 3 gauges at 4x/8x/16x cadence", &fused);
+    println!(
+        "  -> fusing tightened mean gauge spread by {:.1}%",
+        100.0 * (1.0 - fused.gauge_sd / pmu_only.gauge_sd)
+    );
+
+    let faulted = run(true, Some(0));
+    print_run(
+        "PMU + gauges, disk-ops source through a hot fault layer",
+        &faulted,
+    );
+    println!(
+        "  -> fault widened mean gauge spread by {:.1}% vs healthy (never sharper)",
+        100.0 * (faulted.gauge_sd / fused.gauge_sd - 1.0)
+    );
+}
