@@ -48,7 +48,10 @@
 //!                          "pmu_only_ns_per_window": 0.0,
 //!                          "fused_ns_per_window": 0.0, "fuse_overhead": 0.0,
 //!                          "pmu_only_gauge_sd": 0.0, "fused_gauge_sd": 0.0,
-//!                          "rel_variance_ratio": 0.0 }
+//!                          "rel_variance_ratio": 0.0 },
+//!   "obs_overhead": { "pairs": 10, "bare_ns_per_window": 0.0,
+//!                     "instrumented_ns_per_window": 0.0,
+//!                     "instrumented_over_bare": 0.0 }
 //! }
 //! ```
 //!
@@ -99,6 +102,12 @@
 //! `BENCH_GATE=1` the ratio must be ≤ 1.0: gauge evidence may only
 //! tighten the gauge posteriors, never widen them.
 //!
+//! `obs_overhead` times the warm `push_chunk` loop bare vs with the exact
+//! per-chunk telemetry traffic the monitor's service loop performs
+//! (registry counters, sweep/publish histograms, one span per pipeline
+//! stage) layered on top. With `BENCH_GATE=1` the instrumented/bare warm
+//! per-window ratio must stay ≤ 1.02 — observation is a ≤ 2% tax.
+//!
 //! `BENCH_QUICK=1` shrinks the pair and read counts for CI smoke runs;
 //! `BENCH_JSON_PATH` overrides the output path.
 
@@ -114,6 +123,7 @@ use bayesperf_mlsched::mux::{
     hetero_demo_events, run_closed_loop, GroupSchedule, MuxPolicy, MuxScheduler, RoundRobin,
     UncertaintyDriven, VarianceEstimates,
 };
+use bayesperf_obs::{Stage, Telemetry};
 use bayesperf_simcpu::{LinkProfile, LinkState, PmuConfig, Sample};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -712,6 +722,79 @@ fn main() {
         );
     }
 
+    // Telemetry overhead: the warm push_chunk loop, bare vs with the exact
+    // per-chunk registry/span traffic the monitor's service loop layers on
+    // top of it (heartbeats, late counters, chunk/window totals, sweep and
+    // publish histograms, one span per pipeline stage). The instrumented
+    // arm deliberately over-counts — it replays every hot-path telemetry
+    // op even on chunks that publish nothing — so the gated ratio is a
+    // ceiling on what the real service pays. With BENCH_GATE=1 the warm
+    // per-window ratio must stay ≤ 1.02.
+    let obs_tele = Telemetry::new();
+    let obs_reg = obs_tele.registry();
+    let obs_beats = obs_reg.counter("service.beats");
+    let obs_late = obs_reg.counter("ingest.late_total");
+    let obs_chunks = obs_reg.counter("service.chunks_run");
+    let obs_windows = obs_reg.counter("service.windows_published");
+    let obs_sweep = obs_reg.histogram("ep.sweep_ns");
+    let obs_publish = obs_reg.histogram("service.publish_ns");
+    let obs_spans = obs_tele.spans().recorder();
+    let mut bare_corr = Corrector::new(&cat, CorrectorConfig::for_run(&run));
+    let mut inst_corr = Corrector::new(&cat, CorrectorConfig::for_run(&run));
+    let bare_once = |corr: &mut Corrector| -> f64 {
+        let t = Instant::now();
+        for chunk in &chunks {
+            std::hint::black_box(corr.push_chunk(chunk));
+        }
+        t.elapsed().as_nanos() as f64
+    };
+    let inst_once = |corr: &mut Corrector| -> f64 {
+        let t = Instant::now();
+        for (c, chunk) in chunks.iter().enumerate() {
+            let started = obs_spans.now_ns();
+            obs_beats.incr();
+            obs_late.add(0);
+            let sweep_start = obs_spans.now_ns();
+            std::hint::black_box(corr.push_chunk(chunk));
+            let sweep_end = obs_spans.now_ns();
+            let w = (c * slices) as u32;
+            for i in 0..slices {
+                obs_spans.record(Stage::Ingest, w + i as u32, started, sweep_start);
+            }
+            obs_sweep.record(sweep_end.saturating_sub(sweep_start));
+            obs_spans.record(Stage::Assemble, w, started, sweep_start);
+            obs_spans.record(Stage::EpSweep, w, sweep_start, sweep_end);
+            obs_chunks.incr();
+            obs_windows.add(slices as u64);
+            obs_beats.incr();
+            let publish_end = obs_spans.now_ns();
+            obs_publish.record(publish_end.saturating_sub(sweep_end));
+            for i in 0..slices {
+                obs_spans.record(Stage::Publish, w + i as u32, sweep_end, publish_end);
+            }
+        }
+        t.elapsed().as_nanos() as f64
+    };
+    let _ = bare_once(&mut bare_corr);
+    let _ = inst_once(&mut inst_corr);
+    let mut bare_ns = 0.0;
+    let mut inst_ns = 0.0;
+    for _ in 0..pairs {
+        bare_ns += bare_once(&mut bare_corr);
+        inst_ns += inst_once(&mut inst_corr);
+    }
+    let obs_bare_per_window = bare_ns / n / N_WINDOWS as f64;
+    let obs_inst_per_window = inst_ns / n / N_WINDOWS as f64;
+    let obs_ratio = obs_inst_per_window / obs_bare_per_window.max(1.0);
+    if std::env::var_os("BENCH_GATE").is_some() {
+        assert!(
+            obs_ratio <= 1.02,
+            "telemetry must cost <= 2% of warm per-window inference time, got \
+             {obs_ratio:.4}x ({obs_inst_per_window:.0} ns/window instrumented vs \
+             {obs_bare_per_window:.0} ns/window bare)"
+        );
+    }
+
     let json = format!(
         r#"{{
   "bench": "inference_warm_vs_cold",
@@ -752,7 +835,10 @@ fn main() {
                          "pmu_only_ns_per_window": {:.0},
                          "fused_ns_per_window": {:.0}, "fuse_overhead": {:.3},
                          "pmu_only_gauge_sd": {:.1}, "fused_gauge_sd": {:.1},
-                         "rel_variance_ratio": {:.4} }}
+                         "rel_variance_ratio": {:.4} }},
+  "obs_overhead": {{ "pairs": {pairs}, "bare_ns_per_window": {:.0},
+                    "instrumented_ns_per_window": {:.0},
+                    "instrumented_over_bare": {:.4} }}
 }}
 "#,
         ns_per_window(cold_ns),
@@ -794,6 +880,9 @@ fn main() {
         ms_pmu_sd,
         ms_fused_sd,
         ms_ratio,
+        obs_bare_per_window,
+        obs_inst_per_window,
+        obs_ratio,
     );
 
     let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_inference.json".into());

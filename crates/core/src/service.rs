@@ -53,10 +53,12 @@ use crate::shim::Reading;
 use crate::snapshot::{snapshot_cell, SnapshotReader, SnapshotWriter};
 use bayesperf_events::{Catalog, DerivedEvent, EventEnv, EventId};
 use bayesperf_inference::{EpRunStats, Gaussian};
+use bayesperf_obs::{labeled, Counter, FlightEvent, Histogram, SpanRecorder, Stage, Telemetry};
 use bayesperf_simcpu::{RingBuffer, Sample};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
 };
@@ -334,27 +336,43 @@ struct Shared {
     /// hook) so [`Monitor::sync`] can refuse instead of silently acking
     /// without processing.
     paused: AtomicBool,
-    late_samples: AtomicU64,
+    /// Samples dropped for arriving after their window completed
+    /// (`ingest.late_total` on the telemetry registry).
+    late_samples: Counter,
     /// Per-source breakdown of `late_samples`, indexed by raw
     /// [`bayesperf_events::SourceId`] and grown on demand (slow-cadence
     /// gauge sources are the usual suspects; the multi-source health
-    /// surface reads this).
-    late_by_source: Mutex<Vec<u64>>,
-    chunks_run: AtomicU64,
-    windows_published: AtomicU64,
+    /// surface reads this). Each entry is an `ingest.late_dropped{source}`
+    /// registry counter; the mutex guards only the grow-on-demand vector,
+    /// and is taken on the (rare) late-drop path, never per sample.
+    late_by_source: Mutex<Vec<Counter>>,
+    /// Inference runs executed (`service.chunks_run`).
+    chunks_run: Counter,
+    /// Windows published (`service.windows_published`).
+    windows_published: Counter,
     /// Heartbeat: bumped by the service once per loop iteration and per
     /// corrected chunk. A watchdog that sees `beats` frozen while `idle`
     /// is false is looking at a stalled (hung) service, not an idle one.
-    beats: AtomicU64,
+    /// (`service.beats` on the registry.)
+    beats: Counter,
     /// True while the service thread is parked waiting for work — an idle
     /// thread's heartbeat is legitimately frozen.
     idle: AtomicBool,
-    /// Crash restarts performed by the supervisor (monotonic).
-    restarts: AtomicU64,
+    /// Crash restarts performed by the supervisor (monotonic;
+    /// `supervisor.restarts`).
+    restarts: Counter,
     /// Divergences contained: non-finite samples dropped at ingest,
     /// non-finite posteriors caught at the publish boundary, and EP sites
-    /// quarantined back to their prior.
-    divergences: AtomicU64,
+    /// quarantined back to their prior (`service.divergences`).
+    divergences: Counter,
+    /// EP chunk-correction wall time (`ep.sweep_ns`).
+    ep_sweep_ns: Histogram,
+    /// Snapshot publication wall time (`service.publish_ns`).
+    publish_ns: Histogram,
+    /// The monitor's telemetry plane: the registry the counters above
+    /// live in, the span tracer the pipeline stamps into, and the flight
+    /// recorder supervision events land in.
+    tele: Telemetry,
     /// The schedule feedback hook lives here — not inside a service
     /// incarnation — so an installed hook survives a crash restart. Locked
     /// only by the inference thread (per publish) and by the control
@@ -437,6 +455,11 @@ impl Monitor {
         let catalog = Arc::new(catalog.clone());
         let (writer, reader) = snapshot_cell();
         let (state_writer, state_reader) = snapshot_cell();
+        // Pre-register every service metric on the telemetry plane here,
+        // on the cold path: the hot paths below only touch the returned
+        // handles (single relaxed atomic ops).
+        let tele = Telemetry::new();
+        let registry = tele.registry();
         let shared = Arc::new(Shared {
             catalog,
             state: Mutex::new(InboundState {
@@ -450,14 +473,17 @@ impl Monitor {
             subscribers: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
             paused: AtomicBool::new(false),
-            late_samples: AtomicU64::new(0),
+            late_samples: registry.counter("ingest.late_total"),
             late_by_source: Mutex::new(Vec::new()),
-            chunks_run: AtomicU64::new(0),
-            windows_published: AtomicU64::new(0),
-            beats: AtomicU64::new(0),
+            chunks_run: registry.counter("service.chunks_run"),
+            windows_published: registry.counter("service.windows_published"),
+            beats: registry.counter("service.beats"),
             idle: AtomicBool::new(false),
-            restarts: AtomicU64::new(0),
-            divergences: AtomicU64::new(0),
+            restarts: registry.counter("supervisor.restarts"),
+            divergences: registry.counter("service.divergences"),
+            ep_sweep_ns: registry.histogram("ep.sweep_ns"),
+            publish_ns: registry.histogram("service.publish_ns"),
+            tele: tele.clone(),
             hook: Mutex::new(None),
         });
         let handle = {
@@ -591,7 +617,7 @@ impl Monitor {
     /// Samples dropped because they arrived for an already-completed
     /// window.
     pub fn late_samples(&self) -> u64 {
-        self.shared.late_samples.load(Relaxed)
+        self.shared.late_samples.get()
     }
 
     /// Per-source breakdown of [`Monitor::late_samples`], indexed by raw
@@ -599,21 +625,28 @@ impl Monitor {
     /// the highest source that has dropped a sample (empty while nothing
     /// was late); missing entries are zero.
     pub fn late_samples_by_source(&self) -> Vec<u64> {
-        self.shared
-            .late_by_source
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        late_by_source_of(&self.shared)
     }
 
     /// Inference runs executed (full chunks plus flushed tails).
     pub fn chunks_run(&self) -> u64 {
-        self.shared.chunks_run.load(Relaxed)
+        self.shared.chunks_run.get()
     }
 
     /// Windows whose posteriors have been published.
     pub fn windows_published(&self) -> u64 {
-        self.shared.windows_published.load(Relaxed)
+        self.shared.windows_published.get()
+    }
+
+    /// The monitor's telemetry plane: the metrics registry every service
+    /// counter lives in (`ingest.*`, `service.*`, `ep.*`,
+    /// `supervisor.*`), the span tracer the pipeline stamps window
+    /// lifecycles into, and the flight recorder supervision events land
+    /// in. The accessors above ([`Monitor::divergences`],
+    /// [`Monitor::restarts`], ...) read the same registry handles, so the
+    /// two surfaces can never disagree.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.tele
     }
 
     /// The supervisor's current view of the service: `Running`,
@@ -627,14 +660,14 @@ impl Monitor {
     /// harness that injects a panic spins on this counter to observe the
     /// recovery without racing the restart itself.
     pub fn restarts(&self) -> u64 {
-        self.shared.restarts.load(Relaxed)
+        self.shared.restarts.get()
     }
 
     /// Divergences contained so far: non-finite samples dropped at
     /// ingest, non-finite posteriors replaced at the publish boundary,
     /// and EP sites quarantined back to their prior.
     pub fn divergences(&self) -> u64 {
-        self.shared.divergences.load(Relaxed)
+        self.shared.divergences.get()
     }
 
     /// Liveness probe: `(beats, idle)`. `beats` advances once per service
@@ -644,10 +677,7 @@ impl Monitor {
     /// distinct from an idle one (`idle == true`) and from a crashed one
     /// ([`Monitor::service_state`]).
     pub fn heartbeat(&self) -> (u64, bool) {
-        (
-            self.shared.beats.load(Relaxed),
-            self.shared.idle.load(Relaxed),
-        )
+        (self.shared.beats.get(), self.shared.idle.load(Relaxed))
     }
 
     /// Fault-injection test hook: makes the inference thread panic the
@@ -835,6 +865,19 @@ fn service_state_of(shared: &Shared) -> ServiceState {
         .unwrap_or(ServiceState::Running)
 }
 
+/// Copies the per-source late-drop counters out as plain counts (the
+/// pre-telemetry accessor shape [`Monitor::late_samples_by_source`] and
+/// [`Session::late_samples_by_source`] keep serving).
+fn late_by_source_of(shared: &Shared) -> Vec<u64> {
+    shared
+        .late_by_source
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|c| c.get())
+        .collect()
+}
+
 /// Distinguishes "down" from "closed" for read paths: `Some(cause)` when
 /// the service is terminally failed or its supervisor died without the
 /// shutdown handshake — cases where a read must *not* be answered from
@@ -986,12 +1029,13 @@ impl Session {
         view.posteriors.clear();
         view.posteriors.extend_from_slice(&snap.posteriors);
         view.late_by_source.clear();
-        view.late_by_source.extend_from_slice(
-            &self
-                .shared
+        view.late_by_source.extend(
+            self.shared
                 .late_by_source
                 .lock()
-                .unwrap_or_else(|e| e.into_inner()),
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|c| c.get()),
         );
         Ok(())
     }
@@ -1049,27 +1093,28 @@ impl Session {
 
     /// Samples dropped for arriving after their window completed.
     pub fn late_samples(&self) -> u64 {
-        self.shared.late_samples.load(Relaxed)
+        self.shared.late_samples.get()
     }
 
     /// Per-source breakdown of [`Session::late_samples`], indexed by raw
     /// [`bayesperf_events::SourceId`]; missing entries are zero.
     pub fn late_samples_by_source(&self) -> Vec<u64> {
-        self.shared
-            .late_by_source
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        late_by_source_of(&self.shared)
     }
 
     /// Inference runs executed so far.
     pub fn chunks_run(&self) -> u64 {
-        self.shared.chunks_run.load(Relaxed)
+        self.shared.chunks_run.get()
     }
 
     /// Windows whose posteriors have been published.
     pub fn windows_published(&self) -> u64 {
-        self.shared.windows_published.load(Relaxed)
+        self.shared.windows_published.get()
+    }
+
+    /// The backing monitor's telemetry plane — see [`Monitor::telemetry`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.tele
     }
 }
 
@@ -1169,6 +1214,15 @@ struct InferenceService {
     assembling: HashMap<u32, Vec<Sample>>,
     /// Complete windows awaiting a full chunk, sorted by window index.
     pending: Vec<(u32, Vec<Sample>)>,
+    /// This incarnation's span ring (shared across restarts via the
+    /// supervisor's clone — incarnations run serially on one thread).
+    spans: SpanRecorder,
+    /// Tracer stamp of each assembling window's first sample — the start
+    /// of its `ingest` span.
+    ingest_started: HashMap<u32, u64>,
+    /// Tracer stamp of each pending window's promotion — the start of its
+    /// `assemble` (chunk-wait) span.
+    assembled_at: HashMap<u32, u64>,
     /// Lowest window index still accepted; samples below it are late.
     frontier: Option<u32>,
     /// Reused ring-drain buffer.
@@ -1191,6 +1245,7 @@ impl InferenceService {
         writer: SnapshotWriter<PosteriorSnapshot>,
         config: CorrectorConfig,
         resume: Option<(u32, Vec<Gaussian>)>,
+        spans: SpanRecorder,
     ) -> Self {
         let catalog = shared.catalog.clone();
         let (frontier, resume, last_good) = match resume {
@@ -1207,6 +1262,9 @@ impl InferenceService {
             writer,
             assembling: HashMap::new(),
             pending: Vec::new(),
+            spans,
+            ingest_started: HashMap::new(),
+            assembled_at: HashMap::new(),
             frontier,
             drained: Vec::new(),
             paused: false,
@@ -1226,7 +1284,7 @@ impl InferenceService {
         }
         loop {
             let (controls, shutdown) = self.wait_for_work();
-            self.shared.beats.fetch_add(1, Relaxed);
+            self.shared.beats.incr();
             if !self.paused {
                 self.drain_and_correct(&mut corrector);
             }
@@ -1282,6 +1340,10 @@ impl InferenceService {
                         let _ = ack.send(());
                     }
                     Control::Panic => {
+                        // Leave a flight-recorder trace *before* the
+                        // unwind: the post-mortem should show the
+                        // injection, then the restart it provoked.
+                        self.shared.tele.flight().record(FlightEvent::PanicInjected);
                         panic!("injected service panic (test hook)");
                     }
                 }
@@ -1372,29 +1434,49 @@ impl InferenceService {
                 None => self.frontier = Some(s.window),
                 _ => {}
             }
-            self.assembling.entry(s.window).or_default().push(s);
+            match self.assembling.entry(s.window) {
+                Entry::Occupied(mut e) => e.get_mut().push(s),
+                Entry::Vacant(e) => {
+                    // First sample of the window: the start stamp of its
+                    // `ingest` span (closed at promotion).
+                    self.ingest_started.insert(s.window, self.spans.now_ns());
+                    e.insert(vec![s]);
+                }
+            }
         }
         if late > 0 {
-            self.shared.late_samples.fetch_add(late, Relaxed);
+            self.shared.late_samples.add(late);
             let mut by_source = self
                 .shared
                 .late_by_source
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
-            if by_source.len() < late_src.len() {
-                by_source.resize(late_src.len(), 0);
+            while by_source.len() < late_src.len() {
+                // Grow-on-demand registration of the per-source counters
+                // (cold: first late drop from a new source).
+                let name = labeled("ingest.late_dropped", "source", by_source.len());
+                by_source.push(self.shared.tele.registry().counter(&name));
             }
-            for (total, n) in by_source.iter_mut().zip(&late_src) {
-                *total += n;
+            for (total, n) in by_source.iter().zip(&late_src) {
+                total.add(*n);
             }
         }
         if diverged > 0 {
-            self.shared.divergences.fetch_add(diverged, Relaxed);
+            self.shared.divergences.add(diverged);
+            self.shared
+                .tele
+                .flight()
+                .record(FlightEvent::DivergenceQuarantined {
+                    window: self.frontier.unwrap_or(0),
+                    sites: diverged,
+                });
         }
         self.pending.sort_by_key(|(w, _)| *w);
     }
 
-    /// Moves every assembling window below `limit` into `pending`.
+    /// Moves every assembling window below `limit` into `pending`,
+    /// closing each window's `ingest` span and opening its `assemble`
+    /// (chunk-wait) span.
     fn promote_below(&mut self, limit: u32) {
         let ready: Vec<u32> = self
             .assembling
@@ -1402,10 +1484,33 @@ impl InferenceService {
             .copied()
             .filter(|&w| w < limit)
             .collect();
+        if ready.is_empty() {
+            return;
+        }
+        let now = self.spans.now_ns();
         for w in ready {
             if let Some(samples) = self.assembling.remove(&w) {
+                let started = self.ingest_started.remove(&w).unwrap_or(now);
+                self.spans.record(Stage::Ingest, w, started, now);
+                self.assembled_at.insert(w, now);
                 self.pending.push((w, samples));
             }
+        }
+    }
+
+    /// Closes the `assemble` spans of the windows entering an EP run and
+    /// records the run itself as their `ep_sweep` span (plus the
+    /// `ep.sweep_ns` histogram entry).
+    fn record_sweep_spans(&mut self, windows: &[u32], sweep_start: u64) {
+        let sweep_end = self.spans.now_ns();
+        self.shared
+            .ep_sweep_ns
+            .record(sweep_end.saturating_sub(sweep_start));
+        for &w in windows {
+            let assembled = self.assembled_at.remove(&w).unwrap_or(sweep_start);
+            self.spans
+                .record(Stage::Assemble, w, assembled, sweep_start);
+            self.spans.record(Stage::EpSweep, w, sweep_start, sweep_end);
         }
     }
 
@@ -1414,6 +1519,7 @@ impl InferenceService {
         while self.pending.len() >= k {
             let chunk: Vec<(u32, Vec<Sample>)> = self.pending.drain(..k).collect();
             let refs: Vec<&[Sample]> = chunk.iter().map(|(_, s)| s.as_slice()).collect();
+            let sweep_start = self.spans.now_ns();
             let stats = match corrector.try_push_chunk(&refs) {
                 Ok(stats) => stats,
                 // A mismatched chunk cannot occur (we sized it above);
@@ -1421,10 +1527,11 @@ impl InferenceService {
                 Err(_) => continue,
             };
             let windows: Vec<u32> = chunk.iter().map(|(w, _)| *w).collect();
+            self.record_sweep_spans(&windows, sweep_start);
             self.publish(&windows, stats, |t, e| corrector.posterior(t, e));
             // A long multi-chunk drain still beats once per chunk, so
             // watchdogs don't mistake a busy service for a stalled one.
-            self.shared.beats.fetch_add(1, Relaxed);
+            self.shared.beats.incr();
         }
     }
 
@@ -1440,8 +1547,10 @@ impl InferenceService {
         if !self.pending.is_empty() {
             let tail: Vec<(u32, Vec<Sample>)> = self.pending.drain(..).collect();
             let refs: Vec<&[Sample]> = tail.iter().map(|(_, s)| s.as_slice()).collect();
+            let sweep_start = self.spans.now_ns();
             if let Ok((post, stats)) = corrector.push_tail(&refs) {
                 let windows: Vec<u32> = tail.iter().map(|(w, _)| *w).collect();
+                self.record_sweep_spans(&windows, sweep_start);
                 self.publish(&windows, stats, |t, e| post.posterior(t, e));
             }
         }
@@ -1467,6 +1576,7 @@ impl InferenceService {
             // has nothing to publish.
             return;
         };
+        let publish_start = self.spans.now_ns();
 
         // Materialize each window's catalog-indexed posteriors once;
         // per-subscriber work inside the lock is then a cheap filtered
@@ -1497,19 +1607,31 @@ impl InferenceService {
         }
         let diverged = substituted + stats.sites_quarantined;
         if diverged > 0 {
-            self.shared.divergences.fetch_add(diverged, Relaxed);
+            self.shared.divergences.add(diverged);
+            self.shared
+                .tele
+                .flight()
+                .record(FlightEvent::DivergenceQuarantined {
+                    window: last_window,
+                    sites: diverged,
+                });
         }
         if unpublishable {
+            self.shared
+                .tele
+                .flight()
+                .record(FlightEvent::PublishVetoed {
+                    window: windows[0],
+                    reason: "diverged posterior with no finite predecessor to substitute",
+                });
             return;
         }
         if let Some(last) = per_window.last() {
             self.last_good.clone_from(last);
         }
 
-        let chunk = self.shared.chunks_run.fetch_add(1, Relaxed) + 1;
-        self.shared
-            .windows_published
-            .fetch_add(windows.len() as u64, Relaxed);
+        let chunk = self.shared.chunks_run.fetch_add(1) + 1;
+        self.shared.windows_published.add(windows.len() as u64);
 
         let mut subscribers = self
             .shared
@@ -1568,6 +1690,14 @@ impl InferenceService {
             stats,
             posteriors: final_posteriors,
         });
+        let publish_end = self.spans.now_ns();
+        self.shared
+            .publish_ns
+            .record(publish_end.saturating_sub(publish_start));
+        for &w in windows {
+            self.spans
+                .record(Stage::Publish, w, publish_start, publish_end);
+        }
     }
 }
 
@@ -1658,6 +1788,9 @@ fn supervise(
     }
     let _shutdown = ShutdownGuard(shared.clone());
 
+    // One span ring for the inference thread, shared across incarnations
+    // (they run serially here; the clone per incarnation shares the ring).
+    let span_recorder = shared.tele.spans().recorder();
     let mut writer = Some(writer);
     let mut consecutive = 0u32;
     state_writer.publish(ServiceState::Running);
@@ -1671,8 +1804,14 @@ fn supervise(
             .snapshot
             .read()
             .map(|g| (g.window, g.posteriors.clone()));
-        let progress_before = shared.chunks_run.load(Relaxed);
-        let svc = InferenceService::new(shared.clone(), w, config.clone(), resume);
+        let progress_before = shared.chunks_run.get();
+        let svc = InferenceService::new(
+            shared.clone(),
+            w,
+            config.clone(),
+            resume,
+            span_recorder.clone(),
+        );
         match catch_unwind(AssertUnwindSafe(move || svc.run())) {
             // Orderly shutdown (close / drop): the guard handshakes.
             Ok(()) => break,
@@ -1681,23 +1820,41 @@ fn supervise(
                 // Reclaim publication rights on the intact snapshot cell;
                 // the crashed incarnation's writer dropped mid-unwind.
                 writer = shared.snapshot.recover_writer();
-                if shared.chunks_run.load(Relaxed) > progress_before {
+                if shared.chunks_run.get() > progress_before {
                     // The incarnation published before dying — an
                     // occasional crash, not a crash loop.
                     consecutive = 0;
                 }
                 consecutive += 1;
                 if consecutive > policy.max_consecutive_restarts || writer.is_none() {
+                    shared.tele.flight().record(FlightEvent::ServiceFailed {
+                        cause: cause.clone(),
+                    });
                     state_writer.publish(ServiceState::Failed { cause });
+                    // The automatic post-mortem: seal the flight ring at
+                    // the moment of death so the dump survives whatever
+                    // happens to the ring afterwards, and surface it on
+                    // stderr for operators not polling the recorder.
+                    let dump = shared.tele.flight().seal();
+                    eprintln!("bayesperf inference service failed; flight recorder:\n{dump}");
                     break;
                 }
-                let restarts = shared.restarts.fetch_add(1, Relaxed) + 1;
+                let restarts = shared.restarts.fetch_add(1) + 1;
+                shared.tele.flight().record(FlightEvent::ServiceRestart {
+                    restarts,
+                    cause: cause.clone(),
+                });
                 state_writer.publish(ServiceState::Restarting { restarts, cause });
                 let exp = (consecutive - 1).min(16);
                 let backoff = policy
                     .backoff_base
                     .saturating_mul(1u32 << exp)
                     .min(policy.backoff_cap);
+                if !backoff.is_zero() {
+                    shared.tele.flight().record(FlightEvent::BackoffPark {
+                        millis: u64::try_from(backoff.as_millis()).unwrap_or(u64::MAX),
+                    });
+                }
                 if backoff_or_shutdown(&shared, backoff) {
                     break;
                 }

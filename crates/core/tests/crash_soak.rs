@@ -131,6 +131,25 @@ fn crash_soak_restarts_stay_warm_and_snapshots_stay_sane() {
         "the noisy fault profile must have tripped the containment guards"
     );
 
+    // The flight recorder carries the whole incident history (bounded
+    // ring, newest events always retained): the injected panics, the
+    // supervised restarts, and the quarantined-divergence counts must
+    // all be in the dump — a postmortem needs no other source.
+    let flight = monitor.telemetry().flight();
+    let dump = bayesperf_obs::FlightRecorder::render(&flight.dump());
+    assert!(
+        dump.contains("panic injected (test hook)"),
+        "flight dump missing the injected panic:\n{dump}"
+    );
+    assert!(
+        dump.contains(&format!("service restart #{}", cycles)),
+        "flight dump missing the last supervised restart:\n{dump}"
+    );
+    assert!(
+        dump.contains("quarantined") && dump.contains("diverged site(s)"),
+        "flight dump missing the divergence quarantine trail:\n{dump}"
+    );
+
     // Warm restart correctness: subscribers saw every published window
     // exactly once, in order — no duplicates from re-published chunks,
     // no regressions from a cold-reset frontier.

@@ -49,7 +49,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::fuse::{Aggregator, FleetSnapshot, ShardStatus};
-use crate::health::{FailureKind, HealthPolicy, ShardHealth, ShardHealthView};
+use crate::health::{FailureKind, HealthPolicy, HealthState, ShardHealth, ShardHealthView};
+use crate::net::{state_idx, ScrapeMetrics, ScrapeTotals};
 use crate::topology::{ShardId, ShardLabel};
 use bayesperf_core::corrector::CorrectorConfig;
 use bayesperf_core::snapshot::{snapshot_cell, SnapshotReader, SnapshotWriter};
@@ -58,10 +59,13 @@ use bayesperf_core::{
 };
 use bayesperf_events::{Catalog, EventId};
 use bayesperf_inference::Gaussian;
+use bayesperf_obs::{
+    merge_metrics, Counter, FlightEvent, MetricSnapshot, SpanRecorder, Stage, Telemetry,
+};
 use bayesperf_simcpu::Sample;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
     TrySendError,
@@ -169,8 +173,20 @@ struct FleetShared {
     fused: SnapshotReader<FleetSnapshot>,
     subscribers: Mutex<Vec<FleetSubscriber>>,
     closed: AtomicBool,
-    /// Crash restarts of the aggregator thread (monotonic).
-    agg_restarts: AtomicU64,
+    /// The fleet's telemetry plane (registry + spans + flight recorder).
+    /// Scraper-backed sessions share the scraper's bundle instead.
+    tele: Telemetry,
+    /// Crash restarts of the aggregator thread, as the registry counter
+    /// `fleet.agg_restarts` (monotonic).
+    agg_restarts: Counter,
+    /// Live scrape-plane counter handles when this shared state backs a
+    /// networked [`FleetScraper`](crate::FleetScraper) session; `None`
+    /// for in-process fleets (no scrape plane — totals read as zero).
+    scrape_metrics: Option<ScrapeMetrics>,
+    /// Last wire-scraped fleet-wide metric dump (scraper-backed
+    /// sessions); empty for in-process fleets, which merge the live
+    /// per-shard registries instead.
+    scraped: Arc<Mutex<Vec<MetricSnapshot>>>,
 }
 
 impl FleetShared {
@@ -242,13 +258,18 @@ impl Fleet {
         members_writer.publish(Vec::new());
         let (fused_writer, fused_reader) = snapshot_cell::<FleetSnapshot>();
         let (control, control_rx) = channel();
+        let tele = Telemetry::new();
+        let agg_restarts = tele.registry().counter("fleet.agg_restarts");
         let shared = Arc::new(FleetShared {
             catalog: catalog.clone(),
             members: members_reader,
             fused: fused_reader,
             subscribers: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
-            agg_restarts: AtomicU64::new(0),
+            tele,
+            agg_restarts,
+            scrape_metrics: None,
+            scraped: Arc::new(Mutex::new(Vec::new())),
         });
         let handle = {
             let shared = shared.clone();
@@ -410,9 +431,19 @@ impl Fleet {
         read_snapshot(&self.shared)
     }
 
-    /// Crash restarts the aggregator supervisor has performed.
+    /// Crash restarts the aggregator supervisor has performed (served
+    /// from the registry counter `fleet.agg_restarts`).
     pub fn agg_restarts(&self) -> u64 {
-        self.shared.agg_restarts.load(Relaxed)
+        self.shared.agg_restarts.get()
+    }
+
+    /// The fleet's telemetry plane: the `fleet.*` / `health.*` metric
+    /// namespace, the aggregator's fuse span ring, and the flight
+    /// recorder logging aggregator restarts and local-shard health
+    /// transitions. Per-shard service telemetry lives on each shard's
+    /// [`Monitor`] (reach it via [`Fleet::with_shard_monitor`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.tele
     }
 
     /// Fault-injection test hook: makes the aggregator thread panic on
@@ -547,6 +578,37 @@ impl FleetSessionBuilder<'_> {
     }
 }
 
+/// Builds a [`FleetSession`] over a networked scraper's published fused
+/// snapshots (see
+/// [`FleetScraper::session`](crate::FleetScraper::session)): no local
+/// members, the scraper's telemetry bundle and live scrape counters, and
+/// the scraper's cached fleet-wide metric dump.
+pub(crate) fn scraper_session(
+    catalog: &Catalog,
+    fused: SnapshotReader<FleetSnapshot>,
+    tele: Telemetry,
+    scrape_metrics: ScrapeMetrics,
+    scraped: Arc<Mutex<Vec<MetricSnapshot>>>,
+) -> FleetSession {
+    let (mut members_writer, members_reader) = snapshot_cell::<Membership>();
+    members_writer.publish(Vec::new());
+    let agg_restarts = tele.registry().counter("fleet.agg_restarts");
+    FleetSession {
+        shared: Arc::new(FleetShared {
+            catalog: Arc::new(catalog.clone()),
+            members: members_reader,
+            fused,
+            subscribers: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+            tele,
+            agg_restarts,
+            scrape_metrics: Some(scrape_metrics),
+            scraped,
+        }),
+        selection: Arc::new(Selection::new(None)),
+    }
+}
+
 /// A fleet-scoped read handle mirroring [`Session`]: cheap to clone,
 /// sendable, and wait-free — every read is served from the latest fused
 /// snapshot, never from the shards themselves.
@@ -652,6 +714,45 @@ impl FleetSession {
         read_snapshot(&self.shared)
     }
 
+    /// Cumulative scrape-plane totals — the running sums of every
+    /// [`RoundReport`](crate::RoundReport) the backing
+    /// [`FleetScraper`](crate::FleetScraper) has produced, read live
+    /// from its counter handles so byte/failure history survives whoever
+    /// pumped `poll_round`. In-process fleets have no scrape plane:
+    /// every field reads zero.
+    pub fn scrape_totals(&self) -> Result<ScrapeTotals, ShimError> {
+        self.ensure_open()?;
+        Ok(self
+            .shared
+            .scrape_metrics
+            .as_ref()
+            .map(ScrapeMetrics::totals)
+            .unwrap_or_default())
+    }
+
+    /// The fleet-wide metric dump: the fleet's own registry merged with
+    /// every live shard monitor's registry (in-process fleets) and with
+    /// the last wire-scraped shard dump (scraper-backed sessions — pump
+    /// [`FleetScraper::poll_telemetry`](crate::FleetScraper::poll_telemetry)
+    /// to refresh it). Render with
+    /// [`render_prometheus`](bayesperf_obs::render_prometheus).
+    pub fn fleet_metrics(&self) -> Result<Vec<MetricSnapshot>, ShimError> {
+        self.ensure_open()?;
+        let mut out = self.shared.tele.registry().snapshot();
+        if let Some(members) = self.shared.members.read() {
+            for m in members.iter() {
+                merge_metrics(&mut out, &m.session.telemetry().registry().snapshot());
+            }
+        }
+        let scraped = self
+            .shared
+            .scraped
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        merge_metrics(&mut out, &scraped);
+        Ok(out)
+    }
+
     /// Subscribes to the per-generation fused update stream (bounded
     /// queue; a lagging consumer loses updates and the next delivered one
     /// carries the skip in [`FleetUpdate::gap`]).
@@ -727,11 +828,23 @@ fn idle_backoff_interval(interval: Duration, idle_streak: u32) -> Duration {
 /// stamp observed, so a frozen heartbeat on a non-idle service reads as
 /// a stall — unless its snapshot stamp moved, which is definitive proof
 /// the service published since the previous round.
-#[derive(Default)]
 struct LocalProbe {
     health: ShardHealth,
     last_beats: u64,
     last_stamp: Option<(u32, u64)>,
+    /// Last derived health state, for transition telemetry.
+    state: HealthState,
+}
+
+impl Default for LocalProbe {
+    fn default() -> LocalProbe {
+        LocalProbe {
+            health: ShardHealth::default(),
+            last_beats: 0,
+            last_stamp: None,
+            state: HealthState::Healthy,
+        }
+    }
 }
 
 /// The background aggregator: scrapes shard snapshots, fuses, publishes.
@@ -751,6 +864,10 @@ struct AggregatorService {
     last_key: Vec<(ShardId, u64, u32)>,
     key: Vec<(ShardId, u64, u32)>,
     generation: u64,
+    /// Fuse-stage span ring for this incarnation.
+    spans: SpanRecorder,
+    /// `health.transitions{state=...}` counters, indexed by [`state_idx`].
+    transitions: [Counter; 4],
 }
 
 impl AggregatorService {
@@ -762,6 +879,20 @@ impl AggregatorService {
         generation: u64,
     ) -> AggregatorService {
         let n_events = shared.catalog.len();
+        let spans = shared.tele.spans().recorder();
+        let transitions = [
+            HealthState::Healthy,
+            HealthState::Degraded,
+            HealthState::Stale,
+            HealthState::Dead,
+        ]
+        .map(|s| {
+            shared.tele.registry().counter(&bayesperf_obs::labeled(
+                "health.transitions",
+                "state",
+                s.name(),
+            ))
+        });
         AggregatorService {
             shared,
             writer,
@@ -773,6 +904,8 @@ impl AggregatorService {
             last_key: Vec::new(),
             key: Vec::new(),
             generation,
+            spans,
+            transitions,
         }
     }
 
@@ -874,6 +1007,19 @@ impl AggregatorService {
             if probe.health.age > 0 {
                 any_unhealthy = true;
             }
+            let state = ShardHealthView::observe(m.id, &probe.health, &self.policy).state;
+            if state != probe.state {
+                self.transitions[state_idx(state)].incr();
+                self.shared
+                    .tele
+                    .flight()
+                    .record(FlightEvent::HealthTransition {
+                        shard: m.id.raw(),
+                        from: probe.state.name(),
+                        to: state.name(),
+                    });
+                probe.state = state;
+            }
         }
         // Cheap pre-pass: `(shard, chunk, window)` stamps only, no
         // posterior copies or label clones. The idle steady state (no
@@ -894,6 +1040,7 @@ impl AggregatorService {
         // Something moved: pay for the full scrape. A shard may have
         // advanced again since its stamp was read — absorbing the newer
         // snapshot is fine, the next pre-pass simply fires once more.
+        let fuse_start = self.spans.now_ns();
         self.agg.begin();
         self.key.clear();
         for m in &members {
@@ -939,8 +1086,10 @@ impl AggregatorService {
             Ok(snap) => snap,
             Err(_) => return true,
         };
+        let max_window = snap.max_window();
         self.notify_subscribers(&snap);
         self.writer.publish(snap);
+        self.spans.record_since(Stage::Fuse, max_window, fuse_start);
         std::mem::swap(&mut self.last_key, &mut self.key);
         true
     }
@@ -1006,8 +1155,12 @@ fn supervise_aggregator(
         match catch_unwind(AssertUnwindSafe(|| svc.run(&control))) {
             // Orderly shutdown (close / control channel dropped).
             Ok(()) => break,
-            Err(_) => {
-                shared.agg_restarts.fetch_add(1, Relaxed);
+            Err(payload) => {
+                let restarts = shared.agg_restarts.fetch_add(1) + 1;
+                shared.tele.flight().record(FlightEvent::AggRestart {
+                    restarts,
+                    cause: panic_cause(payload),
+                });
                 // Reclaim publication rights on the intact fused cell;
                 // the crashed incarnation's writer dropped mid-unwind.
                 writer = shared.fused.recover_writer();
@@ -1026,6 +1179,17 @@ fn supervise_aggregator(
     }
     // Receiver drops here: queued Refresh acks error their callers and
     // subsequent control sends fail with SessionClosed.
+}
+
+/// Best-effort panic-payload rendering for flight-recorder causes.
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,16 @@ impl HealthState {
     pub fn contributes(self) -> bool {
         self != HealthState::Dead
     }
+
+    /// Stable lowercase name (metric labels, flight-recorder lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Stale => "stale",
+            HealthState::Dead => "dead",
+        }
+    }
 }
 
 /// Thresholds and inflation constants driving the health state machine.

@@ -67,7 +67,7 @@ pub use fleet::{
 pub use fuse::{fuse_gaussians, Aggregator, FleetSnapshot, ShardStatus};
 pub use health::{FailureKind, HealthPolicy, HealthState, ShardHealth, ShardHealthView};
 pub use net::{
-    FleetScraper, RoundReport, ScrapeConfig, ScrapeResponder, ScrapeServer, ShardTransport,
-    SimTransport, SnapshotSource, TcpTransport, UnixTransport,
+    FleetScraper, RoundReport, ScrapeConfig, ScrapeResponder, ScrapeServer, ScrapeTotals,
+    ShardTransport, SimTransport, SnapshotSource, TcpTransport, UnixTransport,
 };
 pub use topology::{ShardId, ShardLabel};

@@ -30,22 +30,26 @@
 //! not about the shard's data — the cached posterior is still the best
 //! available opinion, it is just aging. So failures widen (inflate) the
 //! cached contribution rather than dropping it, until the cache is so
-//! old ([`HealthState::Dead`](crate::HealthState::Dead)) that keeping it
+//! old ([`HealthState::Dead`]) that keeping it
 //! would let an arbitrarily stale opinion steer the fleet posterior.
 
 use crate::fuse::{Aggregator, FleetSnapshot, ShardStatus};
-use crate::health::{FailureKind, HealthPolicy, ShardHealth, ShardHealthView};
+use crate::health::{FailureKind, HealthPolicy, HealthState, ShardHealth, ShardHealthView};
 use crate::topology::{ShardId, ShardLabel};
 use crate::wire;
 use bayesperf_core::{snapshot_cell, Session, ShimError, SnapshotReader, SnapshotView};
 use bayesperf_inference::Gaussian;
+use bayesperf_obs::{
+    labeled, merge_metrics, Counter, FlightEvent, Histogram, MetricSnapshot, SpanRecorder, Stage,
+    Telemetry,
+};
 use bayesperf_simcpu::{LinkFate, LinkState};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -67,6 +71,12 @@ pub trait SnapshotSource {
     fn source_stamp(&self) -> Result<(u32, u64), ShimError>;
     /// The current snapshot view.
     fn source_view(&self) -> Result<SnapshotView, ShimError>;
+    /// The source's metrics-registry dump, if it has a telemetry plane.
+    /// The default `None` keeps plain test sources trivial; the server
+    /// answers a telemetry request against it with an empty dump.
+    fn source_metrics(&self) -> Option<Vec<MetricSnapshot>> {
+        None
+    }
 }
 
 impl SnapshotSource for Session {
@@ -76,6 +86,9 @@ impl SnapshotSource for Session {
     fn source_view(&self) -> Result<SnapshotView, ShimError> {
         self.snapshot()
     }
+    fn source_metrics(&self) -> Option<Vec<MetricSnapshot>> {
+        Some(self.telemetry().registry().snapshot())
+    }
 }
 
 impl<S: SnapshotSource + ?Sized> SnapshotSource for Arc<S> {
@@ -84,6 +97,9 @@ impl<S: SnapshotSource + ?Sized> SnapshotSource for Arc<S> {
     }
     fn source_view(&self) -> Result<SnapshotView, ShimError> {
         (**self).source_view()
+    }
+    fn source_metrics(&self) -> Option<Vec<MetricSnapshot>> {
+        (**self).source_metrics()
     }
 }
 
@@ -132,6 +148,31 @@ impl<S: SnapshotSource> ScrapeResponder<S> {
             // The snapshot vanished between stamp and view (source shut
             // down); answer as "nothing published".
             Err(_) => wire::encode_unchanged(0, 0, out),
+        }
+    }
+
+    /// Answers one raw request payload of *either* request kind into
+    /// `out`: scrape requests via [`respond`](ScrapeResponder::respond),
+    /// telemetry requests (wire v3) with the source's metrics-registry
+    /// dump. A frame that is not a request is a typed error — connection
+    /// handlers drop the peer, the server stays up.
+    pub fn respond_frame(&self, payload: &[u8], out: &mut Vec<u8>) -> Result<(), ShimError> {
+        match wire::peek_kind(payload)? {
+            wire::KIND_SCRAPE_REQ => {
+                let (req, _) = wire::decode_request(payload)?;
+                self.respond(&req, out);
+                Ok(())
+            }
+            wire::KIND_TELEMETRY_REQ => {
+                wire::decode_telemetry_request(payload)?;
+                out.clear();
+                let metrics = self.source.source_metrics().unwrap_or_default();
+                wire::encode_telemetry(&metrics, out);
+                Ok(())
+            }
+            _ => Err(ShimError::WireMalformed {
+                what: "record kind is not a request",
+            }),
         }
     }
 
@@ -284,11 +325,9 @@ where
             ReadOutcome::Done => {}
             ReadOutcome::Closed => return,
         }
-        let req = match wire::decode_request(&payload) {
-            Ok((req, _)) => req,
-            Err(_) => return,
-        };
-        responder.respond(&req, &mut response);
+        if responder.respond_frame(&payload, &mut response).is_err() {
+            return;
+        }
         framed.clear();
         if wire::encode_frame(&response, &mut framed).is_err() {
             return;
@@ -505,9 +544,8 @@ impl<S: SnapshotSource + Send + Sync> ShardTransport for SimTransport<S> {
                 what: "link partitioned",
             }),
             LinkFate::Delivered { corrupt, .. } => {
-                let (req, _) = wire::decode_request(request)?;
                 let mut out = Vec::new();
-                self.responder.respond(&req, &mut out);
+                self.responder.respond_frame(request, &mut out)?;
                 if let Some((word, mask)) = corrupt {
                     if !out.is_empty() {
                         let at = usize::try_from(word % out.len() as u64).expect("index < len");
@@ -586,6 +624,12 @@ struct Endpoint {
     fails: u32,
     /// Per-endpoint jitter stream.
     rng: u64,
+    /// Span ring for this endpoint's scrape exchanges. Endpoints are
+    /// polled by exactly one worker per round (chunks are disjoint), so
+    /// a per-endpoint recorder is race-free.
+    spans: SpanRecorder,
+    /// Last *derived* health state, for transition telemetry.
+    state: HealthState,
 }
 
 /// What one [`FleetScraper::poll_round`] did — the observability and
@@ -627,6 +671,105 @@ struct Tally {
     failures: usize,
 }
 
+/// Cumulative scrape-plane totals since the scraper was built — the sums
+/// of every [`RoundReport`] so far, read from the telemetry registry
+/// (the registry is the one source of truth; this struct is the typed
+/// accessor over it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrapeTotals {
+    /// Rounds run.
+    pub rounds: u64,
+    /// Rounds that published a fused snapshot.
+    pub published: u64,
+    /// Endpoint polls attempted.
+    pub attempted: u64,
+    /// Endpoint polls skipped in backoff cooldown.
+    pub skipped: u64,
+    /// Request bytes sent (unframed payloads, retries included).
+    pub bytes_sent: u64,
+    /// Response bytes received (unframed payloads).
+    pub bytes_received: u64,
+    /// Full snapshot responses decoded.
+    pub full_snapshots: u64,
+    /// `Unchanged` acks received.
+    pub unchanged: u64,
+    /// Endpoint rounds that failed after all retries.
+    pub failures: u64,
+}
+
+/// Pre-registered scrape-plane metric handles: creation is cold-path,
+/// recording is one relaxed atomic op per tally field per round.
+/// Cloning shares the handles (they are `Arc`s onto the same registry
+/// slots), which is how a scraper-backed [`FleetSession`] reads live
+/// totals without reaching into the scraper.
+///
+/// [`FleetSession`]: crate::FleetSession
+#[derive(Clone)]
+pub(crate) struct ScrapeMetrics {
+    rounds: Counter,
+    published: Counter,
+    attempted: Counter,
+    skipped: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    full_snapshots: Counter,
+    unchanged: Counter,
+    failures: Counter,
+    /// Total payload bytes moved per round (sent + received).
+    round_bytes: Histogram,
+    /// `health.transitions{state}` counters, indexed like
+    /// [`state_idx`]: healthy, degraded, stale, dead.
+    transitions: [Counter; 4],
+}
+
+pub(crate) fn state_idx(state: HealthState) -> usize {
+    match state {
+        HealthState::Healthy => 0,
+        HealthState::Degraded => 1,
+        HealthState::Stale => 2,
+        HealthState::Dead => 3,
+    }
+}
+
+impl ScrapeMetrics {
+    /// The current cumulative totals, read live from the counter handles.
+    pub(crate) fn totals(&self) -> ScrapeTotals {
+        ScrapeTotals {
+            rounds: self.rounds.get(),
+            published: self.published.get(),
+            attempted: self.attempted.get(),
+            skipped: self.skipped.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
+            full_snapshots: self.full_snapshots.get(),
+            unchanged: self.unchanged.get(),
+            failures: self.failures.get(),
+        }
+    }
+
+    fn new(tele: &Telemetry) -> ScrapeMetrics {
+        let r = tele.registry();
+        ScrapeMetrics {
+            rounds: r.counter("scrape.rounds"),
+            published: r.counter("scrape.rounds_published"),
+            attempted: r.counter("scrape.attempted"),
+            skipped: r.counter("scrape.skipped"),
+            bytes_sent: r.counter("scrape.bytes_sent"),
+            bytes_received: r.counter("scrape.bytes_received"),
+            full_snapshots: r.counter("scrape.full_snapshots"),
+            unchanged: r.counter("scrape.unchanged"),
+            failures: r.counter("scrape.failures"),
+            round_bytes: r.histogram("scrape.round_bytes"),
+            transitions: [
+                r.counter(&labeled("health.transitions", "state", "healthy")),
+                r.counter(&labeled("health.transitions", "state", "degraded")),
+                r.counter(&labeled("health.transitions", "state", "stale")),
+                r.counter(&labeled("health.transitions", "state", "dead")),
+            ],
+        }
+    }
+}
+
 /// The aggregator-side scrape client: owns N shard endpoints, polls them
 /// concurrently once per [`poll_round`](FleetScraper::poll_round), runs
 /// the health state machine, and publishes health-aware fused
@@ -644,12 +787,25 @@ pub struct FleetScraper {
     reader: SnapshotReader<FleetSnapshot>,
     generation: u64,
     round: u64,
+    tele: Telemetry,
+    metrics: ScrapeMetrics,
+    /// Last merged shard metric dump from [`poll_telemetry`], shared with
+    /// scraper-backed [`FleetSession`](crate::FleetSession)s.
+    ///
+    /// [`poll_telemetry`]: FleetScraper::poll_telemetry
+    scraped: Arc<Mutex<Vec<MetricSnapshot>>>,
+    /// Fuse-stage span ring (poll_round is caller-pumped, so this is
+    /// single-threaded by construction).
+    fuse_spans: SpanRecorder,
 }
 
 impl FleetScraper {
     /// A scraper fusing a catalog of `n_events` events under `config`.
     pub fn new(n_events: usize, config: ScrapeConfig) -> FleetScraper {
         let (writer, reader) = snapshot_cell();
+        let tele = Telemetry::new();
+        let metrics = ScrapeMetrics::new(&tele);
+        let fuse_spans = tele.spans().recorder();
         FleetScraper {
             config,
             endpoints: Vec::new(),
@@ -658,7 +814,72 @@ impl FleetScraper {
             reader,
             generation: 0,
             round: 0,
+            tele,
+            metrics,
+            scraped: Arc::new(Mutex::new(Vec::new())),
+            fuse_spans,
         }
+    }
+
+    /// The scraper's telemetry plane: the `scrape.*` / `health.*` metric
+    /// namespace, the scrape/fuse span rings, and the flight recorder
+    /// that logs health transitions.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
+    }
+
+    /// Cumulative totals of every round so far (the running sums of the
+    /// per-round [`RoundReport`]s, served from the telemetry registry).
+    pub fn totals(&self) -> ScrapeTotals {
+        self.metrics.totals()
+    }
+
+    /// Pulls every endpoint's metrics-registry dump (one wire-v3
+    /// telemetry exchange per endpoint; endpoints that fail or predate
+    /// the telemetry kind are skipped), caches the merged shard dump for
+    /// scraper-backed sessions, and returns it merged with the scraper's
+    /// own registry — one fleet-wide metric dump. Cold path: an operator
+    /// surface, not part of the scrape rounds.
+    pub fn poll_telemetry(&mut self) -> Vec<MetricSnapshot> {
+        let mut request = Vec::new();
+        wire::encode_telemetry_request(&mut request);
+        let mut shards: Vec<MetricSnapshot> = Vec::new();
+        for ep in &mut self.endpoints {
+            let Ok(response) = ep.transport.exchange(&request, self.config.deadline) else {
+                continue;
+            };
+            let Ok((metrics, _)) = wire::decode_telemetry(&response) else {
+                continue;
+            };
+            merge_metrics(&mut shards, &metrics);
+        }
+        *self.scraped.lock().unwrap_or_else(|e| e.into_inner()) = shards.clone();
+        let mut fleet = self.tele.registry().snapshot();
+        merge_metrics(&mut fleet, &shards);
+        fleet
+    }
+
+    /// Opens a fleet-scoped read session over this scraper's published
+    /// fused snapshots: the same [`FleetSession`] read surface an
+    /// in-process [`Fleet`] serves (`read` / `read_group` /
+    /// `read_derived` / `snapshot`), backed by the networked scrape
+    /// plane. The session also reads the scraper's live
+    /// [`ScrapeTotals`] and the fleet-wide metric dump cached by
+    /// [`poll_telemetry`](FleetScraper::poll_telemetry). Update
+    /// subscriptions are not available through a scraper-backed session
+    /// (poll [`FleetSession::snapshot`] instead).
+    ///
+    /// [`Fleet`]: crate::Fleet
+    /// [`FleetSession`]: crate::FleetSession
+    /// [`FleetSession::snapshot`]: crate::FleetSession::snapshot
+    pub fn session(&self, catalog: &bayesperf_events::Catalog) -> crate::FleetSession {
+        crate::fleet::scraper_session(
+            catalog,
+            self.reader.clone(),
+            self.tele.clone(),
+            self.metrics.clone(),
+            Arc::clone(&self.scraped),
+        )
     }
 
     /// Registers a shard endpoint. The scraper knows the topology — a
@@ -682,6 +903,8 @@ impl FleetScraper {
             cooldown: 0,
             fails: 0,
             rng,
+            spans: self.tele.spans().recorder(),
+            state: HealthState::Healthy,
         });
     }
 
@@ -718,16 +941,39 @@ impl FleetScraper {
     pub fn poll_round(&mut self) -> RoundReport {
         self.round += 1;
         let tally = self.poll_endpoints();
+        self.metrics.rounds.incr();
+        self.metrics.attempted.add(tally.attempted as u64);
+        self.metrics.skipped.add(tally.skipped as u64);
+        self.metrics.bytes_sent.add(tally.bytes_sent);
+        self.metrics.bytes_received.add(tally.bytes_received);
+        self.metrics.full_snapshots.add(tally.full_snapshots as u64);
+        self.metrics.unchanged.add(tally.unchanged as u64);
+        self.metrics.failures.add(tally.failures as u64);
+        self.metrics
+            .round_bytes
+            .record(tally.bytes_sent + tally.bytes_received);
         // Sequential fusion pass over the per-endpoint state.
+        let fuse_start = self.fuse_spans.now_ns();
         self.agg.begin();
         let mut dead = 0;
-        for ep in &self.endpoints {
+        let mut top_window = 0u32;
+        for ep in &mut self.endpoints {
             let view = ShardHealthView::observe(ep.shard, &ep.health, &self.config.health);
+            if view.state != ep.state {
+                self.metrics.transitions[state_idx(view.state)].incr();
+                self.tele.flight().record(FlightEvent::HealthTransition {
+                    shard: ep.shard.raw(),
+                    from: ep.state.name(),
+                    to: view.state.name(),
+                });
+                ep.state = view.state;
+            }
             if !view.state.contributes() {
                 dead += 1;
             }
             match &ep.cache {
                 Some((status, posteriors)) if view.state.contributes() => {
+                    top_window = top_window.max(status.window);
                     // Catalog mismatch is caught at decode time; a cached
                     // entry is always catalog-sized.
                     self.agg
@@ -745,6 +991,11 @@ impl FleetScraper {
                 .fuse(self.generation)
                 .expect("at least one contributor absorbed");
             self.writer.publish(snap);
+            self.metrics.published.incr();
+            // The fuse span is tagged with the freshest window that
+            // entered fusion, closing that window's end-to-end trace.
+            self.fuse_spans
+                .record_since(Stage::Fuse, top_window, fuse_start);
             true
         } else {
             false
@@ -825,6 +1076,8 @@ fn poll_endpoint(ep: &mut Endpoint, config: &ScrapeConfig, tally: &mut Tally) {
     };
     let mut request = Vec::new();
     wire::encode_request(&req, &mut request);
+    let scrape_start = ep.spans.now_ns();
+    let mut scraped_window = None;
     let mut last_err = ShimError::ScrapeTimeout;
     let mut succeeded = false;
     for _ in 0..=config.retries {
@@ -845,6 +1098,7 @@ fn poll_endpoint(ep: &mut Endpoint, config: &ScrapeConfig, tally: &mut Tally) {
                     ep.last = None;
                     ep.cache = None;
                 }
+                scraped_window = Some(window);
                 tally.unchanged += 1;
                 succeeded = true;
             }
@@ -856,6 +1110,7 @@ fn poll_endpoint(ep: &mut Endpoint, config: &ScrapeConfig, tally: &mut Tally) {
                     continue;
                 }
                 ep.last = Some((snap.window, snap.chunk));
+                scraped_window = Some(snap.window);
                 let mut status = snap.status();
                 // The registered topology label is authoritative; a
                 // scraped shard cannot rename itself on the wire.
@@ -870,6 +1125,11 @@ fn poll_endpoint(ep: &mut Endpoint, config: &ScrapeConfig, tally: &mut Tally) {
             }
         }
         break;
+    }
+    if let Some(window) = scraped_window {
+        // Tagged with the window the exchange actually carried, so a
+        // window's trace extends across the byte boundary.
+        ep.spans.record_since(Stage::Scrape, window, scrape_start);
     }
     if succeeded {
         ep.health.on_success();

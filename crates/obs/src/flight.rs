@@ -1,0 +1,282 @@
+//! The flight recorder: a bounded ring of recent structured events.
+//!
+//! Post-mortems should not depend on being attached at crash time. Every
+//! supervision-relevant event (injected panics, restarts, quarantined
+//! divergences, health transitions, vetoed publishes, backoff parks) is
+//! pushed into a small ring; when the supervised service gives up
+//! (`ServiceState::Failed`) the supervisor seals an automatic dump that
+//! stays readable afterwards, and operators can [`FlightRecorder::dump`]
+//! on demand at any point.
+//!
+//! Events are rare (cold path by construction: crashes, state flips), so
+//! the ring is a mutexed `VecDeque` — correctness and bounded memory over
+//! lock-freedom here, unlike the metrics hot path.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A structured flight-recorder event.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FlightEvent {
+    /// A panic was injected through the test hook.
+    PanicInjected,
+    /// The supervised service crashed and is being restarted.
+    ServiceRestart {
+        /// Cumulative restart count including this one.
+        restarts: u64,
+        /// The panic payload that killed the run.
+        cause: String,
+    },
+    /// The restart budget was exhausted; the service is permanently down.
+    ServiceFailed {
+        /// The final panic payload.
+        cause: String,
+    },
+    /// The aggregator thread crashed and was restarted.
+    AggRestart {
+        /// Cumulative aggregator restart count including this one.
+        restarts: u64,
+        /// The panic payload.
+        cause: String,
+    },
+    /// Diverged inference sites (or non-finite samples) were quarantined
+    /// instead of being published.
+    DivergenceQuarantined {
+        /// Window the quarantine applied to.
+        window: u32,
+        /// Number of sites (or samples) contained.
+        sites: u64,
+    },
+    /// A snapshot publish was vetoed (nothing trustworthy to publish).
+    PublishVetoed {
+        /// First window of the vetoed chunk.
+        window: u32,
+        /// Why, for the log line.
+        reason: &'static str,
+    },
+    /// The supervisor parked in restart backoff.
+    BackoffPark {
+        /// Park duration in milliseconds.
+        millis: u64,
+    },
+    /// A shard's derived health state changed.
+    HealthTransition {
+        /// Shard id.
+        shard: u32,
+        /// Previous state name.
+        from: &'static str,
+        /// New state name.
+        to: &'static str,
+    },
+}
+
+impl fmt::Display for FlightEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlightEvent::PanicInjected => write!(f, "panic injected (test hook)"),
+            FlightEvent::ServiceRestart { restarts, cause } => {
+                write!(f, "service restart #{restarts}: {cause}")
+            }
+            FlightEvent::ServiceFailed { cause } => {
+                write!(f, "service FAILED (restart budget exhausted): {cause}")
+            }
+            FlightEvent::AggRestart { restarts, cause } => {
+                write!(f, "aggregator restart #{restarts}: {cause}")
+            }
+            FlightEvent::DivergenceQuarantined { window, sites } => {
+                write!(f, "window {window}: quarantined {sites} diverged site(s)")
+            }
+            FlightEvent::PublishVetoed { window, reason } => {
+                write!(f, "window {window}: publish vetoed ({reason})")
+            }
+            FlightEvent::BackoffPark { millis } => {
+                write!(f, "supervisor parked {millis} ms in restart backoff")
+            }
+            FlightEvent::HealthTransition { shard, from, to } => {
+                write!(f, "shard {shard}: health {from} -> {to}")
+            }
+        }
+    }
+}
+
+/// One ring entry: a sequence number, a stamp (ns since the recorder's
+/// epoch), and the event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEntry {
+    /// Monotone per-recorder sequence number (never reused, so a dump
+    /// shows how many older events the ring has already evicted).
+    pub seq: u64,
+    /// Nanoseconds since the recorder's epoch.
+    pub at_ns: u64,
+    /// What happened.
+    pub event: FlightEvent,
+}
+
+struct FlightInner {
+    epoch: Instant,
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<FlightEntry>>,
+    sealed: Mutex<Option<String>>,
+}
+
+/// Default number of events the ring retains.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// The bounded structured-event ring. Cloning shares the ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining [`DEFAULT_FLIGHT_CAPACITY`] events.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a recorder retaining the last `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(FlightInner {
+                epoch: Instant::now(),
+                capacity: capacity.max(1),
+                seq: AtomicU64::new(0),
+                ring: Mutex::new(VecDeque::new()),
+                sealed: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Appends an event, evicting the oldest past capacity.
+    pub fn record(&self, event: FlightEvent) {
+        let entry = FlightEntry {
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            at_ns: u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            event,
+        };
+        let mut ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// A copy of the retained events, oldest first (on-demand dump;
+    /// non-destructive).
+    pub fn dump(&self) -> Vec<FlightEntry> {
+        self.inner
+            .ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drains the retained events, leaving the ring empty.
+    pub fn drain(&self) -> Vec<FlightEntry> {
+        self.inner
+            .ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Renders entries as one human-readable block, one event per line.
+    pub fn render(entries: &[FlightEntry]) -> String {
+        let mut out = String::new();
+        for e in entries {
+            let ms = e.at_ns / 1_000_000;
+            out.push_str(&format!(
+                "[{:>6}.{:03}s #{}] {}\n",
+                ms / 1000,
+                ms % 1000,
+                e.seq,
+                e.event
+            ));
+        }
+        out
+    }
+
+    /// Seals the automatic crash dump: renders the current ring and
+    /// stores it where [`FlightRecorder::sealed_dump`] can read it later.
+    /// Called by supervisors when a service transitions to `Failed`, so
+    /// the post-mortem survives even if the ring keeps moving afterwards.
+    pub fn seal(&self) -> String {
+        let text = Self::render(&self.dump());
+        *self.inner.sealed.lock().unwrap_or_else(|e| e.into_inner()) = Some(text.clone());
+        text
+    }
+
+    /// The dump sealed at the most recent `Failed` transition, if any.
+    pub fn sealed_dump(&self) -> Option<String> {
+        self.inner
+            .sealed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_sequence() {
+        let fr = FlightRecorder::with_capacity(3);
+        for i in 0..5 {
+            fr.record(FlightEvent::BackoffPark { millis: i });
+        }
+        let dump = fr.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(dump[0].seq, 2);
+        assert_eq!(dump[2].seq, 4);
+        assert_eq!(fr.recorded(), 5);
+    }
+
+    #[test]
+    fn seal_survives_later_records() {
+        let fr = FlightRecorder::new();
+        fr.record(FlightEvent::PanicInjected);
+        fr.record(FlightEvent::ServiceFailed {
+            cause: "injected service panic (test hook)".into(),
+        });
+        let sealed = fr.seal();
+        assert!(sealed.contains("panic injected"));
+        assert!(sealed.contains("FAILED"));
+        fr.record(FlightEvent::BackoffPark { millis: 1 });
+        assert_eq!(fr.sealed_dump().expect("sealed"), sealed);
+    }
+
+    #[test]
+    fn drain_empties_the_ring() {
+        let fr = FlightRecorder::new();
+        fr.record(FlightEvent::HealthTransition {
+            shard: 3,
+            from: "healthy",
+            to: "stale",
+        });
+        let drained = fr.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(fr.dump().is_empty());
+        assert!(FlightRecorder::render(&drained).contains("shard 3"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Concurrency coverage for the histogram hot path (the satellite
+//! invariant): multi-threaded recorders with concurrent snapshots must
+//! conserve the total count and never expose a torn bucket.
+
+use bayesperf_obs::{bucket_index, Histogram, Registry, HISTOGRAM_BUCKETS};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const RECORDS_PER_THREAD: u64 = 50_000;
+
+/// Every record lands in exactly one bucket, so after all recorders join
+/// the bucket totals must equal the number of records and the sum must be
+/// exact — across threads, with no lost updates.
+#[test]
+fn concurrent_recorders_conserve_count_and_sum() {
+    let h = Histogram::new();
+    let mut expected_sum = 0u64;
+    let mut expected_buckets = [0u64; HISTOGRAM_BUCKETS];
+    // Deterministic per-thread value streams (xorshift), precomputed so
+    // the expectation is exact.
+    let streams: Vec<Vec<u64>> = (0..THREADS)
+        .map(|t| {
+            let mut x = 0x9e3779b97f4a7c15u64 ^ (t as u64 + 1);
+            (0..RECORDS_PER_THREAD)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x >> (x % 64) // spread across all magnitudes
+                })
+                .collect()
+        })
+        .collect();
+    for s in &streams {
+        for &v in s {
+            expected_sum = expected_sum.wrapping_add(v);
+            expected_buckets[bucket_index(v)] += 1;
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for s in &streams {
+            let h = h.clone();
+            scope.spawn(move || {
+                for &v in s {
+                    h.record(v);
+                }
+            });
+        }
+    });
+
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS as u64 * RECORDS_PER_THREAD);
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.buckets, expected_buckets);
+}
+
+/// Snapshots taken *while* recorders run never see more events than were
+/// issued, never go backwards, and every observed bucket count is
+/// monotone — i.e. no torn or phantom buckets mid-flight.
+#[test]
+fn concurrent_snapshots_are_monotone_and_never_torn() {
+    let h = Histogram::new();
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let h = h.clone();
+            let done = done.clone();
+            scope.spawn(move || {
+                for i in 0..20_000u64 {
+                    h.record((i << (t % 8)) + t);
+                }
+                done.store(true, Ordering::Release);
+            });
+        }
+        let mut last = bayesperf_obs::HistogramSnapshot::default();
+        while !done.load(Ordering::Acquire) {
+            let snap = h.snapshot();
+            assert!(snap.count() <= 4 * 20_000, "count overshoots issuance");
+            assert!(
+                snap.count() >= last.count(),
+                "total count went backwards across snapshots"
+            );
+            for (i, (&now, &then)) in snap.buckets.iter().zip(last.buckets.iter()).enumerate() {
+                assert!(now >= then, "bucket {i} count went backwards (torn read?)");
+            }
+            last = snap;
+        }
+    });
+}
+
+/// Registration races: many threads resolving the same metric names get
+/// handles onto the same underlying atomics.
+#[test]
+fn registry_resolution_is_race_free() {
+    let r = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let r = r.clone();
+            scope.spawn(move || {
+                for _ in 0..1_000 {
+                    r.counter("shared.count").incr();
+                    r.histogram("shared.hist").record(1);
+                }
+            });
+        }
+    });
+    assert_eq!(r.counter("shared.count").get(), 8_000);
+    assert_eq!(r.histogram("shared.hist").snapshot().count(), 8_000);
+    // One entry per name, not one per racing registrant.
+    assert_eq!(r.snapshot().len(), 2);
+}

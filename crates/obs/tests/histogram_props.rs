@@ -1,0 +1,50 @@
+//! Property tests for the log-scale histogram bucket layout (the
+//! satellite invariant): bucket boundaries are strictly monotone and
+//! every value round-trips into the bucket whose range contains it.
+
+use bayesperf_obs::{bucket_index, bucket_upper, Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+#[test]
+fn bucket_boundaries_are_strictly_monotone() {
+    for i in 1..HISTOGRAM_BUCKETS {
+        assert!(
+            bucket_upper(i) > bucket_upper(i - 1),
+            "bucket {i} upper bound not above bucket {}",
+            i - 1
+        );
+    }
+    assert_eq!(bucket_upper(0), 0);
+    assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+}
+
+proptest! {
+    /// A value lands in the first bucket whose upper bound covers it:
+    /// `v <= upper(idx)` and, unless it is bucket 0, `v > upper(idx-1)`.
+    #[test]
+    fn values_round_trip_into_their_bucket(v in 0u64..u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < HISTOGRAM_BUCKETS);
+        prop_assert!(v <= bucket_upper(idx));
+        if idx > 0 {
+            prop_assert!(v > bucket_upper(idx - 1));
+        }
+    }
+
+    /// Recording any batch conserves count and sum exactly, and the
+    /// coarse quantile is an upper bound consistent with the layout: the
+    /// max recorded value never exceeds the p100 bucket bound.
+    #[test]
+    fn recorded_batches_are_conserved(values in proptest::collection::vec(0u64..1 << 48, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        let max = *values.iter().max().expect("non-empty");
+        prop_assert!(max <= snap.quantile_upper(1.0));
+        prop_assert!(snap.quantile_upper(0.5) <= snap.quantile_upper(1.0));
+    }
+}

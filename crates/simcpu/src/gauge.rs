@@ -25,6 +25,7 @@ use crate::pmu::PmuConfig;
 use crate::sample::Sample;
 use crate::truth::GroundTruth;
 use bayesperf_events::{Catalog, EventId, SourceDesc, SourceId};
+use bayesperf_obs::{labeled, Counter, Telemetry};
 
 /// A producer of tagged observation samples.
 ///
@@ -132,6 +133,11 @@ pub struct SimGauge<T: GroundTruth> {
     n_catalog: usize,
     produced: u64,
     dropped: u64,
+    /// `sim.samples_emitted{source=...}` / `sim.samples_dropped{source=...}`
+    /// registry handles, present once [`with_telemetry`](Self::with_telemetry)
+    /// attaches a plane. `None` costs nothing on the poll path.
+    emitted: Option<Counter>,
+    lost: Option<Counter>,
 }
 
 impl<T: GroundTruth> SimGauge<T> {
@@ -167,6 +173,8 @@ impl<T: GroundTruth> SimGauge<T> {
             n_catalog: catalog.len(),
             produced: 0,
             dropped: 0,
+            emitted: None,
+            lost: None,
         })
     }
 
@@ -174,6 +182,19 @@ impl<T: GroundTruth> SimGauge<T> {
     /// from its own independent stream).
     pub fn with_faults(mut self, profile: DataFaultProfile) -> Self {
         self.faults = Some(DataFaultState::new(profile));
+        self
+    }
+
+    /// Attaches a telemetry plane: every subsequent poll bumps
+    /// `sim.samples_emitted{source=...}` / `sim.samples_dropped{source=...}`
+    /// on its registry, labelled with this gauge's source name. Telemetry
+    /// never perturbs the sample stream — draws, values and dropout are
+    /// bit-identical with and without it.
+    pub fn with_telemetry(mut self, tele: &Telemetry) -> Self {
+        let reg = tele.registry();
+        self.emitted =
+            Some(reg.counter(&labeled("sim.samples_emitted", "source", &self.desc.name)));
+        self.lost = Some(reg.counter(&labeled("sim.samples_dropped", "source", &self.desc.name)));
         self
     }
 
@@ -242,9 +263,15 @@ impl<T: GroundTruth> SampleSource for SimGauge<T> {
             }
             if d_drop < self.profile.dropout_prob {
                 self.dropped += 1;
+                if let Some(c) = &self.lost {
+                    c.incr();
+                }
                 continue;
             }
             self.produced += 1;
+            if let Some(c) = &self.emitted {
+                c.incr();
+            }
             out.push(s);
         }
     }
@@ -376,6 +403,35 @@ mod tests {
         // set of (window, event) slots is unchanged.
         let slots = |v: &[(u32, u16, u64)]| v.iter().map(|(w, e, _)| (*w, *e)).collect::<Vec<_>>();
         assert_eq!(slots(&base2), slots(&f2));
+    }
+
+    /// Telemetry attachment is observation-only: the sample stream stays
+    /// bit-identical, and the labelled registry counters track the
+    /// `produced()`/`dropped()` accessors exactly.
+    #[test]
+    fn telemetry_counts_match_and_never_perturb_the_stream() {
+        let (cat, truth, pmu) = setup();
+        let sid = cat.sources()[1].id;
+        let prof = GaugeProfile {
+            rel_sigma: 0.02,
+            drift_step: 0.004,
+            dropout_prob: 0.2,
+            seed: 31,
+        };
+        let mut plain = SimGauge::new(&cat, sid, prof, &pmu, truth.clone()).unwrap();
+        let tele = bayesperf_obs::Telemetry::new();
+        let mut instrumented = SimGauge::new(&cat, sid, prof, &pmu, truth.clone())
+            .unwrap()
+            .with_telemetry(&tele);
+        assert_eq!(run(&mut plain, 512), run(&mut instrumented, 512));
+
+        let name = &cat.source(sid).unwrap().name;
+        let reg = tele.registry();
+        let emitted = reg.counter(&labeled("sim.samples_emitted", "source", name));
+        let lost = reg.counter(&labeled("sim.samples_dropped", "source", name));
+        assert_eq!(emitted.get(), instrumented.produced());
+        assert_eq!(lost.get(), instrumented.dropped());
+        assert!(emitted.get() > 0 && lost.get() > 0);
     }
 
     #[test]

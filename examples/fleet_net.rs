@@ -2,7 +2,9 @@
 //! through scrape responders — one over a real TCP socket, the rest
 //! behind seeded lossy links — polled by a `FleetScraper` with
 //! deadlines, retries and backoff, and fused with staleness-aware
-//! variance inflation.
+//! variance inflation. Closes with the telemetry plane: a fleet-wide
+//! registry pull over the wire, cumulative scrape totals through a
+//! scraper-backed `FleetSession`, and the scrape/fuse span counts.
 //!
 //! Run with: `cargo run --release --example fleet_net`
 
@@ -12,6 +14,7 @@ use bayesperf::fleet::{
     FleetScraper, HealthState, ScrapeConfig, ScrapeResponder, ScrapeServer, ShardId, ShardLabel,
     SimTransport, TcpTransport,
 };
+use bayesperf::obs::{render_prometheus, Stage};
 use bayesperf::simcpu::{
     pack_round_robin, CorrelatedTruth, LinkProfile, LinkState, Pmu, PmuConfig, ShardProfile,
 };
@@ -164,5 +167,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         degraded,
         snap.health.len()
     );
+    drop(snap); // release the snapshot slot before further rounds
+
+    // Live telemetry: one TELEMETRY_REQ round pulls every reachable
+    // shard's registry over the same wire (v3 frame kind), merges it with
+    // the scraper's own counters, and renders the fleet-wide state as
+    // Prometheus text. Shard 0 answers over real TCP.
+    let metrics = scraper.poll_telemetry();
+    println!(
+        "\nfleet-wide telemetry ({} series, excerpt):",
+        metrics.len()
+    );
+    for line in render_prometheus(&metrics)
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.contains("_bucket"))
+        .take(14)
+    {
+        println!("  {line}");
+    }
+
+    // The scraper-backed FleetSession: the same read/session surface an
+    // in-process fleet offers, plus cumulative scrape totals served live
+    // from the registry handles.
+    let fleet_session = scraper.session(&catalog);
+    let totals = fleet_session.scrape_totals()?;
+    println!(
+        "\nscrape totals: {} rounds ({} published), {} full snapshots, \
+         {} acks, {} failures, {} B out / {} B in",
+        totals.rounds,
+        totals.published,
+        totals.full_snapshots,
+        totals.unchanged,
+        totals.failures,
+        totals.bytes_sent,
+        totals.bytes_received
+    );
+
+    // Scrape/fuse spans recorded by the scraper itself: each poll_round
+    // leaves one Scrape span per reachable endpoint and one Fuse span per
+    // published fusion, tagged with the window they carried.
+    let spans = scraper.telemetry().spans().records();
+    let fused_spans = spans.iter().filter(|s| s.stage == Stage::Fuse).count();
+    let scrape_spans = spans.iter().filter(|s| s.stage == Stage::Scrape).count();
+    println!("spans: {scrape_spans} scrape + {fused_spans} fuse recorded this run");
     Ok(())
 }

@@ -15,6 +15,8 @@
 //! * [`core`] — scheduling, model building, the corrector, the perf-like shim
 //! * [`fleet`] — sharded monitors, precision-weighted posterior fusion,
 //!   the snapshot wire codec
+//! * [`obs`] — the telemetry plane: lock-free metrics registry, pipeline
+//!   tracing spans, flight recorder, Prometheus-style exposition
 //! * [`baselines`] — Linux scaling, CounterMiner, WM+Pin
 //! * [`accel`] — the accelerator discrete-event simulation + area/power model
 //! * [`mlsched`] — PCIe contention sim + ML scheduler case study
@@ -35,5 +37,6 @@ pub use bayesperf_fleet as fleet;
 pub use bayesperf_graph as graph;
 pub use bayesperf_inference as inference;
 pub use bayesperf_mlsched as mlsched;
+pub use bayesperf_obs as obs;
 pub use bayesperf_simcpu as simcpu;
 pub use bayesperf_workloads as workloads;
