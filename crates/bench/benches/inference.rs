@@ -7,9 +7,12 @@
 //! * the warm-vs-cold corrector study — incremental warm-started chained
 //!   correction vs the cold rebuild-per-chunk baseline on the fig6-style
 //!   workload (`corrector_warm_speedup`). With `BENCH_GATE=1` the warm
-//!   arm is *asserted* to finish in under 0.9× of the cold arm's time — a
-//!   CI sanity floor, far below the ≥3× the warm path actually delivers.
+//!   arm rides the same paired interval gate as `bench_json`'s
+//!   `cold_over_warm` entry: the one-sided 99.5% interval on the mean
+//!   per-pair cold/warm ratio must clear 1.11× — a CI sanity floor, far
+//!   below the ≥3× the warm path actually delivers.
 
+use bayesperf_bench::gate::GateConfig;
 use bayesperf_core::corrector::{Corrector, CorrectorConfig};
 use bayesperf_core::model::{build_chunk_model, ModelConfig};
 use bayesperf_events::{Arch, Catalog};
@@ -19,7 +22,7 @@ use bayesperf_workloads::kmeans;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn chunk_fixture(cat: &Catalog) -> Vec<Vec<Sample>> {
     let mut truth = kmeans().instantiate(cat, 0);
@@ -119,34 +122,44 @@ fn bench_engine_farm(c: &mut Criterion) {
     }
 }
 
-/// Paired interleaved speedup measurement (cbdr-style): alternate
-/// sequential and parallel runs so drift affects both arms equally, compute
-/// per-pair ratios, and report the mean ratio with a 95% CI.
+/// Paired interleaved speedup measurement on the shared
+/// [`GateConfig::run_paired`] harness: alternate sequential and parallel
+/// runs back to back so drift affects both arms equally, and report the
+/// mean per-pair seq/par ratio with its Student-t interval. Report-only —
+/// the trivially-true `>= 0` bound means the harness is used purely for
+/// its interleaving and interval math, never to block.
 fn report_paired_speedup(threads: usize, hw: usize) {
     let pairs = if std::env::var_os("BENCH_QUICK").is_some() {
         3
     } else {
         15
     };
-    let mut ratios = Vec::with_capacity(pairs);
     // One warm-up pair, discarded.
     let _ = time(|| farm_model().run_parallel(0, 1));
     let _ = time(|| farm_model().run_parallel(0, threads));
-    for p in 0..pairs {
-        let seq = time(|| farm_model().run_parallel(p as u64, 1));
-        let par = time(|| farm_model().run_parallel(p as u64, threads));
-        ratios.push(seq / par);
-    }
-    let n = ratios.len() as f64;
-    let mean = ratios.iter().sum::<f64>() / n;
-    let var = ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (n - 1.0).max(1.0);
-    let half = 1.96 * (var / n).sqrt();
+    // Per-arm pair counters: each arm runs once per pair, so both see the
+    // same sweep seed within a pair (matched workloads, like the old loop).
+    let mut p_seq = 0u64;
+    let mut p_par = 0u64;
+    let verdict = GateConfig::at_least("ep_farm_speedup", 0.0)
+        .samples(pairs, pairs)
+        .seed(0xFA12)
+        .run_paired(
+            || {
+                let t = time(|| farm_model().run_parallel(p_par, threads));
+                p_par += 1;
+                t
+            },
+            || {
+                let t = time(|| farm_model().run_parallel(p_seq, 1));
+                p_seq += 1;
+                t
+            },
+        );
     println!(
         "ep_farm_speedup_{threads}threads            ratio: [{:.2}x {:.2}x {:.2}x] \
          (paired, n={pairs}, {hw} hw threads)",
-        mean - half,
-        mean,
-        mean + half,
+        verdict.lo, verdict.stat, verdict.hi,
     );
     if hw == 1 {
         println!(
@@ -186,10 +199,12 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
     }
 }
 
-/// Paired interleaved warm-vs-cold measurement (cbdr-style): alternate the
-/// cold rebuild-per-chunk baseline and the warm-started incremental path on
-/// the same recorded run, compute per-pair ratios, and report the mean
-/// ratio with a 95% CI plus per-window times.
+/// Paired interleaved warm-vs-cold measurement on the shared
+/// [`GateConfig::run_paired`] harness: run the cold rebuild-per-chunk
+/// baseline and the warm-started incremental path back to back (seeded
+/// coin-flip order inside each pair) on the same recorded run, and report
+/// the mean per-pair ratio with its one-sided 99.5% Student-t interval
+/// plus per-window times.
 ///
 /// The warm arm measures the **steady state**: one persistent corrector
 /// streams the run's chunks through [`Corrector::push_chunk`] without ever
@@ -200,7 +215,9 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
 /// path *including* that cold start, for comparison.)
 ///
 /// `BENCH_GATE=1` turns the sanity floor (warm must finish in < 0.9× the
-/// cold time) into a hard assertion for CI.
+/// cold time) into a hard assertion for CI, decided on the interval via
+/// [`bayesperf_bench::gate::GateVerdict::holds`] rather than a raw point
+/// comparison.
 fn report_warm_speedup(cat: &Catalog, run: &MultiplexRun, n_windows: usize) {
     let pairs = if std::env::var_os("BENCH_QUICK").is_some() {
         3
@@ -234,37 +251,34 @@ fn report_warm_speedup(cat: &Catalog, run: &MultiplexRun, n_windows: usize) {
     // past its cold first chunk).
     let _ = time(&mut cold_once);
     let _ = time(&mut warm_once);
-    let mut ratios = Vec::with_capacity(pairs);
-    let mut cold_ns = 0.0;
-    let mut warm_ns = 0.0;
-    for _ in 0..pairs {
-        let cold = time(&mut cold_once);
-        let warm = time(&mut warm_once);
-        cold_ns += cold * 1e9;
-        warm_ns += warm * 1e9;
-        ratios.push(cold / warm);
-    }
-    let n = ratios.len() as f64;
-    let mean = ratios.iter().sum::<f64>() / n;
-    let var = ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (n - 1.0).max(1.0);
-    let half = 1.96 * (var / n).sqrt();
-    let per_window = |total_ns: f64| total_ns / n / n_windows as f64;
+    // Arm A is the warm baseline and arm B the cold candidate, so the gate
+    // statistic is the mean per-pair cold/warm ratio — the speedup.
+    let verdict = GateConfig::at_least("corrector_warm_speedup", 1.0 / 0.9)
+        .samples(pairs, 2 * pairs)
+        .seed(0xA1)
+        .max_wall(Duration::from_secs(300))
+        .run_paired(|| time(&mut warm_once) * 1e9, || time(&mut cold_once) * 1e9);
+    let per_window = |mean_ns: f64| mean_ns / n_windows as f64;
     println!(
         "corrector_warm_speedup                  ratio: [{:.2}x {:.2}x {:.2}x] \
-         (paired, n={pairs}; cold {:.0} ns/window, warm {:.0} ns/window)",
-        mean - half,
-        mean,
-        mean + half,
-        per_window(cold_ns),
-        per_window(warm_ns),
+         (paired, n={}; cold {:.0} ns/window, warm {:.0} ns/window)",
+        verdict.lo,
+        verdict.stat,
+        verdict.hi,
+        verdict.n_a,
+        per_window(verdict.mean_b),
+        per_window(verdict.mean_a),
     );
     if std::env::var_os("BENCH_GATE").is_some() {
         assert!(
-            mean >= 1.0 / 0.9,
-            "warm-start regression: warm path is only {mean:.2}x faster than cold \
-             (gate requires warm time < 0.9x cold time)"
+            verdict.holds(),
+            "warm-start regression — {}",
+            verdict.summary()
         );
-        println!("corrector_warm_speedup                  gate: PASS (>= 1.11x)");
+        println!(
+            "corrector_warm_speedup                  gate: {}",
+            verdict.summary()
+        );
     }
 }
 

@@ -13,6 +13,8 @@
 //!    subtracting the polling-vs-polling floor (§6.2's normalization);
 //! 4. average across events and application runs.
 
+pub mod gate;
+
 use bayesperf_baselines::{CounterMiner, LinuxScaling, SeriesEstimator, WmPin};
 use bayesperf_core::corrector::{Corrector, CorrectorConfig};
 use bayesperf_core::metrics::adjusted_error;

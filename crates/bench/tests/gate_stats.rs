@@ -1,0 +1,132 @@
+//! Statistical properties of the `bench::gate` decision rule on synthetic
+//! noisy series, where the ground truth is known by construction:
+//!
+//! * **power** — a planted regression whose margin over the bound clearly
+//!   exceeds the noise floor is always flagged as a confident
+//!   [`Decision::Fail`] within the configured sample budget, under both
+//!   interval methods and across generator seeds;
+//! * **type-I error** — when the truth sits exactly on the bound, the
+//!   confident-fail rate across seeds stays near the configured `α`
+//!   (sequential peeking at every sample count inflates it somewhat, but
+//!   it must stay an order of magnitude below a coin flip);
+//! * **null safety** — when the truth sits comfortably inside the bound,
+//!   the gate holds for every seed.
+//!
+//! The arms here are pure synthetic generators (Gaussian noise from the
+//! workspace's own deterministic [`SiteRng`] streams), so these tests pin
+//! the *decision rule*, independent of any real benchmark workload.
+
+use bayesperf_bench::gate::{Decision, GateConfig};
+use bayesperf_inference::SiteRng;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// One Gaussian draw via Box–Muller on the deterministic stream.
+fn noisy(rng: &mut SiteRng, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Runs one `at_most` ratio gate with baseline mean 100 and candidate mean
+/// `100 * true_ratio`, both arms carrying `sd` absolute noise.
+fn synthetic_gate(cfg: GateConfig, true_ratio: f64, sd: f64, seed: u64) -> Decision {
+    let mut rng_a = SiteRng::for_site(seed, 0, 0);
+    let mut rng_b = SiteRng::for_site(seed, 1, 0);
+    cfg.run_ratio(
+        || noisy(&mut rng_a, 100.0, sd),
+        || noisy(&mut rng_b, 100.0 * true_ratio, sd),
+    )
+    .decision
+}
+
+proptest! {
+    /// Power: a regression planted ≥ 10 percentage points past the bound,
+    /// with per-arm noise at most 2% of the mean, is *always* a confident
+    /// fail by the sample budget — no seed, noise level, or regression
+    /// size in range may slip through as a pass or an inconclusive run.
+    #[test]
+    fn planted_regression_is_always_flagged(
+        seed in 0u64..1 << 40,
+        planted in 1.15f64..1.40,
+        sd in 0.1f64..2.0,
+    ) {
+        let cfg = GateConfig::at_most("planted", 1.05)
+            .samples(10, 60)
+            .seed(seed ^ 0xF1A6);
+        prop_assert_eq!(synthetic_gate(cfg, planted, sd, seed), Decision::Fail);
+    }
+
+    /// The same planted regression is flagged by the Bayesian credible
+    /// interval too — the two methods must agree on clear-cut cases.
+    #[test]
+    fn planted_regression_is_flagged_bayesian(
+        seed in 0u64..1 << 40,
+        planted in 1.15f64..1.40,
+        sd in 0.1f64..2.0,
+    ) {
+        let cfg = GateConfig::at_most("planted_bayes", 1.05)
+            .samples(10, 60)
+            .seed(seed ^ 0xBA1E)
+            .bayesian();
+        prop_assert_eq!(synthetic_gate(cfg, planted, sd, seed), Decision::Fail);
+    }
+
+    /// Null safety: with the truth well inside the bound and modest noise,
+    /// the gate holds for every seed — noise alone can never block.
+    #[test]
+    fn clear_null_always_holds(seed in 0u64..1 << 40, sd in 0.1f64..2.0) {
+        let cfg = GateConfig::at_most("clear_null", 1.10)
+            .samples(10, 60)
+            .seed(seed ^ 0xC1EA);
+        let d = synthetic_gate(cfg, 1.0, sd, seed);
+        prop_assert_ne!(d, Decision::Fail);
+    }
+}
+
+/// Type-I error: the truth sits *exactly on* the bound, so any confident
+/// fail is a false positive. The interval is recomputed at every sample
+/// count past the floor (sequential peeking), which inflates the error
+/// above the per-look `α = 0.005`; across 200 seeds the observed rate must
+/// still stay within 5% — bounded, and nowhere near chance.
+#[test]
+fn null_false_positive_rate_is_bounded() {
+    let trials = 200u64;
+    let mut confident_fails = 0u32;
+    for seed in 0..trials {
+        let cfg = GateConfig::at_most("null_fp", 1.0)
+            .samples(8, 24)
+            .seed(seed ^ 0x0F9A);
+        if synthetic_gate(cfg, 1.0, 1.5, 0x5EED0 + seed) == Decision::Fail {
+            confident_fails += 1;
+        }
+    }
+    let rate = f64::from(confident_fails) / trials as f64;
+    assert!(
+        rate <= 0.05,
+        "false-positive rate {rate} ({confident_fails}/{trials}) above 5%"
+    );
+}
+
+/// The exact-on-bound null is nearly always inconclusive at a finite
+/// budget — and the default point-estimate policy then decides, so the
+/// long-run hold rate sits near a coin flip rather than collapsing to
+/// all-fail. This is the documented reason overhead bounds carry slack.
+#[test]
+fn on_bound_null_is_usually_inconclusive() {
+    let trials = 100u64;
+    let mut inconclusive = 0u32;
+    for seed in 0..trials {
+        let cfg = GateConfig::at_most("null_inc", 1.0)
+            .samples(8, 24)
+            .seed(seed ^ 0x1C05)
+            .fail_closed();
+        if synthetic_gate(cfg, 1.0, 1.5, 0xF00D + seed) == Decision::Inconclusive {
+            inconclusive += 1;
+        }
+    }
+    assert!(
+        inconclusive >= 80,
+        "expected the on-bound null to stay inconclusive, got {inconclusive}/{trials}"
+    );
+}
